@@ -1,0 +1,210 @@
+//! The executable Theorem 3 adversary (Figure 5).
+//!
+//! At time 0, two items of size `1/2 − ε` arrive: one of duration `x`, one
+//! of duration 1. If the online algorithm packs them together (case B),
+//! two items of size `1/2 + ε` arrive at time `τ` (durations `x` and 1) —
+//! each needs a fresh bin, and the algorithm pays `2x + 1` against an
+//! optimum of `x + 1 + 2τ`. If the algorithm packs them apart (case A),
+//! nothing else arrives and it pays `x + 1` against an optimum of `x`.
+//! At `x = (1+√5)/2`, both ratios equal the golden ratio `φ`, so no
+//! deterministic online algorithm beats `φ`.
+//!
+//! [`run_adversary`] plays this game against any real [`OnlinePacker`]:
+//! it observes the algorithm's choice on the two-item prefix and then
+//! presents the punishing continuation, reporting the achieved ratio
+//! against the *exact no-migration optimum* of the chosen case.
+
+use crate::exact::min_usage_packing;
+use dbp_core::{Instance, Item, OnlineEngine, OnlinePacker, Size};
+
+/// Which continuation the adversary selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryCase {
+    /// The algorithm split the first two items → no further arrivals.
+    A,
+    /// The algorithm co-located the first two items → two `1/2 + ε`
+    /// items arrive at `τ`.
+    B,
+}
+
+/// Outcome of one adversary game.
+#[derive(Clone, Debug)]
+pub struct AdversaryReport {
+    /// Which case the adversary played.
+    pub case: AdversaryCase,
+    /// The algorithm's total usage time on the selected instance (ticks).
+    pub algorithm_usage: u128,
+    /// The exact no-migration optimum for the same instance (ticks).
+    pub optimum_usage: u128,
+    /// `algorithm_usage / optimum_usage`.
+    pub ratio: f64,
+}
+
+/// Builds the Theorem 3 instance. `unit` is the tick length of duration
+/// "1"; the long items last `x` ticks (`x > unit`); `tau ≥ 1` is the second
+/// wave's arrival offset; `with_case_b` appends the two `1/2 + ε` items.
+///
+/// `ε` is one fixed-point quantum ([`Size::EPSILON`]), the smallest
+/// representable perturbation.
+pub fn theorem3_instance(unit: i64, x: i64, tau: i64, with_case_b: bool) -> Instance {
+    assert!(unit >= 1 && x > unit, "need x > 1 (in ticks: x > unit)");
+    assert!(tau >= 1, "tau must be at least one tick");
+    let small = Size::HALF - Size::EPSILON;
+    let large = Size::HALF + Size::EPSILON;
+    let mut items = vec![Item::new(0, small, 0, x), Item::new(1, small, 0, unit)];
+    if with_case_b {
+        items.push(Item::new(2, large, tau, tau + x));
+        items.push(Item::new(3, large, tau, tau + unit));
+    }
+    Instance::from_items(items).expect("valid construction")
+}
+
+/// Plays the Theorem 3 game against `packer` with duration-1 = `unit`
+/// ticks, long duration `x` ticks, and arrival offset `tau`.
+///
+/// The adversary first shows only the two-item prefix (which is exactly
+/// case A), inspects whether the packer co-located them, and then scores
+/// the packer on the case that punishes its choice. Because the prefix of
+/// case B is identical to case A and the packer is deterministic, its
+/// prefix behaviour is the same in both cases — precisely the argument in
+/// the paper's proof.
+/// # Example
+///
+/// ```
+/// use dbp_algos::adversary::{golden_ratio, run_adversary};
+/// use dbp_algos::online::AnyFit;
+///
+/// let report = run_adversary(&mut AnyFit::first_fit(), 100_000, 161_803, 1);
+/// assert!(report.ratio >= golden_ratio() - 0.01);
+/// ```
+pub fn run_adversary(
+    packer: &mut dyn OnlinePacker,
+    unit: i64,
+    x: i64,
+    tau: i64,
+) -> AdversaryReport {
+    let engine = OnlineEngine::clairvoyant();
+
+    // Probe: case A instance reveals the prefix decision.
+    let probe = theorem3_instance(unit, x, tau, false);
+    let probe_run = engine.run(&probe, packer).expect("probe run");
+    let colocated = probe_run.bins_opened() == 1;
+
+    let (case, inst) = if colocated {
+        (AdversaryCase::B, theorem3_instance(unit, x, tau, true))
+    } else {
+        (AdversaryCase::A, probe)
+    };
+    let run = engine.run(&inst, packer).expect("adversary run");
+    run.packing.validate(&inst).expect("valid packing");
+    let (opt, _) = min_usage_packing(&inst);
+    AdversaryReport {
+        case,
+        algorithm_usage: run.usage,
+        optimum_usage: opt,
+        ratio: run.usage as f64 / opt as f64,
+    }
+}
+
+/// The golden ratio `(1+√5)/2` — Theorem 3's lower bound on the
+/// competitive ratio of any deterministic online packer.
+pub fn golden_ratio() -> f64 {
+    (1.0 + 5.0_f64.sqrt()) / 2.0
+}
+
+/// The adversary's guaranteed ratio for a given `x/unit` and `tau → 0`:
+/// `min{(x+1)/x, (2x+1)/(x+1)}` (maximized at `x = φ`).
+pub fn guaranteed_ratio(x_over_unit: f64) -> f64 {
+    let x = x_over_unit;
+    ((x + 1.0) / x).min((2.0 * x + 1.0) / (x + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::{AnyFit, ClassifyByDepartureTime, ClassifyByDuration};
+
+    #[test]
+    fn guaranteed_ratio_peaks_at_phi() {
+        let phi = golden_ratio();
+        let at_phi = guaranteed_ratio(phi);
+        assert!((at_phi - phi).abs() < 1e-9);
+        for x in [1.1, 1.3, 1.5, 1.7, 2.0, 3.0] {
+            assert!(guaranteed_ratio(x) <= at_phi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn first_fit_pays_case_b() {
+        // FF co-locates the two (1/2−ε) items → case B punishes it.
+        let unit = 1000;
+        let x = 1618; // ≈ φ·unit
+        let rep = run_adversary(&mut AnyFit::first_fit(), unit, x, 1);
+        assert_eq!(rep.case, AdversaryCase::B);
+        // usage = 2x + unit; optimum = x + unit + 2τ.
+        assert_eq!(rep.algorithm_usage, (2 * x + unit) as u128);
+        assert_eq!(rep.optimum_usage, (x + unit + 2) as u128);
+        assert!(rep.ratio > 1.6, "ratio {}", rep.ratio);
+    }
+
+    #[test]
+    fn splitter_pays_case_a() {
+        // A packer that never co-locates pays (x+1)/x in case A.
+        struct AlwaysSplit;
+        impl dbp_core::OnlinePacker for AlwaysSplit {
+            fn name(&self) -> String {
+                "always-split".into()
+            }
+            fn place(
+                &mut self,
+                _: &dbp_core::online::ItemView,
+                _: &[dbp_core::online::OpenBin],
+            ) -> dbp_core::Decision {
+                dbp_core::Decision::NEW
+            }
+        }
+        let unit = 1000;
+        let x = 1618;
+        let rep = run_adversary(&mut AlwaysSplit, unit, x, 1);
+        assert_eq!(rep.case, AdversaryCase::A);
+        assert_eq!(rep.algorithm_usage, (x + unit) as u128);
+        assert_eq!(rep.optimum_usage, x as u128);
+        assert!(rep.ratio > 1.6);
+    }
+
+    #[test]
+    fn every_packer_suffers_at_least_phi_minus_discretization() {
+        let unit = 10_000;
+        let x = 16_180;
+        let tau = 1;
+        let floor = golden_ratio() - 0.01;
+        let mut packers: Vec<Box<dyn dbp_core::OnlinePacker>> = vec![
+            Box::new(AnyFit::first_fit()),
+            Box::new(AnyFit::best_fit()),
+            Box::new(AnyFit::worst_fit()),
+            Box::new(AnyFit::next_fit()),
+            Box::new(ClassifyByDepartureTime::new(5000)),
+            Box::new(ClassifyByDuration::new(1000, 2.0)),
+        ];
+        for p in packers.iter_mut() {
+            let rep = run_adversary(p.as_mut(), unit, x, tau);
+            assert!(
+                rep.ratio >= floor,
+                "{} escaped with ratio {:.4} (case {:?})",
+                p.name(),
+                rep.ratio,
+                rep.case
+            );
+        }
+    }
+
+    #[test]
+    fn instance_shape() {
+        let a = theorem3_instance(10, 16, 1, false);
+        assert_eq!(a.len(), 2);
+        let b = theorem3_instance(10, 16, 1, true);
+        assert_eq!(b.len(), 4);
+        // Both big items exceed half capacity.
+        assert!(b.items().iter().filter(|r| !r.size().is_small()).count() == 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! Exact reference solvers.
+//!
+//! * [`opt_total`] — the paper's `OPT_total(R)` (§3.2): the usage time of an
+//!   optimal *offline adversary that may repack everything at any time*,
+//!   `∫ OPT(R,t) dt`. At each load segment the active items form a classical
+//!   bin packing instance solved exactly by branch-and-bound. This is the
+//!   denominator of every ratio the paper proves; all our measured ratios
+//!   use it (or its LB3 lower bound when instances are too large).
+//! * [`min_usage_packing`] — the true *no-migration* optimum, by exhaustive
+//!   assignment search with pruning. Exponential; intended for instances of
+//!   up to ~12 items in tests, where it brackets the approximation
+//!   algorithms from below.
+
+use dbp_core::events::load_segments;
+use dbp_core::{Instance, Item, Packing, Size};
+
+/// Exact minimum number of unit bins needed for `sizes` (classical bin
+/// packing) via branch-and-bound with first-fit-decreasing seeding.
+///
+/// Exact for any input, exponential in the worst case; fine for the tens of
+/// concurrently active items in test workloads.
+pub fn min_bins(sizes: &[Size]) -> usize {
+    let mut sizes: Vec<u64> = sizes.iter().map(|s| s.raw()).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    if sizes.is_empty() {
+        return 0;
+    }
+    let cap = Size::SCALE;
+    assert!(sizes.iter().all(|&s| s <= cap), "item exceeds capacity");
+
+    // FFD upper bound.
+    let mut ffd_bins: Vec<u64> = Vec::new();
+    for &s in &sizes {
+        match ffd_bins.iter_mut().find(|b| **b + s <= cap) {
+            Some(b) => *b += s,
+            None => ffd_bins.push(s),
+        }
+    }
+    let mut best = ffd_bins.len();
+
+    // Lower bounds: continuous volume, plus a cardinality/matching bound —
+    // items larger than 1/2 cannot share a bin at all, and items larger
+    // than 1/3 fit at most two per bin (a half-item bin hosts at most one
+    // third-item), so bins ≥ a + ⌈(b − a)/2⌉ where a = |{s > 1/2}| and
+    // b = |{1/3 < s ≤ 1/2}|. This closes the huge gap the volume bound
+    // leaves on near-half sizes, where the search would otherwise explode.
+    let total: u128 = sizes.iter().map(|&s| s as u128).sum();
+    let volume_lb = total.div_ceil(cap as u128) as usize;
+    let a = sizes.iter().filter(|&&s| 2 * s > cap).count();
+    let b = sizes
+        .iter()
+        .filter(|&&s| 3 * s > cap && 2 * s <= cap)
+        .count();
+    let matching_lb = a + b.saturating_sub(a).div_ceil(2);
+    let lb = volume_lb.max(matching_lb);
+    if lb >= best {
+        return best;
+    }
+
+    // Branch and bound: place items (largest first) into bins; bins are
+    // represented by remaining capacities. Symmetry: only open one new bin.
+    fn bnb(sizes: &[u64], idx: usize, bins: &mut Vec<u64>, best: &mut usize, cap: u64) {
+        if bins.len() >= *best {
+            return;
+        }
+        if idx == sizes.len() {
+            *best = bins.len();
+            return;
+        }
+        // Remaining-volume bound.
+        let remaining: u128 = sizes[idx..].iter().map(|&s| s as u128).sum();
+        let free: u128 = bins.iter().map(|&b| (cap - b) as u128).sum();
+        if remaining > free {
+            let extra = ((remaining - free).div_ceil(cap as u128)) as usize;
+            if bins.len() + extra >= *best {
+                return;
+            }
+        }
+        let s = sizes[idx];
+        let mut tried: Vec<u64> = Vec::new();
+        for i in 0..bins.len() {
+            if bins[i] + s <= cap && !tried.contains(&bins[i]) {
+                tried.push(bins[i]);
+                bins[i] += s;
+                bnb(sizes, idx + 1, bins, best, cap);
+                bins[i] -= s;
+            }
+        }
+        // New bin (only if it can possibly improve).
+        if bins.len() + 1 < *best {
+            bins.push(s);
+            bnb(sizes, idx + 1, bins, best, cap);
+            bins.pop();
+        }
+    }
+    let mut bins: Vec<u64> = Vec::new();
+    bnb(&sizes, 0, &mut bins, &mut best, cap);
+    best
+}
+
+/// The exact `OPT_total(R)` of §3.2 — the repacking adversary's usage time,
+/// in ticks: `∫ OPT(R,t) dt`, where `OPT(R,t)` is exact classical bin
+/// packing over the items active at `t`.
+/// # Example
+///
+/// ```
+/// use dbp_algos::exact::opt_total;
+/// use dbp_core::Instance;
+///
+/// // Three 0.6-items overlap: the adversary needs 3 bins while they
+/// // coexist even though ⌈S(t)⌉ = 2 — OPT_total exceeds LB3.
+/// let jobs = Instance::from_triples(&[(0.6, 0, 10), (0.6, 0, 10), (0.6, 0, 10)]);
+/// assert_eq!(opt_total(&jobs), 30);
+/// ```
+pub fn opt_total(inst: &Instance) -> u128 {
+    let mut total: u128 = 0;
+    for seg in load_segments(inst.items()) {
+        let active: Vec<Size> = inst
+            .items()
+            .iter()
+            .filter(|r| r.interval().intersects(&seg.interval))
+            .map(|r| r.size())
+            .collect();
+        total += min_bins(&active) as u128 * seg.interval.len() as u128;
+    }
+    total
+}
+
+/// The exact minimum total usage time achievable *without migration* —
+/// the true optimum of the MinUsageTime DBP problem — along with a packing
+/// attaining it.
+///
+/// Exhaustive DFS over bin assignments in arrival order with branch
+/// pruning; use only for small instances (≲ 12 items).
+pub fn min_usage_packing(inst: &Instance) -> (u128, Packing) {
+    let items: Vec<Item> = inst.items().to_vec();
+    let n = items.len();
+    if n == 0 {
+        return (0, Packing::new());
+    }
+
+    #[derive(Clone)]
+    struct BinState {
+        members: Vec<usize>,
+    }
+
+    struct Search<'a> {
+        items: &'a [Item],
+        best: u128,
+        best_assign: Vec<Vec<usize>>,
+    }
+
+    /// Usage of a candidate bin = span of member intervals.
+    fn bin_span(items: &[Item], members: &[usize]) -> u128 {
+        dbp_core::interval::span_of(members.iter().map(|&i| items[i].interval())) as u128
+    }
+
+    /// Whether adding item `idx` keeps the bin feasible.
+    fn fits(items: &[Item], members: &[usize], idx: usize) -> bool {
+        let cand = items[idx];
+        // Check level at every arrival among members ∪ {idx} within the
+        // candidate's interval: piecewise-constant levels change only at
+        // arrivals/departures, and the max is attained at an arrival.
+        let mut all: Vec<usize> = members.to_vec();
+        all.push(idx);
+        for &i in &all {
+            let t = items[i].arrival();
+            if !cand.interval().contains(t) && i != idx {
+                continue;
+            }
+            let level: u64 = all
+                .iter()
+                .filter(|&&j| items[j].interval().contains(t))
+                .map(|&j| items[j].size().raw())
+                .sum();
+            if level > Size::SCALE {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dfs(s: &mut Search<'_>, idx: usize, bins: &mut Vec<BinState>, usage_so_far: u128) {
+        if usage_so_far >= s.best {
+            return;
+        }
+        if idx == s.items.len() {
+            s.best = usage_so_far;
+            s.best_assign = bins.iter().map(|b| b.members.clone()).collect();
+            return;
+        }
+        for i in 0..bins.len() {
+            if fits(s.items, &bins[i].members, idx) {
+                let before = bin_span(s.items, &bins[i].members);
+                bins[i].members.push(idx);
+                let after = bin_span(s.items, &bins[i].members);
+                dfs(s, idx + 1, bins, usage_so_far + after - before);
+                bins[i].members.pop();
+            }
+        }
+        // New bin.
+        bins.push(BinState { members: vec![idx] });
+        let add = s.items[idx].duration() as u128;
+        dfs(s, idx + 1, bins, usage_so_far + add);
+        bins.pop();
+    }
+
+    let mut search = Search {
+        items: &items,
+        best: u128::MAX,
+        best_assign: Vec::new(),
+    };
+    let mut bins = Vec::new();
+    dfs(&mut search, 0, &mut bins, 0);
+
+    let packing = Packing::from_bins(
+        search
+            .best_assign
+            .iter()
+            .map(|b| b.iter().map(|&i| items[i].id()).collect())
+            .collect(),
+    );
+    (search.best, packing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::accounting::lower_bounds;
+
+    #[test]
+    fn min_bins_basics() {
+        let s = Size::from_f64;
+        assert_eq!(min_bins(&[]), 0);
+        assert_eq!(min_bins(&[s(1.0)]), 1);
+        assert_eq!(min_bins(&[s(0.5), s(0.5)]), 1);
+        assert_eq!(min_bins(&[s(0.6), s(0.6)]), 2);
+        assert_eq!(min_bins(&[s(0.4), s(0.4), s(0.4)]), 2);
+        // FFD is suboptimal here; B&B must find 2:
+        // {0.5, 0.25, 0.25} {0.375, 0.375, 0.25} — FFD: 0.5,0.375,... let's
+        // use the classic: sizes where FFD gives 3 but OPT=2.
+        let tricky = [s(0.5), s(0.375), s(0.375), s(0.25), s(0.25), s(0.25)];
+        assert_eq!(min_bins(&tricky), 2);
+    }
+
+    #[test]
+    fn opt_total_simple() {
+        // Theorem 3's case A: two (1/2−ε) items, OPT packs them together.
+        let eps = 1.0 / Size::SCALE as f64;
+        let inst = Instance::from_triples(&[(0.5 - eps, 0, 16), (0.5 - eps, 0, 10)]);
+        assert_eq!(opt_total(&inst), 16);
+    }
+
+    #[test]
+    fn opt_total_equals_lb3_when_items_pack_perfectly() {
+        let inst =
+            Instance::from_triples(&[(0.5, 0, 10), (0.5, 0, 10), (0.5, 5, 15), (0.5, 5, 15)]);
+        let lb = lower_bounds(&inst);
+        assert_eq!(opt_total(&inst), lb.lb3);
+    }
+
+    #[test]
+    fn opt_total_exceeds_lb3_when_fragmentation_forced() {
+        // Two 0.6 items overlap: ⌈1.2⌉ = 2 = OPT(R,t); LB3 matches here.
+        // A case where OPT(R,t) > ⌈S(t)⌉: three 0.6 items at once → S=1.8,
+        // ⌈S⌉=2, but min_bins = 3.
+        let inst = Instance::from_triples(&[(0.6, 0, 10), (0.6, 0, 10), (0.6, 0, 10)]);
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.lb3, 20);
+        assert_eq!(opt_total(&inst), 30);
+    }
+
+    #[test]
+    fn min_usage_matches_hand_computed() {
+        // Theorem 3 case B, x = 2, τ = 1: OPT = x + 1 + 2τ = 5 … in ticks
+        // with x=20, τ=1: first (1/2−ε)[0,20), second (1/2−ε)[0,10),
+        // third (1/2+ε)[1,21), fourth (1/2+ε)[1,11).
+        // OPT: {1st,3rd} → span 21, {2nd,4th} → span 11 … total 32 = x+1+2τ
+        // scaled ×10: 20+10+2 = 32. ✓
+        let eps = 1.0 / Size::SCALE as f64;
+        let inst = Instance::from_triples(&[
+            (0.5 - eps, 0, 20),
+            (0.5 - eps, 0, 10),
+            (0.5 + eps, 1, 21),
+            (0.5 + eps, 1, 11),
+        ]);
+        let (usage, packing) = min_usage_packing(&inst);
+        packing.validate(&inst).unwrap();
+        assert_eq!(usage, 32);
+    }
+
+    #[test]
+    fn min_usage_at_least_opt_total() {
+        // The no-migration optimum can never beat the repacking adversary.
+        let inst = Instance::from_triples(&[
+            (0.6, 0, 7),
+            (0.5, 3, 12),
+            (0.4, 5, 9),
+            (0.7, 8, 15),
+            (0.3, 1, 14),
+        ]);
+        let (usage, packing) = min_usage_packing(&inst);
+        packing.validate(&inst).unwrap();
+        assert!(usage >= opt_total(&inst));
+        assert_eq!(usage, packing.total_usage(&inst));
+    }
+
+    #[test]
+    fn opt_total_with_back_to_back_full_items() {
+        // Regression: two full-size items meeting exactly at t=84 must not
+        // be treated as concurrent. A load-segment implementation that
+        // merges adjacent segments with equal load would make OPT_total
+        // = 2×85 here; the correct value is 85 (one bin at a time), equal
+        // to the no-migration optimum (both in one bin).
+        let inst = Instance::from_triples(&[(1.0, 84, 85), (1.0, 0, 84)]);
+        assert_eq!(opt_total(&inst), 85);
+        let (usage, packing) = min_usage_packing(&inst);
+        packing.validate(&inst).unwrap();
+        assert_eq!(usage, 85);
+    }
+
+    #[test]
+    fn min_usage_empty_and_single() {
+        let empty = Instance::from_items(vec![]).unwrap();
+        assert_eq!(min_usage_packing(&empty).0, 0);
+        let one = Instance::from_triples(&[(0.9, 2, 11)]);
+        assert_eq!(min_usage_packing(&one).0, 9);
+    }
+}

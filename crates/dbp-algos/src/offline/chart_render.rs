@@ -1,0 +1,126 @@
+//! ASCII rendering of the Dual Coloring demand chart (Figure 3).
+//!
+//! Renders the chart outline and the Phase 1 placements so the algorithm's
+//! geometry can be inspected in a terminal — each item's rectangle is
+//! drawn with a per-item letter, `.` marks chart area not covered by any
+//! item (blue area), and space is outside the chart.
+
+use super::dual_coloring::Phase1Placement;
+use dbp_core::events::load_segments;
+use dbp_core::{Item, Size};
+
+/// Renders the demand chart of `small` with `placements` overlaid.
+///
+/// `width`/`height` are the raster dimensions; time and altitude are
+/// scaled to fit. Items are labelled `a`–`z` (cycling) by placement order.
+pub fn render_chart(
+    small: &[Item],
+    placements: &[Phase1Placement],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 2 && height >= 2);
+    let chart = load_segments(small);
+    if chart.is_empty() {
+        return String::from("(empty chart)\n");
+    }
+    let t0 = chart.first().expect("nonempty").interval.start();
+    let t1 = chart.last().expect("nonempty").interval.end();
+    let peak = chart
+        .iter()
+        .map(|s| s.total_size.raw())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let t_span = (t1 - t0).max(1) as f64;
+
+    let time_at = |col: usize| t0 + ((col as f64 + 0.5) / width as f64 * t_span) as i64;
+    let alt_at = |row: usize| {
+        // Row 0 is the top of the chart.
+        ((height - row) as f64 - 0.5) / height as f64 * peak as f64
+    };
+
+    let chart_height_at = |t: i64| -> u64 {
+        chart
+            .iter()
+            .find(|s| s.interval.contains(t))
+            .map(|s| s.total_size.raw())
+            .unwrap_or(0)
+    };
+
+    let mut out = String::new();
+    for row in 0..height {
+        let alt = alt_at(row);
+        let mut line = String::with_capacity(width + 12);
+        for col in 0..width {
+            let t = time_at(col);
+            if (chart_height_at(t) as f64) < alt {
+                line.push(' ');
+                continue;
+            }
+            // Inside the chart: find a placement covering (t, alt).
+            let hit = placements.iter().position(|p| {
+                p.item.interval().contains(t)
+                    && (p.bottom() as f64) < alt
+                    && alt <= p.altitude as f64
+            });
+            line.push(match hit {
+                Some(i) => (b'a' + (i % 26) as u8) as char,
+                None => '.',
+            });
+        }
+        out.push_str(&format!(
+            "{:6.2} |{}\n",
+            alt / Size::SCALE as f64,
+            line.trim_end()
+        ));
+    }
+    out.push_str(&format!("{:>6} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>7}t={t0}{}t={t1}\n",
+        "",
+        " ".repeat(width.saturating_sub(10))
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dual_coloring::phase1;
+    use super::*;
+
+    fn smalls(triples: &[(f64, i64, i64)]) -> Vec<Item> {
+        triples
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, a, d))| Item::new(i as u32, Size::from_f64(s), a, d))
+            .collect()
+    }
+
+    #[test]
+    fn renders_placements_with_letters() {
+        let items = smalls(&[(0.5, 0, 10), (0.25, 2, 8), (0.25, 0, 10)]);
+        let placements = phase1(&items);
+        let out = render_chart(&items, &placements, 40, 10);
+        // All three item letters appear.
+        assert!(out.contains('a'));
+        assert!(out.contains('b'));
+        assert!(out.contains('c'));
+        // Axis furniture present.
+        assert!(out.contains("t=0"));
+        assert!(out.contains("t=10"));
+    }
+
+    #[test]
+    fn empty_chart_handled() {
+        assert_eq!(render_chart(&[], &[], 10, 4), "(empty chart)\n");
+    }
+
+    #[test]
+    fn chart_outline_without_placements_shows_blue_area() {
+        let items = smalls(&[(0.5, 0, 10)]);
+        let out = render_chart(&items, &[], 20, 6);
+        assert!(out.contains('.'), "uncovered chart area should be dots");
+        assert!(!out.contains('a'));
+    }
+}

@@ -1,0 +1,653 @@
+//! The Dual Coloring algorithm (§4.2) — Theorem 2, 4-approximation.
+//!
+//! Items are split at size `1/2` into small and large groups, packed into
+//! disjoint bin sets.
+//!
+//! **Large items** (`s > 1/2`): packed "arbitrarily" per the paper. Two
+//! concrete rules are provided ([`LargeItemRule`]); both satisfy the
+//! analysis (at most `⌊2·S_L(t)⌋` large bins are open at any `t` because no
+//! two large items share a bin concurrently).
+//!
+//! **Small items** (`s ≤ 1/2`): placed into a *demand chart* — the region
+//! under the curve `S_S(t)` (total active small size) — in Phase 1 such
+//! that no three item rectangles overlap (Lemma 5), every item lands inside
+//! the chart (Lemmas 3–4), and the whole chart ends up colored (Lemma 2).
+//! Phase 2 cuts the chart into horizontal stripes of height `1/2`; items
+//! fully inside stripe `k` share bin `k`, items crossing the boundary
+//! between stripes `k` and `k+1` share bin `m+k`. At any time at most
+//! `2⌈2·S_S(t)⌉ − 1` small bins are open, which combined with the large
+//! bins is at most `4⌈S(t)⌉` — Proposition 3 then yields the factor 4.
+//!
+//! Phase 1 follows the paper's pseudocode exactly: altitudes are examined
+//! from high to low; at each altitude the horizontal line decomposes into
+//! red / blue / uncolored maximal intervals; an uncolored interval either
+//! receives an item whose interval meets it and nothing else (coloring the
+//! overlap red), or is colored blue all the way down.
+
+use dbp_core::events::{load_segments, LoadSegment};
+use dbp_core::interval::{union_components, Interval};
+use dbp_core::{Instance, Item, OfflinePacker, Packing, Size};
+use std::collections::BTreeSet;
+
+use super::ddff::{interval_first_fit, ProfileBackend};
+
+/// How the large group (`s > 1/2`) is packed. The paper allows any rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LargeItemRule {
+    /// Interval First Fit over large items — reuses bins across time,
+    /// usually fewer bins (the default).
+    #[default]
+    IntervalFirstFit,
+    /// One bin per large item — the most literal reading of "arbitrarily";
+    /// kept as an ablation.
+    OnePerBin,
+}
+
+/// An item's position in the demand chart after Phase 1: it occupies
+/// altitudes `(altitude − s(r), altitude]` over its active interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Phase1Placement {
+    /// The placed (small) item.
+    pub item: Item,
+    /// The top altitude `h`, in raw [`Size`] units.
+    pub altitude: u64,
+}
+
+impl Phase1Placement {
+    /// The bottom altitude `h − s(r)` in raw units.
+    pub fn bottom(&self) -> u64 {
+        self.altitude - self.item.size().raw()
+    }
+}
+
+/// The Dual Coloring offline packer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DualColoring {
+    large_rule: LargeItemRule,
+}
+
+impl DualColoring {
+    /// Creates the packer with the default large-item rule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the large-item rule (see [`LargeItemRule`]).
+    pub fn with_large_rule(large_rule: LargeItemRule) -> Self {
+        DualColoring { large_rule }
+    }
+}
+
+impl OfflinePacker for DualColoring {
+    fn name(&self) -> &'static str {
+        "dual-coloring"
+    }
+
+    fn pack(&self, inst: &Instance) -> Packing {
+        let (small, large) = inst.split_small_large();
+
+        // Small items: Phase 1 placement, then Phase 2 stripe packing.
+        let placements = phase1(&small);
+        let mut bins = phase2(&placements);
+
+        // Large items, in bins disjoint from the small-item bins.
+        match self.large_rule {
+            LargeItemRule::IntervalFirstFit => {
+                for bin in interval_first_fit(&large, ProfileBackend::BTree) {
+                    bins.push(bin.into_iter().map(|r| r.id()).collect());
+                }
+            }
+            LargeItemRule::OnePerBin => {
+                for r in &large {
+                    bins.push(vec![r.id()]);
+                }
+            }
+        }
+        Packing::from_bins(bins)
+    }
+}
+
+/// A red rectangle: `time × (lo, hi]` in altitude (raw units).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RedRect {
+    /// Time extent of the colored area (the placed item's interval
+    /// intersected with the uncolored interval it was matched to).
+    pub time: Interval,
+    /// Exclusive lower altitude (the item's lower boundary, left
+    /// uncolored by the algorithm).
+    pub lo: u64,
+    /// Inclusive upper altitude.
+    pub hi: u64,
+}
+
+/// A blue column: `time × (0, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlueRect {
+    /// Time extent of the blue column.
+    pub time: Interval,
+    /// Inclusive upper altitude (columns always start at 0).
+    pub hi: u64,
+}
+
+/// The complete coloring produced by Phase 1, for Lemma 2 verification
+/// and visualization.
+#[derive(Clone, Debug, Default)]
+pub struct Coloring {
+    /// All red rectangles, in placement order.
+    pub red: Vec<RedRect>,
+    /// All blue columns, in coloring order.
+    pub blue: Vec<BlueRect>,
+}
+
+/// Phase 1: places every small item in the demand chart such that no three
+/// placements overlap (Lemma 5) and each placement lies within the chart
+/// (Lemma 3). Follows the paper's pseudocode; see module docs.
+///
+/// # Panics
+/// If an internal invariant guaranteed by Lemmas 2–5 fails (that would be
+/// an implementation bug, not a property of the input).
+pub fn phase1(small: &[Item]) -> Vec<Phase1Placement> {
+    phase1_with_coloring(small).0
+}
+
+/// Phase 1 returning the full coloring state alongside the placements,
+/// enabling the Lemma 2 check ([`verify_lemma2`]): after Phase 1, the
+/// entire area of the demand chart is colored.
+pub fn phase1_with_coloring(small: &[Item]) -> (Vec<Phase1Placement>, Coloring) {
+    let chart: Vec<LoadSegment> = load_segments(small);
+    if small.is_empty() {
+        return (Vec::new(), Coloring::default());
+    }
+
+    // M: altitudes to examine — initially every distinct chart height.
+    let mut altitudes: BTreeSet<u64> = chart.iter().map(|s| s.total_size.raw()).collect();
+    altitudes.remove(&0);
+
+    let mut unplaced: Vec<Item> = small.to_vec();
+    unplaced.sort_by_key(|r| r.id());
+    let mut red: Vec<RedRect> = Vec::new();
+    let mut blue: Vec<BlueRect> = Vec::new();
+    let mut placements: Vec<Phase1Placement> = Vec::new();
+
+    while let Some(h) = altitudes.pop_last() {
+        // Decompose the line at altitude h into red/blue/uncolored.
+        let domain = domain_at(&chart, h);
+        let mut red_line: Vec<Interval> =
+            union_components(red.iter().filter(|r| r.lo < h && h <= r.hi).map(|r| r.time));
+        let blue_line: Vec<Interval> =
+            union_components(blue.iter().filter(|b| h <= b.hi).map(|b| b.time));
+        let mut uncolored: Vec<Interval> =
+            subtract_intervals(&domain, &merge(&red_line, &blue_line));
+
+        while let Some(iu) = uncolored.pop() {
+            // Find an unplaced item whose interval meets iu and nothing
+            // else among the remaining uncolored and red intervals. The
+            // item's whole interval must also lie inside the chart domain
+            // at altitude h — the paper's Lemma 3 treats this as obvious
+            // ("r's upper boundary is within the demand chart"), but it
+            // must be enforced explicitly: without it an item whose
+            // interval extends into regions where the chart is lower than
+            // h would be placed sticking out of the chart.
+            let candidate = unplaced.iter().position(|r| {
+                r.interval().intersects(&iu)
+                    && domain.iter().any(|d| d.contains_interval(&r.interval()))
+                    && uncolored.iter().all(|i| !r.interval().intersects(i))
+                    && red_line.iter().all(|i| !r.interval().intersects(i))
+            });
+            match candidate {
+                Some(idx) => {
+                    let r = unplaced.remove(idx);
+                    let s = r.size().raw();
+                    assert!(
+                        s <= h,
+                        "Lemma 3 violated: item {:?} of size {} placed at altitude {}",
+                        r.id(),
+                        s,
+                        h
+                    );
+                    placements.push(Phase1Placement {
+                        item: r,
+                        altitude: h,
+                    });
+                    let overlap = r
+                        .interval()
+                        .intersection(&iu)
+                        .expect("candidate intersects iu by construction");
+                    red.push(RedRect {
+                        time: overlap,
+                        lo: h - s,
+                        hi: h,
+                    });
+                    red_line.push(overlap);
+                    // Remainders of iu stay uncolored at altitude h.
+                    if iu.start() < r.arrival() {
+                        uncolored.push(Interval::of(iu.start(), r.arrival()));
+                    }
+                    if iu.end() > r.departure() {
+                        uncolored.push(Interval::of(r.departure(), iu.end()));
+                    }
+                    // The item's lower boundary becomes a new altitude.
+                    if h > s {
+                        altitudes.insert(h - s);
+                    }
+                }
+                None => {
+                    blue.push(BlueRect { time: iu, hi: h });
+                }
+            }
+        }
+    }
+
+    assert!(
+        unplaced.is_empty(),
+        "Lemma 4 violated: {} small items left unplaced",
+        unplaced.len()
+    );
+    (placements, Coloring { red, blue })
+}
+
+/// Lemma 2, machine-checked by exact area accounting: the union of the
+/// red rectangles and blue columns covers the demand chart exactly.
+///
+/// Both areas are integers (raw-size × tick units), and colored regions
+/// never extend outside the chart (red by Lemma 3, blue by construction),
+/// so *equality of areas* is equivalent to full coverage up to the
+/// measure-zero lower boundaries the algorithm deliberately leaves
+/// uncolored.
+pub fn verify_lemma2(small: &[Item], coloring: &Coloring) -> bool {
+    let chart = load_segments(small);
+    let chart_area: u128 = chart
+        .iter()
+        .map(|s| s.total_size.raw() as u128 * s.interval.len() as u128)
+        .sum();
+    // Rectangles as (time, y_lo, y_hi) with half-open y (lo, hi].
+    let rects: Vec<(Interval, u64, u64)> = coloring
+        .red
+        .iter()
+        .map(|r| (r.time, r.lo, r.hi))
+        .chain(coloring.blue.iter().map(|b| (b.time, 0, b.hi)))
+        .collect();
+    union_area(&rects) == chart_area
+}
+
+/// Exact area of the union of axis-aligned rectangles, via a time sweep
+/// with altitude-interval unions per elementary window.
+fn union_area(rects: &[(Interval, u64, u64)]) -> u128 {
+    let mut times: Vec<i64> = rects
+        .iter()
+        .flat_map(|(t, _, _)| [t.start(), t.end()])
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    let mut area: u128 = 0;
+    for w in times.windows(2) {
+        let width = (w[1] - w[0]) as u128;
+        let mid = w[0];
+        // Altitude intervals of rects active over [w[0], w[1]).
+        let mut ys: Vec<(u64, u64)> = rects
+            .iter()
+            .filter(|(t, _, _)| t.contains(mid))
+            .map(|&(_, lo, hi)| (lo, hi))
+            .collect();
+        ys.sort_unstable();
+        let mut covered: u128 = 0;
+        let mut cur: Option<(u64, u64)> = None;
+        for (lo, hi) in ys {
+            match cur {
+                Some((clo, chi)) if lo <= chi => {
+                    cur = Some((clo, chi.max(hi)));
+                }
+                Some((clo, chi)) => {
+                    covered += (chi - clo) as u128;
+                    cur = Some((lo, hi));
+                }
+                None => cur = Some((lo, hi)),
+            }
+        }
+        if let Some((clo, chi)) = cur {
+            covered += (chi - clo) as u128;
+        }
+        area += covered * width;
+    }
+    area
+}
+
+/// Phase 2: stripe packing. Returns per-bin item-id lists (empty bins
+/// pruned). Stripe height is `1/2` capacity; stripe `k` (1-indexed) covers
+/// altitudes `((k−1)/2, k/2]`.
+pub fn phase2(placements: &[Phase1Placement]) -> Vec<Vec<dbp_core::ItemId>> {
+    if placements.is_empty() {
+        return Vec::new();
+    }
+    let half = Size::SCALE / 2;
+    let peak = placements
+        .iter()
+        .map(|p| p.altitude)
+        .max()
+        .expect("nonempty");
+    let m = peak.div_ceil(half) as usize;
+    // Bins 0..m: within-stripe; bins m..2m−1: crossing stripe boundaries.
+    let mut bins: Vec<Vec<dbp_core::ItemId>> = vec![Vec::new(); 2 * m - 1];
+    for p in placements {
+        let lo = p.bottom();
+        let hi = p.altitude;
+        let k = (lo / half) as usize; // 0-indexed stripe containing lo
+        if hi <= (k as u64 + 1) * half {
+            bins[k].push(p.item.id());
+        } else {
+            // Crosses the boundary between stripes k and k+1 (0-indexed);
+            // small items (≤ 1/2) cross at most one boundary.
+            debug_assert!(hi <= (k as u64 + 2) * half);
+            bins[m + k].push(p.item.id());
+        }
+    }
+    bins.retain(|b| !b.is_empty());
+    bins
+}
+
+/// The chart domain at altitude `h`: maximal time intervals where the chart
+/// height is at least `h`.
+fn domain_at(chart: &[LoadSegment], h: u64) -> Vec<Interval> {
+    union_components(
+        chart
+            .iter()
+            .filter(|s| s.total_size.raw() >= h)
+            .map(|s| s.interval),
+    )
+}
+
+/// Merges two sorted disjoint interval lists into their union components.
+fn merge(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    union_components(a.iter().chain(b.iter()).copied())
+}
+
+/// Subtracts `cover` (disjoint, sorted) from `base` (disjoint, sorted),
+/// returning the maximal remaining intervals.
+fn subtract_intervals(base: &[Interval], cover: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    for &b in base {
+        let mut cursor = b.start();
+        for &c in cover {
+            if c.end() <= cursor {
+                continue;
+            }
+            if c.start() >= b.end() {
+                break;
+            }
+            if c.start() > cursor {
+                out.push(Interval::of(cursor, c.start().min(b.end())));
+            }
+            cursor = cursor.max(c.end());
+            if cursor >= b.end() {
+                break;
+            }
+        }
+        if cursor < b.end() {
+            out.push(Interval::of(cursor, b.end()));
+        }
+    }
+    out
+}
+
+/// The maximum number of Phase 1 rectangles covering any single point of
+/// the chart — Lemma 5 asserts this never exceeds 2.
+pub fn max_overlap_depth(placements: &[Phase1Placement]) -> usize {
+    // Sweep time; within each elementary time window, sweep altitude.
+    let mut times: Vec<i64> = placements
+        .iter()
+        .flat_map(|p| [p.item.arrival(), p.item.departure()])
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    let mut worst = 0usize;
+    for w in times.windows(2) {
+        let t = w[0];
+        // Altitude events for placements active in [w[0], w[1]).
+        let mut ev: Vec<(u64, i32)> = Vec::new();
+        for p in placements {
+            if p.item.interval().contains(t) {
+                // Occupies (bottom, altitude]: use half-open (bottom, hi]
+                // → as events: +1 at bottom (exclusive start), −1 at hi.
+                ev.push((p.bottom(), 1));
+                ev.push((p.altitude, -1));
+            }
+        }
+        ev.sort_unstable();
+        let mut depth = 0i32;
+        for (_, d) in ev {
+            depth += d;
+            worst = worst.max(depth as usize);
+        }
+    }
+    worst
+}
+
+/// Checks that every placement lies inside the demand chart (Lemma 3):
+/// at every time in the item's interval, the chart height is at least the
+/// placement's top altitude.
+pub fn placements_within_chart(small: &[Item], placements: &[Phase1Placement]) -> bool {
+    let chart = load_segments(small);
+    placements.iter().all(|p| {
+        chart
+            .iter()
+            .filter(|s| s.interval.intersects(&p.item.interval()))
+            .all(|s| s.total_size.raw() >= p.altitude)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::accounting::lower_bounds;
+
+    fn smalls(triples: &[(f64, i64, i64)]) -> Vec<Item> {
+        triples
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, a, d))| Item::new(i as u32, Size::from_f64(s), a, d))
+            .collect()
+    }
+
+    fn check_phase1(small: &[Item]) -> Vec<Phase1Placement> {
+        let (pl, coloring) = phase1_with_coloring(small);
+        assert_eq!(pl.len(), small.len(), "Lemma 4: all items placed");
+        assert!(max_overlap_depth(&pl) <= 2, "Lemma 5: no 3-overlap");
+        assert!(placements_within_chart(small, &pl), "Lemma 3: inside chart");
+        assert!(
+            verify_lemma2(small, &coloring),
+            "Lemma 2: chart fully colored"
+        );
+        pl
+    }
+
+    #[test]
+    fn union_area_basics() {
+        let iv = Interval::of;
+        // Two disjoint unit squares.
+        assert_eq!(union_area(&[(iv(0, 1), 0, 1), (iv(2, 3), 0, 1)]), 2);
+        // Full overlap counts once.
+        assert_eq!(union_area(&[(iv(0, 2), 0, 2), (iv(0, 2), 0, 2)]), 4);
+        // Partial overlap: 2x2 and 2x2 shifted by 1 in both axes = 4+4-1.
+        assert_eq!(union_area(&[(iv(0, 2), 0, 2), (iv(1, 3), 1, 3)]), 7);
+        // Empty input.
+        assert_eq!(union_area(&[]), 0);
+    }
+
+    #[test]
+    fn lemma2_detects_missing_coverage() {
+        let items = smalls(&[(0.5, 0, 10), (0.25, 2, 8)]);
+        let (_, coloring) = phase1_with_coloring(&items);
+        assert!(verify_lemma2(&items, &coloring));
+        // Removing any colored rect must break coverage.
+        if !coloring.red.is_empty() {
+            let mut broken = coloring.clone();
+            broken.red.pop();
+            assert!(!verify_lemma2(&items, &broken));
+        }
+    }
+
+    #[test]
+    fn phase1_single_item() {
+        let items = smalls(&[(0.4, 0, 10)]);
+        let pl = check_phase1(&items);
+        assert_eq!(pl[0].altitude, Size::from_f64(0.4).raw());
+    }
+
+    #[test]
+    fn phase1_two_disjoint_items() {
+        let items = smalls(&[(0.4, 0, 10), (0.3, 20, 30)]);
+        check_phase1(&items);
+    }
+
+    #[test]
+    fn phase1_stacked_items() {
+        // Dyadic sizes so the stack height is exactly the capacity.
+        let items = smalls(&[(0.375, 0, 10), (0.375, 0, 10), (0.25, 0, 10)]);
+        let pl = check_phase1(&items);
+        // All three stack to fill the chart exactly (height 1.0).
+        let mut tops: Vec<u64> = pl.iter().map(|p| p.altitude).collect();
+        tops.sort_unstable();
+        assert_eq!(*tops.last().unwrap(), Size::CAPACITY.raw());
+    }
+
+    #[test]
+    fn phase1_figure3_like_staircase() {
+        // Overlapping staircase akin to Figure 3.
+        let items = smalls(&[
+            (0.3, 0, 8),
+            (0.5, 2, 12),
+            (0.25, 4, 16),
+            (0.5, 10, 20),
+            (0.2, 14, 22),
+        ]);
+        check_phase1(&items);
+    }
+
+    #[test]
+    fn phase2_stripe_assignment() {
+        // Item fully in stripe 1 (altitudes (0, 1/2]).
+        let a = Phase1Placement {
+            item: Item::new(0, Size::from_f64(0.5), 0, 10),
+            altitude: Size::HALF.raw(),
+        };
+        // Item crossing the 1/2 boundary: (0.3, 0.7].
+        let b = Phase1Placement {
+            item: Item::new(1, Size::from_f64(0.4), 0, 10),
+            altitude: Size::from_f64(0.7).raw(),
+        };
+        // Item fully in stripe 2: (0.5, 1.0].
+        let c = Phase1Placement {
+            item: Item::new(2, Size::from_f64(0.5), 0, 10),
+            altitude: Size::CAPACITY.raw(),
+        };
+        let bins = phase2(&[a, b, c]);
+        // Three distinct bins: stripe1, stripe2, crossing.
+        assert_eq!(bins.len(), 3);
+        for b in &bins {
+            assert_eq!(b.len(), 1);
+        }
+    }
+
+    #[test]
+    fn full_algorithm_valid_and_bounded() {
+        let inst = Instance::from_triples(&[
+            (0.3, 0, 8),
+            (0.5, 2, 12),
+            (0.25, 4, 16),
+            (0.5, 10, 20),
+            (0.2, 14, 22),
+            (0.75, 0, 6),  // large
+            (0.9, 5, 15),  // large
+            (0.6, 14, 25), // large
+        ]);
+        for rule in [LargeItemRule::IntervalFirstFit, LargeItemRule::OnePerBin] {
+            let p = DualColoring::with_large_rule(rule).pack(&inst);
+            p.validate(&inst).unwrap();
+            let lb = lower_bounds(&inst);
+            let usage = p.total_usage(&inst);
+            assert!(
+                usage <= 4 * lb.lb3,
+                "Theorem 2 bound violated under {rule:?}: {usage} > 4×{}",
+                lb.lb3
+            );
+        }
+    }
+
+    #[test]
+    fn open_bins_bounded_pointwise() {
+        // The per-time bound 4⌈S(t)⌉ from the Theorem 2 proof sketch.
+        let inst = Instance::from_triples(&[
+            (0.3, 0, 10),
+            (0.4, 2, 9),
+            (0.45, 3, 14),
+            (0.2, 5, 20),
+            (0.8, 1, 7),
+            (0.55, 6, 18),
+        ]);
+        let p = DualColoring::new().pack(&inst);
+        p.validate(&inst).unwrap();
+        let segs = load_segments(inst.items());
+        for seg in segs {
+            let t = seg.interval.start();
+            let open = p.bins_open_at(&inst, t);
+            assert!(
+                open <= 4 * seg.total_size.ceil_units() as usize,
+                "at t={t}: {open} open bins > 4⌈S⌉"
+            );
+        }
+    }
+
+    #[test]
+    fn all_large_items() {
+        let inst = Instance::from_triples(&[(0.9, 0, 10), (0.8, 5, 12), (0.7, 11, 20)]);
+        let p = DualColoring::new().pack(&inst);
+        p.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn all_small_items_heavy_overlap() {
+        let inst = Instance::from_triples(&[
+            (0.5, 0, 10),
+            (0.5, 0, 10),
+            (0.5, 0, 10),
+            (0.5, 0, 10),
+            (0.5, 0, 10),
+        ]);
+        let p = DualColoring::new().pack(&inst);
+        p.validate(&inst).unwrap();
+        // 2.5 total → m = 5 stripes, but only ~3 bins should be non-empty
+        // (each stripe bin holds ≤ 2 halves). Usage must be ≤ 4×LB3 = 4×3×10.
+        let lb = lower_bounds(&inst);
+        assert!(p.total_usage(&inst) <= 4 * lb.lb3);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let inst = Instance::from_items(vec![]).unwrap();
+        let p = DualColoring::new().pack(&inst);
+        p.validate(&inst).unwrap();
+        assert_eq!(p.num_bins(), 0);
+    }
+
+    #[test]
+    fn subtract_intervals_cases() {
+        let base = [Interval::of(0, 10)];
+        let cover = [Interval::of(2, 4), Interval::of(6, 8)];
+        assert_eq!(
+            subtract_intervals(&base, &cover),
+            vec![Interval::of(0, 2), Interval::of(4, 6), Interval::of(8, 10)]
+        );
+        // Cover extends beyond base.
+        assert_eq!(
+            subtract_intervals(&[Interval::of(3, 7)], &[Interval::of(0, 5)]),
+            vec![Interval::of(5, 7)]
+        );
+        // Full cover.
+        assert!(subtract_intervals(&[Interval::of(3, 7)], &[Interval::of(0, 9)]).is_empty());
+        // Empty cover.
+        assert_eq!(
+            subtract_intervals(&[Interval::of(3, 7)], &[]),
+            vec![Interval::of(3, 7)]
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline approximation algorithms (§4 of the paper).
+
+mod arrival_ff;
+pub mod chart_render;
+mod ddff;
+mod dual_coloring;
+mod duration_orders;
+pub mod xperiods;
+
+pub use arrival_ff::ArrivalFirstFit;
+pub use ddff::{interval_first_fit, DurationDescendingFirstFit, ProfileBackend};
+pub use dual_coloring::{
+    max_overlap_depth, phase1, phase1_with_coloring, phase2, placements_within_chart,
+    verify_lemma2, BlueRect, Coloring, DualColoring, LargeItemRule, Phase1Placement, RedRect,
+};
+pub use duration_orders::{DemandDescendingFirstFit, DurationAscendingFirstFit};

@@ -1,0 +1,148 @@
+//! The X-period decomposition used in the proof of Theorem 1 (Figure 2).
+//!
+//! For a bin's item set `R_k`, the proof first reduces it to `R'_k` by
+//! discarding items whose interval is contained in another item's interval;
+//! the survivors, sorted by arrival, then also have increasing departures.
+//! The union of their intervals is split at arrival times into disjoint
+//! *X-periods* whose lengths sum exactly to `span(R_k)`.
+//!
+//! These functions make the decomposition executable so tests and the
+//! `exp_constructions` experiment can verify the identity
+//! `Σ l(X(rᵢ)) = span(R_k)` on real packings.
+
+use dbp_core::interval::{span_of, Interval};
+use dbp_core::Item;
+
+/// Reduces an item set to `R'`: drops any item whose interval is contained
+/// in another's. Survivors are returned sorted by arrival time, and satisfy
+/// strictly increasing arrivals *and* departures (ties collapse: of two
+/// identical intervals one contains the other, so only one survives).
+pub fn reduce_to_staircase(items: &[Item]) -> Vec<Item> {
+    let mut kept: Vec<Item> = Vec::with_capacity(items.len());
+    'outer: for (i, r) in items.iter().enumerate() {
+        for (j, other) in items.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let containment = other.interval().contains_interval(&r.interval());
+            if containment && other.interval() != r.interval() {
+                continue 'outer;
+            }
+            // Identical intervals: keep only the lowest id.
+            if containment && other.interval() == r.interval() && other.id() < r.id() {
+                continue 'outer;
+            }
+        }
+        kept.push(*r);
+    }
+    kept.sort_by_key(|r| (r.arrival(), r.id()));
+    kept
+}
+
+/// The X-periods of a staircase item list (output of
+/// [`reduce_to_staircase`]): `X(rᵢ) = [I(rᵢ)⁻, min(I(rᵢ₊₁)⁻, I(rᵢ)⁺))` and
+/// `X(rₙ) = I(rₙ)`. Empty X-periods (when two items arrive simultaneously —
+/// impossible after reduction) are skipped defensively.
+pub fn x_periods(staircase: &[Item]) -> Vec<(Item, Interval)> {
+    let n = staircase.len();
+    let mut out = Vec::with_capacity(n);
+    for (i, r) in staircase.iter().enumerate() {
+        let end = if i + 1 < n {
+            staircase[i + 1].arrival().min(r.departure())
+        } else {
+            r.departure()
+        };
+        if r.arrival() < end {
+            out.push((*r, Interval::of(r.arrival(), end)));
+        }
+    }
+    out
+}
+
+/// Verifies the Figure 2 identity for an arbitrary item set: the X-periods
+/// of its staircase reduction are disjoint, ordered, and their lengths sum
+/// to the span of the original set. Returns the X-periods.
+pub fn verify_decomposition(items: &[Item]) -> Vec<(Item, Interval)> {
+    let staircase = reduce_to_staircase(items);
+    // Staircase property: strictly increasing arrivals and departures.
+    for w in staircase.windows(2) {
+        assert!(w[0].arrival() < w[1].arrival(), "arrivals must increase");
+        assert!(
+            w[0].departure() < w[1].departure(),
+            "departures must increase"
+        );
+    }
+    let xp = x_periods(&staircase);
+    for w in xp.windows(2) {
+        assert!(w[0].1.end() <= w[1].1.start(), "X-periods must be disjoint");
+    }
+    let total: i64 = xp.iter().map(|(_, iv)| iv.len()).sum();
+    let span = span_of(items.iter().map(|r| r.interval()));
+    assert_eq!(total, span, "Σ l(X(rᵢ)) must equal span(R_k)");
+    xp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::Size;
+
+    fn item(id: u32, a: i64, d: i64) -> Item {
+        Item::new(id, Size::from_f64(0.3), a, d)
+    }
+
+    #[test]
+    fn figure2_shape() {
+        // A staircase of overlapping items like Figure 2.
+        let items = vec![
+            item(0, 0, 10),
+            item(1, 4, 14),
+            item(2, 8, 18),
+            item(3, 16, 26),
+        ];
+        let xp = verify_decomposition(&items);
+        assert_eq!(xp.len(), 4);
+        assert_eq!(xp[0].1, Interval::of(0, 4));
+        assert_eq!(xp[1].1, Interval::of(4, 8));
+        assert_eq!(xp[2].1, Interval::of(8, 16));
+        assert_eq!(xp[3].1, Interval::of(16, 26));
+    }
+
+    #[test]
+    fn contained_items_removed() {
+        let items = vec![
+            item(0, 0, 20),
+            item(1, 5, 10), // contained in item 0
+            item(2, 15, 30),
+        ];
+        let stair = reduce_to_staircase(&items);
+        assert_eq!(stair.len(), 2);
+        assert!(stair.iter().all(|r| r.id().0 != 1));
+        verify_decomposition(&items);
+    }
+
+    #[test]
+    fn identical_intervals_keep_one() {
+        let items = vec![item(0, 0, 10), item(1, 0, 10)];
+        let stair = reduce_to_staircase(&items);
+        assert_eq!(stair.len(), 1);
+        assert_eq!(stair[0].id().0, 0);
+        verify_decomposition(&items);
+    }
+
+    #[test]
+    fn disjoint_items_full_periods() {
+        let items = vec![item(0, 0, 5), item(1, 10, 15)];
+        let xp = verify_decomposition(&items);
+        assert_eq!(xp[0].1, Interval::of(0, 5));
+        assert_eq!(xp[1].1, Interval::of(10, 15));
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert!(verify_decomposition(&[]).is_empty());
+        let xp = verify_decomposition(&[item(0, 2, 9)]);
+        assert_eq!(xp.len(), 1);
+        assert_eq!(xp[0].1, Interval::of(2, 9));
+    }
+}

@@ -1,0 +1,121 @@
+//! Hybrid First Fit (Li et al.): size-classified First Fit for the
+//! non-clairvoyant setting.
+//!
+//! Items are classified by *size* into harmonic classes — class 0 holds
+//! items with size in `(1/2, 1]`, class `k ≥ 1` holds sizes in
+//! `(2^{-(k+1)}, 2^{-k}]` up to a cutoff class that absorbs everything
+//! smaller — and each class is packed by First Fit separately. Li et al.
+//! showed this achieves competitive ratio `8μ/7 + 55/7` without knowledge
+//! of `μ` (and `μ + 5` with a `μ`-dependent parameter), versus `μ + 4` for
+//! plain First Fit (Tang et al.).
+//!
+//! It is included as the strongest published non-clairvoyant baseline with
+//! classification, so the paper's clairvoyant classification strategies are
+//! compared against like-for-like machinery.
+
+use super::first_fit_tagged;
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+use dbp_core::Size;
+
+/// Hybrid First Fit with `num_classes` harmonic size classes.
+#[derive(Clone, Debug)]
+pub struct HybridFirstFit {
+    num_classes: u32,
+}
+
+impl Default for HybridFirstFit {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl HybridFirstFit {
+    /// Creates the packer with `num_classes ≥ 1` harmonic classes; the last
+    /// class absorbs all sizes ≤ `2^{-num_classes+1}`… i.e. classes are
+    /// `(1/2,1], (1/4,1/2], …` with the final one unbounded below.
+    pub fn new(num_classes: u32) -> Self {
+        assert!(num_classes >= 1);
+        HybridFirstFit { num_classes }
+    }
+
+    /// The size class of an item: the smallest `k` with
+    /// `size > 2^{-(k+1)}`, capped at `num_classes − 1`.
+    pub fn class_of(&self, size: Size) -> u64 {
+        let mut threshold = Size::HALF;
+        for k in 0..self.num_classes - 1 {
+            if size > threshold {
+                return k as u64;
+            }
+            threshold = Size::from_raw(threshold.raw() / 2);
+        }
+        (self.num_classes - 1) as u64
+    }
+}
+
+impl OnlinePacker for HybridFirstFit {
+    fn name(&self) -> String {
+        format!("hybrid-ff(k={})", self.num_classes)
+    }
+
+    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+        let tag = self.class_of(item.size);
+        first_fit_tagged(tag, item.size, open_bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::{Instance, OnlineEngine};
+
+    #[test]
+    fn harmonic_classes() {
+        let p = HybridFirstFit::new(4);
+        let s = Size::from_f64;
+        assert_eq!(p.class_of(s(1.0)), 0);
+        assert_eq!(p.class_of(s(0.51)), 0);
+        assert_eq!(p.class_of(s(0.5)), 1);
+        assert_eq!(p.class_of(s(0.26)), 1);
+        assert_eq!(p.class_of(s(0.25)), 2);
+        assert_eq!(p.class_of(s(0.13)), 2);
+        assert_eq!(p.class_of(s(0.125)), 3);
+        assert_eq!(p.class_of(s(0.001)), 3, "smallest class absorbs the tail");
+    }
+
+    #[test]
+    fn classes_do_not_mix() {
+        let inst = Instance::from_triples(&[
+            (0.6, 0, 10), // class 0
+            (0.3, 1, 10), // class 1: would fit bin 0, but must not share
+        ]);
+        let mut p = HybridFirstFit::new(4);
+        let run = OnlineEngine::non_clairvoyant().run(&inst, &mut p).unwrap();
+        assert_eq!(run.bins_opened(), 2);
+    }
+
+    #[test]
+    fn within_class_first_fit() {
+        let inst = Instance::from_triples(&[
+            (0.3, 0, 10),
+            (0.3, 1, 10),
+            (0.3, 2, 10),
+            (0.3, 3, 10), // 3 fit a bin (0.9), fourth opens a new one
+        ]);
+        let mut p = HybridFirstFit::new(4);
+        let run = OnlineEngine::non_clairvoyant().run(&inst, &mut p).unwrap();
+        run.packing.validate(&inst).unwrap();
+        assert_eq!(run.bins_opened(), 2);
+    }
+
+    #[test]
+    fn single_class_degenerates_to_first_fit() {
+        let inst = Instance::from_triples(&[(0.6, 0, 10), (0.3, 1, 10), (0.2, 2, 4)]);
+        let mut hybrid = HybridFirstFit::new(1);
+        let mut ff = crate::online::AnyFit::first_fit();
+        let eng = OnlineEngine::non_clairvoyant();
+        let a = eng.run(&inst, &mut hybrid).unwrap();
+        let b = eng.run(&inst, &mut ff).unwrap();
+        assert_eq!(a.usage, b.usage);
+        assert_eq!(a.packing, b.packing);
+    }
+}

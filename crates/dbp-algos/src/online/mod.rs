@@ -1,0 +1,61 @@
+//! Online packers: the Any Fit family and the paper's classification
+//! strategies.
+
+mod any_fit;
+mod cbd;
+mod cbdt;
+mod combined;
+mod hybrid_ff;
+mod sliding;
+
+pub use any_fit::{AnyFit, FitRule};
+pub use cbd::ClassifyByDuration;
+pub use cbdt::ClassifyByDepartureTime;
+pub use combined::CombinedClassify;
+pub use hybrid_ff::HybridFirstFit;
+pub use sliding::SlidingDepartureWindow;
+
+use dbp_core::online::{Decision, ItemView, OpenBin};
+use dbp_core::Size;
+
+/// First Fit restricted to bins carrying `tag`: place in the earliest-opened
+/// feasible bin of that tag, else open a new bin with that tag.
+///
+/// All classification strategies in the paper apply First Fit within each
+/// item category; this helper is their shared packing rule.
+pub(crate) fn first_fit_tagged(tag: u64, size: Size, open_bins: &[OpenBin]) -> Decision {
+    for b in open_bins {
+        if b.tag() == tag && b.fits(size) {
+            return Decision::Existing(b.id());
+        }
+    }
+    Decision::New { tag }
+}
+
+/// Applies a [`FitRule`] among bins carrying `tag`.
+pub(crate) fn rule_tagged(
+    rule: FitRule,
+    tag: u64,
+    item: &ItemView,
+    open_bins: &[OpenBin],
+) -> Decision {
+    let mut candidates = open_bins.iter().filter(|b| b.tag() == tag);
+    match rule {
+        FitRule::First => first_fit_tagged(tag, item.size, open_bins),
+        FitRule::Best => candidates
+            .filter(|b| b.fits(item.size))
+            .max_by_key(|b| b.level())
+            .map(|b| Decision::Existing(b.id()))
+            .unwrap_or(Decision::New { tag }),
+        FitRule::Worst => candidates
+            .filter(|b| b.fits(item.size))
+            .min_by_key(|b| b.level())
+            .map(|b| Decision::Existing(b.id()))
+            .unwrap_or(Decision::New { tag }),
+        FitRule::Next => candidates
+            .next_back()
+            .filter(|b| b.fits(item.size))
+            .map(|b| Decision::Existing(b.id()))
+            .unwrap_or(Decision::New { tag }),
+    }
+}

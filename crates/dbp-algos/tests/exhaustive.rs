@@ -1,0 +1,111 @@
+//! Exhaustive verification over every tiny instance in a discretized
+//! family: all combinations of 3 items with sizes in {1/4, 1/2, 3/4, 1},
+//! arrivals in {0, 2, 5} and durations in {1, 3, 8}. For each of the
+//! ~5⁶ instances the theorem bounds and solver orderings are checked
+//! against the exact optimum — deterministic, shrink-free coverage of the
+//! small-case space that property tests sample randomly.
+
+use dbp_algos::exact::{min_usage_packing, opt_total};
+use dbp_algos::offline::{DualColoring, DurationDescendingFirstFit};
+use dbp_algos::online::{AnyFit, ClassifyByDepartureTime, ClassifyByDuration};
+use dbp_core::accounting::lower_bounds;
+use dbp_core::{Instance, Item, OfflinePacker, OnlineEngine, Size};
+
+const SIZES: [u64; 4] = [16, 32, 48, 64]; // /64 of capacity
+const ARRIVALS: [i64; 3] = [0, 2, 5];
+const DURATIONS: [i64; 3] = [1, 3, 8];
+
+fn all_items() -> Vec<Item> {
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for &s in &SIZES {
+        for &a in &ARRIVALS {
+            for &d in &DURATIONS {
+                out.push(Item::new(id, Size::from_ratio(s, 64).unwrap(), a, a + d));
+                id += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Every unordered triple of configurations (with repetition of shape but
+/// fresh ids).
+fn all_instances() -> Vec<Instance> {
+    let shapes = all_items();
+    let n = shapes.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in i..n {
+            for k in j..n {
+                let items = vec![
+                    shapes[i].with_id(0),
+                    shapes[j].with_id(1),
+                    shapes[k].with_id(2),
+                ];
+                out.push(Instance::from_items(items).unwrap());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn exhaustive_three_item_instances() {
+    let instances = all_instances();
+    assert!(instances.len() > 7_000, "space size {}", instances.len());
+    let engine = OnlineEngine::clairvoyant();
+    let nc = OnlineEngine::non_clairvoyant();
+
+    for inst in &instances {
+        let lb = lower_bounds(inst);
+        let adversary = opt_total(inst);
+        let (opt, opt_packing) = min_usage_packing(inst);
+        opt_packing.validate(inst).unwrap();
+
+        // Solver ordering.
+        assert!(lb.lb3 <= adversary, "{inst:?}");
+        assert!(adversary <= opt, "{inst:?}");
+
+        // Offline theorem bounds against the exact adversary.
+        let ddff = DurationDescendingFirstFit::new().pack(inst);
+        ddff.validate(inst).unwrap();
+        let ddff_usage = ddff.total_usage(inst);
+        assert!(opt <= ddff_usage, "{inst:?}");
+        assert!(ddff_usage < 5 * adversary + 1, "Thm 1 on {inst:?}");
+
+        let dc = DualColoring::new().pack(inst);
+        dc.validate(inst).unwrap();
+        assert!(dc.total_usage(inst) <= 4 * adversary, "Thm 2 on {inst:?}");
+
+        // Online: FF within μ+4, classification strategies within their
+        // bounds (μ = 8 here).
+        let mu = inst.mu().unwrap();
+        let delta = inst.min_duration().unwrap();
+        let ff = nc.run(inst, &mut AnyFit::first_fit()).unwrap();
+        ff.packing.validate(inst).unwrap();
+        assert!(
+            ff.usage as f64 <= (mu + 4.0) * adversary as f64,
+            "FF mu+4 on {inst:?}"
+        );
+
+        let mut cbdt = ClassifyByDepartureTime::with_known_durations(delta, mu);
+        let r = engine.run(inst, &mut cbdt).unwrap();
+        r.packing.validate(inst).unwrap();
+        let rho = cbdt.rho() as f64;
+        let bound = (rho / delta as f64) + (mu * delta as f64 / rho) + 3.0;
+        assert!(
+            r.usage as f64 <= bound * adversary as f64 + 1e-9,
+            "Thm 4 on {inst:?}"
+        );
+
+        let mut cbd = ClassifyByDuration::with_known_durations(delta, mu);
+        let r = engine.run(inst, &mut cbd).unwrap();
+        r.packing.validate(inst).unwrap();
+        let (cbd_bound, _) = dbp_theory::cbd_best_known(mu);
+        assert!(
+            r.usage as f64 <= cbd_bound * adversary as f64 + 1e-9,
+            "Thm 5 on {inst:?}"
+        );
+    }
+}

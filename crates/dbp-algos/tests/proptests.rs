@@ -1,0 +1,170 @@
+//! Property tests for the algorithm crate: exact solvers against brute
+//! force, classification boundary behaviour, and Dual Coloring stripe
+//! capacity.
+
+use dbp_algos::exact::{min_bins, min_usage_packing, opt_total};
+use dbp_algos::offline::{phase1, phase2, DualColoring, DurationDescendingFirstFit};
+use dbp_algos::online::{ClassifyByDepartureTime, ClassifyByDuration};
+use dbp_core::accounting::lower_bounds;
+use dbp_core::{Instance, Item, OfflinePacker, OnlineEngine, Size};
+use proptest::prelude::*;
+
+fn arb_sizes(max: usize) -> impl Strategy<Value = Vec<Size>> {
+    proptest::collection::vec(
+        (1u64..=64).prop_map(|s| Size::from_ratio(s, 64).unwrap()),
+        0..=max,
+    )
+}
+
+fn arb_instance(max_items: usize) -> impl Strategy<Value = Instance> {
+    let item = (1u64..=64, 0i64..100, 1i64..50).prop_map(|(s, a, d)| (s, a, a + d));
+    proptest::collection::vec(item, 1..=max_items).prop_map(|triples| {
+        let items = triples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, a, dep))| Item::new(i as u32, Size::from_ratio(s, 64).unwrap(), a, dep))
+            .collect();
+        Instance::from_items(items).unwrap()
+    })
+}
+
+/// Brute-force exact bin packing by enumerating assignments.
+fn brute_min_bins(sizes: &[Size]) -> usize {
+    if sizes.is_empty() {
+        return 0;
+    }
+    let n = sizes.len();
+    fn rec(sizes: &[Size], idx: usize, bins: &mut Vec<u64>, best: &mut usize) {
+        if bins.len() >= *best {
+            return;
+        }
+        if idx == sizes.len() {
+            *best = bins.len();
+            return;
+        }
+        let s = sizes[idx].raw();
+        for i in 0..bins.len() {
+            if bins[i] + s <= Size::SCALE {
+                bins[i] += s;
+                rec(sizes, idx + 1, bins, best);
+                bins[i] -= s;
+            }
+        }
+        bins.push(s);
+        rec(sizes, idx + 1, bins, best);
+        bins.pop();
+    }
+    let mut best = n;
+    rec(sizes, 0, &mut Vec::new(), &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The branch-and-bound classical bin packing solver is exact.
+    #[test]
+    fn min_bins_matches_bruteforce(sizes in arb_sizes(8)) {
+        prop_assert_eq!(min_bins(&sizes), brute_min_bins(&sizes));
+    }
+
+    /// `opt_total` is monotone under item removal (removing an item can
+    /// never increase the adversary's cost).
+    #[test]
+    fn opt_total_monotone(inst in arb_instance(6)) {
+        let full = opt_total(&inst);
+        for skip in 0..inst.len() {
+            let items: Vec<Item> = inst
+                .items()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, r)| *r)
+                .collect();
+            let sub = Instance::from_items(items).unwrap();
+            prop_assert!(opt_total(&sub) <= full);
+        }
+    }
+
+    /// The no-migration optimum equals DDFF when DDFF happens to match the
+    /// lower bound, and is always sandwiched between OPT_total and any
+    /// heuristic.
+    #[test]
+    fn exact_sandwich(inst in arb_instance(6)) {
+        let (opt, packing) = min_usage_packing(&inst);
+        packing.validate(&inst).unwrap();
+        let adversary = opt_total(&inst);
+        let ddff = DurationDescendingFirstFit::new().pack(&inst).total_usage(&inst);
+        prop_assert!(adversary <= opt);
+        prop_assert!(opt <= ddff);
+    }
+
+    /// Dual Coloring stripe capacity: within each Phase 2 bin, the level
+    /// never exceeds capacity (the Lemma 5 → stripe argument, end to end),
+    /// and the bin count is within 2m−1.
+    #[test]
+    fn dual_coloring_stripe_capacity(inst in arb_instance(20)) {
+        let (small, _) = inst.split_small_large();
+        let placements = phase1(&small);
+        let bins = phase2(&placements);
+        // Validate via a small-items-only instance.
+        let small_inst = Instance::from_items(small.clone()).unwrap();
+        let packing = dbp_core::Packing::from_bins(bins.clone());
+        // phase2 prunes empty bins but must cover all small items.
+        prop_assert!(packing.validate(&small_inst).is_ok());
+        if !placements.is_empty() {
+            let peak = placements.iter().map(|p| p.altitude).max().unwrap();
+            let m = peak.div_ceil(Size::SCALE / 2) as usize;
+            prop_assert!(bins.len() < 2 * m);
+        }
+    }
+
+    /// The full Dual Coloring packing respects Theorem 2 against LB3.
+    #[test]
+    fn dual_coloring_theorem2(inst in arb_instance(20)) {
+        let p = DualColoring::new().pack(&inst);
+        p.validate(&inst).unwrap();
+        prop_assert!(p.total_usage(&inst) <= 4 * lower_bounds(&inst).best());
+    }
+
+    /// CBDT: items sharing a bin always depart within the same ρ-window.
+    #[test]
+    fn cbdt_bins_are_departure_homogeneous(inst in arb_instance(24), rho in 1i64..40) {
+        let mut packer = ClassifyByDepartureTime::new(rho);
+        let run = OnlineEngine::clairvoyant().run(&inst, &mut packer).unwrap();
+        let epoch = inst.first_arrival().unwrap();
+        for rec in &run.bins {
+            let cats: std::collections::HashSet<i64> = rec
+                .items
+                .iter()
+                .map(|id| {
+                    let dep = inst.item(*id).unwrap().departure();
+                    (dep - epoch + rho - 1) / rho
+                })
+                .collect();
+            prop_assert_eq!(cats.len(), 1, "bin mixes departure windows");
+        }
+    }
+
+    /// CBD: items sharing a bin have duration ratio at most α.
+    #[test]
+    fn cbd_bins_bound_duration_ratio(inst in arb_instance(24), alpha in 1.2f64..4.0) {
+        let mut packer = ClassifyByDuration::new(1, alpha);
+        let run = OnlineEngine::clairvoyant().run(&inst, &mut packer).unwrap();
+        for rec in &run.bins {
+            let durs: Vec<i64> = rec
+                .items
+                .iter()
+                .map(|id| inst.item(*id).unwrap().duration())
+                .collect();
+            let min = *durs.iter().min().unwrap() as f64;
+            let max = *durs.iter().max().unwrap() as f64;
+            prop_assert!(
+                max / min <= alpha * (1.0 + 1e-9),
+                "bin duration ratio {} exceeds alpha {}",
+                max / min,
+                alpha
+            );
+        }
+    }
+}

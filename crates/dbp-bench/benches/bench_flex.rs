@@ -1,0 +1,48 @@
+//! E10 performance companion — flexible-job scheduling costs: the rigid
+//! baseline, the constructive greedy, and the local-search pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_core::Size;
+use dbp_flex::{flex_schedule, flex_schedule_optimized, rigid_schedule, FlexJob};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gen(n: usize, seed: u64) -> Vec<FlexJob> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let rel = rng.gen_range(0..2_000i64);
+            let len = rng.gen_range(20..200i64);
+            let slack = rng.gen_range(0..2 * len);
+            FlexJob::new(
+                i as u32,
+                Size::from_f64(rng.gen_range(0.1..0.6)),
+                rel,
+                rel + len + slack,
+                len,
+            )
+        })
+        .collect()
+}
+
+fn bench_flex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flex_schedulers");
+    group.sample_size(10);
+    for n in [50usize, 150] {
+        let jobs = gen(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("rigid", n), &jobs, |b, jobs| {
+            b.iter(|| std::hint::black_box(rigid_schedule(jobs).placements.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &jobs, |b, jobs| {
+            b.iter(|| std::hint::black_box(flex_schedule(jobs).placements.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy+search", n), &jobs, |b, jobs| {
+            b.iter(|| std::hint::black_box(flex_schedule_optimized(jobs).placements.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flex);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Performance of the lower-bound machinery: the §3.2 sweep-line bounds
+//! (Propositions 1–3) on large instances, and the exact `OPT_total`
+//! branch-and-bound on small ones. The LB path runs inside every
+//! experiment cell, so it must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_algos::exact::{min_bins, opt_total};
+use dbp_core::accounting::lower_bounds;
+use dbp_core::Size;
+use dbp_workloads::random::{SizeDist, UniformWorkload};
+use dbp_workloads::Workload;
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bounds");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000, 200_000] {
+        let inst = UniformWorkload::new(n).generate_seeded(6);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(lower_bounds(inst).best()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_opt_total");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let inst = UniformWorkload::new(n)
+            .with_sizes(SizeDist::Uniform { lo: 0.2, hi: 0.9 })
+            .generate_seeded(7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(opt_total(inst)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_min_bins");
+    group.sample_size(10);
+    // A hard-ish classical bin packing instance: near-half sizes.
+    for n in [12usize, 18, 24] {
+        let sizes: Vec<Size> = (0..n)
+            .map(|i| Size::from_f64(0.34 + 0.02 * ((i * 7 % 13) as f64 / 13.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sizes, |b, sizes| {
+            b.iter(|| std::hint::black_box(min_bins(sizes)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds, bench_exact_opt, bench_min_bins);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E1 performance companion — offline packer runtimes (DDFF, Dual
+//! Coloring with both large-item rules, arrival First Fit) on a uniform
+//! workload. Dual Coloring's Phase 1 is the asymptotically heaviest piece
+//! (the paper bounds it by `O(|R_S|⁴)`); this bench tracks its practical
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_bench::registry::{offline_packer, OFFLINE_ALGOS};
+use dbp_workloads::random::UniformWorkload;
+use dbp_workloads::Workload;
+
+fn bench_offline_packers(c: &mut Criterion) {
+    let inst = UniformWorkload::new(400).generate_seeded(4);
+    let mut group = c.benchmark_group("offline_packers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(inst.len() as u64));
+    for algo in OFFLINE_ALGOS {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), algo, |b, algo| {
+            let packer = offline_packer(algo);
+            b.iter(|| std::hint::black_box(packer.pack(&inst).num_bins()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dual_coloring_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_coloring_scaling");
+    group.sample_size(10);
+    for n in [100usize, 200, 400, 800] {
+        let inst = UniformWorkload::new(n).generate_seeded(5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            let packer = offline_packer("dual-coloring");
+            b.iter(|| std::hint::black_box(packer.pack(inst).num_bins()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_packers, bench_dual_coloring_scaling);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E7 — online packer throughput: items/second for every roster algorithm
+//! on a Poisson workload (the performance table a scheduler integrator
+//! needs; the paper has no performance claims, so this bench characterizes
+//! our implementation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_bench::registry::{online_packer, AlgoParams, ONLINE_ALGOS};
+use dbp_core::online::ClairvoyanceMode;
+use dbp_core::OnlineEngine;
+use dbp_workloads::random::PoissonWorkload;
+use dbp_workloads::Workload;
+
+fn bench_online_packers(c: &mut Criterion) {
+    let inst = PoissonWorkload::new(1.0, 10_000).generate_seeded(1);
+    let n = inst.len() as u64;
+    let params = AlgoParams::from_instance(&inst);
+    let engine = OnlineEngine::new(ClairvoyanceMode::Clairvoyant);
+
+    let mut group = c.benchmark_group("online_packers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+    for algo in ONLINE_ALGOS {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), algo, |b, algo| {
+            b.iter(|| {
+                let mut packer = online_packer(algo, params);
+                let run = engine.run(&inst, packer.as_mut()).expect("run");
+                std::hint::black_box(run.usage)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // First Fit across instance sizes: near-linear scaling expected while
+    // the concurrent-bin count stays bounded.
+    let mut group = c.benchmark_group("first_fit_scaling");
+    group.sample_size(10);
+    for n in [1_000i64, 5_000, 20_000] {
+        let inst = PoissonWorkload::new(1.0, n).generate_seeded(2);
+        group.throughput(Throughput::Elements(inst.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            let engine = OnlineEngine::new(ClairvoyanceMode::Clairvoyant);
+            b.iter(|| {
+                let mut packer = online_packer("first-fit", AlgoParams::from_instance(inst));
+                std::hint::black_box(engine.run(inst, packer.as_mut()).expect("run").usage)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_packers, bench_scaling);
+criterion_main!(benches);

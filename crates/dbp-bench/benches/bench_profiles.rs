@@ -1,0 +1,34 @@
+//! E7 ablation — level-profile backends: BTree map vs coordinate-
+//! compressed lazy segment tree, measured through Duration Descending
+//! First Fit (whose inner loop is dominated by range-max feasibility
+//! queries and range-add updates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_algos::offline::{DurationDescendingFirstFit, ProfileBackend};
+use dbp_core::OfflinePacker;
+use dbp_workloads::random::{DurationDist, UniformWorkload};
+use dbp_workloads::Workload;
+
+fn bench_profile_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddff_profile_backend");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let inst = UniformWorkload::new(n)
+            .with_durations(DurationDist::Uniform { lo: 10, hi: 1000 })
+            .generate_seeded(3);
+        group.throughput(Throughput::Elements(n as u64));
+        for (name, backend) in [
+            ("btree", ProfileBackend::BTree),
+            ("segtree", ProfileBackend::SegTree),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &inst, |b, inst| {
+                let packer = DurationDescendingFirstFit::with_backend(backend);
+                b.iter(|| std::hint::black_box(packer.pack(inst).num_bins()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_backends);
+criterion_main!(benches);

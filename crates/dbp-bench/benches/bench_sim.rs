@@ -1,0 +1,67 @@
+//! E9 performance companion — cluster simulation throughput and the ρ
+//! advisor sweep, so the operator-facing paths stay cheap enough for
+//! interactive use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_algos::online::ClassifyByDepartureTime;
+use dbp_core::online::ClairvoyanceMode;
+use dbp_sim::{recommend_rho, simulate, unit_billing, Billing, NoisyEstimator};
+use dbp_workloads::scenarios::CloudGamingWorkload;
+use dbp_workloads::Workload;
+
+fn bench_simulate(c: &mut Criterion) {
+    let inst = CloudGamingWorkload::new(3_000, 30_000).generate_seeded(1);
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(inst.len() as u64));
+    for (name, billing) in [
+        ("per_tick", unit_billing()),
+        (
+            "per_hour",
+            Billing::PerHour {
+                ticks_per_hour: 3600,
+                price: 1.0,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| {
+                let mut p = ClassifyByDepartureTime::new(1200);
+                let rep =
+                    simulate(inst, &mut p, ClairvoyanceMode::Clairvoyant, billing).expect("sim");
+                std::hint::black_box(rep.cost)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_mode(c: &mut Criterion) {
+    let inst = CloudGamingWorkload::new(3_000, 30_000).generate_seeded(2);
+    c.bench_function("simulate_noisy_estimates", |b| {
+        b.iter(|| {
+            let est = NoisyEstimator::new(3, 0.2);
+            let mut p = ClassifyByDepartureTime::new(1200);
+            let rep = simulate(&inst, &mut p, est.mode(), unit_billing()).expect("sim");
+            std::hint::black_box(rep.usage)
+        });
+    });
+}
+
+fn bench_recommend_rho(c: &mut Criterion) {
+    let inst = CloudGamingWorkload::new(1_500, 20_000).generate_seeded(3);
+    c.bench_function("recommend_rho_default_ladder", |b| {
+        b.iter(|| {
+            let rec = recommend_rho(&inst, &[], unit_billing()).expect("advisor");
+            std::hint::black_box(rec.best_rho)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulate,
+    bench_noisy_mode,
+    bench_recommend_rho
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! F8 performance companion — the Figure 8 generation path (closed-form
+//! bounds plus the `argmin n` search) and the Theorem 3 adversary game,
+//! benchmarked so regressions in the theory utilities are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbp_algos::adversary::run_adversary;
+use dbp_algos::online::AnyFit;
+use dbp_theory::{cbd_best_known, figure8};
+
+fn bench_figure8(c: &mut Criterion) {
+    let mus: Vec<f64> = (1..=400).map(|i| i as f64 * 0.25 + 1.0).collect();
+    c.bench_function("figure8_400_points", |b| {
+        b.iter(|| std::hint::black_box(figure8(&mus).len()));
+    });
+    c.bench_function("cbd_argmin_n_mu_1e6", |b| {
+        b.iter(|| std::hint::black_box(cbd_best_known(1e6)));
+    });
+}
+
+fn bench_adversary(c: &mut Criterion) {
+    c.bench_function("theorem3_adversary_vs_first_fit", |b| {
+        b.iter(|| {
+            let rep = run_adversary(&mut AnyFit::first_fit(), 1000, 1618, 1);
+            std::hint::black_box(rep.ratio)
+        });
+    });
+}
+
+criterion_group!(benches, bench_figure8, bench_adversary);
+criterion_main!(benches);

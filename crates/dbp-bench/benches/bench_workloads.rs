@@ -1,0 +1,57 @@
+//! Workload-generation and trace-I/O throughput: generators run inside
+//! every experiment cell and the CLI, so they must stay fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_workloads::fit::TraceModel;
+use dbp_workloads::random::{PoissonWorkload, UniformWorkload};
+use dbp_workloads::scenarios::CloudGamingWorkload;
+use dbp_workloads::{trace, Workload};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    let n = 10_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::from_parameter("uniform"), |b| {
+        let w = UniformWorkload::new(n);
+        b.iter(|| std::hint::black_box(w.generate_seeded(1).len()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("poisson"), |b| {
+        let w = PoissonWorkload::new(1.0, n as i64);
+        b.iter(|| std::hint::black_box(w.generate_seeded(1).len()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("gaming"), |b| {
+        let w = CloudGamingWorkload::new(n, 100_000);
+        b.iter(|| std::hint::black_box(w.generate_seeded(1).len()));
+    });
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let inst = UniformWorkload::new(20_000).generate_seeded(2);
+    let text = trace::to_string(&inst);
+    let mut group = c.benchmark_group("trace_io");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(inst.len() as u64));
+    group.bench_function("serialize", |b| {
+        b.iter(|| std::hint::black_box(trace::to_string(&inst).len()));
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(trace::from_str(&text).expect("parse").len()));
+    });
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let inst = CloudGamingWorkload::new(10_000, 100_000).generate_seeded(3);
+    c.bench_function("trace_model_fit_and_synthesize", |b| {
+        b.iter(|| {
+            let model = TraceModel::fit(&inst).expect("fit");
+            let synth = model.scaled(50_000, 1.0).generate_seeded(4);
+            std::hint::black_box(synth.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_trace_io, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Experiment E6 — the combined classification strategy (§5.4/§6 future
+//! work): classify by duration first, then by departure time within each
+//! duration class.
+//!
+//! The paper conjectures combining the strategies can beat both. This
+//! experiment compares CBDT, CBD and the combined strategy head-to-head
+//! across `μ`, on both random `μ`-sweep workloads and the structured
+//! short/long adversarial family where single-dimension classification
+//! leaves usage on the table.
+
+use dbp_bench::registry::{online_packer, AlgoParams};
+use dbp_bench::report::{f3, Table};
+use dbp_bench::{measure_online, run_grid, GridCell};
+use dbp_core::online::ClairvoyanceMode;
+use dbp_core::Instance;
+use dbp_workloads::random::MuSweepWorkload;
+use dbp_workloads::Workload;
+
+const SEEDS: u64 = 8;
+const ALGOS: &[&str] = &["cbdt", "cbd", "combined"];
+
+fn main() {
+    random_sweep();
+    structured();
+}
+
+fn random_sweep() {
+    println!("E6a — combined vs single strategies across mu (n=400, {SEEDS} seeds)\n");
+    let mus = [2.0, 8.0, 32.0, 128.0];
+
+    let mut cells = Vec::new();
+    for algo in ALGOS {
+        for (mi, _) in mus.iter().enumerate() {
+            for seed in 0..SEEDS {
+                cells.push(GridCell {
+                    label: format!("{algo}/m{mi}/seed{seed}"),
+                    input: (algo.to_string(), mi, seed),
+                });
+            }
+        }
+    }
+    let results = run_grid(cells, None, |(algo, mi, seed)| {
+        let inst = MuSweepWorkload::new(400, 20, mus[*mi]).generate_seeded(*seed);
+        let params = AlgoParams::from_instance(&inst);
+        let mut p = online_packer(algo, params);
+        measure_online(&inst, p.as_mut(), ClairvoyanceMode::Clairvoyant, false).ratio_vs_lb3
+    });
+
+    let mut table = Table::new(&["mu", "cbdt", "cbd", "combined"]);
+    for (mi, mu) in mus.iter().enumerate() {
+        let mean = |algo: &str| -> f64 {
+            let rs: Vec<f64> = results
+                .iter()
+                .filter(|r| r.label.starts_with(&format!("{algo}/m{mi}/")))
+                .map(|r| r.output)
+                .collect();
+            rs.iter().sum::<f64>() / rs.len() as f64
+        };
+        table.row(&[
+            f3(*mu),
+            f3(mean("cbdt")),
+            f3(mean("cbd")),
+            f3(mean("combined")),
+        ]);
+    }
+    table.print();
+    println!();
+}
+
+/// Structured case: waves of short jobs interleaved with staggered long
+/// jobs. Duration classes alone pack long jobs of wildly different
+/// departures together; departure classes alone mix short and long jobs
+/// arriving together. The combined strategy separates both dimensions.
+fn structured() {
+    println!("E6b — structured short/long waves (usage in ticks, lower is better)\n");
+    let mut triples: Vec<(f64, i64, i64)> = Vec::new();
+    // 10 waves, 200 apart: each wave has 4 short jobs (dur 40) and one
+    // long job (dur 2000) whose departures stagger across waves.
+    for w in 0..10i64 {
+        let t = w * 200;
+        for _ in 0..4 {
+            triples.push((0.25, t, t + 40));
+        }
+        triples.push((0.25, t, t + 2000));
+    }
+    let inst = Instance::from_triples(&triples);
+    let params = AlgoParams::from_instance(&inst);
+
+    let mut table = Table::new(&["algo", "usage", "bins", "ratio_vs_lb3"]);
+    let mut usages = std::collections::HashMap::new();
+    for algo in ["first-fit", "cbdt", "cbd", "combined"] {
+        let mut p = online_packer(algo, params);
+        let m = measure_online(&inst, p.as_mut(), ClairvoyanceMode::Clairvoyant, false);
+        usages.insert(algo.to_string(), m.usage);
+        table.row(&[
+            algo.to_string(),
+            m.usage.to_string(),
+            m.bins.to_string(),
+            f3(m.ratio_vs_lb3),
+        ]);
+    }
+    table.print();
+    // The combined strategy must match or beat plain FF on this structured
+    // family, and be competitive with the best single strategy.
+    let best_single = usages["cbdt"].min(usages["cbd"]);
+    println!(
+        "\ncombined={} vs best single={} vs first-fit={}",
+        usages["combined"], best_single, usages["first-fit"]
+    );
+}

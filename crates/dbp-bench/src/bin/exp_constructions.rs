@@ -1,0 +1,137 @@
+//! Experiment F1–F4 — executable versions of the paper's definitional
+//! figures:
+//!
+//! * **Figure 1** (span of an item list): the span/gap computation on the
+//!   figure's layout.
+//! * **Figure 2** (X-periods): the staircase reduction and X-period
+//!   decomposition used by Theorem 1's proof, verified on every bin of a
+//!   real Duration Descending First Fit packing.
+//! * **Figures 3–4** (demand chart and stripes): Dual Coloring Phase 1
+//!   placement on a staircase instance with Lemmas 3–5 asserted, and the
+//!   Phase 2 stripe packing with its per-time open-bin cap.
+
+use dbp_algos::offline::xperiods::verify_decomposition;
+use dbp_algos::offline::{
+    max_overlap_depth, phase1_with_coloring, phase2, placements_within_chart, verify_lemma2,
+    DualColoring, DurationDescendingFirstFit,
+};
+use dbp_bench::report::Table;
+use dbp_core::accounting::lower_bounds;
+use dbp_core::events::load_segments;
+use dbp_core::{Instance, Item, OfflinePacker, Size};
+use dbp_workloads::random::UniformWorkload;
+use dbp_workloads::Workload;
+
+fn main() {
+    figure1();
+    figure2();
+    figures3_4();
+    println!("\nall construction checks passed ... OK");
+}
+
+fn figure1() {
+    println!("Figure 1 — span of an item list");
+    let inst = Instance::from_triples(&[(0.3, 0, 4), (0.3, 2, 6), (0.3, 5, 8), (0.3, 10, 13)]);
+    let lb = lower_bounds(&inst);
+    println!(
+        "  items cover [0,8) u [10,13): span = {} (gap [8,10) excluded)\n",
+        inst.span()
+    );
+    assert_eq!(inst.span(), 11);
+    assert_eq!(lb.span, 11);
+}
+
+fn figure2() {
+    println!("Figure 2 — X-period decomposition over a real DDFF packing");
+    let inst = UniformWorkload::new(300).generate_seeded(5);
+    let packing = DurationDescendingFirstFit::new().pack(&inst);
+    packing.validate(&inst).expect("valid");
+    let mut checked = 0;
+    for (bin, ids) in packing.iter_bins() {
+        let items: Vec<Item> = ids
+            .iter()
+            .map(|id| *inst.item(*id).expect("item exists"))
+            .collect();
+        // verify_decomposition asserts: staircase ordering, disjoint
+        // X-periods, and Σ l(X(r_i)) = span(R_k).
+        let xp = verify_decomposition(&items);
+        checked += 1;
+        if bin.0 < 3 {
+            println!(
+                "  bin {}: {} items -> {} staircase X-periods, span {}",
+                bin.0,
+                items.len(),
+                xp.len(),
+                packing.bin_usage(&inst, bin)
+            );
+        }
+    }
+    println!("  verified the identity on all {checked} bins\n");
+}
+
+fn figures3_4() {
+    println!("Figures 3-4 — Dual Coloring demand chart and stripe packing");
+    // A staircase of small items like the figures.
+    let inst = Instance::from_triples(&[
+        (0.3, 0, 8),
+        (0.5, 2, 12),
+        (0.25, 4, 16),
+        (0.5, 10, 20),
+        (0.2, 14, 22),
+        (0.4, 6, 18),
+    ]);
+    let (small, _) = inst.split_small_large();
+    let (placements, coloring) = phase1_with_coloring(&small);
+    assert_eq!(placements.len(), small.len(), "Lemma 4");
+    assert!(max_overlap_depth(&placements) <= 2, "Lemma 5");
+    assert!(placements_within_chart(&small, &placements), "Lemma 3");
+    assert!(
+        verify_lemma2(&small, &coloring),
+        "Lemma 2: chart fully colored"
+    );
+    println!(
+        "  Lemma 2 check: {} red rects + {} blue columns tile the chart exactly",
+        coloring.red.len(),
+        coloring.blue.len()
+    );
+
+    let mut t = Table::new(&["item", "interval", "size", "top_altitude", "bottom"]);
+    for p in &placements {
+        t.row(&[
+            format!("{}", p.item.id()),
+            format!("{}", p.item.interval()),
+            format!("{:.3}", p.item.size().as_f64()),
+            format!("{:.3}", p.altitude as f64 / Size::SCALE as f64),
+            format!("{:.3}", p.bottom() as f64 / Size::SCALE as f64),
+        ]);
+    }
+    t.print();
+
+    // Render the demand chart with placements (the Figure 3 picture).
+    println!("\n  demand chart (letters = placed items, dots = blue area):\n");
+    print!(
+        "{}",
+        dbp_algos::offline::chart_render::render_chart(&small, &placements, 66, 12)
+    );
+
+    let bins = phase2(&placements);
+    println!("\n  Phase 2 bins: {}", bins.len());
+
+    // Full algorithm: per-time open-bin cap 4⌈S(t)⌉ (Theorem 2 proof).
+    let packing = DualColoring::new().pack(&inst);
+    packing.validate(&inst).expect("valid");
+    for seg in load_segments(inst.items()) {
+        let open = packing.bins_open_at(&inst, seg.interval.start());
+        let cap = 4 * seg.total_size.ceil_units() as usize;
+        assert!(open <= cap, "open-bin cap violated");
+    }
+    let lb = lower_bounds(&inst);
+    let usage = packing.total_usage(&inst);
+    println!(
+        "  usage {} <= 4 x LB3 {} (Theorem 2) : {}",
+        usage,
+        lb.lb3,
+        usage <= 4 * lb.lb3
+    );
+    assert!(usage <= 4 * lb.lb3);
+}

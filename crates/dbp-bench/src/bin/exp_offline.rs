@@ -1,0 +1,126 @@
+//! Experiment E1 — empirical approximation ratios of the offline
+//! algorithms (§4).
+//!
+//! Two regimes:
+//!
+//! * **Small instances** (n = 10): ratios against the *exact* repacking
+//!   adversary `OPT_total` — the denominator of Theorems 1 and 2. DDFF must
+//!   stay below 5, Dual Coloring below 4.
+//! * **Large instances** (n = 1000): ratios against LB3 (≤ `OPT_total`, so
+//!   the theorem bounds still apply to the reported numbers).
+//!
+//! Also reports the Dual Coloring large-item ablation (interval-FF vs
+//! one-bin-per-item) called out in DESIGN.md §5.
+
+use dbp_bench::registry::{offline_packer, OFFLINE_ALGOS};
+use dbp_bench::report::{f3, Table};
+use dbp_bench::{measure_offline, run_grid, GridCell};
+use dbp_workloads::random::{SizeDist, UniformWorkload};
+use dbp_workloads::scenarios::{AnalyticsWorkload, CloudGamingWorkload, SpikeWorkload};
+use dbp_workloads::Workload;
+
+fn main() {
+    small_exact();
+    large_lb3();
+}
+
+fn small_exact() {
+    println!("E1a — offline ratios vs exact OPT_total (n=10, 20 seeds)\n");
+    let workload = UniformWorkload::new(10).with_sizes(SizeDist::Uniform { lo: 0.1, hi: 0.9 });
+    let mut cells = Vec::new();
+    for algo in OFFLINE_ALGOS {
+        for seed in 0..20u64 {
+            cells.push(GridCell {
+                label: format!("{algo}/seed{seed}"),
+                input: (algo.to_string(), seed),
+            });
+        }
+    }
+    let results = run_grid(cells, None, |(algo, seed)| {
+        let inst = workload.generate_seeded(*seed);
+        let m = measure_offline(&inst, offline_packer(algo).as_ref(), true);
+        m.ratio_vs_opt.expect("exact opt requested")
+    });
+
+    let mut table = Table::new(&["algo", "mean_ratio_vs_opt", "max_ratio_vs_opt", "bound"]);
+    for algo in OFFLINE_ALGOS {
+        let rs: Vec<f64> = results
+            .iter()
+            .filter(|r| r.label.starts_with(&format!("{algo}/")))
+            .map(|r| r.output)
+            .collect();
+        let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        let max = rs.iter().cloned().fold(0.0, f64::max);
+        let bound = match *algo {
+            "ddff" => "5 (Thm 1)",
+            "dual-coloring" | "dual-coloring-1pb" => "4 (Thm 2)",
+            _ => "-",
+        };
+        table.row(&[algo.to_string(), f3(mean), f3(max), bound.to_string()]);
+        match *algo {
+            "ddff" => assert!(max < 5.0, "Theorem 1 violated: {max}"),
+            "dual-coloring" | "dual-coloring-1pb" => {
+                assert!(max <= 4.0 + 1e-9, "Theorem 2 violated: {max}")
+            }
+            _ => {}
+        }
+    }
+    table.print();
+    println!("\nchecks: DDFF < 5 x OPT, DualColoring <= 4 x OPT on all seeds ... OK\n");
+}
+
+fn large_lb3() {
+    println!("E1b — offline ratios vs LB3 on large workload families (n~1000, 5 seeds)\n");
+    let workloads: Vec<(String, Box<dyn Workload + Sync>)> = vec![
+        ("uniform".into(), Box::new(UniformWorkload::new(1000))),
+        (
+            "gaming".into(),
+            Box::new(CloudGamingWorkload::new(800, 40_000)),
+        ),
+        (
+            "analytics".into(),
+            Box::new(AnalyticsWorkload::new(40, 2_000, 25)),
+        ),
+        ("spike".into(), Box::new(SpikeWorkload::new(10, 100, 1_000))),
+    ];
+
+    let mut cells = Vec::new();
+    for algo in OFFLINE_ALGOS {
+        for (wname, _) in &workloads {
+            for seed in 0..5u64 {
+                cells.push(GridCell {
+                    label: format!("{algo}/{wname}/seed{seed}"),
+                    input: (algo.to_string(), wname.clone(), seed),
+                });
+            }
+        }
+    }
+    let wl_ref = &workloads;
+    let results = run_grid(cells, None, move |(algo, wname, seed)| {
+        let w = &wl_ref.iter().find(|(n, _)| n == wname).unwrap().1;
+        let inst = w.generate_seeded(*seed);
+        let m = measure_offline(&inst, offline_packer(algo).as_ref(), false);
+        m.ratio_vs_lb3
+    });
+
+    let mut table = Table::new(&["workload", "algo", "mean_ratio_vs_lb3", "max"]);
+    for (wname, _) in &workloads {
+        for algo in OFFLINE_ALGOS {
+            let rs: Vec<f64> = results
+                .iter()
+                .filter(|r| r.label.starts_with(&format!("{algo}/{wname}/")))
+                .map(|r| r.output)
+                .collect();
+            let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+            let max = rs.iter().cloned().fold(0.0, f64::max);
+            table.row(&[wname.clone(), algo.to_string(), f3(mean), f3(max)]);
+            match *algo {
+                "ddff" => assert!(max < 5.0),
+                "dual-coloring" | "dual-coloring-1pb" => assert!(max <= 4.0 + 1e-9),
+                _ => {}
+            }
+        }
+    }
+    table.print();
+    println!("\nchecks: theorem bounds hold against LB3 on every family ... OK");
+}

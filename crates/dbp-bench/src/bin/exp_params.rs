@@ -1,0 +1,141 @@
+//! Experiment E3 — parameter sensitivity of the classification strategies.
+//!
+//! * **ρ sweep** for classify-by-departure-time: Theorem 4's bound
+//!   `ρ/Δ + μΔ/ρ + 3` is U-shaped with minimum at `ρ* = √μ·Δ`; the measured
+//!   usage should show the same U-shape (too-small ρ fragments bins,
+//!   too-large ρ readmits the FF tail problem).
+//! * **n sweep** for classify-by-duration at fixed `μ`: the bound
+//!   `μ^{1/n} + n + 3` has an interior optimum; measured usage follows.
+
+use dbp_algos::online::{ClassifyByDepartureTime, ClassifyByDuration};
+use dbp_bench::report::{f3, Table};
+use dbp_bench::{measure_online, run_grid, GridCell};
+use dbp_core::online::ClairvoyanceMode;
+use dbp_theory::{cbd_bound, cbdt_bound};
+use dbp_workloads::adversarial::ff_tail_trap;
+use dbp_workloads::random::MuSweepWorkload;
+use dbp_workloads::{trace, Workload};
+
+const SEEDS: u64 = 8;
+
+fn main() {
+    rho_sweep();
+    n_sweep();
+    tail_trap_rho();
+}
+
+fn rho_sweep() {
+    let (delta, mu) = (20i64, 64.0f64);
+    println!("E3a — CBDT rho sweep at mu={mu}, delta={delta} (n=400, {SEEDS} seeds)\n");
+    let rho_star = (mu.sqrt() * delta as f64).round() as i64; // 160
+    let rhos: Vec<i64> = vec![
+        delta / 2,
+        delta,
+        2 * delta,
+        4 * delta,
+        rho_star,
+        16 * delta,
+        64 * delta,
+        256 * delta,
+    ];
+
+    let mut cells = Vec::new();
+    for &rho in &rhos {
+        for seed in 0..SEEDS {
+            cells.push(GridCell {
+                label: format!("rho{rho}/seed{seed}"),
+                input: (rho, seed),
+            });
+        }
+    }
+    let results = run_grid(cells, None, |(rho, seed)| {
+        let inst = MuSweepWorkload::new(400, delta, mu).generate_seeded(*seed);
+        let mut p = ClassifyByDepartureTime::new(*rho);
+        measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false).ratio_vs_lb3
+    });
+
+    let mut table = Table::new(&["rho", "mean_ratio_vs_lb3", "theorem4_bound"]);
+    let mut means = Vec::new();
+    for &rho in &rhos {
+        let rs: Vec<f64> = results
+            .iter()
+            .filter(|r| r.label.starts_with(&format!("rho{rho}/")))
+            .map(|r| r.output)
+            .collect();
+        let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        means.push(mean);
+        table.row(&[
+            rho.to_string(),
+            f3(mean),
+            f3(cbdt_bound(rho as f64, delta as f64, mu)),
+        ]);
+    }
+    table.print();
+
+    // Bound check at every rho.
+    for (&rho, &mean) in rhos.iter().zip(&means) {
+        assert!(
+            mean <= cbdt_bound(rho as f64, delta as f64, mu) + 1e-9,
+            "Theorem 4 violated at rho={rho}"
+        );
+    }
+    println!("\nchecks: measured <= Theorem 4 bound at every rho ... OK\n");
+}
+
+fn n_sweep() {
+    let (delta, mu) = (20i64, 64.0f64);
+    println!("E3b — CBD n sweep at mu={mu} (n=400, {SEEDS} seeds)\n");
+    let ns: Vec<u32> = (1..=8).collect();
+
+    let mut cells = Vec::new();
+    for &n in &ns {
+        for seed in 0..SEEDS {
+            cells.push(GridCell {
+                label: format!("n{n}/seed{seed}"),
+                input: (n, seed),
+            });
+        }
+    }
+    let results = run_grid(cells, None, |(n, seed)| {
+        let inst = MuSweepWorkload::new(400, delta, mu).generate_seeded(*seed);
+        let alpha = mu.powf(1.0 / *n as f64) * (1.0 + 1e-9);
+        let alpha = alpha.max(1.0 + 1e-6);
+        let mut p = ClassifyByDuration::new(delta, alpha);
+        measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false).ratio_vs_lb3
+    });
+
+    let mut table = Table::new(&["n", "alpha", "mean_ratio_vs_lb3", "thm5_bound(mu^1/n+n+3)"]);
+    for &n in &ns {
+        let rs: Vec<f64> = results
+            .iter()
+            .filter(|r| r.label.starts_with(&format!("n{n}/")))
+            .map(|r| r.output)
+            .collect();
+        let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        let alpha = mu.powf(1.0 / n as f64);
+        let bound = mu.powf(1.0 / n as f64) + n as f64 + 3.0;
+        table.row(&[n.to_string(), f3(alpha), f3(mean), f3(bound)]);
+        assert!(mean <= bound + 1e-9, "Theorem 5 violated at n={n}");
+        // The general-form bound must also hold.
+        assert!(mean <= cbd_bound(alpha * (1.0 + 1e-9), mu) + 1e-9);
+    }
+    table.print();
+    println!("\nchecks: measured <= Theorem 5 bound at every n ... OK\n");
+}
+
+/// On the FF tail trap, too-large rho degenerates CBDT toward plain FF —
+/// the cleanest visualization of why departure classification matters.
+fn tail_trap_rho() {
+    println!("E3c — CBDT on the FF tail trap (k=8, horizon=1000): rho sensitivity\n");
+    let inst = ff_tail_trap(8, 1000, 10);
+    // Persist the trap trace so readers can replay it.
+    let _ = trace::save(&inst, "/tmp/dbp_tail_trap.csv");
+    let mut table = Table::new(&["rho", "usage", "vs_best_possible"]);
+    for rho in [5i64, 10, 100, 500, 1000, 2000] {
+        let mut p = ClassifyByDepartureTime::new(rho);
+        let m = measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false);
+        table.row(&[rho.to_string(), m.usage.to_string(), f3(m.ratio_vs_lb3)]);
+    }
+    table.print();
+    println!("\n(small rho isolates the tinies into one bin; huge rho re-merges\n everything into FF behaviour and pays ~k x horizon)");
+}

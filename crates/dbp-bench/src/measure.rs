@@ -1,0 +1,109 @@
+//! Measurement helpers: run a packer, validate the packing, compute
+//! ratios.
+
+use dbp_core::accounting::lower_bounds;
+use dbp_core::online::ClairvoyanceMode;
+use dbp_core::{Instance, OfflinePacker, OnlineEngine, OnlinePacker};
+
+/// One validated run's headline numbers.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Algorithm display name.
+    pub algo: String,
+    /// Total usage in ticks.
+    pub usage: u128,
+    /// Bins/servers used.
+    pub bins: usize,
+    /// The LB3 lower bound (Proposition 3) in ticks.
+    pub lb3: u128,
+    /// `usage / lb3` (1.0 when both are zero). Upper-bounds the true
+    /// competitive ratio since `LB3 ≤ OPT_total`.
+    pub ratio_vs_lb3: f64,
+    /// `usage / OPT_total` when the exact adversary was computed.
+    pub ratio_vs_opt: Option<f64>,
+}
+
+fn ratio(usage: u128, denom: u128) -> f64 {
+    if denom == 0 {
+        1.0
+    } else {
+        usage as f64 / denom as f64
+    }
+}
+
+/// Runs an online packer under the given clairvoyance mode, validates the
+/// result, and computes ratios. `exact_opt` controls whether the exact
+/// repacking adversary `OPT_total` is also computed (exponential per load
+/// segment — keep instances small).
+pub fn measure_online(
+    inst: &Instance,
+    packer: &mut dyn OnlinePacker,
+    mode: ClairvoyanceMode,
+    exact_opt: bool,
+) -> Measurement {
+    let run = OnlineEngine::new(mode)
+        .run(inst, packer)
+        .expect("engine run");
+    run.packing.validate(inst).expect("valid packing");
+    let lb = lower_bounds(inst);
+    let opt = exact_opt.then(|| dbp_algos::exact::opt_total(inst));
+    Measurement {
+        algo: packer.name(),
+        usage: run.usage,
+        bins: run.bins_opened(),
+        lb3: lb.lb3,
+        ratio_vs_lb3: ratio(run.usage, lb.best()),
+        ratio_vs_opt: opt.map(|o| ratio(run.usage, o)),
+    }
+}
+
+/// Runs an offline packer, validates, computes ratios (see
+/// [`measure_online`] for `exact_opt`).
+pub fn measure_offline(
+    inst: &Instance,
+    packer: &dyn OfflinePacker,
+    exact_opt: bool,
+) -> Measurement {
+    let packing = packer.pack(inst);
+    packing.validate(inst).expect("valid packing");
+    let usage = packing.total_usage(inst);
+    let lb = lower_bounds(inst);
+    let opt = exact_opt.then(|| dbp_algos::exact::opt_total(inst));
+    Measurement {
+        algo: packer.name().to_string(),
+        usage,
+        bins: packing.num_bins(),
+        lb3: lb.lb3,
+        ratio_vs_lb3: ratio(usage, lb.best()),
+        ratio_vs_opt: opt.map(|o| ratio(usage, o)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_algos::offline::DurationDescendingFirstFit;
+    use dbp_algos::online::AnyFit;
+
+    #[test]
+    fn online_measurement_sane() {
+        let inst = Instance::from_triples(&[(0.6, 0, 10), (0.6, 2, 12), (0.3, 5, 9)]);
+        let m = measure_online(
+            &inst,
+            &mut AnyFit::first_fit(),
+            ClairvoyanceMode::Clairvoyant,
+            true,
+        );
+        assert!(m.ratio_vs_lb3 >= 1.0);
+        let vs_opt = m.ratio_vs_opt.unwrap();
+        assert!(vs_opt >= 1.0 && vs_opt <= m.ratio_vs_lb3 + 1e-12);
+    }
+
+    #[test]
+    fn offline_measurement_sane() {
+        let inst = Instance::from_triples(&[(0.6, 0, 10), (0.6, 2, 12), (0.3, 5, 9)]);
+        let m = measure_offline(&inst, &DurationDescendingFirstFit::new(), true);
+        assert!(m.ratio_vs_lb3 >= 1.0);
+        assert!(m.ratio_vs_opt.unwrap() <= 5.0, "Theorem 1");
+    }
+}

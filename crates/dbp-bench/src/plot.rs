@@ -1,0 +1,217 @@
+//! Terminal line charts for the experiment binaries.
+//!
+//! The paper's Figure 8 is a line chart; regenerating it as CSV is good
+//! for tooling but a quick visual check matters too. This module renders
+//! multi-series line charts with Unicode braille-ish density using plain
+//! characters, log-x support (Figure 8's μ axis), and a legend — no
+//! plotting dependencies.
+
+/// One named data series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Plot width in columns (data area).
+    pub width: usize,
+    /// Plot height in rows (data area).
+    pub height: usize,
+    /// Log-scale the x axis (for μ sweeps).
+    pub log_x: bool,
+    /// Axis titles.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+impl Default for Chart {
+    fn default() -> Self {
+        Chart {
+            width: 64,
+            height: 16,
+            log_x: false,
+            x_label: "x".into(),
+            y_label: "y".into(),
+        }
+    }
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
+
+impl Chart {
+    /// Renders the chart with one glyph per series; later series overdraw
+    /// earlier ones at collisions.
+    pub fn render(&self, series: &[Series]) -> String {
+        let xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        let ys: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
+        if xs.is_empty() {
+            return String::from("(empty chart)\n");
+        }
+        let tx = |x: f64| if self.log_x { x.max(1e-12).ln() } else { x };
+        let (x_min, x_max) = min_max(xs.iter().map(|&x| tx(x)));
+        let (y_min, y_max) = min_max(ys.iter().copied());
+        let x_span = (x_max - x_min).max(1e-12);
+        let y_span = (y_max - y_min).max(1e-12);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            // Sample along x so lines are continuous even between points.
+            let width = self.width;
+            for (col, x) in
+                (0..width).map(|c| (c, x_min + x_span * c as f64 / (width - 1).max(1) as f64))
+            {
+                if let Some(y) = interpolate(&s.points, x, self.log_x) {
+                    let row = ((y - y_min) / y_span * (self.height - 1) as f64).round() as usize;
+                    let row = (self.height - 1).saturating_sub(row.min(self.height - 1));
+                    grid[row][col] = glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (y: {:.2} .. {:.2})\n",
+            self.y_label, y_min, y_max
+        ));
+        for (i, row) in grid.iter().enumerate() {
+            let y_here = y_max - y_span * i as f64 / (self.height - 1).max(1) as f64;
+            out.push_str(&format!("{y_here:8.2} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(self.width)));
+        let x_lo = if self.log_x { x_min.exp() } else { x_min };
+        let x_hi = if self.log_x { x_max.exp() } else { x_max };
+        out.push_str(&format!(
+            "{:>9}{:<.2}{}{:>.2}  ({}{})\n",
+            "",
+            x_lo,
+            " ".repeat(self.width.saturating_sub(12)),
+            x_hi,
+            self.x_label,
+            if self.log_x { ", log scale" } else { "" }
+        ));
+        for (si, s) in series.iter().enumerate() {
+            out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+        }
+        out
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// Piecewise-linear interpolation of `points` at transformed x; `None`
+/// outside the data range.
+fn interpolate(points: &[(f64, f64)], x: f64, log_x: bool) -> Option<f64> {
+    let tx = |v: f64| if log_x { v.max(1e-12).ln() } else { v };
+    let n = points.len();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return (tx(points[0].0) - x).abs().le(&1e-9).then_some(points[0].1);
+    }
+    for w in points.windows(2) {
+        let (x0, y0) = (tx(w[0].0), w[0].1);
+        let (x1, y1) = (tx(w[1].0), w[1].1);
+        if x >= x0 - 1e-12 && x <= x1 + 1e-12 {
+            let f = if (x1 - x0).abs() < 1e-12 {
+                0.0
+            } else {
+                (x - x0) / (x1 - x0)
+            };
+            return Some(y0 + f * (y1 - y0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, pts: &[(f64, f64)]) -> Series {
+        Series {
+            name: name.into(),
+            points: pts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn renders_single_series() {
+        let chart = Chart {
+            width: 20,
+            height: 5,
+            ..Default::default()
+        };
+        let out = chart.render(&[line("lin", &[(0.0, 0.0), (10.0, 10.0)])]);
+        assert!(out.contains('o'));
+        assert!(out.contains("lin"));
+        // The line should touch both the top and bottom rows.
+        let rows: Vec<&str> = out.lines().collect();
+        assert!(rows[1].contains('o'), "top row: {}", rows[1]);
+        assert!(rows[5].contains('o'), "bottom row: {}", rows[5]);
+    }
+
+    #[test]
+    fn later_series_overdraw() {
+        let chart = Chart {
+            width: 10,
+            height: 3,
+            ..Default::default()
+        };
+        let out = chart.render(&[
+            line("a", &[(0.0, 1.0), (1.0, 1.0)]),
+            line("b", &[(0.0, 1.0), (1.0, 1.0)]),
+        ]);
+        assert!(out.contains('+'), "second glyph wins: {out}");
+    }
+
+    #[test]
+    fn log_x_compresses() {
+        let chart = Chart {
+            width: 30,
+            height: 8,
+            log_x: true,
+            ..Default::default()
+        };
+        let out = chart.render(&[line("f", &[(1.0, 1.0), (10.0, 2.0), (100.0, 3.0)])]);
+        assert!(out.contains("log scale"));
+    }
+
+    #[test]
+    fn empty_chart() {
+        let chart = Chart::default();
+        assert_eq!(chart.render(&[]), "(empty chart)\n");
+    }
+
+    #[test]
+    fn interpolation_bounds() {
+        let pts = [(0.0, 0.0), (10.0, 10.0)];
+        assert_eq!(interpolate(&pts, 5.0, false), Some(5.0));
+        assert_eq!(interpolate(&pts, -1.0, false), None);
+        assert_eq!(interpolate(&pts, 11.0, false), None);
+    }
+}

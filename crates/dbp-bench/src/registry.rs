@@ -1,0 +1,123 @@
+//! Algorithm registry: build packers by name so experiments share one
+//! roster and CLI flags stay stable.
+
+use dbp_algos::offline::{
+    ArrivalFirstFit, DemandDescendingFirstFit, DualColoring, DurationAscendingFirstFit,
+    DurationDescendingFirstFit, LargeItemRule,
+};
+use dbp_algos::online::{
+    AnyFit, ClassifyByDepartureTime, ClassifyByDuration, CombinedClassify, HybridFirstFit,
+};
+use dbp_core::{OfflinePacker, OnlinePacker};
+
+/// Instance-derived parameters a packer constructor may need.
+#[derive(Clone, Copy, Debug)]
+pub struct AlgoParams {
+    /// Minimum item duration `Δ` in ticks.
+    pub delta: i64,
+    /// Max/min duration ratio `μ`.
+    pub mu: f64,
+}
+
+impl AlgoParams {
+    /// Extracts `Δ` and `μ` from an instance (defaults for empty ones).
+    pub fn from_instance(inst: &dbp_core::Instance) -> Self {
+        AlgoParams {
+            delta: inst.min_duration().unwrap_or(1),
+            mu: inst.mu().unwrap_or(1.0),
+        }
+    }
+}
+
+/// The canonical online roster used by the E2/E5/E9 sweeps.
+pub const ONLINE_ALGOS: &[&str] = &[
+    "first-fit",
+    "best-fit",
+    "worst-fit",
+    "next-fit",
+    "hybrid-ff",
+    "cbdt",
+    "cbd",
+    "combined",
+];
+
+/// The canonical offline roster used by the E1 sweep. The last two are
+/// sort-order ablations of DDFF with no proven bounds.
+pub const OFFLINE_ALGOS: &[&str] = &[
+    "ddff",
+    "dual-coloring",
+    "dual-coloring-1pb",
+    "arrival-ff",
+    "duration-ascending-ff",
+    "demand-descending-ff",
+];
+
+/// Builds an online packer by roster name. Classification strategies use
+/// their Theorem 4/5 optimal parameters derived from `params`.
+///
+/// # Panics
+/// On an unknown name.
+pub fn online_packer(name: &str, params: AlgoParams) -> Box<dyn OnlinePacker + Send> {
+    match name {
+        "first-fit" => Box::new(AnyFit::first_fit()),
+        "best-fit" => Box::new(AnyFit::best_fit()),
+        "worst-fit" => Box::new(AnyFit::worst_fit()),
+        "next-fit" => Box::new(AnyFit::next_fit()),
+        "hybrid-ff" => Box::new(HybridFirstFit::default()),
+        "cbdt" => Box::new(ClassifyByDepartureTime::with_known_durations(
+            params.delta,
+            params.mu,
+        )),
+        "cbd" => Box::new(ClassifyByDuration::with_known_durations(
+            params.delta,
+            params.mu,
+        )),
+        "combined" => Box::new(CombinedClassify::with_known_durations(
+            params.delta,
+            params.mu,
+        )),
+        other => panic!("unknown online algorithm {other:?}"),
+    }
+}
+
+/// Builds an offline packer by roster name.
+///
+/// # Panics
+/// On an unknown name.
+pub fn offline_packer(name: &str) -> Box<dyn OfflinePacker + Send> {
+    match name {
+        "ddff" => Box::new(DurationDescendingFirstFit::new()),
+        "dual-coloring" => Box::new(DualColoring::new()),
+        "dual-coloring-1pb" => Box::new(DualColoring::with_large_rule(LargeItemRule::OnePerBin)),
+        "arrival-ff" => Box::new(ArrivalFirstFit::new()),
+        "duration-ascending-ff" => Box::new(DurationAscendingFirstFit),
+        "demand-descending-ff" => Box::new(DemandDescendingFirstFit),
+        other => panic!("unknown offline algorithm {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::Instance;
+
+    #[test]
+    fn roster_constructs() {
+        let inst = Instance::from_triples(&[(0.5, 0, 10), (0.5, 2, 40)]);
+        let p = AlgoParams::from_instance(&inst);
+        for name in ONLINE_ALGOS {
+            let packer = online_packer(name, p);
+            assert!(!packer.name().is_empty());
+        }
+        for name in OFFLINE_ALGOS {
+            let packer = offline_packer(name);
+            assert!(!packer.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown online algorithm")]
+    fn unknown_name_panics() {
+        let _ = online_packer("nope", AlgoParams { delta: 1, mu: 1.0 });
+    }
+}

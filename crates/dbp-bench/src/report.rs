@@ -1,0 +1,112 @@
+//! Minimal table/CSV output for the experiment binaries.
+//!
+//! Every `exp_*` binary prints a human-readable aligned table to stdout
+//! followed by a machine-readable CSV block fenced by `--- csv ---` /
+//! `--- end csv ---`, so results can be both eyeballed and parsed.
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                line.push_str(&cells[i]);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the CSV block.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("--- csv ---\n");
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out.push_str("--- end csv ---\n");
+        out
+    }
+
+    /// Prints both renderings to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+        print!("{}", self.csv());
+    }
+}
+
+/// Formats a float with 3 decimals (experiment-standard precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_csv() {
+        let mut t = Table::new(&["algo", "ratio"]);
+        t.row(&["ff".into(), "1.25".into()]);
+        t.row(&["dual-coloring".into(), "2".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[2].starts_with("ff"));
+        let csv = t.csv();
+        assert!(csv.contains("algo,ratio\n"));
+        assert!(csv.contains("dual-coloring,2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

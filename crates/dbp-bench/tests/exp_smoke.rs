@@ -1,0 +1,68 @@
+//! Smoke tests for the fast experiment binaries: each must exit
+//! successfully and print its OK marker (the binaries assert the paper's
+//! claims internally, so a zero exit is a real reproduction check).
+//!
+//! Only the binaries that finish in seconds in debug mode run here; the
+//! heavier sweeps (exp_online, exp_params, …) are exercised via
+//! `cargo run --release` in CI/EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn run_exp(name: &str) -> (bool, String) {
+    let out = Command::new(env!(concat!("CARGO_BIN_EXE_", "exp_fig8")).replace("exp_fig8", name))
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn exp_fig8_reproduces_figure() {
+    let (ok, out) = run_exp("exp_fig8");
+    assert!(ok);
+    assert!(out.contains("crossover check"));
+    assert!(out.contains("OK"));
+    // The chart legend must show all three curves.
+    assert!(out.contains("first fit (non-clairvoyant)"));
+    assert!(out.contains("classify-by-departure-time"));
+    assert!(out.contains("classify-by-duration"));
+}
+
+#[test]
+fn exp_constructions_verifies_lemmas() {
+    let (ok, out) = run_exp("exp_constructions");
+    assert!(ok);
+    assert!(out.contains("all construction checks passed"));
+    assert!(out.contains("Lemma 2 check"));
+}
+
+#[test]
+fn exp_lower_bound_enforces_phi() {
+    let (ok, out) = run_exp("exp_lower_bound");
+    assert!(ok);
+    assert!(out.contains("Theorem 3 check"));
+    assert!(out.contains("OK"));
+}
+
+#[test]
+fn exp_stages_tiles_usage() {
+    let (ok, out) = run_exp("exp_stages");
+    assert!(ok);
+    assert!(out.contains("stages tile usage exactly"));
+}
+
+#[test]
+fn exp_anyfit_separations_hold() {
+    let (ok, out) = run_exp("exp_anyfit");
+    assert!(ok);
+    assert!(out.contains("BF ratio strictly increasing"));
+}
+
+#[test]
+fn exp_objectives_divergence_holds() {
+    let (ok, out) = run_exp("exp_objectives");
+    assert!(ok);
+    assert!(out.contains("classical objective cannot see the difference"));
+}

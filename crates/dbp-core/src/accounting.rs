@@ -1,0 +1,137 @@
+//! Usage-time units and the paper's lower bounds (Propositions 1–3).
+//!
+//! ## Units
+//!
+//! Total usage time is measured in **ticks** (`u128` to survive summation).
+//! Time–space demand `d(R)` is measured in raw-size × tick units, i.e.
+//! `Size::SCALE` times larger than a tick count; [`Demand::ticks_ceil`]
+//! converts. The Proposition 1 statement `OPT ≥ d(R)` therefore reads
+//! `opt_ticks ≥ demand.ticks()` here.
+
+use crate::events::load_segments;
+use crate::instance::Instance;
+use crate::size::Size;
+
+/// A time–space demand: `Σ size × duration` in raw-size × tick units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Demand(pub u128);
+
+impl Demand {
+    /// The demand in (fractional) ticks, as `f64` — for reporting.
+    pub fn ticks_f64(self) -> f64 {
+        self.0 as f64 / Size::SCALE as f64
+    }
+
+    /// The demand in whole ticks, rounded up. Since bin usage time is an
+    /// integer number of ticks, `usage ≥ d(R)` implies
+    /// `usage ≥ ticks_ceil()`.
+    pub fn ticks_ceil(self) -> u128 {
+        self.0.div_ceil(Size::SCALE as u128)
+    }
+}
+
+/// The three lower bounds on `OPT_total(R)` from §3.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LowerBounds {
+    /// Proposition 1: total time–space demand `d(R)`.
+    pub demand: Demand,
+    /// Proposition 2: `span(R)` in ticks.
+    pub span: u128,
+    /// Proposition 3: `∫ ⌈S(t)⌉ dt` in ticks — the tightest of the three.
+    pub lb3: u128,
+}
+
+impl LowerBounds {
+    /// The best (largest) lower bound in ticks. Proposition 3 dominates the
+    /// other two, but we take the max defensively.
+    pub fn best(&self) -> u128 {
+        self.lb3.max(self.span).max(self.demand.ticks_ceil())
+    }
+}
+
+/// Computes all three lower bounds of §3.2 exactly.
+///
+/// `lb3 = ∫ ⌈S(t)⌉ dt` is evaluated on the exact breakpoint decomposition
+/// of the load profile, so no discretization error is incurred.
+pub fn lower_bounds(inst: &Instance) -> LowerBounds {
+    let segs = load_segments(inst.items());
+    let mut lb3: u128 = 0;
+    let mut span: u128 = 0;
+    for s in &segs {
+        let len = s.interval.len() as u128;
+        span += len;
+        lb3 += s.total_size.ceil_units() as u128 * len;
+    }
+    LowerBounds {
+        demand: Demand(inst.demand()),
+        span,
+        lb3,
+    }
+}
+
+/// Competitive/approximation ratio of a measured usage against a lower
+/// bound, as `f64`. Returns 1.0 for the degenerate empty case (0/0):
+/// an empty instance is served optimally by doing nothing.
+pub fn ratio(usage_ticks: u128, lower_bound_ticks: u128) -> f64 {
+    if lower_bound_ticks == 0 {
+        return 1.0;
+    }
+    usage_ticks as f64 / lower_bound_ticks as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_ordering_holds() {
+        // LB3 >= span and LB3 >= demand (Prop 3 is tightest).
+        let inst =
+            Instance::from_triples(&[(0.6, 0, 10), (0.6, 2, 12), (0.3, 5, 7), (0.9, 20, 30)]);
+        let lb = lower_bounds(&inst);
+        assert!(lb.lb3 >= lb.span);
+        assert!(lb.lb3 >= lb.demand.ticks_ceil());
+        assert_eq!(lb.best(), lb.lb3);
+    }
+
+    #[test]
+    fn lb3_exact_small_case() {
+        // Two 0.6 items overlapping on [2,10): ⌈1.2⌉ = 2 bins there,
+        // 1 bin on [0,2) and [10,12).
+        let inst = Instance::from_triples(&[(0.6, 0, 10), (0.6, 2, 12)]);
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.span, 12);
+        assert_eq!(lb.lb3, 2 + 2 * 8 + 2);
+    }
+
+    #[test]
+    fn figure1_span() {
+        // Figure 1 of the paper: four items whose union leaves a gap.
+        // Reconstruction: r1=[0,4), r2=[2,6), r3=[5,8), r4=[10,13).
+        let inst = Instance::from_triples(&[(0.3, 0, 4), (0.3, 2, 6), (0.3, 5, 8), (0.3, 10, 13)]);
+        // span = [0,8) ∪ [10,13) = 8 + 3 = 11.
+        assert_eq!(inst.span(), 11);
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.span, 11);
+    }
+
+    #[test]
+    fn demand_tick_conversion() {
+        let d = Demand(Size::SCALE as u128 * 7 + 1);
+        assert_eq!(d.ticks_ceil(), 8);
+        assert!((d.ticks_f64() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_degenerate() {
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(10, 5), 2.0);
+    }
+
+    #[test]
+    fn empty_instance_bounds() {
+        let inst = Instance::from_items(vec![]).unwrap();
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.best(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Sweep-line utilities: piecewise-constant load profiles over time.
+//!
+//! Many quantities in the paper are integrals of piecewise-constant
+//! functions of time (total active size `S(t)`, active item count,
+//! `⌈S(t)⌉`). [`load_segments`] computes the exact breakpoint
+//! decomposition in `O(n log n)`.
+
+use crate::interval::{Interval, Time};
+use crate::item::Item;
+use crate::size::Size;
+
+/// A segment `[interval)` over which the *active item set* is constant
+/// (segments break at every arrival/departure event, even when the load
+/// value happens not to change — consumers like the exact `OPT_total`
+/// solver rely on the set, not just the load, being constant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadSegment {
+    /// The time range of the segment.
+    pub interval: Interval,
+    /// Total size of active items throughout the segment (`S(t)`).
+    pub total_size: Size,
+    /// Number of active items throughout the segment.
+    pub count: usize,
+}
+
+/// Computes the piecewise-constant load profile of a set of items.
+///
+/// Returns maximal constant segments in time order, **excluding** segments
+/// where no item is active (gaps in the span produce no segment). The
+/// segments partition exactly the union of the items' intervals:
+///
+/// ```
+/// use dbp_core::{Item, Size};
+/// use dbp_core::events::load_segments;
+/// let items = [
+///     Item::new(0, Size::from_f64(0.5), 0, 10),
+///     Item::new(1, Size::from_f64(0.25), 5, 8),
+/// ];
+/// let segs = load_segments(&items);
+/// assert_eq!(segs.len(), 3); // [0,5) [5,8) [8,10)
+/// assert_eq!(segs[1].total_size, Size::from_f64(0.75));
+/// assert_eq!(segs[1].count, 2);
+/// ```
+pub fn load_segments(items: &[Item]) -> Vec<LoadSegment> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    // Event deltas at each breakpoint: (time, size delta as signed, count delta).
+    let mut events: Vec<(Time, i128, i64)> = Vec::with_capacity(items.len() * 2);
+    for r in items {
+        events.push((r.arrival(), r.size().raw() as i128, 1));
+        events.push((r.departure(), -(r.size().raw() as i128), -1));
+    }
+    events.sort_unstable_by_key(|e| e.0);
+
+    let mut segs: Vec<LoadSegment> = Vec::new();
+    let mut level: i128 = 0;
+    let mut count: i64 = 0;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        // Apply all deltas at time t.
+        while i < events.len() && events[i].0 == t {
+            level += events[i].1;
+            count += events[i].2;
+            i += 1;
+        }
+        debug_assert!(level >= 0 && count >= 0);
+        if i < events.len() && count > 0 {
+            let next = events[i].0;
+            // Do NOT merge adjacent segments even when the load is equal:
+            // a simultaneous departure+arrival changes the active set
+            // without changing the load, and set-constancy is part of this
+            // function's contract.
+            segs.push(LoadSegment {
+                interval: Interval::of(t, next),
+                total_size: Size::from_raw(level as u64),
+                count: count as usize,
+            });
+        }
+    }
+    segs
+}
+
+/// The maximum of `S(t)` over time (the demand-chart peak in §4.2).
+pub fn peak_load(items: &[Item]) -> Size {
+    load_segments(items)
+        .iter()
+        .map(|s| s.total_size)
+        .max()
+        .unwrap_or(Size::ZERO)
+}
+
+/// The maximum number of simultaneously active items.
+pub fn peak_count(items: &[Item]) -> usize {
+    load_segments(items)
+        .iter()
+        .map(|s| s.count)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items() -> Vec<Item> {
+        vec![
+            Item::new(0, Size::from_f64(0.5), 0, 10),
+            Item::new(1, Size::from_f64(0.25), 5, 8),
+            Item::new(2, Size::from_f64(0.75), 20, 24),
+        ]
+    }
+
+    #[test]
+    fn segments_partition_span() {
+        let its = items();
+        let segs = load_segments(&its);
+        let total: i64 = segs.iter().map(|s| s.interval.len()).sum();
+        assert_eq!(total, 14); // equals span
+                               // Segments are disjoint and ordered.
+        for w in segs.windows(2) {
+            assert!(w[0].interval.end() <= w[1].interval.start());
+        }
+    }
+
+    #[test]
+    fn gap_produces_no_segment() {
+        let its = items();
+        let segs = load_segments(&its);
+        assert!(segs.iter().all(|s| s.count > 0));
+        // The gap [10,20) must not appear.
+        assert!(segs
+            .iter()
+            .all(|s| s.interval.end() <= 10 || s.interval.start() >= 20));
+    }
+
+    #[test]
+    fn simultaneous_arrival_departure_splits_segments() {
+        // One item departs exactly when another arrives: the load nets
+        // out, but the active set changes, so the segment must split —
+        // consumers (e.g. the exact OPT_total solver) require the active
+        // set to be constant within each segment.
+        let its = vec![
+            Item::new(0, Size::HALF, 0, 5),
+            Item::new(1, Size::HALF, 5, 10),
+        ];
+        let segs = load_segments(&its);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].interval, Interval::of(0, 5));
+        assert_eq!(segs[1].interval, Interval::of(5, 10));
+        for s in &segs {
+            assert_eq!(s.total_size, Size::HALF);
+            assert_eq!(s.count, 1);
+        }
+    }
+
+    #[test]
+    fn peaks() {
+        let its = items();
+        assert_eq!(peak_load(&its), Size::from_f64(0.75));
+        assert_eq!(peak_count(&its), 2);
+        assert_eq!(peak_load(&[]), Size::ZERO);
+        assert_eq!(peak_count(&[]), 0);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(load_segments(&[]).is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Problem instances: an item list `R` plus derived quantities.
+
+use crate::error::DbpError;
+use crate::interval::{span_of, Interval, Time};
+use crate::item::{Item, ItemId};
+use crate::size::Size;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// An immutable list of items `R` with unique ids.
+///
+/// Construction validates the items (unique ids, sizes in `(0,1]`,
+/// non-empty intervals). Items are stored sorted by `(arrival, id)` — the
+/// order in which an online algorithm sees them.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    items: Vec<Item>,
+}
+
+impl Instance {
+    /// Builds an instance from items, sorting them by arrival time
+    /// (ties broken by id, matching "input order" for simultaneous
+    /// arrivals).
+    pub fn from_items(items: Vec<Item>) -> Result<Instance, DbpError> {
+        let mut seen = HashSet::with_capacity(items.len());
+        for it in &items {
+            if !seen.insert(it.id()) {
+                return Err(DbpError::DuplicateItemId { id: it.id().0 });
+            }
+        }
+        let mut items = items;
+        items.sort_by_key(|r| (r.arrival(), r.id()));
+        Ok(Instance { items })
+    }
+
+    /// Convenience builder from `(size_fraction, arrival, departure)`
+    /// triples; ids are assigned 0..n in input order. Panics on invalid
+    /// data — intended for tests and examples.
+    #[track_caller]
+    pub fn from_triples(triples: &[(f64, Time, Time)]) -> Instance {
+        let items = triples
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, a, d))| Item::new(i as u32, Size::from_f64(s), a, d))
+            .collect();
+        Instance::from_items(items).expect("invalid triples")
+    }
+
+    /// The items, sorted by `(arrival, id)`.
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items `|R|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the instance has no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Looks up an item by id (O(n); build an index for hot paths).
+    pub fn item(&self, id: ItemId) -> Option<&Item> {
+        self.items.iter().find(|r| r.id() == id)
+    }
+
+    /// The span `span(R)`: measure of the union of active intervals
+    /// (Proposition 2 lower bound).
+    pub fn span(&self) -> i64 {
+        span_of(self.items.iter().map(|r| r.interval()))
+    }
+
+    /// Total time–space demand `d(R) = Σ s(r)·l(I(r))` in raw-size × tick
+    /// units (Proposition 1 lower bound, scaled by `Size::SCALE`).
+    pub fn demand(&self) -> u128 {
+        self.items.iter().map(|r| r.demand()).sum()
+    }
+
+    /// Minimum item duration `Δ`; `None` for an empty instance.
+    pub fn min_duration(&self) -> Option<i64> {
+        self.items.iter().map(|r| r.duration()).min()
+    }
+
+    /// Maximum item duration `μΔ`; `None` for an empty instance.
+    pub fn max_duration(&self) -> Option<i64> {
+        self.items.iter().map(|r| r.duration()).max()
+    }
+
+    /// The max/min duration ratio `μ ≥ 1`; `None` for an empty instance.
+    pub fn mu(&self) -> Option<f64> {
+        Some(self.max_duration()? as f64 / self.min_duration()? as f64)
+    }
+
+    /// Earliest arrival; `None` if empty.
+    pub fn first_arrival(&self) -> Option<Time> {
+        self.items.first().map(|r| r.arrival())
+    }
+
+    /// Latest departure; `None` if empty.
+    pub fn last_departure(&self) -> Option<Time> {
+        self.items.iter().map(|r| r.departure()).max()
+    }
+
+    /// The convex hull of all active intervals; `None` if empty.
+    pub fn horizon(&self) -> Option<Interval> {
+        Interval::new(self.first_arrival()?, self.last_departure()?).ok()
+    }
+
+    /// Splits into (small, large) item lists at the `1/2` threshold used by
+    /// Dual Coloring (§4.2). Small items have `s(r) ≤ 1/2`.
+    pub fn split_small_large(&self) -> (Vec<Item>, Vec<Item>) {
+        self.items.iter().partition(|r| r.size().is_small())
+    }
+
+    /// A new instance with every interval shifted by `delta` ticks.
+    pub fn shifted(&self, delta: i64) -> Instance {
+        let items = self
+            .items
+            .iter()
+            .map(|r| {
+                Item::new(
+                    r.id().0,
+                    r.size(),
+                    r.arrival() + delta,
+                    r.departure() + delta,
+                )
+            })
+            .collect();
+        Instance { items }
+    }
+
+    /// Merges instances, reassigning ids to keep them unique.
+    pub fn concat(parts: &[Instance]) -> Instance {
+        let mut items = Vec::new();
+        let mut next = 0u32;
+        for p in parts {
+            for r in &p.items {
+                items.push(r.with_id(next));
+                next += 1;
+            }
+        }
+        Instance::from_items(items).expect("concat preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        Instance::from_triples(&[(0.5, 0, 10), (0.25, 5, 8), (0.75, 20, 24)])
+    }
+
+    #[test]
+    fn sorted_by_arrival() {
+        let inst = Instance::from_triples(&[(0.5, 10, 20), (0.5, 0, 5)]);
+        assert_eq!(inst.items()[0].arrival(), 0);
+        assert_eq!(inst.items()[1].arrival(), 10);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let items = vec![
+            Item::new(1, Size::HALF, 0, 5),
+            Item::new(1, Size::HALF, 5, 9),
+        ];
+        assert!(matches!(
+            Instance::from_items(items),
+            Err(DbpError::DuplicateItemId { id: 1 })
+        ));
+    }
+
+    #[test]
+    fn span_demand_mu() {
+        let inst = sample();
+        // span: [0,10) ∪ [5,8) ∪ [20,24) = 10 + 4
+        assert_eq!(inst.span(), 14);
+        let expected = Size::from_f64(0.5).raw() as u128 * 10
+            + Size::from_f64(0.25).raw() as u128 * 3
+            + Size::from_f64(0.75).raw() as u128 * 4;
+        assert_eq!(inst.demand(), expected);
+        assert_eq!(inst.min_duration(), Some(3));
+        assert_eq!(inst.max_duration(), Some(10));
+        assert!((inst.mu().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_items(vec![]).unwrap();
+        assert!(inst.is_empty());
+        assert_eq!(inst.span(), 0);
+        assert_eq!(inst.demand(), 0);
+        assert_eq!(inst.mu(), None);
+        assert_eq!(inst.horizon(), None);
+    }
+
+    #[test]
+    fn split_small_large_threshold() {
+        let inst = sample();
+        let (small, large) = inst.split_small_large();
+        assert_eq!(small.len(), 2); // 0.5 and 0.25 are small (≤ 1/2)
+        assert_eq!(large.len(), 1);
+        assert_eq!(large[0].size(), Size::from_f64(0.75));
+    }
+
+    #[test]
+    fn shift_and_concat() {
+        let a = sample();
+        let b = a.shifted(100);
+        assert_eq!(b.first_arrival(), Some(100));
+        let c = Instance::concat(&[a.clone(), b]);
+        assert_eq!(c.len(), 6);
+        // ids reassigned uniquely
+        let ids: HashSet<_> = c.items().iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), 6);
+    }
+}

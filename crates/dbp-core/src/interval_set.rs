@@ -1,0 +1,245 @@
+//! Sets of disjoint half-open intervals with exact boolean operations.
+//!
+//! Several algorithms manipulate one-dimensional point sets: the Dual
+//! Coloring line decomposition (domain minus colored regions), span
+//! accounting, and gap analysis. [`IntervalSet`] maintains the canonical
+//! form — sorted, pairwise-disjoint, non-touching intervals — and
+//! provides union, intersection, difference, and complement-within in
+//! `O(n + m)` per operation.
+
+use crate::interval::Interval;
+use crate::interval::Time;
+
+/// A set of times represented as disjoint, sorted, maximal half-open
+/// intervals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Canonical: sorted by start, pairwise non-overlapping and
+    /// non-touching (`a.end < b.start` for consecutive a, b).
+    parts: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from arbitrary intervals (they are merged into canonical
+    /// form; touching intervals coalesce).
+    pub fn from_intervals(intervals: impl IntoIterator<Item = Interval>) -> Self {
+        IntervalSet {
+            parts: crate::interval::union_components(intervals),
+        }
+    }
+
+    /// The canonical parts.
+    pub fn parts(&self) -> &[Interval] {
+        &self.parts
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Total measure (sum of part lengths).
+    pub fn measure(&self) -> i64 {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// Whether `t` belongs to the set.
+    pub fn contains(&self, t: Time) -> bool {
+        // Binary search on start.
+        match self.parts.binary_search_by_key(&t, |p| p.start()) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.parts[i - 1].contains(t),
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.parts.iter().chain(other.parts.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.parts.len() && j < other.parts.len() {
+            let a = self.parts[i];
+            let b = other.parts[j];
+            if let Some(x) = a.intersection(&b) {
+                out.push(x);
+            }
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { parts: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &a in &self.parts {
+            let mut cursor = a.start();
+            while j < other.parts.len() && other.parts[j].end() <= cursor {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.parts.len() && other.parts[k].start() < a.end() {
+                let c = other.parts[k];
+                if c.start() > cursor {
+                    out.push(Interval::of(cursor, c.start().min(a.end())));
+                }
+                cursor = cursor.max(c.end());
+                if cursor >= a.end() {
+                    break;
+                }
+                k += 1;
+            }
+            if cursor < a.end() {
+                out.push(Interval::of(cursor, a.end()));
+            }
+        }
+        IntervalSet { parts: out }
+    }
+
+    /// Whether the two sets share any point.
+    pub fn intersects(&self, other: &IntervalSet) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// Whether `other ⊆ self`.
+    pub fn contains_set(&self, other: &IntervalSet) -> bool {
+        other.difference(self).is_empty()
+    }
+
+    /// The gaps of the set within its own hull (maximal uncovered
+    /// intervals strictly between the first start and last end).
+    pub fn gaps(&self) -> IntervalSet {
+        if self.parts.len() < 2 {
+            return IntervalSet::new();
+        }
+        let hull = Interval::of(
+            self.parts.first().expect("nonempty").start(),
+            self.parts.last().expect("nonempty").end(),
+        );
+        IntervalSet::from_intervals([hull]).difference(self)
+    }
+
+    /// Adds one interval (merging as needed).
+    pub fn insert(&mut self, iv: Interval) {
+        *self = self.union(&IntervalSet::from_intervals([iv]));
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(spec: &[(Time, Time)]) -> IntervalSet {
+        IntervalSet::from_intervals(spec.iter().map(|&(a, b)| Interval::of(a, b)))
+    }
+
+    #[test]
+    fn canonical_form_merges_touching() {
+        let s = set(&[(0, 5), (5, 8), (10, 12), (11, 14)]);
+        assert_eq!(s.parts(), &[Interval::of(0, 8), Interval::of(10, 14)]);
+        assert_eq!(s.measure(), 12);
+    }
+
+    #[test]
+    fn membership() {
+        let s = set(&[(0, 5), (10, 15)]);
+        assert!(s.contains(0));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert!(!s.contains(7));
+        assert!(s.contains(10));
+        assert!(!s.contains(15));
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.union(&b), set(&[(0, 30)]));
+        assert_eq!(a.intersection(&b), set(&[(5, 10), (20, 25)]));
+        assert_eq!(a.difference(&b), set(&[(0, 5), (25, 30)]));
+        assert_eq!(b.difference(&a), set(&[(10, 20)]));
+        assert!(a.intersects(&b));
+        assert!(!set(&[(0, 5)]).intersects(&set(&[(5, 10)])));
+    }
+
+    #[test]
+    fn difference_edge_cases() {
+        let a = set(&[(0, 10)]);
+        assert_eq!(a.difference(&set(&[])), a);
+        assert!(a.difference(&set(&[(0, 10)])).is_empty());
+        assert!(a.difference(&set(&[(-5, 15)])).is_empty());
+        assert_eq!(
+            a.difference(&set(&[(3, 4), (6, 7)])),
+            set(&[(0, 3), (4, 6), (7, 10)])
+        );
+    }
+
+    #[test]
+    fn containment_and_gaps() {
+        let a = set(&[(0, 10), (20, 30)]);
+        assert!(a.contains_set(&set(&[(2, 5), (25, 30)])));
+        assert!(!a.contains_set(&set(&[(5, 15)])));
+        assert_eq!(a.gaps(), set(&[(10, 20)]));
+        assert!(set(&[(0, 5)]).gaps().is_empty());
+        assert!(set(&[]).gaps().is_empty());
+    }
+
+    #[test]
+    fn insert_maintains_canon() {
+        let mut s = set(&[(0, 5)]);
+        s.insert(Interval::of(7, 9));
+        s.insert(Interval::of(4, 8));
+        assert_eq!(s.parts(), &[Interval::of(0, 9)]);
+    }
+
+    #[test]
+    fn algebraic_identities_randomized() {
+        // Deterministic xorshift; verify A = (A∩B) ∪ (A\B) and
+        // measure(A∪B) = measure(A)+measure(B)−measure(A∩B).
+        let mut state = 0xABCDEFu64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..200 {
+            let mk = |next: &mut dyn FnMut(u64) -> u64| {
+                let n = next(6);
+                IntervalSet::from_intervals((0..n).map(|_| {
+                    let a = next(50) as Time;
+                    Interval::of(a, a + 1 + next(20) as Time)
+                }))
+            };
+            let a = mk(&mut next);
+            let b = mk(&mut next);
+            let recombined = a.intersection(&b).union(&a.difference(&b));
+            assert_eq!(recombined, a, "A != (A∩B)∪(A\\B) for {a:?} {b:?}");
+            assert_eq!(
+                a.union(&b).measure(),
+                a.measure() + b.measure() - a.intersection(&b).measure()
+            );
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The online packing engine.
+//!
+//! Items are revealed in arrival order; an [`OnlinePacker`] must immediately
+//! and irrevocably place each one (no migration, §3.1). The engine owns all
+//! bin state, enforces capacity, closes a bin exactly when its last item
+//! departs ("when all the items in a bin depart, the bin is closed", §5),
+//! and accounts usage time exactly.
+//!
+//! ## Clairvoyance
+//!
+//! What a packer *sees* is controlled by [`ClairvoyanceMode`]:
+//!
+//! * [`ClairvoyanceMode::Clairvoyant`] — true departure times are visible at
+//!   arrival (the paper's clairvoyant setting).
+//! * [`ClairvoyanceMode::NonClairvoyant`] — departures are hidden
+//!   (`None`), so classical Any Fit algorithms can be run honestly.
+//! * [`ClairvoyanceMode::Noisy`] — the packer sees an *estimate* produced
+//!   by a user function; actual departures still drive the simulation.
+//!   This implements the §6 "inaccurate estimates" sensitivity study.
+//!
+//! The engine never leaks future arrivals: a packer only observes the
+//! current item and the currently open bins.
+
+use crate::error::DbpError;
+use crate::instance::Instance;
+use crate::interval::Time;
+use crate::item::{Item, ItemId};
+use crate::packing::{BinId, Packing};
+use crate::size::Size;
+
+use std::sync::Arc;
+
+/// Controls what departure information packers observe.
+#[derive(Clone)]
+pub enum ClairvoyanceMode {
+    /// True departures visible at arrival (the paper's setting).
+    Clairvoyant,
+    /// No departure information (`departure == None` in all views).
+    NonClairvoyant,
+    /// Departure *estimates* computed by the given function from the true
+    /// item; actual dynamics still use the true departure.
+    Noisy(Arc<dyn Fn(&Item) -> Time + Send + Sync>),
+}
+
+impl std::fmt::Debug for ClairvoyanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClairvoyanceMode::Clairvoyant => write!(f, "Clairvoyant"),
+            ClairvoyanceMode::NonClairvoyant => write!(f, "NonClairvoyant"),
+            ClairvoyanceMode::Noisy(_) => write!(f, "Noisy(..)"),
+        }
+    }
+}
+
+/// The packer's view of the arriving item.
+#[derive(Clone, Copy, Debug)]
+pub struct ItemView {
+    /// Item id.
+    pub id: ItemId,
+    /// Item size.
+    pub size: Size,
+    /// Arrival time (the current time).
+    pub arrival: Time,
+    /// Departure as visible under the engine's clairvoyance mode.
+    pub departure: Option<Time>,
+}
+
+impl ItemView {
+    /// Duration, if the departure is visible.
+    pub fn duration(&self) -> Option<i64> {
+        self.departure.map(|d| d - self.arrival)
+    }
+}
+
+/// An item currently residing in an open bin, as visible to packers.
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveItem {
+    /// Item id.
+    pub id: ItemId,
+    /// Item size.
+    pub size: Size,
+    /// Departure as visible under the engine's clairvoyance mode.
+    pub departure: Option<Time>,
+}
+
+/// A currently open bin, as visible to packers.
+///
+/// Bins are presented in opening order (First Fit's "opened earliest"
+/// tie-break is simply the first feasible element).
+#[derive(Clone, Debug)]
+pub struct OpenBin {
+    id: BinId,
+    opened_at: Time,
+    tag: u64,
+    level: Size,
+    items: Vec<ActiveItem>,
+}
+
+impl OpenBin {
+    /// Creates a bin holding its first item (crate-internal: bins are only
+    /// created by the engines).
+    pub(crate) fn new(id: BinId, opened_at: Time, tag: u64, first: ActiveItem) -> OpenBin {
+        OpenBin {
+            id,
+            opened_at,
+            tag,
+            level: first.size,
+            items: vec![first],
+        }
+    }
+
+    /// Adds an item, enforcing capacity.
+    pub(crate) fn push_item(&mut self, active: ActiveItem, size: Size) -> Result<(), DbpError> {
+        if !self.fits(size) {
+            return Err(DbpError::BadDecision {
+                what: format!(
+                    "item {} of size {} does not fit bin {:?} (level {})",
+                    active.id, size, self.id, self.level
+                ),
+            });
+        }
+        self.level += size;
+        self.items.push(active);
+        Ok(())
+    }
+
+    /// Removes an item; returns whether the bin became empty.
+    pub(crate) fn remove_item(&mut self, id: ItemId) -> Result<bool, DbpError> {
+        let pos = self
+            .items
+            .iter()
+            .position(|a| a.id == id)
+            .ok_or_else(|| DbpError::Internal {
+                what: format!("item {id} missing from its bin at departure"),
+            })?;
+        let removed = self.items.swap_remove(pos);
+        self.level -= removed.size;
+        Ok(self.items.is_empty())
+    }
+
+    /// Global bin id (opening order across the whole run).
+    pub fn id(&self) -> BinId {
+        self.id
+    }
+
+    /// When the bin was opened.
+    pub fn opened_at(&self) -> Time {
+        self.opened_at
+    }
+
+    /// The tag supplied by the packer when it opened this bin. Packers use
+    /// tags to mark bin categories (e.g. the departure-time class of §5.2)
+    /// without keeping parallel bookkeeping.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Current level (total size of active items).
+    pub fn level(&self) -> Size {
+        self.level
+    }
+
+    /// Remaining headroom (`capacity − level`).
+    pub fn gap(&self) -> Size {
+        Size::CAPACITY - self.level
+    }
+
+    /// Whether `size` fits right now. Because items never return and the
+    /// current contents' levels only decrease in the future, fitting now
+    /// implies fitting for the item's entire residence.
+    pub fn fits(&self, size: Size) -> bool {
+        self.level + size <= Size::CAPACITY
+    }
+
+    /// The active items in the bin.
+    pub fn items(&self) -> &[ActiveItem] {
+        &self.items
+    }
+}
+
+/// A packer's placement decision for one arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Place in the open bin with this id (must be open and must fit).
+    Existing(BinId),
+    /// Open a new bin carrying `tag` and place the item there.
+    New {
+        /// Category tag stored on the bin for the packer's later queries.
+        tag: u64,
+    },
+}
+
+impl Decision {
+    /// A new bin with the default tag 0.
+    pub const NEW: Decision = Decision::New { tag: 0 };
+}
+
+/// An online packing algorithm.
+pub trait OnlinePacker {
+    /// Display name including parameterization, e.g. `"cbdt(rho=8)"`.
+    fn name(&self) -> String;
+
+    /// Called once before each run; resets internal state.
+    fn reset(&mut self) {}
+
+    /// Chooses where the arriving item goes. `open_bins` is ordered by
+    /// opening time.
+    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision;
+}
+
+/// Record of one bin's lifetime after a run.
+#[derive(Clone, Debug)]
+pub struct BinRecord {
+    /// The bin id (opening order).
+    pub id: BinId,
+    /// Opening time (arrival of its first item).
+    pub opened_at: Time,
+    /// Closing time (departure of its last item).
+    pub closed_at: Time,
+    /// The packer-supplied tag.
+    pub tag: u64,
+    /// Every item ever placed in the bin.
+    pub items: Vec<ItemId>,
+}
+
+impl BinRecord {
+    /// Usage time of this bin in ticks. For online runs bins hold at least
+    /// one item at all times between open and close, so this equals the
+    /// span of the bin's items.
+    pub fn usage(&self) -> u128 {
+        (self.closed_at - self.opened_at) as u128
+    }
+}
+
+/// The outcome of an online run.
+#[derive(Clone, Debug)]
+pub struct OnlineRun {
+    /// Item→bin assignment, convertible to a [`Packing`].
+    pub packing: Packing,
+    /// Total usage time in ticks.
+    pub usage: u128,
+    /// Per-bin lifetime records in opening order.
+    pub bins: Vec<BinRecord>,
+}
+
+impl OnlineRun {
+    /// Number of bins opened over the whole run.
+    pub fn bins_opened(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The open-server count over time (the fleet timeline an autoscaler
+    /// would plot). Its integral equals the total usage and its max is the
+    /// peak fleet size.
+    pub fn fleet_series(&self) -> crate::stats::StepSeries {
+        let mut deltas = Vec::with_capacity(self.bins.len() * 2);
+        for b in &self.bins {
+            deltas.push((b.opened_at, 1));
+            deltas.push((b.closed_at, -1));
+        }
+        crate::stats::StepSeries::from_deltas(deltas)
+    }
+}
+
+/// Drives an [`OnlinePacker`] over an instance.
+#[derive(Clone, Debug)]
+pub struct OnlineEngine {
+    mode: ClairvoyanceMode,
+}
+
+impl OnlineEngine {
+    /// Creates an engine with the given clairvoyance mode.
+    pub fn new(mode: ClairvoyanceMode) -> Self {
+        OnlineEngine { mode }
+    }
+
+    /// A clairvoyant engine (the paper's setting).
+    pub fn clairvoyant() -> Self {
+        Self::new(ClairvoyanceMode::Clairvoyant)
+    }
+
+    /// A non-clairvoyant engine.
+    pub fn non_clairvoyant() -> Self {
+        Self::new(ClairvoyanceMode::NonClairvoyant)
+    }
+
+    /// Runs the packer over the instance's items in arrival order.
+    ///
+    /// Departures at time `t` are processed before arrivals at time `t`
+    /// (intervals are half-open), and a bin is closed — removed from the
+    /// open set — the moment its last item departs. This is a convenience
+    /// wrapper over [`crate::stream::StreamingSession`], which is the
+    /// incremental API for real online integrations; both paths share one
+    /// implementation.
+    pub fn run(
+        &self,
+        inst: &Instance,
+        packer: &mut dyn OnlinePacker,
+    ) -> Result<OnlineRun, DbpError> {
+        let mut session = crate::stream::StreamingSession::new(self.mode.clone(), packer);
+        for item in inst.items() {
+            session.arrive(item)?;
+        }
+        session.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First Fit on current levels only — the reference Any Fit algorithm.
+    struct TestFirstFit;
+    impl OnlinePacker for TestFirstFit {
+        fn name(&self) -> String {
+            "test-ff".into()
+        }
+        fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+            for b in open_bins {
+                if b.fits(item.size) {
+                    return Decision::Existing(b.id());
+                }
+            }
+            Decision::NEW
+        }
+    }
+
+    /// Always opens a new bin.
+    struct AlwaysNew;
+    impl OnlinePacker for AlwaysNew {
+        fn name(&self) -> String {
+            "always-new".into()
+        }
+        fn place(&mut self, _: &ItemView, _: &[OpenBin]) -> Decision {
+            Decision::NEW
+        }
+    }
+
+    /// Greedily reuses the first open bin regardless of fit (to exercise
+    /// engine feasibility rejection).
+    struct BadPacker;
+    impl OnlinePacker for BadPacker {
+        fn name(&self) -> String {
+            "bad".into()
+        }
+        fn place(&mut self, _: &ItemView, open_bins: &[OpenBin]) -> Decision {
+            match open_bins.first() {
+                Some(b) => Decision::Existing(b.id()),
+                None => Decision::NEW,
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_shares_bins() {
+        let inst = Instance::from_triples(&[(0.5, 0, 10), (0.5, 2, 8), (0.5, 3, 9)]);
+        let run = OnlineEngine::clairvoyant()
+            .run(&inst, &mut TestFirstFit)
+            .unwrap();
+        run.packing.validate(&inst).unwrap();
+        assert_eq!(run.bins_opened(), 2);
+        // Bin 0 holds items 0 and 1 (both 0.5); item 2 opens bin 1.
+        assert_eq!(run.usage, 10 + 6);
+    }
+
+    #[test]
+    fn always_new_usage_is_total_duration() {
+        let inst = Instance::from_triples(&[(0.1, 0, 10), (0.1, 2, 8), (0.1, 3, 9)]);
+        let run = OnlineEngine::clairvoyant()
+            .run(&inst, &mut AlwaysNew)
+            .unwrap();
+        assert_eq!(run.bins_opened(), 3);
+        assert_eq!(run.usage, 10 + 6 + 6);
+    }
+
+    #[test]
+    fn infeasible_decision_rejected() {
+        let inst = Instance::from_triples(&[(0.8, 0, 10), (0.8, 2, 8)]);
+        let err = OnlineEngine::clairvoyant()
+            .run(&inst, &mut BadPacker)
+            .unwrap_err();
+        assert!(matches!(err, DbpError::BadDecision { .. }));
+    }
+
+    #[test]
+    fn bin_closes_at_last_departure_and_is_not_reused() {
+        // Item 0: [0,5). Item 1 arrives exactly at 5 — the bin holding item
+        // 0 has closed, so a new bin must open even though levels allow it.
+        let inst = Instance::from_triples(&[(0.5, 0, 5), (0.5, 5, 10)]);
+        let run = OnlineEngine::clairvoyant()
+            .run(&inst, &mut TestFirstFit)
+            .unwrap();
+        assert_eq!(run.bins_opened(), 2);
+        assert_eq!(run.usage, 10);
+        assert_eq!(run.bins[0].closed_at, 5);
+        assert_eq!(run.bins[1].opened_at, 5);
+    }
+
+    #[test]
+    fn non_clairvoyant_hides_departures() {
+        struct AssertHidden;
+        impl OnlinePacker for AssertHidden {
+            fn name(&self) -> String {
+                "assert-hidden".into()
+            }
+            fn place(&mut self, item: &ItemView, bins: &[OpenBin]) -> Decision {
+                assert!(item.departure.is_none());
+                for b in bins {
+                    for a in b.items() {
+                        assert!(a.departure.is_none());
+                    }
+                }
+                Decision::NEW
+            }
+        }
+        let inst = Instance::from_triples(&[(0.5, 0, 10), (0.5, 1, 4)]);
+        OnlineEngine::non_clairvoyant()
+            .run(&inst, &mut AssertHidden)
+            .unwrap();
+    }
+
+    #[test]
+    fn noisy_mode_shows_estimates_but_sim_uses_truth() {
+        // Estimator always claims departure = arrival + 1000.
+        struct Record(Vec<Time>);
+        impl OnlinePacker for Record {
+            fn name(&self) -> String {
+                "record".into()
+            }
+            fn place(&mut self, item: &ItemView, _: &[OpenBin]) -> Decision {
+                self.0.push(item.departure.unwrap());
+                Decision::NEW
+            }
+        }
+        let inst = Instance::from_triples(&[(0.5, 0, 10)]);
+        let engine = OnlineEngine::new(ClairvoyanceMode::Noisy(Arc::new(|r: &Item| {
+            r.arrival() + 1000
+        })));
+        let mut p = Record(Vec::new());
+        let run = engine.run(&inst, &mut p).unwrap();
+        assert_eq!(p.0, vec![1000]);
+        // Usage still reflects the true departure.
+        assert_eq!(run.usage, 10);
+    }
+
+    #[test]
+    fn usage_equals_packing_span_sum() {
+        let inst = Instance::from_triples(&[
+            (0.4, 0, 7),
+            (0.4, 1, 12),
+            (0.4, 2, 5),
+            (0.9, 3, 6),
+            (0.2, 8, 30),
+        ]);
+        let run = OnlineEngine::clairvoyant()
+            .run(&inst, &mut TestFirstFit)
+            .unwrap();
+        run.packing.validate(&inst).unwrap();
+        assert_eq!(run.usage, run.packing.total_usage(&inst));
+    }
+
+    #[test]
+    fn tags_are_preserved() {
+        struct Tagger;
+        impl OnlinePacker for Tagger {
+            fn name(&self) -> String {
+                "tagger".into()
+            }
+            fn place(&mut self, item: &ItemView, bins: &[OpenBin]) -> Decision {
+                let tag = item.id.0 as u64 % 2;
+                for b in bins {
+                    if b.tag() == tag && b.fits(item.size) {
+                        return Decision::Existing(b.id());
+                    }
+                }
+                Decision::New { tag }
+            }
+        }
+        let inst = Instance::from_triples(&[(0.3, 0, 10), (0.3, 1, 10), (0.3, 2, 10)]);
+        let run = OnlineEngine::clairvoyant().run(&inst, &mut Tagger).unwrap();
+        assert_eq!(run.bins_opened(), 2);
+        assert_eq!(run.bins[0].tag, 0);
+        assert_eq!(run.bins[1].tag, 1);
+        // items 0 and 2 share the tag-0 bin
+        assert_eq!(run.packing.bin(BinId(0)).len(), 2);
+    }
+}

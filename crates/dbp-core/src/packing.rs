@@ -1,0 +1,275 @@
+//! Packings: assignments of items to bins, with exact validation and
+//! usage-time accounting.
+
+use crate::error::DbpError;
+use crate::events::load_segments;
+use crate::instance::Instance;
+use crate::interval::span_of;
+use crate::item::{Item, ItemId};
+use crate::size::Size;
+use std::collections::HashMap;
+
+/// Identifier of a bin within a [`Packing`] (its opening order for online
+/// algorithms; arbitrary but stable for offline ones).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BinId(pub u32);
+
+/// An assignment of every item of an instance to a bin.
+///
+/// The *usage time* of a bin is the span of the items placed in it; the
+/// packing's total usage time (the MinUsageTime objective) is the sum over
+/// bins. A `Packing` does not borrow the instance; [`Packing::validate`]
+/// re-checks it against one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Packing {
+    bins: Vec<Vec<ItemId>>,
+}
+
+impl Packing {
+    /// An empty packing with no bins.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds directly from per-bin item-id lists.
+    pub fn from_bins(bins: Vec<Vec<ItemId>>) -> Self {
+        Packing { bins }
+    }
+
+    /// Opens a new bin and returns its id.
+    pub fn open_bin(&mut self) -> BinId {
+        self.bins.push(Vec::new());
+        BinId(self.bins.len() as u32 - 1)
+    }
+
+    /// Places an item in an existing bin.
+    ///
+    /// # Panics
+    /// If the bin id is out of range.
+    pub fn place(&mut self, bin: BinId, item: ItemId) {
+        self.bins[bin.0 as usize].push(item);
+    }
+
+    /// Number of bins (including any that ended up empty).
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The item ids placed in `bin`.
+    pub fn bin(&self, bin: BinId) -> &[ItemId] {
+        &self.bins[bin.0 as usize]
+    }
+
+    /// Iterates over `(BinId, items)` pairs.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (BinId, &[ItemId])> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (BinId(i as u32), v.as_slice()))
+    }
+
+    /// The bin holding `item`, if any (O(n); build a map for hot paths).
+    pub fn bin_of(&self, item: ItemId) -> Option<BinId> {
+        for (b, items) in self.iter_bins() {
+            if items.contains(&item) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Usage time of one bin: the span of its items' intervals, in ticks.
+    pub fn bin_usage(&self, inst: &Instance, bin: BinId) -> u128 {
+        let index = index_items(inst);
+        span_of(self.bin(bin).iter().map(|id| index[id].interval())) as u128
+    }
+
+    /// Total usage time: `Σ_bins span(R_k)`, the MinUsageTime objective,
+    /// in ticks.
+    pub fn total_usage(&self, inst: &Instance) -> u128 {
+        let index = index_items(inst);
+        self.bins
+            .iter()
+            .map(|items| span_of(items.iter().map(|id| index[id].interval())) as u128)
+            .sum()
+    }
+
+    /// Number of bins whose item set is active at time `t`.
+    pub fn bins_open_at(&self, inst: &Instance, t: i64) -> usize {
+        let index = index_items(inst);
+        self.bins
+            .iter()
+            .filter(|items| items.iter().any(|id| index[id].active_at(t)))
+            .count()
+    }
+
+    /// The maximum number of concurrently open bins over time.
+    pub fn peak_open_bins(&self, inst: &Instance) -> usize {
+        let index = index_items(inst);
+        let mut events: Vec<(i64, i64)> = Vec::new();
+        for items in &self.bins {
+            for comp in
+                crate::interval::union_components(items.iter().map(|id| index[id].interval()))
+            {
+                events.push((comp.start(), 1));
+                events.push((comp.end(), -1));
+            }
+        }
+        events.sort_unstable();
+        let mut cur = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak as usize
+    }
+
+    /// Validates the packing against an instance:
+    ///
+    /// 1. every item of the instance is placed exactly once, and nothing
+    ///    else is placed;
+    /// 2. no bin exceeds unit capacity at any time (exact sweep per bin).
+    pub fn validate(&self, inst: &Instance) -> Result<(), DbpError> {
+        let index = index_items(inst);
+        let mut placed: HashMap<ItemId, u32> = HashMap::with_capacity(inst.len());
+        for (b, items) in self.iter_bins() {
+            for id in items {
+                if !index.contains_key(id) {
+                    return Err(DbpError::PackingCoverage {
+                        what: format!("bin {} contains unknown item {}", b.0, id),
+                    });
+                }
+                *placed.entry(*id).or_insert(0) += 1;
+            }
+        }
+        for r in inst.items() {
+            match placed.get(&r.id()) {
+                None => {
+                    return Err(DbpError::PackingCoverage {
+                        what: format!("item {} is not placed", r.id()),
+                    })
+                }
+                Some(&n) if n > 1 => {
+                    return Err(DbpError::PackingCoverage {
+                        what: format!("item {} placed {n} times", r.id()),
+                    })
+                }
+                _ => {}
+            }
+        }
+        // Capacity check: sweep each bin.
+        for (b, ids) in self.iter_bins() {
+            let items: Vec<Item> = ids.iter().map(|id| *index[id]).collect();
+            for seg in load_segments(&items) {
+                if seg.total_size > Size::CAPACITY {
+                    return Err(DbpError::CapacityExceeded {
+                        bin: b.0 as usize,
+                        at: seg.interval.start(),
+                        level: seg.total_size.as_f64(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn index_items(inst: &Instance) -> HashMap<ItemId, &Item> {
+    inst.items().iter().map(|r| (r.id(), r)).collect()
+}
+
+/// An offline packing algorithm: sees the whole instance, returns a packing.
+pub trait OfflinePacker {
+    /// A short, stable display name (e.g. `"ddff"`).
+    fn name(&self) -> &'static str;
+
+    /// Packs the full instance.
+    fn pack(&self, inst: &Instance) -> Packing;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::from_triples(&[
+            (0.5, 0, 10),  // r0
+            (0.5, 5, 20),  // r1
+            (0.75, 8, 12), // r2
+        ])
+    }
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn valid_packing_accepted() {
+        let inst = inst();
+        let p = Packing::from_bins(vec![ids(&[0, 1]), ids(&[2])]);
+        p.validate(&inst).unwrap();
+        assert_eq!(p.total_usage(&inst), 20 + 4);
+        assert_eq!(p.num_bins(), 2);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let inst = inst();
+        // r1 (0.5) and r2 (0.75) overlap in [8,12): 1.25 > 1.
+        let p = Packing::from_bins(vec![ids(&[0]), ids(&[1, 2])]);
+        let err = p.validate(&inst).unwrap_err();
+        assert!(matches!(err, DbpError::CapacityExceeded { bin: 1, .. }));
+    }
+
+    #[test]
+    fn missing_item_detected() {
+        let inst = inst();
+        let p = Packing::from_bins(vec![ids(&[0, 1])]);
+        assert!(matches!(
+            p.validate(&inst),
+            Err(DbpError::PackingCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_item_detected() {
+        let inst = inst();
+        let p = Packing::from_bins(vec![ids(&[0, 1]), ids(&[2, 0])]);
+        assert!(matches!(
+            p.validate(&inst),
+            Err(DbpError::PackingCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_item_detected() {
+        let inst = inst();
+        let p = Packing::from_bins(vec![ids(&[0, 1, 2, 9])]);
+        assert!(matches!(
+            p.validate(&inst),
+            Err(DbpError::PackingCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn usage_counts_gaps_correctly() {
+        // One bin with two disjoint items: usage is the sum of both
+        // intervals (span of the union), not the hull.
+        let inst = Instance::from_triples(&[(0.5, 0, 10), (0.5, 100, 110)]);
+        let p = Packing::from_bins(vec![ids(&[0, 1])]);
+        p.validate(&inst).unwrap();
+        assert_eq!(p.total_usage(&inst), 20);
+    }
+
+    #[test]
+    fn open_bins_over_time() {
+        let inst = inst();
+        let p = Packing::from_bins(vec![ids(&[0, 1]), ids(&[2])]);
+        assert_eq!(p.bins_open_at(&inst, 0), 1);
+        assert_eq!(p.bins_open_at(&inst, 9), 2);
+        assert_eq!(p.bins_open_at(&inst, 15), 1);
+        assert_eq!(p.bins_open_at(&inst, 25), 0);
+        assert_eq!(p.peak_open_bins(&inst), 2);
+    }
+}

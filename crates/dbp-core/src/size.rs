@@ -1,0 +1,253 @@
+//! Exact fixed-point item sizes.
+//!
+//! Bins have unit capacity (paper §3.2, "without loss of generality, we
+//! assume that the bins all have unit capacity"). Item sizes live in
+//! `(0, 1]` and must be summed and compared against the capacity exactly:
+//! a floating-point representation would let accumulated rounding error
+//! flip feasibility decisions, which would invalidate the paper's
+//! worst-case constructions (e.g. the `1/2 ± ε` items of Theorem 3).
+//!
+//! [`Size`] therefore stores `size × 2²⁴` as a `u64`. The capacity is
+//! exactly [`Size::CAPACITY`] = `2²⁴`, halves and powers of two are exact,
+//! and sums of up to ~2⁴⁰ items cannot overflow.
+
+use crate::error::DbpError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A fixed-point size (or bin level / demand height): `raw / 2²⁴` in
+/// unit-capacity terms.
+///
+/// `Size` is a plain quantity, not restricted to `(0, CAPACITY]`: bin levels
+/// and demand-chart altitudes (sums of item sizes) use the same type.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Size(u64);
+
+impl Size {
+    /// The fixed-point scaling factor: 2²⁴.
+    pub const SCALE: u64 = 1 << 24;
+
+    /// Unit bin capacity, exactly representable.
+    pub const CAPACITY: Size = Size(Self::SCALE);
+
+    /// Half the bin capacity — the small/large threshold of the Dual
+    /// Coloring algorithm (§4.2), exactly representable.
+    pub const HALF: Size = Size(Self::SCALE / 2);
+
+    /// The zero size.
+    pub const ZERO: Size = Size(0);
+
+    /// The smallest positive representable size (`2⁻²⁴`).
+    pub const EPSILON: Size = Size(1);
+
+    /// Constructs a size from raw fixed-point units.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Size {
+        Size(raw)
+    }
+
+    /// The raw fixed-point value (`size × 2²⁴`).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts from a fraction of capacity, rounding to the nearest
+    /// representable value. Values ≤ 0 map to [`Size::ZERO`].
+    pub fn from_f64(frac: f64) -> Size {
+        if frac <= 0.0 {
+            return Size::ZERO;
+        }
+        Size((frac * Self::SCALE as f64).round() as u64)
+    }
+
+    /// Exact size `num/den` of capacity; errors if not exactly
+    /// representable (i.e. unless `den` divides `num · 2²⁴`).
+    ///
+    /// ```
+    /// use dbp_core::Size;
+    /// assert_eq!(Size::from_ratio(1, 4).unwrap(), Size::from_f64(0.25));
+    /// assert!(Size::from_ratio(1, 3).is_err()); // 1/3 is not dyadic
+    /// ```
+    pub fn from_ratio(num: u64, den: u64) -> Result<Size, DbpError> {
+        if den == 0 {
+            return Err(DbpError::InvalidSize {
+                what: "zero denominator".into(),
+            });
+        }
+        let scaled = num as u128 * Self::SCALE as u128;
+        if !scaled.is_multiple_of(den as u128) {
+            return Err(DbpError::InvalidSize {
+                what: format!("{num}/{den} is not exactly representable"),
+            });
+        }
+        Ok(Size((scaled / den as u128) as u64))
+    }
+
+    /// This size as a fraction of capacity.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE as f64
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Size) -> Size {
+        Size(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `⌈self / CAPACITY⌉` — the minimum number of unit bins needed to hold
+    /// this much total size, ignoring item granularity (Proposition 3's
+    /// `⌈S(t)⌉`).
+    #[inline]
+    pub fn ceil_units(self) -> u64 {
+        self.0.div_ceil(Self::SCALE)
+    }
+
+    /// `⌊self / CAPACITY⌋`.
+    #[inline]
+    pub fn floor_units(self) -> u64 {
+        self.0 / Self::SCALE
+    }
+
+    /// Whether an item of this size is "small" in the Dual Coloring sense:
+    /// `s(r) ≤ 1/2`.
+    #[inline]
+    pub fn is_small(self) -> bool {
+        self <= Self::HALF
+    }
+
+    /// Whether a valid *item* size: `0 < s ≤ 1`.
+    #[inline]
+    pub fn is_valid_item_size(self) -> bool {
+        self > Size::ZERO && self <= Size::CAPACITY
+    }
+
+    /// Multiplies by an interval length, yielding a time–space demand in
+    /// raw-size × tick units (u128: cannot overflow for any valid input).
+    #[inline]
+    pub fn demand_over(self, ticks: i64) -> u128 {
+        debug_assert!(ticks >= 0);
+        self.0 as u128 * ticks as u128
+    }
+}
+
+impl Add for Size {
+    type Output = Size;
+    #[inline]
+    fn add(self, rhs: Size) -> Size {
+        Size(self.0.checked_add(rhs.0).expect("Size overflow"))
+    }
+}
+
+impl AddAssign for Size {
+    #[inline]
+    fn add_assign(&mut self, rhs: Size) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Size {
+    type Output = Size;
+    #[inline]
+    fn sub(self, rhs: Size) -> Size {
+        Size(self.0.checked_sub(rhs.0).expect("Size underflow"))
+    }
+}
+
+impl SubAssign for Size {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Size) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Size {
+    fn sum<I: Iterator<Item = Size>>(iter: I) -> Size {
+        iter.fold(Size::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Size({:.6})", self.as_f64())
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_and_half_are_exact() {
+        assert_eq!(Size::CAPACITY.raw(), 1 << 24);
+        assert_eq!(Size::HALF + Size::HALF, Size::CAPACITY);
+        assert_eq!(Size::from_f64(1.0), Size::CAPACITY);
+        assert_eq!(Size::from_f64(0.5), Size::HALF);
+    }
+
+    #[test]
+    fn from_ratio_dyadic() {
+        assert_eq!(Size::from_ratio(3, 8).unwrap().raw(), 3 * (1 << 21));
+        assert_eq!(Size::from_ratio(1, 1 << 24).unwrap(), Size::EPSILON);
+        assert!(Size::from_ratio(1, 3).is_err());
+        assert!(Size::from_ratio(1, 0).is_err());
+    }
+
+    #[test]
+    fn epsilon_perturbation_is_exact() {
+        // Theorem 3 uses sizes 1/2 ± ε: two (1/2 − ε) items fit together,
+        // a (1/2 − ε) item plus a (1/2 + ε) item also fit, two (1/2 + ε) don't.
+        let eps = Size::EPSILON;
+        let small = Size::HALF - eps;
+        let large = Size::HALF + eps;
+        assert!(small + small <= Size::CAPACITY);
+        assert!(small + large <= Size::CAPACITY);
+        assert!(large + large > Size::CAPACITY);
+    }
+
+    #[test]
+    fn ceil_floor_units() {
+        assert_eq!(Size::ZERO.ceil_units(), 0);
+        assert_eq!(Size::EPSILON.ceil_units(), 1);
+        assert_eq!(Size::CAPACITY.ceil_units(), 1);
+        assert_eq!((Size::CAPACITY + Size::EPSILON).ceil_units(), 2);
+        assert_eq!((Size::CAPACITY + Size::HALF).floor_units(), 1);
+    }
+
+    #[test]
+    fn small_large_threshold() {
+        assert!(Size::HALF.is_small());
+        assert!(!(Size::HALF + Size::EPSILON).is_small());
+    }
+
+    #[test]
+    fn valid_item_sizes() {
+        assert!(!Size::ZERO.is_valid_item_size());
+        assert!(Size::EPSILON.is_valid_item_size());
+        assert!(Size::CAPACITY.is_valid_item_size());
+        assert!(!(Size::CAPACITY + Size::EPSILON).is_valid_item_size());
+    }
+
+    #[test]
+    fn demand_over_large_values() {
+        let d = Size::CAPACITY.demand_over(i64::MAX);
+        assert_eq!(d, (1u128 << 24) * i64::MAX as u128);
+    }
+
+    #[test]
+    fn ordering_matches_f64() {
+        let a = Size::from_f64(0.3);
+        let b = Size::from_f64(0.31);
+        assert!(a < b);
+        assert!(a.as_f64() < b.as_f64());
+    }
+}

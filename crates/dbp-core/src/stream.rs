@@ -1,0 +1,314 @@
+//! Streaming online packing: feed arrivals one at a time.
+//!
+//! [`crate::OnlineEngine::run`] takes a whole [`crate::Instance`] — fine
+//! for experiments, but a real scheduler receives jobs as they arrive and
+//! cannot hand over the future. [`StreamingSession`] is the incremental
+//! twin: call [`StreamingSession::arrive`] per job (non-decreasing
+//! arrival times), and the session returns the bin id the packer chose;
+//! call [`StreamingSession::finish`] to flush remaining departures and
+//! obtain the same [`OnlineRun`] the batch engine produces.
+//!
+//! The batch engine and the streaming session are verified to produce
+//! identical runs on identical input order (see tests) — the batch path
+//! is a thin convenience over this one conceptually, and both enforce the
+//! same rules: capacity, bin closure on last departure, no migration.
+
+use crate::error::DbpError;
+use crate::interval::Time;
+use crate::item::{Item, ItemId};
+use crate::online::{
+    ActiveItem, BinRecord, ClairvoyanceMode, Decision, ItemView, OnlinePacker, OnlineRun, OpenBin,
+};
+use crate::packing::{BinId, Packing};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An in-progress online packing over a stream of arrivals.
+pub struct StreamingSession<'p> {
+    mode: ClairvoyanceMode,
+    packer: &'p mut dyn OnlinePacker,
+    open: Vec<OpenBin>,
+    records: Vec<BinRecord>,
+    placement: HashMap<ItemId, BinId>,
+    departures: BinaryHeap<Reverse<(Time, ItemId)>>,
+    next_bin: u32,
+    last_arrival: Option<Time>,
+    seen: std::collections::HashSet<ItemId>,
+}
+
+impl<'p> StreamingSession<'p> {
+    /// Starts a session; the packer's [`OnlinePacker::reset`] is invoked.
+    pub fn new(mode: ClairvoyanceMode, packer: &'p mut dyn OnlinePacker) -> Self {
+        packer.reset();
+        StreamingSession {
+            mode,
+            packer,
+            open: Vec::new(),
+            records: Vec::new(),
+            placement: HashMap::new(),
+            departures: BinaryHeap::new(),
+            next_bin: 0,
+            last_arrival: None,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    fn visible_departure(&self, item: &Item) -> Option<Time> {
+        match &self.mode {
+            ClairvoyanceMode::Clairvoyant => Some(item.departure()),
+            ClairvoyanceMode::NonClairvoyant => None,
+            ClairvoyanceMode::Noisy(f) => Some(f(item).max(item.arrival() + 1)),
+        }
+    }
+
+    /// Processes all departures up to and including time `t`.
+    fn close_until(&mut self, t: Time) -> Result<(), DbpError> {
+        while let Some(&Reverse((dt, id))) = self.departures.peek() {
+            if dt > t {
+                break;
+            }
+            self.departures.pop();
+            let bin_id = self.placement[&id];
+            let idx = self
+                .open
+                .iter()
+                .position(|b| b.id() == bin_id)
+                .ok_or_else(|| DbpError::Internal {
+                    what: format!("departing item {id} maps to a closed bin"),
+                })?;
+            let became_empty = self.open[idx].remove_item(id)?;
+            if became_empty {
+                let bin = self.open.remove(idx);
+                let rec = self
+                    .records
+                    .iter_mut()
+                    .find(|r| r.id == bin.id())
+                    .expect("record exists for every opened bin");
+                rec.closed_at = dt;
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of currently open bins.
+    pub fn open_bins(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Advances simulated time to `t` without an arrival: departures up
+    /// to and including `t` are processed and empty bins close. Lets an
+    /// integrator observe fleet drain during idle periods (e.g. to emit
+    /// scale-down signals) instead of waiting for the next arrival.
+    ///
+    /// `t` must be at least the last arrival time; subsequent arrivals
+    /// must not precede `t`.
+    pub fn advance_to(&mut self, t: Time) -> Result<(), DbpError> {
+        if let Some(last) = self.last_arrival {
+            if t < last {
+                return Err(DbpError::BadDecision {
+                    what: format!("cannot advance to {t} before last arrival {last}"),
+                });
+            }
+        }
+        self.last_arrival = Some(t);
+        self.close_until(t)
+    }
+
+    /// Feeds one arrival. Arrival times must be non-decreasing and item
+    /// ids unique; the chosen bin id is returned.
+    pub fn arrive(&mut self, item: &Item) -> Result<BinId, DbpError> {
+        let now = item.arrival();
+        if let Some(last) = self.last_arrival {
+            if now < last {
+                return Err(DbpError::BadDecision {
+                    what: format!("arrivals must be non-decreasing: {now} after {last}"),
+                });
+            }
+        }
+        if !self.seen.insert(item.id()) {
+            return Err(DbpError::DuplicateItemId { id: item.id().0 });
+        }
+        self.last_arrival = Some(now);
+        self.close_until(now)?;
+
+        let visible_dep = self.visible_departure(item);
+        let view = ItemView {
+            id: item.id(),
+            size: item.size(),
+            arrival: now,
+            departure: visible_dep,
+        };
+        let decision = self.packer.place(&view, &self.open);
+        let active = ActiveItem {
+            id: item.id(),
+            size: item.size(),
+            departure: visible_dep,
+        };
+        let bin_id = match decision {
+            Decision::Existing(bid) => {
+                let bin = self
+                    .open
+                    .iter_mut()
+                    .find(|b| b.id() == bid)
+                    .ok_or_else(|| DbpError::BadDecision {
+                        what: format!("bin {bid:?} is not open (item {})", item.id()),
+                    })?;
+                bin.push_item(active, item.size())?;
+                bid
+            }
+            Decision::New { tag } => {
+                let bid = BinId(self.next_bin);
+                self.next_bin += 1;
+                self.open.push(OpenBin::new(bid, now, tag, active));
+                self.records.push(BinRecord {
+                    id: bid,
+                    opened_at: now,
+                    closed_at: now,
+                    tag,
+                    items: Vec::new(),
+                });
+                bid
+            }
+        };
+        self.placement.insert(item.id(), bin_id);
+        self.records
+            .iter_mut()
+            .find(|r| r.id == bin_id)
+            .expect("record exists")
+            .items
+            .push(item.id());
+        self.departures.push(Reverse((item.departure(), item.id())));
+        Ok(bin_id)
+    }
+
+    /// Flushes all remaining departures and returns the finished run.
+    pub fn finish(mut self) -> Result<OnlineRun, DbpError> {
+        self.close_until(Time::MAX)?;
+        debug_assert!(self.open.is_empty());
+        let usage: u128 = self.records.iter().map(|r| r.usage()).sum();
+        let mut bins = vec![Vec::new(); self.next_bin as usize];
+        for r in &self.records {
+            bins[r.id.0 as usize] = r.items.clone();
+        }
+        Ok(OnlineRun {
+            packing: Packing::from_bins(bins),
+            usage,
+            bins: self.records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::online::OnlineEngine;
+    use crate::size::Size;
+
+    struct FirstFit;
+    impl OnlinePacker for FirstFit {
+        fn name(&self) -> String {
+            "ff".into()
+        }
+        fn place(&mut self, item: &ItemView, open: &[OpenBin]) -> Decision {
+            open.iter()
+                .find(|b| b.fits(item.size))
+                .map(|b| Decision::Existing(b.id()))
+                .unwrap_or(Decision::NEW)
+        }
+    }
+
+    fn sample() -> Instance {
+        Instance::from_triples(&[
+            (0.5, 0, 10),
+            (0.5, 2, 8),
+            (0.5, 3, 9),
+            (0.9, 5, 20),
+            (0.1, 12, 30),
+        ])
+    }
+
+    #[test]
+    fn streaming_matches_batch_engine() {
+        let inst = sample();
+        let batch = OnlineEngine::clairvoyant()
+            .run(&inst, &mut FirstFit)
+            .unwrap();
+        let mut packer = FirstFit;
+        let mut session = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        for r in inst.items() {
+            session.arrive(r).unwrap();
+        }
+        let streamed = session.finish().unwrap();
+        assert_eq!(streamed.usage, batch.usage);
+        assert_eq!(streamed.packing, batch.packing);
+        assert_eq!(streamed.bins.len(), batch.bins.len());
+    }
+
+    #[test]
+    fn rejects_out_of_order_arrivals() {
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        s.arrive(&Item::new(0, Size::HALF, 10, 20)).unwrap();
+        let err = s.arrive(&Item::new(1, Size::HALF, 5, 20)).unwrap_err();
+        assert!(matches!(err, DbpError::BadDecision { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        s.arrive(&Item::new(0, Size::HALF, 0, 5)).unwrap();
+        let err = s.arrive(&Item::new(0, Size::HALF, 1, 6)).unwrap_err();
+        assert!(matches!(err, DbpError::DuplicateItemId { id: 0 }));
+    }
+
+    #[test]
+    fn open_bins_reflects_live_state() {
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        assert_eq!(s.open_bins(), 0);
+        s.arrive(&Item::new(0, Size::from_f64(0.9), 0, 10)).unwrap();
+        s.arrive(&Item::new(1, Size::from_f64(0.9), 1, 5)).unwrap();
+        assert_eq!(s.open_bins(), 2);
+        // Arriving at t=6 first closes the bin whose item left at 5.
+        s.arrive(&Item::new(2, Size::from_f64(0.05), 6, 8)).unwrap();
+        assert_eq!(s.open_bins(), 1);
+        let run = s.finish().unwrap();
+        assert_eq!(run.bins_opened(), 2);
+    }
+
+    #[test]
+    fn advance_to_drains_idle_fleet() {
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        s.arrive(&Item::new(0, Size::HALF, 0, 10)).unwrap();
+        s.arrive(&Item::new(1, Size::from_f64(0.9), 1, 20)).unwrap();
+        assert_eq!(s.open_bins(), 2);
+        s.advance_to(10).unwrap();
+        assert_eq!(s.open_bins(), 1, "first bin drains at t=10");
+        s.advance_to(25).unwrap();
+        assert_eq!(s.open_bins(), 0);
+        // Cannot go backwards, and later arrivals must respect the clock.
+        assert!(s.advance_to(5).is_err());
+        assert!(s.arrive(&Item::new(2, Size::HALF, 20, 30)).is_err());
+        s.arrive(&Item::new(3, Size::HALF, 30, 40)).unwrap();
+        let run = s.finish().unwrap();
+        assert_eq!(run.bins_opened(), 3);
+    }
+
+    #[test]
+    fn returned_bin_ids_match_records() {
+        let inst = sample();
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        let mut assigned = Vec::new();
+        for r in inst.items() {
+            assigned.push((r.id(), s.arrive(r).unwrap()));
+        }
+        let run = s.finish().unwrap();
+        for (item, bin) in assigned {
+            assert!(run.packing.bin(bin).contains(&item));
+        }
+    }
+}

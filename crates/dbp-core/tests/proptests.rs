@@ -1,0 +1,161 @@
+//! Property tests for the core data structures, checked against naive
+//! reference models.
+
+use dbp_core::events::load_segments;
+use dbp_core::interval::{span_of, union_components, Interval};
+use dbp_core::profile::{BTreeProfile, LevelProfile, SegTreeProfile};
+use dbp_core::stats::StepSeries;
+use dbp_core::{Instance, Item, Packing, Size};
+use proptest::prelude::*;
+
+/// Naive per-tick reference model of a level profile over [0, N).
+const N: i64 = 64;
+
+fn arb_ops() -> impl Strategy<Value = Vec<(Interval, Size)>> {
+    proptest::collection::vec(
+        (0i64..N - 1, 1i64..16, 1u64..=32).prop_map(|(a, len, s)| {
+            (
+                Interval::of(a, (a + len).min(N)),
+                Size::from_ratio(s, 64).unwrap(),
+            )
+        }),
+        0..20,
+    )
+}
+
+fn naive_levels(ops: &[(Interval, Size)]) -> Vec<u64> {
+    let mut lv = vec![0u64; N as usize];
+    for (iv, s) in ops {
+        for (t, lvl) in lv.iter_mut().enumerate() {
+            if iv.contains(t as i64) {
+                *lvl += s.raw();
+            }
+        }
+    }
+    lv
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both profile backends agree with the per-tick reference model on
+    /// level queries and window maxima.
+    #[test]
+    fn profiles_match_reference(ops in arb_ops()) {
+        let reference = naive_levels(&ops);
+        let mut bt = BTreeProfile::new();
+        let mut st = SegTreeProfile::from_times((0..=N).collect());
+        for (iv, s) in &ops {
+            bt.add(*iv, *s);
+            st.add(*iv, *s);
+        }
+        for t in 0..N {
+            let want = Size::from_raw(reference[t as usize]);
+            prop_assert_eq!(bt.level_at(t), want, "btree level at {}", t);
+            prop_assert_eq!(st.level_at(t), want, "segtree level at {}", t);
+        }
+        // A few windows.
+        for (a, b) in [(0i64, N), (3, 17), (10, 11), (40, 64)] {
+            let want = Size::from_raw(
+                reference[a as usize..b as usize].iter().copied().max().unwrap_or(0),
+            );
+            let iv = Interval::of(a, b);
+            prop_assert_eq!(bt.max_in(iv), want);
+            prop_assert_eq!(st.max_in(iv), want);
+        }
+    }
+
+    /// `span_of` equals the per-tick count of covered ticks, and
+    /// `union_components` is disjoint, sorted, and covers the same set.
+    #[test]
+    fn span_matches_reference(ops in arb_ops()) {
+        let ivs: Vec<Interval> = ops.iter().map(|(iv, _)| *iv).collect();
+        let mut covered = vec![false; N as usize];
+        for iv in &ivs {
+            for (t, c) in covered.iter_mut().enumerate() {
+                if iv.contains(t as i64) {
+                    *c = true;
+                }
+            }
+        }
+        let want = covered.iter().filter(|&&c| c).count() as i64;
+        prop_assert_eq!(span_of(ivs.iter().copied()), want);
+
+        let comps = union_components(ivs.iter().copied());
+        for w in comps.windows(2) {
+            prop_assert!(w[0].end() < w[1].start(), "components must be separated");
+        }
+        let total: i64 = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, want);
+    }
+
+    /// `load_segments` partitions the span and conserves total time–space
+    /// area (`Σ segment_size·len == Σ item demand`).
+    #[test]
+    fn load_segments_conserve_area(ops in arb_ops()) {
+        let items: Vec<Item> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, (iv, s))| Item::new(i as u32, *s, iv.start(), iv.end()))
+            .collect();
+        let segs = load_segments(&items);
+        // Disjoint and ordered.
+        for w in segs.windows(2) {
+            prop_assert!(w[0].interval.end() <= w[1].interval.start());
+        }
+        let seg_area: u128 = segs
+            .iter()
+            .map(|s| s.total_size.raw() as u128 * s.interval.len() as u128)
+            .sum();
+        let demand: u128 = items.iter().map(|r| r.demand()).sum();
+        prop_assert_eq!(seg_area, demand);
+        let seg_span: i64 = segs.iter().map(|s| s.interval.len()).sum();
+        prop_assert_eq!(seg_span, span_of(items.iter().map(|r| r.interval())));
+    }
+
+    /// The packing validator agrees with a brute-force per-tick check.
+    #[test]
+    fn validator_matches_bruteforce(ops in arb_ops(), split in 1usize..4) {
+        let items: Vec<Item> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, (iv, s))| Item::new(i as u32, *s, iv.start(), iv.end()))
+            .collect();
+        let inst = Instance::from_items(items.clone()).unwrap();
+        // Round-robin items into `split` bins (may or may not be valid).
+        let mut bins = vec![Vec::new(); split];
+        for (i, r) in items.iter().enumerate() {
+            bins[i % split].push(r.id());
+        }
+        let packing = Packing::from_bins(bins.clone());
+        let valid = packing.validate(&inst).is_ok();
+
+        // Brute force: per tick, per bin level.
+        let mut brute_ok = true;
+        for bin in &bins {
+            for t in 0..N {
+                let level: u64 = items
+                    .iter()
+                    .filter(|r| bin.contains(&r.id()) && r.active_at(t))
+                    .map(|r| r.size().raw())
+                    .sum();
+                if level > Size::SCALE {
+                    brute_ok = false;
+                }
+            }
+        }
+        prop_assert_eq!(valid, brute_ok);
+    }
+
+    /// StepSeries built from deltas matches a running per-tick sum.
+    #[test]
+    fn step_series_matches_reference(
+        deltas in proptest::collection::vec((0i64..N, -3i64..=3), 0..24)
+    ) {
+        let series = StepSeries::from_deltas(deltas.clone());
+        for t in -1..N + 1 {
+            let want: i64 = deltas.iter().filter(|(dt, _)| *dt <= t).map(|(_, d)| d).sum();
+            prop_assert_eq!(series.value_at(t), want, "at t={}", t);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! # dbp-flex — flexible jobs: release times and deadlines (§6)
+//!
+//! The paper's concluding remarks propose extending MinUsageTime DBP "to
+//! model flexible jobs that have release times and deadlines and do not
+//! have to be processed immediately upon arrival" — the setting of
+//! Khandekar et al. (FSTTCS 2010, cited as \[14\]), who give a
+//! 5-approximation via demand classification for their variant.
+//!
+//! A [`FlexJob`] has a size, a processing length `p`, and a window
+//! `[release, deadline)` with `deadline − release ≥ p`; the scheduler
+//! chooses a start time `t ∈ [release, deadline − p]` *and* a bin. Once
+//! started, a job runs contiguously without migration. The objective is
+//! unchanged: total bin usage time.
+//!
+//! Two offline schedulers are provided:
+//!
+//! * [`rigid_schedule`] — ignores flexibility (starts every job at its
+//!   release) and packs with Duration Descending First Fit; the baseline
+//!   that turns the problem back into Clairvoyant MinUsageTime DBP.
+//! * [`flex_schedule`] — longest-job-first greedy that, for each job,
+//!   scans candidate start times (window edges plus alignments against
+//!   already-scheduled busy periods) across first-fit-feasible bins and
+//!   picks the placement minimizing the *increase* in total usage. A
+//!   documented heuristic in the spirit of Khandekar et al.'s
+//!   First Fit with Demands (we do not claim their bound for it).
+//!
+//! The output converts to a `dbp_core` [`Instance`] + [`Packing`] pair, so
+//! validation and usage accounting reuse the exact core machinery.
+//!
+//! ```
+//! use dbp_core::Size;
+//! use dbp_flex::{flex_schedule_optimized, rigid_schedule, FlexJob};
+//!
+//! // Two half-size jobs with staggered windows: rigid pays 40, the
+//! // local search overlaps them for 20.
+//! let jobs = vec![
+//!     FlexJob::new(0, Size::HALF, 0, 100, 20),
+//!     FlexJob::new(1, Size::HALF, 30, 130, 20),
+//! ];
+//! assert_eq!(rigid_schedule(&jobs).validate(&jobs).unwrap(), 40);
+//! assert_eq!(flex_schedule_optimized(&jobs).validate(&jobs).unwrap(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+use dbp_core::interval::{Interval, Time};
+use dbp_core::profile::{BTreeProfile, LevelProfile};
+use dbp_core::{Instance, Item, Packing, Size};
+
+/// A job with scheduling flexibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlexJob {
+    /// Unique id.
+    pub id: u32,
+    /// Size (fraction of bin capacity), in `(0, 1]`.
+    pub size: Size,
+    /// Earliest possible start.
+    pub release: Time,
+    /// Latest possible completion (exclusive).
+    pub deadline: Time,
+    /// Contiguous processing length, `1 ≤ length ≤ deadline − release`.
+    pub length: i64,
+}
+
+impl FlexJob {
+    /// Creates a job; panics if the window cannot fit the length or the
+    /// size is invalid.
+    pub fn new(id: u32, size: Size, release: Time, deadline: Time, length: i64) -> FlexJob {
+        assert!(size.is_valid_item_size(), "size must be in (0, 1]");
+        assert!(length >= 1, "length must be positive");
+        assert!(
+            deadline - release >= length,
+            "window [{release}, {deadline}) cannot fit length {length}"
+        );
+        FlexJob {
+            id,
+            size,
+            release,
+            deadline,
+            length,
+        }
+    }
+
+    /// Scheduling slack: `deadline − release − length`.
+    pub fn slack(&self) -> i64 {
+        self.deadline - self.release - self.length
+    }
+
+    /// The latest feasible start time.
+    pub fn latest_start(&self) -> Time {
+        self.deadline - self.length
+    }
+}
+
+/// A complete schedule: a chosen start time and bin for every job.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlexSchedule {
+    /// `(job id, start time, bin index)` triples.
+    pub placements: Vec<(u32, Time, usize)>,
+}
+
+impl FlexSchedule {
+    /// Materializes the schedule as a core instance (items at their chosen
+    /// start times) plus packing, enabling exact validation and usage
+    /// accounting.
+    pub fn materialize(&self, jobs: &[FlexJob]) -> (Instance, Packing) {
+        let by_id: std::collections::HashMap<u32, &FlexJob> =
+            jobs.iter().map(|j| (j.id, j)).collect();
+        let mut items = Vec::with_capacity(self.placements.len());
+        let num_bins = self
+            .placements
+            .iter()
+            .map(|&(_, _, b)| b + 1)
+            .max()
+            .unwrap_or(0);
+        let mut bins = vec![Vec::new(); num_bins];
+        for &(id, start, bin) in &self.placements {
+            let job = by_id[&id];
+            let item = Item::new(id, job.size, start, start + job.length);
+            items.push(item);
+            bins[bin].push(item.id());
+        }
+        let inst = Instance::from_items(items).expect("valid scheduled items");
+        (inst, Packing::from_bins(bins))
+    }
+
+    /// Validates window constraints and capacity; returns total usage.
+    pub fn validate(&self, jobs: &[FlexJob]) -> Result<u128, String> {
+        if self.placements.len() != jobs.len() {
+            return Err(format!(
+                "{} of {} jobs scheduled",
+                self.placements.len(),
+                jobs.len()
+            ));
+        }
+        let by_id: std::collections::HashMap<u32, &FlexJob> =
+            jobs.iter().map(|j| (j.id, j)).collect();
+        for &(id, start, _) in &self.placements {
+            let job = by_id.get(&id).ok_or_else(|| format!("unknown job {id}"))?;
+            if start < job.release || start > job.latest_start() {
+                return Err(format!(
+                    "job {id} starts at {start} outside window [{}, {}]",
+                    job.release,
+                    job.latest_start()
+                ));
+            }
+        }
+        let (inst, packing) = self.materialize(jobs);
+        packing.validate(&inst).map_err(|e| e.to_string())?;
+        Ok(packing.total_usage(&inst))
+    }
+}
+
+/// Lower bound on any schedule's usage: the time–space demand `Σ s·p`
+/// rounded up, and the longest single job.
+pub fn flex_lower_bound(jobs: &[FlexJob]) -> u128 {
+    let demand: u128 = jobs
+        .iter()
+        .map(|j| j.size.raw() as u128 * j.length as u128)
+        .sum();
+    let demand_ticks = demand.div_ceil(Size::SCALE as u128);
+    let longest = jobs.iter().map(|j| j.length as u128).max().unwrap_or(0);
+    demand_ticks.max(longest)
+}
+
+/// Baseline: start every job at its release time and pack with Duration
+/// Descending First Fit (flexibility ignored).
+pub fn rigid_schedule(jobs: &[FlexJob]) -> FlexSchedule {
+    // Duration-descending placement by interval first fit, tracking bins.
+    let mut sorted: Vec<&FlexJob> = jobs.iter().collect();
+    sorted.sort_by_key(|j| (std::cmp::Reverse(j.length), j.release, j.id));
+    let mut bins: Vec<BTreeProfile> = Vec::new();
+    let mut placements = Vec::with_capacity(jobs.len());
+    for job in sorted {
+        let iv = Interval::of(job.release, job.release + job.length);
+        let idx = match bins
+            .iter()
+            .position(|p| p.fits(iv, job.size, Size::CAPACITY))
+        {
+            Some(i) => i,
+            None => {
+                bins.push(BTreeProfile::new());
+                bins.len() - 1
+            }
+        };
+        bins[idx].add(iv, job.size);
+        placements.push((job.id, job.release, idx));
+    }
+    FlexSchedule { placements }
+}
+
+/// State of one bin during flexible scheduling: its level profile plus the
+/// busy intervals already committed (for usage-delta computation and
+/// candidate alignment).
+struct FlexBin {
+    profile: BTreeProfile,
+    busy: Vec<Interval>,
+}
+
+impl FlexBin {
+    /// The usage increase if an interval `iv` is added.
+    fn usage_delta(&self, iv: Interval) -> i64 {
+        let before = dbp_core::interval::span_of(self.busy.iter().copied());
+        let after =
+            dbp_core::interval::span_of(self.busy.iter().copied().chain(std::iter::once(iv)));
+        after - before
+    }
+}
+
+/// Flexible greedy (see module docs): longest job first; candidate starts
+/// are the window edges and alignments with existing busy-period
+/// boundaries; the feasible (bin, start) pair with the smallest usage
+/// increase wins, ties to the earliest bin then earliest start. A fresh
+/// bin (delta = full length) is always a fallback.
+pub fn flex_schedule(jobs: &[FlexJob]) -> FlexSchedule {
+    let mut sorted: Vec<&FlexJob> = jobs.iter().collect();
+    sorted.sort_by_key(|j| (std::cmp::Reverse(j.length), j.release, j.id));
+    let mut bins: Vec<FlexBin> = Vec::new();
+    let mut placements = Vec::with_capacity(jobs.len());
+
+    for job in sorted {
+        // Candidate starts: window edges plus busy-boundary alignments.
+        let mut candidates: Vec<Time> = vec![job.release, job.latest_start()];
+        for bin in &bins {
+            for b in &bin.busy {
+                // Start when an existing busy period starts or ends, or
+                // end exactly where one starts or ends.
+                for t in [
+                    b.start(),
+                    b.end(),
+                    b.start() - job.length,
+                    b.end() - job.length,
+                ] {
+                    if t >= job.release && t <= job.latest_start() {
+                        candidates.push(t);
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        // Best (delta, bin, start) over feasible placements.
+        let mut best: Option<(i64, usize, Time)> = None;
+        for (bi, bin) in bins.iter().enumerate() {
+            for &start in &candidates {
+                let iv = Interval::of(start, start + job.length);
+                if !bin.profile.fits(iv, job.size, Size::CAPACITY) {
+                    continue;
+                }
+                let delta = bin.usage_delta(iv);
+                let key = (delta, bi, start);
+                if best.map(|b| key < b).unwrap_or(true) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (bi, start) = match best {
+            // Opening a new bin always costs the full length; reuse wins
+            // ties.
+            Some((delta, bi, start)) if delta <= job.length => (bi, start),
+            _ => {
+                bins.push(FlexBin {
+                    profile: BTreeProfile::new(),
+                    busy: Vec::new(),
+                });
+                (bins.len() - 1, job.release)
+            }
+        };
+        let iv = Interval::of(start, start + job.length);
+        bins[bi].profile.add(iv, job.size);
+        bins[bi].busy.push(iv);
+        placements.push((job.id, start, bi));
+    }
+    FlexSchedule { placements }
+}
+
+/// Iterative improvement: repeatedly remove one job and re-insert it at
+/// its usage-minimizing feasible placement (over all bins, all candidate
+/// starts aligned to the other jobs' busy boundaries and window edges).
+/// Accepts strict improvements only; stops at a fixpoint or after
+/// `max_rounds` sweeps.
+///
+/// This is where flexibility actually pays: the constructive greedy of
+/// [`flex_schedule`] cannot delay an early job to overlap a later one,
+/// but re-insertion can (e.g. two half-size jobs with staggered windows
+/// collapse from usage `2p` to `p`).
+pub fn improve_schedule(
+    jobs: &[FlexJob],
+    schedule: &FlexSchedule,
+    max_rounds: usize,
+) -> FlexSchedule {
+    let by_id: std::collections::HashMap<u32, &FlexJob> = jobs.iter().map(|j| (j.id, j)).collect();
+    let mut placements = schedule.placements.clone();
+    let num_bins = placements.iter().map(|&(_, _, b)| b + 1).max().unwrap_or(0);
+
+    let total_usage = |pl: &[(u32, Time, usize)]| -> i64 {
+        let mut per_bin: Vec<Vec<Interval>> = vec![Vec::new(); num_bins + pl.len()];
+        for &(id, start, bin) in pl {
+            per_bin[bin].push(Interval::of(start, start + by_id[&id].length));
+        }
+        per_bin
+            .iter()
+            .map(|ivs| dbp_core::interval::span_of(ivs.iter().copied()))
+            .sum()
+    };
+
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for idx in 0..placements.len() {
+            let (id, cur_start, cur_bin) = placements[idx];
+            let job = by_id[&id];
+            let base_usage = total_usage(&placements);
+
+            // Candidate starts: window edges + alignments with every other
+            // placement's busy boundaries.
+            let mut candidates: Vec<Time> = vec![job.release, job.latest_start()];
+            for &(oid, ostart, _) in &placements {
+                if oid == id {
+                    continue;
+                }
+                let oend = ostart + by_id[&oid].length;
+                for t in [ostart, oend, ostart - job.length, oend - job.length] {
+                    if t >= job.release && t <= job.latest_start() {
+                        candidates.push(t);
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            let mut best: Option<(i64, usize, Time)> = None;
+            for bin in 0..num_bins {
+                // Profile of this bin without the current job.
+                let mut profile = BTreeProfile::new();
+                for &(oid, ostart, obin) in &placements {
+                    if obin == bin && oid != id {
+                        let oj = by_id[&oid];
+                        profile.add(Interval::of(ostart, ostart + oj.length), oj.size);
+                    }
+                }
+                for &start in &candidates {
+                    let iv = Interval::of(start, start + job.length);
+                    if !profile.fits(iv, job.size, Size::CAPACITY) {
+                        continue;
+                    }
+                    let mut trial = placements.clone();
+                    trial[idx] = (id, start, bin);
+                    let usage = total_usage(&trial);
+                    if usage < base_usage && best.map(|b| usage < b.0).unwrap_or(true) {
+                        best = Some((usage, bin, start));
+                    }
+                }
+            }
+            if let Some((_, bin, start)) = best {
+                placements[idx] = (id, start, bin);
+                improved = true;
+            } else {
+                placements[idx] = (id, cur_start, cur_bin);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    FlexSchedule { placements }
+}
+
+/// The full flexible pipeline: constructive greedy then local search.
+pub fn flex_schedule_optimized(jobs: &[FlexJob]) -> FlexSchedule {
+    improve_schedule(jobs, &flex_schedule(jobs), 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, size: f64, release: Time, deadline: Time, length: i64) -> FlexJob {
+        FlexJob::new(id, Size::from_f64(size), release, deadline, length)
+    }
+
+    #[test]
+    fn job_construction_validates() {
+        let j = job(0, 0.5, 0, 100, 30);
+        assert_eq!(j.slack(), 70);
+        assert_eq!(j.latest_start(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn window_too_small_rejected() {
+        let _ = job(0, 0.5, 0, 10, 20);
+    }
+
+    #[test]
+    fn rigid_schedules_everything_at_release() {
+        let jobs = vec![job(0, 0.5, 0, 100, 30), job(1, 0.5, 5, 100, 20)];
+        let s = rigid_schedule(&jobs);
+        let usage = s.validate(&jobs).unwrap();
+        for &(_, start, _) in &s.placements {
+            assert!(jobs.iter().any(|j| j.release == start));
+        }
+        // Both fit one bin at their releases: usage = span [0,30).
+        assert_eq!(usage, 30);
+    }
+
+    #[test]
+    fn flexibility_reduces_usage() {
+        // Two half-size jobs with staggered windows: every rigid schedule
+        // pays 40 (disjoint busy periods, no overlap possible at the
+        // releases); the local search delays job 0 so both run over
+        // [30, 50) in one bin — usage 20.
+        let jobs = vec![job(0, 0.5, 0, 100, 20), job(1, 0.5, 30, 130, 20)];
+        let rigid = rigid_schedule(&jobs).validate(&jobs).unwrap();
+        assert_eq!(rigid, 40); // [0,20) ∪ [30,50) in one bin, gap free
+        let flex = flex_schedule_optimized(&jobs);
+        let usage = flex.validate(&jobs).unwrap();
+        assert_eq!(usage, 20, "local search must overlap the two jobs");
+    }
+
+    #[test]
+    fn flexible_never_invalid_and_never_worse_than_fresh_bins() {
+        let jobs = vec![
+            job(0, 0.9, 0, 50, 25),
+            job(1, 0.9, 10, 60, 25),
+            job(2, 0.3, 0, 200, 40),
+            job(3, 0.3, 50, 300, 40),
+            job(4, 0.6, 20, 90, 10),
+        ];
+        let s = flex_schedule(&jobs);
+        let usage = s.validate(&jobs).unwrap();
+        let total_len: u128 = jobs.iter().map(|j| j.length as u128).sum();
+        assert!(usage <= total_len);
+        assert!(usage >= flex_lower_bound(&jobs));
+    }
+
+    #[test]
+    fn zero_slack_degenerates_to_rigid_quality() {
+        // With no slack anywhere, flexible and rigid face the same
+        // feasible sets; flexible's greedy may differ but not by being
+        // infeasible.
+        let jobs = vec![
+            job(0, 0.4, 0, 30, 30),
+            job(1, 0.4, 10, 50, 40),
+            job(2, 0.4, 20, 45, 25),
+        ];
+        let rigid = rigid_schedule(&jobs).validate(&jobs).unwrap();
+        let flex = flex_schedule(&jobs).validate(&jobs).unwrap();
+        assert_eq!(rigid, flex);
+    }
+
+    #[test]
+    fn lower_bound_cases() {
+        assert_eq!(flex_lower_bound(&[]), 0);
+        let jobs = vec![job(0, 1.0, 0, 10, 10), job(1, 1.0, 0, 20, 10)];
+        // demand = 20 ticks, longest = 10 → 20.
+        assert_eq!(flex_lower_bound(&jobs), 20);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the flexible-jobs extension.
+
+use dbp_core::Size;
+use dbp_flex::{flex_lower_bound, flex_schedule, flex_schedule_optimized, rigid_schedule, FlexJob};
+use proptest::prelude::*;
+
+fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<FlexJob>> {
+    let job = (1u64..=64, 0i64..100, 1i64..40, 0i64..80)
+        .prop_map(|(s, rel, len, slack)| (s, rel, len, slack));
+    proptest::collection::vec(job, 1..=max).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, rel, len, slack))| {
+                FlexJob::new(
+                    i as u32,
+                    Size::from_ratio(s, 64).unwrap(),
+                    rel,
+                    rel + len + slack,
+                    len,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three schedulers produce valid schedules above the lower bound
+    /// and below the trivial one-bin-per-job ceiling.
+    #[test]
+    fn schedulers_valid(jobs in arb_jobs(14)) {
+        let lb = flex_lower_bound(&jobs);
+        let ceiling: u128 = jobs.iter().map(|j| j.length as u128).sum();
+        for (name, schedule) in [
+            ("rigid", rigid_schedule(&jobs)),
+            ("greedy", flex_schedule(&jobs)),
+            ("optimized", flex_schedule_optimized(&jobs)),
+        ] {
+            let usage = schedule.validate(&jobs).unwrap_or_else(|e| panic!("{name}: {e}"));
+            prop_assert!(usage >= lb, "{} beat the lower bound", name);
+            prop_assert!(usage <= ceiling, "{} exceeded the ceiling", name);
+        }
+    }
+
+    /// Local search never makes the greedy schedule worse.
+    #[test]
+    fn local_search_monotone(jobs in arb_jobs(12)) {
+        let greedy = flex_schedule(&jobs).validate(&jobs).unwrap();
+        let optimized = flex_schedule_optimized(&jobs).validate(&jobs).unwrap();
+        prop_assert!(optimized <= greedy);
+    }
+
+    /// Start times always respect windows (validate checks it, but this
+    /// asserts the invariant directly for shrinker-friendly output).
+    #[test]
+    fn starts_within_windows(jobs in arb_jobs(12)) {
+        let s = flex_schedule_optimized(&jobs);
+        for &(id, start, _) in &s.placements {
+            let j = jobs.iter().find(|j| j.id == id).unwrap();
+            prop_assert!(start >= j.release);
+            prop_assert!(start <= j.latest_start());
+        }
+    }
+
+    /// Widening every window (extra slack) never increases the rigid
+    /// baseline (unchanged starts) and keeps all schedulers valid.
+    #[test]
+    fn extra_slack_is_safe(jobs in arb_jobs(10), extra in 1i64..50) {
+        let wider: Vec<FlexJob> = jobs
+            .iter()
+            .map(|j| FlexJob::new(j.id, j.size, j.release, j.deadline + extra, j.length))
+            .collect();
+        let r1 = rigid_schedule(&jobs).validate(&jobs).unwrap();
+        let r2 = rigid_schedule(&wider).validate(&wider).unwrap();
+        prop_assert_eq!(r1, r2, "rigid ignores slack");
+        flex_schedule_optimized(&wider).validate(&wider).unwrap();
+    }
+}

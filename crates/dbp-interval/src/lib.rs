@@ -1,0 +1,485 @@
+//! # dbp-interval — interval scheduling with bounded parallelism
+//!
+//! The related problem the paper generalizes (§1, §2): unit-demand interval
+//! jobs on machines that each run at most `g` jobs concurrently; minimize
+//! total machine *busy time*. This is MinUsageTime DBP restricted to items
+//! of size exactly `1/g` — but `1/g` need not be representable in fixed
+//! point, so this crate implements the substrate natively with integer
+//! occupancy counts.
+//!
+//! Implemented algorithms:
+//!
+//! * [`online_first_fit`] — online First Fit (machine closes when empty).
+//! * [`bucket_first_fit`] — Shalom et al.'s BucketFirstFit: jobs classified
+//!   by length into buckets of ratio `α`, First Fit within each bucket.
+//!   The paper's §5.3 remark shows Theorem 5 improves its competitive-ratio
+//!   bound from `(2α+2)·⌈log_α μ⌉` to `α + ⌈log_α μ⌉ + 4` — experiment E4
+//!   measures both against real runs.
+//! * [`longest_first`] — offline duration-descending First Fit (Flammini
+//!   et al.'s 4-approximation in this unit-demand setting).
+//!
+//! [`busy_lower_bound`] is the `∫⌈N(t)/g⌉dt` bound (the unit-demand twin of
+//! Proposition 3).
+//!
+//! ```
+//! use dbp_interval::{bucket_first_fit, busy_lower_bound, Job};
+//!
+//! let jobs: Vec<Job> = (0..6).map(|i| Job::new(i, i as i64, i as i64 + 40)).collect();
+//! let schedule = bucket_first_fit(&jobs, 3, 10, 2.0);
+//! schedule.validate(&jobs, 3).unwrap();
+//! assert!(schedule.busy_time() >= busy_lower_bound(&jobs, 3));
+//! ```
+
+#![warn(missing_docs)]
+
+use dbp_core::interval::{span_of, Interval, Time};
+use std::collections::BinaryHeap;
+
+/// A unit-demand interval job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// Unique job id.
+    pub id: u32,
+    /// Active interval `[arrival, departure)`.
+    pub interval: Interval,
+}
+
+impl Job {
+    /// Creates a job; panics on an empty interval.
+    pub fn new(id: u32, arrival: Time, departure: Time) -> Job {
+        Job {
+            id,
+            interval: Interval::of(arrival, departure),
+        }
+    }
+
+    /// Job length.
+    pub fn len(&self) -> i64 {
+        self.interval.len()
+    }
+
+    /// Jobs always have positive length (intervals are non-empty by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// An assignment of jobs to machines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    machines: Vec<Vec<Job>>,
+}
+
+impl Schedule {
+    /// Jobs per machine.
+    pub fn machines(&self) -> &[Vec<Job>] {
+        &self.machines
+    }
+
+    /// Number of machines used.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total busy time: per-machine span of assigned jobs, summed.
+    pub fn busy_time(&self) -> u128 {
+        self.machines
+            .iter()
+            .map(|jobs| span_of(jobs.iter().map(|j| j.interval)) as u128)
+            .sum()
+    }
+
+    /// Validates that no machine ever runs more than `g` jobs at once and
+    /// each job appears exactly once.
+    pub fn validate(&self, jobs: &[Job], g: usize) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for m in &self.machines {
+            for j in m {
+                if !seen.insert(j.id) {
+                    return Err(format!("job {} scheduled twice", j.id));
+                }
+            }
+            // Sweep the machine's occupancy.
+            let mut events: Vec<(Time, i32)> = Vec::new();
+            for j in m {
+                events.push((j.interval.start(), 1));
+                events.push((j.interval.end(), -1));
+            }
+            events.sort_unstable();
+            let mut occ = 0i32;
+            for (t, d) in events {
+                occ += d;
+                if occ as usize > g {
+                    return Err(format!("machine exceeds g={g} at t={t}"));
+                }
+            }
+        }
+        if seen.len() != jobs.len() {
+            return Err(format!("{} of {} jobs scheduled", seen.len(), jobs.len()));
+        }
+        Ok(())
+    }
+}
+
+/// The busy-time lower bound `max(∫⌈N(t)/g⌉dt, span, Σlen/g)` — the
+/// unit-demand analogues of Propositions 1–3.
+pub fn busy_lower_bound(jobs: &[Job], g: usize) -> u128 {
+    if jobs.is_empty() {
+        return 0;
+    }
+    let mut events: Vec<(Time, i64)> = Vec::new();
+    for j in jobs {
+        events.push((j.interval.start(), 1));
+        events.push((j.interval.end(), -1));
+    }
+    events.sort_unstable();
+    let mut lb3: u128 = 0;
+    let mut span: u128 = 0;
+    let mut count: i64 = 0;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            count += events[i].1;
+            i += 1;
+        }
+        if i < events.len() && count > 0 {
+            let len = (events[i].0 - t) as u128;
+            span += len;
+            lb3 += (count as u128).div_ceil(g as u128) * len;
+        }
+    }
+    let total_len: u128 = jobs.iter().map(|j| j.len() as u128).sum();
+    lb3.max(span).max(total_len.div_ceil(g as u128))
+}
+
+/// Online simulation state: machines in opening order, closed when empty.
+struct Machines {
+    g: usize,
+    /// (machine index in `all`, tag) for open machines, opening order.
+    open: Vec<(usize, u64)>,
+    all: Vec<Vec<Job>>,
+    /// Min-heap of (departure, machine index).
+    departures: BinaryHeap<std::cmp::Reverse<(Time, usize)>>,
+    /// Current occupancy per machine index.
+    occupancy: Vec<usize>,
+}
+
+impl Machines {
+    fn new(g: usize) -> Self {
+        Machines {
+            g,
+            open: Vec::new(),
+            all: Vec::new(),
+            departures: BinaryHeap::new(),
+            occupancy: Vec::new(),
+        }
+    }
+
+    fn close_until(&mut self, t: Time) {
+        while let Some(&std::cmp::Reverse((dt, mi))) = self.departures.peek() {
+            if dt > t {
+                break;
+            }
+            self.departures.pop();
+            self.occupancy[mi] -= 1;
+            if self.occupancy[mi] == 0 {
+                self.open.retain(|&(idx, _)| idx != mi);
+            }
+        }
+    }
+
+    fn place(&mut self, job: Job, tag: u64) {
+        self.close_until(job.interval.start());
+        let slot = self
+            .open
+            .iter()
+            .find(|&&(idx, t)| t == tag && self.occupancy[idx] < self.g)
+            .map(|&(idx, _)| idx);
+        let idx = match slot {
+            Some(idx) => idx,
+            None => {
+                self.all.push(Vec::new());
+                self.occupancy.push(0);
+                let idx = self.all.len() - 1;
+                self.open.push((idx, tag));
+                idx
+            }
+        };
+        self.all[idx].push(job);
+        self.occupancy[idx] += 1;
+        self.departures
+            .push(std::cmp::Reverse((job.interval.end(), idx)));
+    }
+
+    fn finish(self) -> Schedule {
+        Schedule { machines: self.all }
+    }
+}
+
+fn sorted_by_arrival(jobs: &[Job]) -> Vec<Job> {
+    let mut v = jobs.to_vec();
+    v.sort_by_key(|j| (j.interval.start(), j.id));
+    v
+}
+
+/// Online First Fit: earliest-opened open machine with occupancy < `g`.
+pub fn online_first_fit(jobs: &[Job], g: usize) -> Schedule {
+    assert!(g >= 1);
+    let mut m = Machines::new(g);
+    for j in sorted_by_arrival(jobs) {
+        m.place(j, 0);
+    }
+    m.finish()
+}
+
+/// Shalom et al.'s BucketFirstFit: bucket `i` holds jobs with length in
+/// `[base·αⁱ, base·αⁱ⁺¹)`; First Fit within each bucket. This is exactly
+/// classify-by-duration First Fit specialized to unit demands.
+pub fn bucket_first_fit(jobs: &[Job], g: usize, base: i64, alpha: f64) -> Schedule {
+    assert!(g >= 1 && base >= 1 && alpha > 1.0);
+    let mut m = Machines::new(g);
+    for j in sorted_by_arrival(jobs) {
+        let ratio = j.len() as f64 / base as f64;
+        let mut i = (ratio.ln() / alpha.ln()).floor() as i64;
+        while base as f64 * alpha.powi(i as i32) > j.len() as f64 {
+            i -= 1;
+        }
+        while base as f64 * alpha.powi(i as i32 + 1) <= j.len() as f64 {
+            i += 1;
+        }
+        m.place(j, (i + (1 << 32)) as u64);
+    }
+    m.finish()
+}
+
+/// Offline duration-descending First Fit (Flammini et al.): sort by length
+/// descending, place each job on the lowest-indexed machine whose occupancy
+/// stays within `g` throughout the job's interval.
+pub fn longest_first(jobs: &[Job], g: usize) -> Schedule {
+    assert!(g >= 1);
+    let mut sorted = jobs.to_vec();
+    sorted.sort_by_key(|j| (std::cmp::Reverse(j.len()), j.interval.start(), j.id));
+    let mut machines: Vec<Vec<Job>> = Vec::new();
+    for j in sorted {
+        let mut placed = false;
+        for m in machines.iter_mut() {
+            if fits_counted(m, &j, g) {
+                m.push(j);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            machines.push(vec![j]);
+        }
+    }
+    Schedule { machines }
+}
+
+/// Flammini et al.'s greedy for the *proper* special case (no job interval
+/// properly contains another): sort by start time and greedily fill each
+/// machine to `g` concurrent jobs before opening the next. A
+/// `(2 − 1/g)`-approximation on proper instances (Mertzios et al.'s
+/// improvement of the greedy's factor 2); on general instances it is only
+/// a heuristic and is exposed for the E4 comparison.
+///
+/// # Panics
+/// If `g == 0`.
+pub fn greedy_proper(jobs: &[Job], g: usize) -> Schedule {
+    assert!(g >= 1);
+    let mut sorted = jobs.to_vec();
+    sorted.sort_by_key(|j| (j.interval.start(), j.interval.end(), j.id));
+    let mut machines: Vec<Vec<Job>> = Vec::new();
+    for j in sorted {
+        let mut placed = false;
+        for m in machines.iter_mut() {
+            if fits_counted(m, &j, g) {
+                m.push(j);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            machines.push(vec![j]);
+        }
+    }
+    Schedule { machines }
+}
+
+/// Whether no job interval in `jobs` properly contains another — the
+/// precondition under which [`greedy_proper`] carries its guarantee.
+pub fn is_proper(jobs: &[Job]) -> bool {
+    for (i, a) in jobs.iter().enumerate() {
+        for b in &jobs[i + 1..] {
+            let ab = a.interval.contains_interval(&b.interval) && a.interval != b.interval;
+            let ba = b.interval.contains_interval(&a.interval) && a.interval != b.interval;
+            if ab || ba {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether adding `job` keeps machine occupancy ≤ `g` at all times.
+fn fits_counted(machine: &[Job], job: &Job, g: usize) -> bool {
+    // Occupancy within job.interval changes only at other jobs' endpoints;
+    // check at job start and at each overlapping job's start.
+    let mut checkpoints = vec![job.interval.start()];
+    for other in machine {
+        if job.interval.contains(other.interval.start()) {
+            checkpoints.push(other.interval.start());
+        }
+    }
+    for t in checkpoints {
+        let occ = machine.iter().filter(|o| o.interval.contains(t)).count();
+        if occ + 1 > g {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(spec: &[(i64, i64)]) -> Vec<Job> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(a, d))| Job::new(i as u32, a, d))
+            .collect()
+    }
+
+    #[test]
+    fn first_fit_respects_g() {
+        let js = jobs(&[(0, 10), (0, 10), (0, 10), (0, 10), (0, 10)]);
+        let s = online_first_fit(&js, 2);
+        s.validate(&js, 2).unwrap();
+        assert_eq!(s.num_machines(), 3);
+        assert_eq!(s.busy_time(), 30);
+    }
+
+    #[test]
+    fn machine_closes_when_empty() {
+        let js = jobs(&[(0, 5), (5, 10)]);
+        let s = online_first_fit(&js, 4);
+        s.validate(&js, 4).unwrap();
+        // First machine closed at t=5; second job opens a new machine.
+        assert_eq!(s.num_machines(), 2);
+        assert_eq!(s.busy_time(), 10);
+    }
+
+    #[test]
+    fn bucket_ff_separates_lengths() {
+        // One long and one short job, both fit one machine — BucketFF
+        // separates them, plain FF shares.
+        let js = jobs(&[(0, 10), (0, 1000)]);
+        let ff = online_first_fit(&js, 2);
+        assert_eq!(ff.num_machines(), 1);
+        let bff = bucket_first_fit(&js, 2, 5, 2.0);
+        bff.validate(&js, 2).unwrap();
+        assert_eq!(bff.num_machines(), 2);
+    }
+
+    #[test]
+    fn bucket_ff_beats_ff_on_tail_trap() {
+        // g=2 version of the tail trap: pairs (long tiny-role, short) where
+        // FF pins machines open. Generations stay full during arrivals.
+        let mut spec = Vec::new();
+        for i in 0..6i64 {
+            spec.push((i * 2, 10_000)); // long job
+            spec.push((i * 2, 13)); // short job keeps machine full
+        }
+        let js = jobs(&spec);
+        let ff = online_first_fit(&js, 2);
+        ff.validate(&js, 2).unwrap();
+        let bff = bucket_first_fit(&js, 2, 10, 4.0);
+        bff.validate(&js, 2).unwrap();
+        assert!(
+            bff.busy_time() < ff.busy_time(),
+            "bucket {} vs ff {}",
+            bff.busy_time(),
+            ff.busy_time()
+        );
+        // All long jobs share machines under BucketFF: 3 machines of 2.
+        let lb = busy_lower_bound(&js, 2);
+        assert!((bff.busy_time() as f64) / (lb as f64) < 2.0);
+    }
+
+    #[test]
+    fn longest_first_matches_flammini_shape() {
+        let js = jobs(&[(0, 100), (10, 90), (20, 80), (0, 5), (95, 99)]);
+        let s = longest_first(&js, 3);
+        s.validate(&js, 3).unwrap();
+        // The three long overlapping jobs share one machine (g=3);
+        // the two short ones fit in the remaining slot windows.
+        assert!(s.num_machines() <= 2);
+    }
+
+    #[test]
+    fn lower_bound_props() {
+        let js = jobs(&[(0, 10), (0, 10), (0, 10)]);
+        // N(t)=3 on [0,10), g=2 → ⌈3/2⌉·10 = 20.
+        assert_eq!(busy_lower_bound(&js, 2), 20);
+        assert_eq!(busy_lower_bound(&js, 3), 10);
+        assert_eq!(busy_lower_bound(&[], 2), 0);
+        // Busy time of any valid schedule ≥ LB.
+        let s = online_first_fit(&js, 2);
+        assert!(s.busy_time() >= busy_lower_bound(&js, 2));
+    }
+
+    #[test]
+    fn greedy_proper_on_proper_instance() {
+        // A sliding window of same-length jobs: proper by construction.
+        let js: Vec<Job> = (0..12)
+            .map(|i| Job::new(i as u32, i as i64 * 5, i as i64 * 5 + 40))
+            .collect();
+        assert!(is_proper(&js));
+        let s = greedy_proper(&js, 4);
+        s.validate(&js, 4).unwrap();
+        let lb = busy_lower_bound(&js, 4);
+        // (2 − 1/g) guarantee on proper instances.
+        assert!(
+            s.busy_time() as f64 <= (2.0 - 0.25) * lb as f64,
+            "busy {} vs bound {}",
+            s.busy_time(),
+            (2.0 - 0.25) * lb as f64
+        );
+    }
+
+    #[test]
+    fn is_proper_detects_containment() {
+        let proper = jobs(&[(0, 10), (5, 15)]);
+        assert!(is_proper(&proper));
+        let improper = jobs(&[(0, 20), (5, 15)]);
+        assert!(!is_proper(&improper));
+        // Identical intervals do not count as proper containment.
+        let identical = jobs(&[(0, 10), (0, 10)]);
+        assert!(is_proper(&identical));
+    }
+
+    #[test]
+    fn offline_reuses_machines_across_gaps() {
+        let js = jobs(&[(0, 10), (20, 30)]);
+        let s = longest_first(&js, 1);
+        s.validate(&js, 1).unwrap();
+        assert_eq!(s.num_machines(), 1);
+        assert_eq!(s.busy_time(), 20);
+    }
+
+    #[test]
+    fn g_one_is_plain_interval_assignment() {
+        let js = jobs(&[(0, 10), (5, 15), (12, 20)]);
+        let s = online_first_fit(&js, 1);
+        s.validate(&js, 1).unwrap();
+        assert_eq!(s.num_machines(), 3); // second overlaps first; third
+                                         // arrives while second machine busy
+                                         // → new machine (first closed at 10
+                                         // before 12? yes → reopened? no:
+                                         // online machines close; j3 at t=12
+                                         // sees machine2 busy (5..15) only.
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the interval-scheduling substrate.
+
+use dbp_interval::{
+    bucket_first_fit, busy_lower_bound, greedy_proper, is_proper, longest_first, online_first_fit,
+    Job,
+};
+use proptest::prelude::*;
+
+fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec((0i64..100, 1i64..50), 1..=max).prop_map(|spec| {
+        spec.into_iter()
+            .enumerate()
+            .map(|(i, (a, len))| Job::new(i as u32, a, a + len))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every scheduler produces a valid schedule whose busy time respects
+    /// the lower bound, for every capacity.
+    #[test]
+    fn schedulers_valid_and_above_lb(jobs in arb_jobs(25), g in 1usize..6) {
+        let lb = busy_lower_bound(&jobs, g);
+        for (name, sched) in [
+            ("ff", online_first_fit(&jobs, g)),
+            ("bucket", bucket_first_fit(&jobs, g, 3, 2.0)),
+            ("longest", longest_first(&jobs, g)),
+            ("greedy", greedy_proper(&jobs, g)),
+        ] {
+            sched.validate(&jobs, g).unwrap_or_else(|e| panic!("{name}: {e}"));
+            prop_assert!(sched.busy_time() >= lb, "{} beat the LB", name);
+        }
+    }
+
+    /// Offline longest-first respects the Flammini factor-4 guarantee
+    /// (against the LB, which lower-bounds OPT).
+    #[test]
+    fn longest_first_four_approx(jobs in arb_jobs(25), g in 1usize..6) {
+        let lb = busy_lower_bound(&jobs, g).max(1);
+        let s = longest_first(&jobs, g);
+        prop_assert!(s.busy_time() <= 4 * lb, "{} > 4x{}", s.busy_time(), lb);
+    }
+
+    /// With g = 1 every machine holds pairwise-disjoint jobs, and offline
+    /// longest-first busy time equals total job length.
+    #[test]
+    fn g_one_machines_are_disjoint(jobs in arb_jobs(15)) {
+        let s = longest_first(&jobs, 1);
+        s.validate(&jobs, 1).unwrap();
+        for m in s.machines() {
+            for (i, a) in m.iter().enumerate() {
+                for b in &m[i + 1..] {
+                    prop_assert!(!a.interval.intersects(&b.interval));
+                }
+            }
+        }
+        let total: u128 = jobs.iter().map(|j| j.len() as u128).sum();
+        prop_assert_eq!(s.busy_time(), total);
+    }
+
+    /// Capacity bounds for the offline heuristic. Note busy time is NOT
+    /// monotone in `g` for longest-first (proptest found a counterexample:
+    /// extra capacity changes placements and can stretch a machine's
+    /// span); only the optimum is monotone. What does hold: for every `g`,
+    /// busy time is sandwiched between the capacity-`g` lower bound and
+    /// the `g = 1` busy time, which equals the total job length exactly.
+    #[test]
+    fn busy_time_sandwiched(jobs in arb_jobs(20)) {
+        let total_len: u128 = jobs.iter().map(|j| j.len() as u128).sum();
+        let at_one = longest_first(&jobs, 1);
+        at_one.validate(&jobs, 1).unwrap();
+        prop_assert_eq!(at_one.busy_time(), total_len);
+        for g in 2..=6usize {
+            let s = longest_first(&jobs, g);
+            s.validate(&jobs, g).unwrap();
+            prop_assert!(s.busy_time() <= total_len);
+            prop_assert!(s.busy_time() >= busy_lower_bound(&jobs, g));
+        }
+    }
+
+    /// BucketFirstFit degenerates to plain FF when every job lands in one
+    /// bucket.
+    #[test]
+    fn bucket_with_one_bucket_is_ff(jobs in arb_jobs(20), g in 1usize..5) {
+        // All lengths < 50, so base 1 with alpha 64 puts everything in
+        // bucket [1, 64).
+        let a = bucket_first_fit(&jobs, g, 1, 64.0);
+        let b = online_first_fit(&jobs, g);
+        prop_assert_eq!(a.busy_time(), b.busy_time());
+        prop_assert_eq!(a.num_machines(), b.num_machines());
+    }
+
+    /// `is_proper` matches its definition.
+    #[test]
+    fn is_proper_reference(jobs in arb_jobs(10)) {
+        let mut expect = true;
+        for a in &jobs {
+            for b in &jobs {
+                if a.id != b.id
+                    && a.interval != b.interval
+                    && a.interval.contains_interval(&b.interval)
+                {
+                    expect = false;
+                }
+            }
+        }
+        prop_assert_eq!(is_proper(&jobs), expect);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the multi-resource extension.
+
+use dbp_core::Size;
+use dbp_multidim::{
+    multi_lower_bound, pack_online, validate, Classification, MultiInstance, MultiItem, MultiRun,
+};
+use proptest::prelude::*;
+
+fn arb_multi(dims: usize, max_items: usize) -> impl Strategy<Value = MultiInstance> {
+    let demand = (1u64..=64).prop_map(|s| Size::from_ratio(s, 64).unwrap());
+    let item = (
+        proptest::collection::vec(demand, dims..=dims),
+        0i64..80,
+        1i64..40,
+    );
+    proptest::collection::vec(item, 1..=max_items).prop_map(|specs| {
+        MultiInstance::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dem, a, len))| MultiItem::new(i as u32, dem, a, a + len))
+                .collect(),
+        )
+    })
+}
+
+fn check(inst: &MultiInstance, run: &MultiRun) {
+    validate(inst, run).expect("valid");
+    assert!(run.usage >= multi_lower_bound(inst));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Validity + lower bound for all classifications, 1–3 dimensions.
+    #[test]
+    fn pack_online_valid(
+        (inst, rho) in (1usize..=3).prop_flat_map(|d| (arb_multi(d, 20), 1i64..30))
+    ) {
+        for c in [
+            Classification::None,
+            Classification::ByDepartureTime { rho },
+            Classification::ByDuration { base: 1, alpha: 2.0 },
+        ] {
+            let run = pack_online(&inst, c);
+            check(&inst, &run);
+        }
+    }
+
+    /// Adding a dimension of slack-1 demands can only *increase* usage
+    /// relative to ignoring it never decreases feasibility... concretely:
+    /// a 2-D instance whose second dimension duplicates the first packs
+    /// exactly like the 1-D projection.
+    #[test]
+    fn duplicated_dimension_is_inert(inst1 in arb_multi(1, 16)) {
+        let doubled = MultiInstance::new(
+            inst1
+                .items()
+                .iter()
+                .map(|r| {
+                    MultiItem::new(
+                        r.id,
+                        vec![r.demands[0], r.demands[0]],
+                        r.interval.start(),
+                        r.interval.end(),
+                    )
+                })
+                .collect(),
+        );
+        let a = pack_online(&inst1, Classification::None);
+        let b = pack_online(&doubled, Classification::None);
+        prop_assert_eq!(a.usage, b.usage);
+        prop_assert_eq!(a.bins, b.bins);
+        prop_assert_eq!(multi_lower_bound(&inst1), multi_lower_bound(&doubled));
+    }
+
+    /// The multi lower bound is the max of the per-dimension 1-D bounds:
+    /// dropping a dimension never raises it.
+    #[test]
+    fn lower_bound_monotone_in_dims(inst in arb_multi(3, 16)) {
+        let lb3 = multi_lower_bound(&inst);
+        for keep in 0..3usize {
+            let proj = MultiInstance::new(
+                inst.items()
+                    .iter()
+                    .map(|r| {
+                        MultiItem::new(
+                            r.id,
+                            vec![r.demands[keep]],
+                            r.interval.start(),
+                            r.interval.end(),
+                        )
+                    })
+                    .collect(),
+            );
+            prop_assert!(multi_lower_bound(&proj) <= lb3);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Cost and capacity time series for operator dashboards.
+//!
+//! [`crate::SimReport`] gives end-of-run aggregates; this module derives
+//! *time series* from a finished run: cumulative renting cost, open
+//! server count, committed capacity vs served demand (instantaneous
+//! utilization), and a side-by-side comparison builder for several
+//! schedulers on one trace. All series are exact step functions derived
+//! from the engine's bin records — no sampling error.
+
+use crate::Billing;
+use dbp_core::events::load_segments;
+use dbp_core::stats::StepSeries;
+use dbp_core::{Instance, OnlineRun, Size, Time};
+
+/// Exact time series derived from one run.
+#[derive(Clone, Debug)]
+pub struct RunTimeline {
+    /// Open servers over time (integral = usage).
+    pub fleet: StepSeries,
+    /// Served demand over time, in milli-capacity units (total active item
+    /// size × 1000, rounded down) — comparable against `capacity`.
+    pub demand_milli: StepSeries,
+    /// Committed capacity over time in milli-capacity units
+    /// (`1000 × open servers`).
+    pub capacity_milli: StepSeries,
+}
+
+impl RunTimeline {
+    /// Builds the timeline from a run and its instance.
+    pub fn new(inst: &Instance, run: &OnlineRun) -> RunTimeline {
+        let fleet = run.fleet_series();
+        let capacity_milli = StepSeries {
+            points: fleet.points.iter().map(|&(t, v)| (t, v * 1000)).collect(),
+        };
+        let demand_points: Vec<(Time, i64)> = load_segments(inst.items())
+            .iter()
+            .map(|s| {
+                (
+                    s.interval.start(),
+                    (s.total_size.raw() as i128 * 1000 / Size::SCALE as i128) as i64,
+                )
+            })
+            .collect();
+        // Close the final segment back to zero.
+        let mut demand_points = demand_points;
+        if let Some(last) = inst.last_departure() {
+            demand_points.push((last, 0));
+        }
+        RunTimeline {
+            fleet,
+            demand_milli: StepSeries {
+                points: dedup_steps(demand_points),
+            },
+            capacity_milli,
+        }
+    }
+
+    /// Instantaneous utilization at `t` in `[0, 1]` (1.0 when no servers
+    /// are open).
+    pub fn utilization_at(&self, t: Time) -> f64 {
+        let cap = self.capacity_milli.value_at(t);
+        if cap == 0 {
+            1.0
+        } else {
+            self.demand_milli.value_at(t) as f64 / cap as f64
+        }
+    }
+
+    /// The lowest instantaneous utilization over the run's breakpoints —
+    /// the worst over-provisioning moment an autoscaler would flag.
+    pub fn worst_utilization(&self) -> f64 {
+        self.capacity_milli
+            .points
+            .iter()
+            .map(|&(t, _)| self.utilization_at(t))
+            .fold(1.0, f64::min)
+    }
+}
+
+fn dedup_steps(mut points: Vec<(Time, i64)>) -> Vec<(Time, i64)> {
+    points.sort_by_key(|p| p.0);
+    let mut out: Vec<(Time, i64)> = Vec::with_capacity(points.len());
+    for (t, v) in points {
+        match out.last_mut() {
+            Some(last) if last.0 == t => last.1 = v,
+            Some(last) if last.1 == v => {}
+            _ => out.push((t, v)),
+        }
+    }
+    out
+}
+
+/// Cumulative renting cost over time under a billing model.
+///
+/// Per-tick billing accrues linearly while servers are open; per-hour
+/// billing jumps by one hour's price at each server's hour boundaries
+/// (billed at the *start* of each begun hour, the common cloud
+/// convention).
+pub fn cost_series(run: &OnlineRun, billing: Billing) -> StepSeries {
+    let mut deltas: Vec<(Time, i64)> = Vec::new();
+    match billing {
+        Billing::PerTick { price } => {
+            // Represent cumulative cost at server-count granularity: cost
+            // rate equals price × open servers. We emit the *rate* series;
+            // cumulative cost is its integral. To keep StepSeries (which
+            // holds values, not integrals), emit milli-price rate.
+            for b in &run.bins {
+                let rate = (price * 1000.0).round() as i64;
+                deltas.push((b.opened_at, rate));
+                deltas.push((b.closed_at, -rate));
+            }
+            StepSeries::from_deltas(deltas)
+        }
+        Billing::PerHour {
+            ticks_per_hour,
+            price,
+        } => {
+            // Cumulative cost as a step function: jumps at hour starts.
+            let p = (price * 1000.0).round() as i64;
+            let mut jumps: Vec<(Time, i64)> = Vec::new();
+            for b in &run.bins {
+                let hours = (b.usage()).div_ceil(ticks_per_hour as u128) as i64;
+                for h in 0..hours {
+                    jumps.push((b.opened_at + h * ticks_per_hour, p));
+                }
+            }
+            StepSeries::from_deltas(jumps)
+        }
+        Billing::Reserved {
+            reserved,
+            reserved_price,
+            on_demand_price,
+        } => {
+            // Rate series (milli-price per tick): constant reserved burn
+            // over the horizon plus on-demand overflow above the reserved
+            // fleet size.
+            let fleet = run.fleet_series();
+            let start = run.bins.iter().map(|b| b.opened_at).min().unwrap_or(0);
+            let end = run.bins.iter().map(|b| b.closed_at).max().unwrap_or(0);
+            let base = (reserved as f64 * reserved_price * 1000.0).round() as i64;
+            deltas.push((start, base));
+            deltas.push((end, -base));
+            for w in fleet.points.windows(2) {
+                let above = (w[0].1 - reserved as i64).max(0);
+                let rate = (above as f64 * on_demand_price * 1000.0).round() as i64;
+                if rate != 0 {
+                    deltas.push((w[0].0, rate));
+                    deltas.push((w[1].0, -rate));
+                }
+            }
+            StepSeries::from_deltas(deltas)
+        }
+    }
+}
+
+/// Side-by-side comparison rows for several schedulers on one trace.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Total usage (ticks).
+    pub usage: u128,
+    /// Peak fleet.
+    pub peak: i64,
+    /// Worst instantaneous utilization.
+    pub worst_utilization: f64,
+}
+
+/// Builds comparison rows from named runs.
+pub fn compare_runs(inst: &Instance, runs: &[(String, OnlineRun)]) -> Vec<ComparisonRow> {
+    runs.iter()
+        .map(|(name, run)| {
+            let tl = RunTimeline::new(inst, run);
+            ComparisonRow {
+                scheduler: name.clone(),
+                usage: run.usage,
+                peak: tl.fleet.max(),
+                worst_utilization: tl.worst_utilization(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_billing;
+    use dbp_algos::online::AnyFit;
+    use dbp_core::online::ClairvoyanceMode;
+    use dbp_core::{Instance, OnlineEngine};
+
+    fn run(inst: &Instance) -> OnlineRun {
+        OnlineEngine::new(ClairvoyanceMode::NonClairvoyant)
+            .run(inst, &mut AnyFit::first_fit())
+            .unwrap()
+    }
+
+    #[test]
+    fn timeline_consistency() {
+        let inst = Instance::from_triples(&[(0.5, 0, 100), (0.5, 10, 50), (0.9, 20, 80)]);
+        let r = run(&inst);
+        let tl = RunTimeline::new(&inst, &r);
+        // Fleet integral equals usage.
+        assert_eq!(tl.fleet.integral() as u128, r.usage);
+        // At any breakpoint, demand ≤ capacity (valid packing).
+        for &(t, _) in &tl.capacity_milli.points {
+            assert!(
+                tl.demand_milli.value_at(t) <= tl.capacity_milli.value_at(t),
+                "demand exceeds capacity at t={t}"
+            );
+        }
+        let wu = tl.worst_utilization();
+        assert!((0.0..=1.0).contains(&wu));
+    }
+
+    #[test]
+    fn per_tick_cost_rate_integrates_to_cost() {
+        let inst = Instance::from_triples(&[(0.5, 0, 100), (0.5, 10, 50)]);
+        let r = run(&inst);
+        let rate = cost_series(&r, unit_billing());
+        // Integral of milli-rate / 1000 == usage × price(=1).
+        assert_eq!(rate.integral() / 1000, r.usage as i128);
+    }
+
+    #[test]
+    fn hourly_cost_jumps_sum_to_total() {
+        let inst = Instance::from_triples(&[(0.5, 0, 150), (0.5, 200, 260)]);
+        let r = run(&inst);
+        let billing = Billing::PerHour {
+            ticks_per_hour: 100,
+            price: 2.0,
+        };
+        let series = cost_series(&r, billing);
+        // Final cumulative value equals Billing::cost × 1000.
+        let final_value = series.points.last().map(|p| p.1).unwrap_or(0);
+        assert_eq!(final_value as f64 / 1000.0, billing.cost(&r));
+    }
+
+    #[test]
+    fn reserved_rate_integrates_to_cost() {
+        let inst = Instance::from_triples(&[
+            (0.9, 0, 100),
+            (0.9, 20, 60), // overflow above reserved=1 during [20,60)
+        ]);
+        let r = run(&inst);
+        let billing = Billing::Reserved {
+            reserved: 1,
+            reserved_price: 0.5,
+            on_demand_price: 2.0,
+        };
+        let series = cost_series(&r, billing);
+        assert_eq!(
+            (series.integral() as f64) / 1000.0,
+            billing.cost(&r),
+            "rate integral must equal total cost"
+        );
+    }
+
+    #[test]
+    fn comparison_rows() {
+        let inst = Instance::from_triples(&[(0.5, 0, 100), (0.5, 10, 50)]);
+        let runs = vec![("ff".to_string(), run(&inst))];
+        let rows = compare_runs(&inst, &runs);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].usage, runs[0].1.usage);
+        assert!(rows[0].peak >= 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for billing models and simulator metrics.
+
+use dbp_algos::online::AnyFit;
+use dbp_core::online::ClairvoyanceMode;
+use dbp_core::{Instance, Item, OnlineEngine, OnlineRun, Size};
+use dbp_sim::{optimal_reservation, simulate, unit_billing, Billing};
+use proptest::prelude::*;
+
+fn arb_instance(max_items: usize) -> impl Strategy<Value = Instance> {
+    let item = (1u64..=64, 0i64..150, 1i64..80).prop_map(|(s, a, d)| (s, a, a + d));
+    proptest::collection::vec(item, 1..=max_items).prop_map(|triples| {
+        let items = triples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, a, dep))| Item::new(i as u32, Size::from_ratio(s, 64).unwrap(), a, dep))
+            .collect();
+        Instance::from_items(items).unwrap()
+    })
+}
+
+fn ff_run(inst: &Instance) -> OnlineRun {
+    OnlineEngine::new(ClairvoyanceMode::NonClairvoyant)
+        .run(inst, &mut AnyFit::first_fit())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-tick cost at unit price equals usage; price scales linearly.
+    #[test]
+    fn per_tick_linear(inst in arb_instance(20), price in 0.1f64..10.0) {
+        let run = ff_run(&inst);
+        let unit = unit_billing().cost(&run);
+        prop_assert_eq!(unit, run.usage as f64);
+        let scaled = Billing::PerTick { price }.cost(&run);
+        prop_assert!((scaled - unit * price).abs() < 1e-6 * unit.max(1.0));
+    }
+
+    /// Hourly round-up never undercuts the per-tick equivalent rate, and
+    /// never exceeds it by more than one hour per server.
+    #[test]
+    fn per_hour_bounds(inst in arb_instance(20), hour in 1i64..500) {
+        let run = ff_run(&inst);
+        let hourly = Billing::PerHour { ticks_per_hour: hour, price: hour as f64 }.cost(&run);
+        let linear = run.usage as f64; // per-tick at price 1 == price hour/hour
+        prop_assert!(hourly >= linear - 1e-6);
+        let slack = (run.bins_opened() as f64) * hour as f64;
+        prop_assert!(hourly <= linear + slack + 1e-6);
+    }
+
+    /// Reserved with zero reserved servers degenerates to pure on-demand
+    /// per-tick billing.
+    #[test]
+    fn reserved_zero_is_on_demand(inst in arb_instance(20), price in 0.1f64..5.0) {
+        let run = ff_run(&inst);
+        let reserved = Billing::Reserved {
+            reserved: 0,
+            reserved_price: 123.0, // irrelevant
+            on_demand_price: price,
+        }
+        .cost(&run);
+        let od = Billing::PerTick { price }.cost(&run);
+        prop_assert!((reserved - od).abs() < 1e-6 * od.max(1.0));
+    }
+
+    /// The reservation advisor's answer is never worse than either
+    /// endpoint (0 reserved, peak reserved).
+    #[test]
+    fn optimal_reservation_dominates_endpoints(
+        inst in arb_instance(20),
+        rp in 0.1f64..1.0,
+    ) {
+        let run = ff_run(&inst);
+        let (best_r, best_cost) = optimal_reservation(&run, rp, 1.0);
+        let peak = run.fleet_series().max().max(0) as u32;
+        prop_assert!(best_r <= peak);
+        for r in [0, peak] {
+            let c = Billing::Reserved {
+                reserved: r,
+                reserved_price: rp,
+                on_demand_price: 1.0,
+            }
+            .cost(&run);
+            prop_assert!(best_cost <= c + 1e-9);
+        }
+    }
+
+    /// SimReport invariants across billing models: usage, server counts,
+    /// and utilization do not depend on how money is counted.
+    #[test]
+    fn report_invariant_under_billing(inst in arb_instance(20)) {
+        let billings = [
+            unit_billing(),
+            Billing::PerHour { ticks_per_hour: 50, price: 2.0 },
+            Billing::Reserved { reserved: 2, reserved_price: 0.3, on_demand_price: 1.0 },
+        ];
+        let mut base: Option<(u128, usize, usize)> = None;
+        for b in billings {
+            let mut ff = AnyFit::first_fit();
+            let rep = simulate(&inst, &mut ff, ClairvoyanceMode::NonClairvoyant, b).unwrap();
+            prop_assert!(rep.utilization > 0.0 && rep.utilization <= 1.0 + 1e-9);
+            let key = (rep.usage, rep.servers_acquired, rep.peak_servers);
+            match &base {
+                None => base = Some(key),
+                Some(k) => prop_assert_eq!(*k, key),
+            }
+        }
+    }
+}

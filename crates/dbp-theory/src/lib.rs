@@ -1,0 +1,92 @@
+//! # dbp-theory — the paper's bounds in closed form
+//!
+//! Every theorem of *Ren & Tang, SPAA 2016* as an executable formula, plus
+//! the parameter optimizations used in §5.4's numerical comparison
+//! (Figure 8) and the bounds of the prior work the paper compares against.
+//!
+//! All functions take the max/min duration ratio `μ ≥ 1` (and algorithm
+//! parameters where applicable) and return the corresponding bound on the
+//! competitive/approximation ratio.
+
+#![warn(missing_docs)]
+
+pub mod ratios;
+
+pub use ratios::*;
+
+/// One row of the Figure 8 comparison: the best achievable competitive
+/// ratios at a given `μ` when `Δ` and `μ` are known.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Figure8Row {
+    /// Max/min item duration ratio.
+    pub mu: f64,
+    /// Plain First Fit in the non-clairvoyant setting: `μ + 4`.
+    pub first_fit: f64,
+    /// Classify-by-departure-time at `ρ = √μ·Δ`: `2√μ + 3`.
+    pub cbdt: f64,
+    /// Classify-by-duration at the optimal `n`: `min_n μ^{1/n} + n + 3`.
+    pub cbd: f64,
+    /// The optimal `n` attaining `cbd`.
+    pub cbd_n: u32,
+}
+
+/// Generates the Figure 8 data: best achievable competitive ratios for
+/// `μ` sweeping over the given values.
+pub fn figure8(mus: &[f64]) -> Vec<Figure8Row> {
+    mus.iter()
+        .map(|&mu| {
+            let (cbd, cbd_n) = cbd_best_known(mu);
+            Figure8Row {
+                mu,
+                first_fit: ff_non_clairvoyant(mu),
+                cbdt: cbdt_best_known(mu),
+                cbd,
+                cbd_n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_crossover_at_mu_4() {
+        // §5.4: CBDT wins for μ < 4, CBD wins for μ > 4, tie at μ = 4.
+        let rows = figure8(&[2.0, 3.0, 3.9, 4.0, 4.1, 8.0, 100.0]);
+        for r in &rows {
+            if r.mu < 4.0 {
+                assert!(r.cbdt < r.cbd, "CBDT should win at μ={}", r.mu);
+            } else if r.mu > 4.0 {
+                assert!(r.cbd < r.cbdt, "CBD should win at μ={}", r.mu);
+            } else {
+                assert!((r.cbd - r.cbdt).abs() < 1e-9, "tie at μ=4");
+            }
+            if r.mu >= 4.0 {
+                assert!(r.cbdt <= r.first_fit);
+                assert!(r.cbd <= r.first_fit);
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_values_spot_checked() {
+        let rows = figure8(&[1.0, 4.0, 16.0, 100.0]);
+        // μ=1: FF=5, CBDT=2·1+3=5, CBD(n=1)=1+1+3=5.
+        assert!((rows[0].first_fit - 5.0).abs() < 1e-12);
+        assert!((rows[0].cbdt - 5.0).abs() < 1e-12);
+        assert!((rows[0].cbd - 5.0).abs() < 1e-12);
+        // μ=4: CBDT=2·2+3=7; CBD: n=1→8, n=2→7, n=3→~7.59 → 7.
+        assert!((rows[1].cbdt - 7.0).abs() < 1e-12);
+        assert!((rows[1].cbd - 7.0).abs() < 1e-12);
+        // μ=16: CBDT=11; CBD: n=2→9, n=3→~8.52, n=4→9 → n=3.
+        assert!((rows[2].cbdt - 11.0).abs() < 1e-12);
+        assert_eq!(rows[2].cbd_n, 3);
+        assert!(rows[2].cbd < 9.0);
+        // μ=100: FF=104, CBDT=23, CBD well below both.
+        assert!((rows[3].first_fit - 104.0).abs() < 1e-12);
+        assert!((rows[3].cbdt - 23.0).abs() < 1e-12);
+        assert!(rows[3].cbd < rows[3].cbdt);
+    }
+}

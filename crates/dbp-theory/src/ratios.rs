@@ -1,0 +1,340 @@
+//! Closed-form competitive/approximation ratio bounds.
+//!
+//! Sources, by theorem:
+//!
+//! | Function | Result | Source |
+//! |---|---|---|
+//! | [`ddff_approx`] | 5 | Theorem 1 |
+//! | [`dual_coloring_approx`] | 4 | Theorem 2 |
+//! | [`online_lower_bound`] | `(1+√5)/2` | Theorem 3 |
+//! | [`cbdt_bound`] / [`cbdt_best_known`] | `ρ/Δ + μΔ/ρ + 3` / `2√μ+3` | Theorem 4 |
+//! | [`cbd_bound`] / [`cbd_best_known`] | `α + ⌈log_α μ⌉ + 4` / `min_n μ^{1/n}+n+3` | Theorem 5 |
+//! | [`ff_non_clairvoyant`] | `μ + 4` | Tang et al. (IPDPS'16), quoted in §5.3 |
+//! | [`any_fit_lower_bound`] | `μ + 1` | Li et al., quoted in §1 |
+//! | [`next_fit_bound`] | `2μ + 1` | Kamali & López-Ortiz, quoted in §1 |
+//! | [`hybrid_ff_bound_unknown_mu`] | `8μ/7 + 55/7` | Li et al., quoted in §1 |
+//! | [`hybrid_ff_bound_known_mu`] | `μ + 5` | Li et al., quoted in §1 |
+//! | [`bucket_ff_bound`] | `(2α+2)·⌈log_α μ⌉` | Shalom et al., quoted in §5.3 |
+//! | [`non_clairvoyant_lower_bound`] | `μ` | Li et al./Kamali et al., quoted in §5 |
+
+/// Theorem 1: Duration Descending First Fit is a 5-approximation.
+pub const fn ddff_approx() -> f64 {
+    5.0
+}
+
+/// Theorem 2: Dual Coloring is a 4-approximation.
+pub const fn dual_coloring_approx() -> f64 {
+    4.0
+}
+
+/// Theorem 3: no deterministic online packer beats the golden ratio
+/// `(1+√5)/2 ≈ 1.618` for Clairvoyant MinUsageTime DBP.
+pub fn online_lower_bound() -> f64 {
+    (1.0 + 5.0_f64.sqrt()) / 2.0
+}
+
+/// The lower bound `μ` on any online algorithm in the *non-clairvoyant*
+/// setting (Li et al. / Kamali et al.), for contrast with Theorem 3.
+pub fn non_clairvoyant_lower_bound(mu: f64) -> f64 {
+    mu
+}
+
+/// Theorem 4 (general form): classify-by-departure-time First Fit with
+/// interval length `ρ` has competitive ratio at most `ρ/Δ + μΔ/ρ + 3`.
+pub fn cbdt_bound(rho: f64, delta: f64, mu: f64) -> f64 {
+    assert!(rho > 0.0 && delta > 0.0 && mu >= 1.0);
+    rho / delta + mu * delta / rho + 3.0
+}
+
+/// Theorem 4 (optimized): with `Δ`, `μ` known, `ρ = √μ·Δ` yields `2√μ + 3`.
+pub fn cbdt_best_known(mu: f64) -> f64 {
+    assert!(mu >= 1.0);
+    2.0 * mu.sqrt() + 3.0
+}
+
+/// Theorem 5 (general form): classify-by-duration First Fit with category
+/// ratio `α` has competitive ratio at most `α + ⌈log_α μ⌉ + 4`.
+pub fn cbd_bound(alpha: f64, mu: f64) -> f64 {
+    assert!(alpha > 1.0 && mu >= 1.0);
+    alpha + ceil_log(alpha, mu) + 4.0
+}
+
+/// Theorem 5 (optimized): with durations known, `min_{n≥1} μ^{1/n} + n + 3`;
+/// returns `(bound, argmin n)`.
+pub fn cbd_best_known(mu: f64) -> (f64, u32) {
+    assert!(mu >= 1.0);
+    let f = |n: u32| mu.powf(1.0 / n as f64) + n as f64 + 3.0;
+    let mut best_n = 1u32;
+    let mut best = f(1);
+    for n in 2..=128 {
+        let v = f(n);
+        if v < best {
+            best = v;
+            best_n = n;
+        } else if v > best + 2.0 {
+            break;
+        }
+    }
+    (best, best_n)
+}
+
+/// The best `α` for [`cbd_bound`] when `μ` is known but the item stream is
+/// classified by the unknown-durations rule; found by scanning candidate
+/// `α` (the bound is piecewise in `⌈log_α μ⌉`). Returns `(bound, α)`.
+pub fn cbd_best_alpha(mu: f64) -> (f64, f64) {
+    assert!(mu >= 1.0);
+    // For each integer k = ⌈log_α μ⌉, the best α is μ^{1/k} (the smallest α
+    // giving that k), yielding bound μ^{1/k} + k + 4.
+    let mut best = (cbd_bound(2.0, mu), 2.0);
+    for k in 1..=128u32 {
+        let alpha = mu.powf(1.0 / k as f64).max(1.0 + 1e-12);
+        if alpha <= 1.0 {
+            break;
+        }
+        let b = alpha + k as f64 + 4.0;
+        if b < best.0 {
+            best = (b, alpha);
+        }
+    }
+    best
+}
+
+/// Tang et al. (IPDPS 2016): First Fit is `(μ+4)`-competitive in the
+/// non-clairvoyant setting — the baseline curve of Figure 8.
+pub fn ff_non_clairvoyant(mu: f64) -> f64 {
+    assert!(mu >= 1.0);
+    mu + 4.0
+}
+
+/// Li et al.: no Any Fit algorithm is better than `(μ+1)`-competitive in
+/// the non-clairvoyant setting.
+pub fn any_fit_lower_bound(mu: f64) -> f64 {
+    mu + 1.0
+}
+
+/// Kamali & López-Ortiz: Next Fit is `(2μ+1)`-competitive.
+pub fn next_fit_bound(mu: f64) -> f64 {
+    2.0 * mu + 1.0
+}
+
+/// Li et al.: Hybrid First Fit without knowledge of `μ`: `8μ/7 + 55/7`.
+pub fn hybrid_ff_bound_unknown_mu(mu: f64) -> f64 {
+    8.0 * mu / 7.0 + 55.0 / 7.0
+}
+
+/// Li et al.: Hybrid First Fit with `μ` known: `μ + 5`.
+pub fn hybrid_ff_bound_known_mu(mu: f64) -> f64 {
+    mu + 5.0
+}
+
+/// Shalom et al.: BucketFirstFit for online interval scheduling with
+/// bounded parallelism: `(2α+2)·⌈log_α μ⌉`. The paper's §5.3 remark shows
+/// Theorem 5 improves this to `α + ⌈log_α μ⌉ + 4` (and generalizes it to
+/// arbitrary sizes).
+pub fn bucket_ff_bound(alpha: f64, mu: f64) -> f64 {
+    assert!(alpha > 1.0 && mu >= 1.0);
+    (2.0 * alpha + 2.0) * ceil_log(alpha, mu).max(1.0)
+}
+
+/// `⌈log_α μ⌉` computed robustly near integer boundaries.
+fn ceil_log(alpha: f64, mu: f64) -> f64 {
+    if mu <= 1.0 {
+        return 0.0;
+    }
+    let raw = mu.ln() / alpha.ln();
+    let mut k = raw.ceil();
+    // Guard the k−1 boundary against FP noise: α^(k−1) ≥ μ means k too big.
+    if k >= 1.0 && alpha.powf(k - 1.0) >= mu * (1.0 - 1e-12) {
+        k -= 1.0;
+    }
+    k.max(0.0)
+}
+
+/// The optimal `ρ` of Theorem 4 given `Δ` and `μ`: `√μ·Δ`.
+pub fn cbdt_optimal_rho(delta: f64, mu: f64) -> f64 {
+    mu.sqrt() * delta
+}
+
+/// One row of the known-results landscape at a given `μ`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundRow {
+    /// Algorithm / result name.
+    pub name: &'static str,
+    /// Source (paper section or citation).
+    pub source: &'static str,
+    /// Whether the value is an upper bound on an algorithm's ratio
+    /// (`true`) or a lower bound on every algorithm (`false`).
+    pub is_upper: bool,
+    /// The numeric bound at the requested `μ`.
+    pub value: f64,
+}
+
+/// The full landscape of competitive/approximation bounds the paper
+/// states or quotes, evaluated at `μ` — the related-work table as data.
+pub fn known_bounds(mu: f64) -> Vec<BoundRow> {
+    assert!(mu >= 1.0);
+    let (cbd, _) = cbd_best_known(mu);
+    vec![
+        BoundRow {
+            name: "any online algorithm (clairvoyant)",
+            source: "Theorem 3",
+            is_upper: false,
+            value: online_lower_bound(),
+        },
+        BoundRow {
+            name: "any online algorithm (non-clairvoyant)",
+            source: "Li et al. / Kamali et al.",
+            is_upper: false,
+            value: non_clairvoyant_lower_bound(mu),
+        },
+        BoundRow {
+            name: "any Any Fit algorithm (non-clairvoyant)",
+            source: "Li et al.",
+            is_upper: false,
+            value: any_fit_lower_bound(mu),
+        },
+        BoundRow {
+            name: "First Fit (non-clairvoyant)",
+            source: "Tang et al.",
+            is_upper: true,
+            value: ff_non_clairvoyant(mu),
+        },
+        BoundRow {
+            name: "Next Fit (non-clairvoyant)",
+            source: "Kamali & Lopez-Ortiz",
+            is_upper: true,
+            value: next_fit_bound(mu),
+        },
+        BoundRow {
+            name: "Hybrid First Fit, mu unknown",
+            source: "Li et al.",
+            is_upper: true,
+            value: hybrid_ff_bound_unknown_mu(mu),
+        },
+        BoundRow {
+            name: "Hybrid First Fit, mu known",
+            source: "Li et al.",
+            is_upper: true,
+            value: hybrid_ff_bound_known_mu(mu),
+        },
+        BoundRow {
+            name: "classify-by-departure-time FF (clairvoyant)",
+            source: "Theorem 4",
+            is_upper: true,
+            value: cbdt_best_known(mu),
+        },
+        BoundRow {
+            name: "classify-by-duration FF (clairvoyant)",
+            source: "Theorem 5",
+            is_upper: true,
+            value: cbd,
+        },
+        BoundRow {
+            name: "Duration Descending First Fit (offline)",
+            source: "Theorem 1",
+            is_upper: true,
+            value: ddff_approx(),
+        },
+        BoundRow {
+            name: "Dual Coloring (offline)",
+            source: "Theorem 2",
+            is_upper: true,
+            value: dual_coloring_approx(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbdt_bound_minimized_at_sqrt_mu_delta() {
+        let (delta, mu) = (10.0, 25.0);
+        let opt_rho = cbdt_optimal_rho(delta, mu);
+        let at_opt = cbdt_bound(opt_rho, delta, mu);
+        assert!((at_opt - cbdt_best_known(mu)).abs() < 1e-12);
+        for rho in [10.0, 20.0, 40.0, 80.0, 200.0] {
+            assert!(cbdt_bound(rho, delta, mu) >= at_opt - 1e-12);
+        }
+    }
+
+    #[test]
+    fn cbd_known_beats_or_matches_unknown() {
+        for mu in [1.0, 2.0, 7.0, 31.0, 1000.0] {
+            let (known, _) = cbd_best_known(mu);
+            let (unknown, _) = cbd_best_alpha(mu);
+            // Known-μ drops the "+1 category" slack: bound is 1 lower at
+            // matched α (n + 3 vs ⌈log⌉ + 4).
+            assert!(known <= unknown + 1e-9, "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn improvement_over_bucket_ff() {
+        // §5.3 remark: α + ⌈log_α μ⌉ + 4 ≪ (2α+2)⌈log_α μ⌉ asymptotically.
+        for (alpha, mu) in [(2.0, 100.0), (1.5, 1e4), (3.0, 1e6)] {
+            assert!(cbd_bound(alpha, mu) < bucket_ff_bound(alpha, mu));
+        }
+    }
+
+    #[test]
+    fn ceil_log_boundaries() {
+        assert_eq!(ceil_log(2.0, 1.0), 0.0);
+        assert_eq!(ceil_log(2.0, 2.0), 1.0);
+        assert_eq!(ceil_log(2.0, 3.0), 2.0);
+        assert_eq!(ceil_log(2.0, 4.0), 2.0);
+        assert_eq!(ceil_log(2.0, 4.0001), 3.0);
+        assert_eq!(ceil_log(10.0, 1000.0), 3.0);
+    }
+
+    #[test]
+    fn golden_ratio_value() {
+        assert!((online_lower_bound() - 1.618_033_988_749_895).abs() < 1e-12);
+        // φ is well below the non-clairvoyant lower bound μ for μ > φ:
+        // clairvoyance provably helps.
+        assert!(online_lower_bound() < non_clairvoyant_lower_bound(2.0));
+    }
+
+    #[test]
+    fn prior_work_ordering() {
+        // At large μ: FF (μ+4) < HFF-unknown (8μ/7+55/7) < NF (2μ+1).
+        let mu = 100.0;
+        assert!(ff_non_clairvoyant(mu) < hybrid_ff_bound_unknown_mu(mu));
+        assert!(hybrid_ff_bound_unknown_mu(mu) < next_fit_bound(mu));
+        // Known-μ HFF sits between FF's μ+4 and the Any Fit floor μ+1.
+        assert!(any_fit_lower_bound(mu) < ff_non_clairvoyant(mu));
+        assert!(ff_non_clairvoyant(mu) < hybrid_ff_bound_known_mu(mu));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(ddff_approx(), 5.0);
+        assert_eq!(dual_coloring_approx(), 4.0);
+    }
+
+    #[test]
+    fn known_bounds_consistency() {
+        for mu in [1.0, 4.0, 64.0, 1e4] {
+            let rows = known_bounds(mu);
+            assert_eq!(rows.len(), 11);
+            // Every upper bound of an online algorithm dominates the
+            // universal clairvoyant lower bound.
+            let phi = online_lower_bound();
+            for r in rows.iter().filter(|r| r.is_upper) {
+                assert!(r.value >= phi, "{} at mu={mu}", r.name);
+            }
+            // The clairvoyant strategies are the best online uppers once
+            // mu is large.
+            if mu >= 16.0 {
+                let best_online_upper = rows
+                    .iter()
+                    .filter(|r| r.is_upper && r.name.contains("FF"))
+                    .map(|r| r.value)
+                    .fold(f64::INFINITY, f64::min);
+                let cbd = rows.iter().find(|r| r.source == "Theorem 5").unwrap();
+                assert_eq!(best_online_upper, cbd.value);
+            }
+        }
+    }
+}

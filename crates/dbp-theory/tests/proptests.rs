@@ -1,0 +1,65 @@
+//! Property tests for the closed-form bounds: monotonicity in μ, ordering
+//! between strategies, and argmin correctness across the parameter space.
+
+use dbp_theory::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// All the μ-dependent upper bounds are non-decreasing in μ.
+    #[test]
+    fn bounds_monotone_in_mu(a in 1.0f64..1e5, delta in 0.01f64..1e4) {
+        let b = a * 1.01;
+        prop_assert!(ff_non_clairvoyant(a) <= ff_non_clairvoyant(b));
+        prop_assert!(next_fit_bound(a) <= next_fit_bound(b));
+        prop_assert!(hybrid_ff_bound_unknown_mu(a) <= hybrid_ff_bound_unknown_mu(b));
+        prop_assert!(cbdt_best_known(a) <= cbdt_best_known(b));
+        prop_assert!(cbd_best_known(a).0 <= cbd_best_known(b).0 + 1e-9);
+        // The general CBDT form is monotone in μ for fixed ρ, Δ.
+        let rho = delta * 3.0;
+        prop_assert!(cbdt_bound(rho, delta, a) <= cbdt_bound(rho, delta, b));
+    }
+
+    /// cbdt_optimal_rho really is the argmin of the general bound
+    /// (sampled neighbourhood check).
+    #[test]
+    fn cbdt_rho_argmin(mu in 1.0f64..1e4, delta in 0.1f64..1e3, mult in 0.05f64..20.0) {
+        let star = cbdt_optimal_rho(delta, mu);
+        let at_star = cbdt_bound(star, delta, mu);
+        prop_assert!(cbdt_bound(star * mult, delta, mu) >= at_star - 1e-9);
+        prop_assert!((at_star - cbdt_best_known(mu)).abs() < 1e-9);
+    }
+
+    /// cbd_best_known's n is the argmin over a wide range.
+    #[test]
+    fn cbd_n_argmin(mu in 1.0f64..1e6) {
+        let (best, n_star) = cbd_best_known(mu);
+        for n in 1..=80u32 {
+            let v = mu.powf(1.0 / n as f64) + n as f64 + 3.0;
+            prop_assert!(v >= best - 1e-9, "n={} beats n*={} at mu={}", n, n_star, mu);
+        }
+    }
+
+    /// The §5.3 improvement holds everywhere: the Theorem 5 bound is below
+    /// Shalom et al.'s BucketFirstFit bound whenever μ ≥ α (so the bucket
+    /// count is ≥ 1).
+    #[test]
+    fn improvement_over_bucket_ff_everywhere(alpha in 1.1f64..8.0, factor in 1.0f64..1e4) {
+        let mu = alpha * factor;
+        prop_assert!(cbd_bound(alpha, mu) <= bucket_ff_bound(alpha, mu) + 1e-9);
+    }
+
+    /// Figure 8's qualitative shape at arbitrary μ: the winner among the
+    /// two classification strategies flips exactly at μ = 4.
+    #[test]
+    fn crossover_shape(mu in 1.0f64..1e4) {
+        let cbdt = cbdt_best_known(mu);
+        let (cbd, _) = cbd_best_known(mu);
+        if mu < 4.0 {
+            prop_assert!(cbdt <= cbd + 1e-9);
+        } else {
+            prop_assert!(cbd <= cbdt + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Trace fitting: estimate a generative model from a real trace and
+//! synthesize look-alike workloads at any scale.
+//!
+//! Operators rarely want to replay one fixed trace; they want "traffic
+//! like last Tuesday, but 3× the volume". [`TraceModel::fit`] extracts a
+//! Poisson arrival rate and the *empirical* duration/size distributions
+//! from an instance; [`TraceModel::synthesize`] bootstrap-resamples those
+//! distributions under fresh Poisson arrivals, preserving the marginal
+//! statistics (mean duration, size mix, `μ`) without copying the trace.
+
+use crate::Workload;
+use dbp_core::{Instance, Item, Size, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generative model fitted from a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceModel {
+    /// Mean arrivals per tick over the observed arrival window.
+    pub rate: f64,
+    /// The observed durations (bootstrap-resampled at synthesis).
+    pub durations: Vec<i64>,
+    /// The observed sizes (bootstrap-resampled at synthesis).
+    pub sizes: Vec<Size>,
+    /// Length of the observed arrival window in ticks.
+    pub observed_window: Time,
+}
+
+impl TraceModel {
+    /// Fits the model to an instance. Returns `None` for an empty trace.
+    pub fn fit(inst: &Instance) -> Option<TraceModel> {
+        if inst.is_empty() {
+            return None;
+        }
+        let first = inst.first_arrival()?;
+        let last = inst
+            .items()
+            .iter()
+            .map(|r| r.arrival())
+            .max()
+            .expect("nonempty");
+        let window = (last - first).max(1);
+        Some(TraceModel {
+            rate: inst.len() as f64 / window as f64,
+            durations: inst.items().iter().map(|r| r.duration()).collect(),
+            sizes: inst.items().iter().map(|r| r.size()).collect(),
+            observed_window: window,
+        })
+    }
+
+    /// The fitted mean duration.
+    pub fn mean_duration(&self) -> f64 {
+        self.durations.iter().sum::<i64>() as f64 / self.durations.len().max(1) as f64
+    }
+
+    /// The fitted mean size (fraction of capacity).
+    pub fn mean_size(&self) -> f64 {
+        self.sizes.iter().map(|s| s.as_f64()).sum::<f64>() / self.sizes.len().max(1) as f64
+    }
+
+    /// A workload that synthesizes traces over `horizon` ticks with the
+    /// fitted rate scaled by `volume` (1.0 = observed intensity).
+    pub fn scaled(&self, horizon: Time, volume: f64) -> SynthesizedWorkload {
+        assert!(horizon >= 1 && volume > 0.0);
+        SynthesizedWorkload {
+            model: self.clone(),
+            horizon,
+            volume,
+        }
+    }
+
+    /// Synthesizes one trace at the observed window length and intensity.
+    pub fn synthesize(&self, rng: &mut StdRng) -> Instance {
+        self.scaled(self.observed_window, 1.0).generate(rng)
+    }
+}
+
+/// A [`Workload`] wrapping a fitted [`TraceModel`].
+#[derive(Clone, Debug)]
+pub struct SynthesizedWorkload {
+    model: TraceModel,
+    horizon: Time,
+    volume: f64,
+}
+
+impl Workload for SynthesizedWorkload {
+    fn name(&self) -> String {
+        format!(
+            "fitted(rate={:.4},x{:.1},horizon={})",
+            self.model.rate, self.volume, self.horizon
+        )
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        let rate = self.model.rate * self.volume;
+        let mut items = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 0u32;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate;
+            let a = t.floor() as Time;
+            if a >= self.horizon {
+                break;
+            }
+            let dur = self.model.durations[rng.gen_range(0..self.model.durations.len())];
+            let size = self.model.sizes[rng.gen_range(0..self.model.sizes.len())];
+            items.push(Item::new(id, size, a, a + dur.max(1)));
+            id += 1;
+        }
+        Instance::from_items(items).expect("synthesized items are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::CloudGamingWorkload;
+
+    #[test]
+    fn fit_reports_observed_statistics() {
+        let inst = Instance::from_triples(&[(0.25, 0, 100), (0.5, 50, 250), (0.75, 100, 400)]);
+        let m = TraceModel::fit(&inst).unwrap();
+        assert_eq!(m.observed_window, 100);
+        assert!((m.rate - 0.03).abs() < 1e-12);
+        assert!((m.mean_duration() - (100.0 + 200.0 + 300.0) / 3.0).abs() < 1e-9);
+        assert!((m.mean_size() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_empty_is_none() {
+        let inst = Instance::from_items(vec![]).unwrap();
+        assert!(TraceModel::fit(&inst).is_none());
+    }
+
+    #[test]
+    fn synthesis_preserves_marginals() {
+        let original = CloudGamingWorkload::new(2_000, 40_000).generate_seeded(5);
+        let model = TraceModel::fit(&original).unwrap();
+        let synth = model.scaled(40_000, 1.0).generate_seeded(99);
+        // Count within 15% of the original.
+        let ratio = synth.len() as f64 / original.len() as f64;
+        assert!((0.85..1.15).contains(&ratio), "count ratio {ratio}");
+        // Mean duration and size within 10%.
+        let m2 = TraceModel::fit(&synth).unwrap();
+        assert!((m2.mean_duration() / model.mean_duration() - 1.0).abs() < 0.1);
+        assert!((m2.mean_size() / model.mean_size() - 1.0).abs() < 0.1);
+        // Sizes are drawn from the observed catalog only.
+        let catalog: std::collections::HashSet<u64> =
+            original.items().iter().map(|r| r.size().raw()).collect();
+        assert!(synth
+            .items()
+            .iter()
+            .all(|r| catalog.contains(&r.size().raw())));
+    }
+
+    #[test]
+    fn volume_scaling_scales_counts() {
+        let original = CloudGamingWorkload::new(1_000, 20_000).generate_seeded(6);
+        let model = TraceModel::fit(&original).unwrap();
+        let x1 = model.scaled(20_000, 1.0).generate_seeded(7).len() as f64;
+        let x3 = model.scaled(20_000, 3.0).generate_seeded(7).len() as f64;
+        let ratio = x3 / x1;
+        assert!((2.5..3.5).contains(&ratio), "volume ratio {ratio}");
+    }
+}

@@ -1,0 +1,491 @@
+//! Random workload families.
+
+use crate::Workload;
+use dbp_core::{Instance, Item, Size, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A size distribution over `(0, 1]` of capacity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizeDist {
+    /// Uniform in `[lo, hi]` (fractions of capacity).
+    Uniform {
+        /// Lower bound (fraction of capacity), > 0.
+        lo: f64,
+        /// Upper bound (fraction of capacity), ≤ 1.
+        hi: f64,
+    },
+    /// Two-point mixture: `p_small` chance of a `small` item, else `large`.
+    Bimodal {
+        /// Probability of the small size.
+        p_small: f64,
+        /// The small size.
+        small: f64,
+        /// The large size.
+        large: f64,
+    },
+    /// A fixed catalog of flavors (like cloud instance types), sampled
+    /// uniformly. Mirrors how real fleets see a handful of discrete
+    /// shapes rather than a continuum.
+    Catalog {
+        /// The available sizes as fractions of capacity (≤ 8 entries).
+        sizes: [f64; 8],
+        /// How many leading entries of `sizes` are in use.
+        len: usize,
+    },
+}
+
+impl SizeDist {
+    fn sample(&self, rng: &mut StdRng) -> Size {
+        let f = match *self {
+            SizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            SizeDist::Bimodal {
+                p_small,
+                small,
+                large,
+            } => {
+                if rng.gen_bool(p_small) {
+                    small
+                } else {
+                    large
+                }
+            }
+            SizeDist::Catalog { sizes, len } => {
+                assert!(len >= 1 && len <= sizes.len());
+                sizes[rng.gen_range(0..len)]
+            }
+        };
+        // Clamp into a valid item size.
+        let s = Size::from_f64(f.clamp(1e-6, 1.0));
+        if s == Size::ZERO {
+            Size::EPSILON
+        } else {
+            s
+        }
+    }
+}
+
+/// A duration distribution over positive tick counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DurationDist {
+    /// Uniform integer in `[lo, hi]`.
+    Uniform {
+        /// Minimum duration in ticks (≥ 1).
+        lo: i64,
+        /// Maximum duration in ticks.
+        hi: i64,
+    },
+    /// Geometric-ish exponential with the given mean, clamped to
+    /// `[min, max]`. Heavy-ish tail like real batch jobs.
+    Exponential {
+        /// Mean duration in ticks.
+        mean: f64,
+        /// Clamp floor (≥ 1).
+        min: i64,
+        /// Clamp ceiling.
+        max: i64,
+    },
+    /// Two-point mixture of short and long jobs — maximizes the duration
+    /// ratio stress on Any Fit algorithms.
+    ShortLong {
+        /// Short duration in ticks.
+        short: i64,
+        /// Long duration in ticks.
+        long: i64,
+        /// Probability of a short job.
+        p_short: f64,
+    },
+    /// Bounded Pareto (heavy tail): survival `P(D > d) ∝ d^{-shape}` on
+    /// `[min, max]` — the classic batch-job duration shape where a few
+    /// stragglers dominate total demand.
+    Pareto {
+        /// Tail index (> 0); smaller = heavier tail.
+        shape: f64,
+        /// Minimum duration (≥ 1).
+        min: i64,
+        /// Maximum duration (truncation).
+        max: i64,
+    },
+    /// Log-normal durations: `ln D ~ N(mu_ln, sigma_ln²)`, clamped to
+    /// `[min, max]`. A good fit for interactive session lengths.
+    LogNormal {
+        /// Mean of `ln D`.
+        mu_ln: f64,
+        /// Std-dev of `ln D` (> 0).
+        sigma_ln: f64,
+        /// Clamp floor (≥ 1).
+        min: i64,
+        /// Clamp ceiling.
+        max: i64,
+    },
+}
+
+impl DurationDist {
+    fn sample(&self, rng: &mut StdRng) -> i64 {
+        match *self {
+            DurationDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            DurationDist::Exponential { mean, min, max } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let d = (-mean * u.ln()).round() as i64;
+                d.clamp(min, max)
+            }
+            DurationDist::ShortLong {
+                short,
+                long,
+                p_short,
+            } => {
+                if rng.gen_bool(p_short) {
+                    short
+                } else {
+                    long
+                }
+            }
+            DurationDist::Pareto { shape, min, max } => {
+                assert!(shape > 0.0 && min >= 1 && max >= min);
+                // Inverse-CDF sampling of the bounded Pareto.
+                let (l, h) = (min as f64, max as f64);
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let la = l.powf(shape);
+                let ha = h.powf(shape);
+                let d = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / shape);
+                (d.round() as i64).clamp(min, max)
+            }
+            DurationDist::LogNormal {
+                mu_ln,
+                sigma_ln,
+                min,
+                max,
+            } => {
+                assert!(sigma_ln > 0.0 && min >= 1 && max >= min);
+                // Box–Muller for a standard normal.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let d = (mu_ln + sigma_ln * z).exp();
+                (d.round() as i64).clamp(min, max)
+            }
+        }
+    }
+}
+
+/// `n` items with uniform sizes, durations, and arrivals — the baseline
+/// random family.
+#[derive(Clone, Debug)]
+pub struct UniformWorkload {
+    /// Number of items.
+    pub n: usize,
+    /// Size distribution.
+    pub sizes: SizeDist,
+    /// Duration distribution.
+    pub durations: DurationDist,
+    /// Arrivals are uniform in `[0, arrival_span)`.
+    pub arrival_span: Time,
+}
+
+impl UniformWorkload {
+    /// A reasonable default: sizes U[0.05, 0.5], durations U[10, 100],
+    /// arrivals over `10·n` ticks.
+    pub fn new(n: usize) -> Self {
+        UniformWorkload {
+            n,
+            sizes: SizeDist::Uniform { lo: 0.05, hi: 0.5 },
+            durations: DurationDist::Uniform { lo: 10, hi: 100 },
+            arrival_span: (10 * n as i64).max(1),
+        }
+    }
+
+    /// Overrides the size distribution.
+    pub fn with_sizes(mut self, sizes: SizeDist) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Overrides the duration distribution.
+    pub fn with_durations(mut self, durations: DurationDist) -> Self {
+        self.durations = durations;
+        self
+    }
+
+    /// Overrides the arrival span.
+    pub fn with_arrival_span(mut self, span: Time) -> Self {
+        self.arrival_span = span.max(1);
+        self
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn name(&self) -> String {
+        format!("uniform(n={})", self.n)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        let items = (0..self.n)
+            .map(|i| {
+                let a = rng.gen_range(0..self.arrival_span);
+                let d = self.durations.sample(rng).max(1);
+                Item::new(i as u32, self.sizes.sample(rng), a, a + d)
+            })
+            .collect();
+        Instance::from_items(items).expect("generated items are valid")
+    }
+}
+
+/// Poisson arrivals at `rate` items/tick over `horizon` ticks.
+#[derive(Clone, Debug)]
+pub struct PoissonWorkload {
+    /// Mean arrivals per tick.
+    pub rate: f64,
+    /// Generation horizon in ticks.
+    pub horizon: Time,
+    /// Size distribution.
+    pub sizes: SizeDist,
+    /// Duration distribution.
+    pub durations: DurationDist,
+}
+
+impl PoissonWorkload {
+    /// Default: rate jobs/tick with exponential durations (mean 50) and
+    /// uniform sizes in [0.05, 0.5].
+    pub fn new(rate: f64, horizon: Time) -> Self {
+        PoissonWorkload {
+            rate,
+            horizon,
+            sizes: SizeDist::Uniform { lo: 0.05, hi: 0.5 },
+            durations: DurationDist::Exponential {
+                mean: 50.0,
+                min: 1,
+                max: 1000,
+            },
+        }
+    }
+
+    /// Overrides the duration distribution.
+    pub fn with_durations(mut self, durations: DurationDist) -> Self {
+        self.durations = durations;
+        self
+    }
+
+    /// Overrides the size distribution.
+    pub fn with_sizes(mut self, sizes: SizeDist) -> Self {
+        self.sizes = sizes;
+        self
+    }
+}
+
+impl Workload for PoissonWorkload {
+    fn name(&self) -> String {
+        format!("poisson(rate={},horizon={})", self.rate, self.horizon)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        let mut items = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 0u32;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / self.rate;
+            let a = t.floor() as Time;
+            if a >= self.horizon {
+                break;
+            }
+            let d = self.durations.sample(rng).max(1);
+            items.push(Item::new(id, self.sizes.sample(rng), a, a + d));
+            id += 1;
+        }
+        Instance::from_items(items).expect("generated items are valid")
+    }
+}
+
+/// A family with an exactly controlled duration ratio `μ`: durations are
+/// log-uniform over `[Δ, μΔ]` with the endpoints always present, so the
+/// instance's measured `μ` equals the requested one. Used for the E2/E3
+/// `μ`-sweeps.
+#[derive(Clone, Debug)]
+pub struct MuSweepWorkload {
+    /// Number of items (≥ 2).
+    pub n: usize,
+    /// Minimum duration `Δ` in ticks.
+    pub delta: i64,
+    /// Target duration ratio `μ ≥ 1`.
+    pub mu: f64,
+    /// Arrivals uniform over this span.
+    pub arrival_span: Time,
+    /// Size distribution.
+    pub sizes: SizeDist,
+}
+
+impl MuSweepWorkload {
+    /// Creates the family with default sizes U[0.05, 0.5] and an arrival
+    /// span that keeps several items concurrently active.
+    pub fn new(n: usize, delta: i64, mu: f64) -> Self {
+        assert!(n >= 2 && delta >= 1 && mu >= 1.0);
+        MuSweepWorkload {
+            n,
+            delta,
+            mu,
+            arrival_span: (n as i64 * delta / 4).max(1),
+            sizes: SizeDist::Uniform { lo: 0.05, hi: 0.5 },
+        }
+    }
+
+    /// Overrides the size distribution.
+    pub fn with_sizes(mut self, sizes: SizeDist) -> Self {
+        self.sizes = sizes;
+        self
+    }
+}
+
+impl Workload for MuSweepWorkload {
+    fn name(&self) -> String {
+        format!("mu-sweep(n={},delta={},mu={})", self.n, self.delta, self.mu)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        let max_dur = ((self.delta as f64) * self.mu)
+            .round()
+            .max(self.delta as f64) as i64;
+        let items = (0..self.n)
+            .map(|i| {
+                let a = rng.gen_range(0..self.arrival_span);
+                // Pin the extremes so measured μ is exact.
+                let d = match i {
+                    0 => self.delta,
+                    1 => max_dur,
+                    _ => {
+                        let log_lo = (self.delta as f64).ln();
+                        let log_hi = (max_dur as f64).ln();
+                        let x: f64 = rng.gen_range(log_lo..=log_hi);
+                        (x.exp().round() as i64).clamp(self.delta, max_dur)
+                    }
+                };
+                Item::new(i as u32, self.sizes.sample(rng), a, a + d)
+            })
+            .collect();
+        Instance::from_items(items).expect("generated items are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let w = UniformWorkload::new(200);
+        let inst = w.generate(&mut rng());
+        assert_eq!(inst.len(), 200);
+        for r in inst.items() {
+            assert!(r.size() >= Size::from_f64(0.05) - Size::EPSILON);
+            assert!(r.size() <= Size::HALF + Size::EPSILON);
+            assert!((10..=100).contains(&r.duration()));
+        }
+    }
+
+    #[test]
+    fn poisson_generates_over_horizon() {
+        let w = PoissonWorkload::new(0.5, 1000);
+        let inst = w.generate(&mut rng());
+        assert!(inst.len() > 300, "expected ~500 items, got {}", inst.len());
+        assert!(inst.items().iter().all(|r| r.arrival() < 1000));
+    }
+
+    #[test]
+    fn mu_sweep_exact_ratio() {
+        for mu in [1.0, 2.0, 16.0, 100.0] {
+            let w = MuSweepWorkload::new(100, 10, mu);
+            let inst = w.generate(&mut rng());
+            let measured = inst.mu().unwrap();
+            assert!(
+                (measured - mu).abs() / mu < 0.05,
+                "mu {measured} vs requested {mu}"
+            );
+            assert_eq!(inst.min_duration(), Some(10));
+        }
+    }
+
+    #[test]
+    fn exponential_durations_clamped() {
+        let d = DurationDist::Exponential {
+            mean: 50.0,
+            min: 5,
+            max: 200,
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((5..=200).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_durations_heavy_tailed() {
+        let d = DurationDist::Pareto {
+            shape: 1.2,
+            min: 10,
+            max: 10_000,
+        };
+        let mut r = rng();
+        let samples: Vec<i64> = (0..5_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| (10..=10_000).contains(&x)));
+        // Heavy tail: the top percentile should dwarf the median.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let p99 = sorted[sorted.len() * 99 / 100];
+        assert!(p99 > 10 * median, "median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn lognormal_durations_clamped_and_centered() {
+        let d = DurationDist::LogNormal {
+            mu_ln: 4.0, // median ≈ e^4 ≈ 55
+            sigma_ln: 0.5,
+            min: 1,
+            max: 100_000,
+        };
+        let mut r = rng();
+        let samples: Vec<i64> = (0..5_000).map(|_| d.sample(&mut r)).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!((40..=75).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn catalog_sizes_only_from_catalog() {
+        let s = SizeDist::Catalog {
+            sizes: [0.125, 0.25, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0],
+            len: 3,
+        };
+        let valid: Vec<Size> = [0.125, 0.25, 0.5]
+            .iter()
+            .map(|&f| Size::from_f64(f))
+            .collect();
+        let mut r = rng();
+        for _ in 0..500 {
+            assert!(valid.contains(&s.sample(&mut r)));
+        }
+    }
+
+    #[test]
+    fn bimodal_sizes() {
+        let s = SizeDist::Bimodal {
+            p_small: 0.5,
+            small: 0.1,
+            large: 0.9,
+        };
+        let mut r = rng();
+        let mut small = 0;
+        for _ in 0..1000 {
+            if s.sample(&mut r) <= Size::from_f64(0.1) {
+                small += 1;
+            }
+        }
+        assert!((300..700).contains(&small));
+    }
+}

@@ -1,0 +1,293 @@
+//! Application scenarios from the paper's introduction.
+//!
+//! * [`CloudGamingWorkload`] — game sessions on cloud servers (the paper's
+//!   primary motivation; session end times are predictable for certain
+//!   games, which is exactly the clairvoyance assumption).
+//! * [`AnalyticsWorkload`] — recurring data-analytics jobs: templates fire
+//!   periodically with near-identical durations and demands.
+//! * [`DiurnalWorkload`] — day/night arrival intensity, the shape a real
+//!   autoscaler sees.
+//! * [`SpikeWorkload`] — synchronized bursts (e.g. tournament starts) that
+//!   stress bin-opening decisions.
+
+use crate::Workload;
+use dbp_core::{Instance, Item, Size, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A cloud-gaming trace: sessions arrive over a horizon; each session is a
+/// game from a small catalog, with a per-game resource demand and a
+/// predictable duration band.
+#[derive(Clone, Debug)]
+pub struct CloudGamingWorkload {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Arrival horizon in ticks (e.g. one tick = one second).
+    pub horizon: Time,
+}
+
+/// One game profile: (share of sessions, server share, duration band).
+const GAME_CATALOG: &[(f64, f64, (i64, i64))] = &[
+    // casual: light, short rounds
+    (0.45, 0.125, (600, 1200)),
+    // mid-range: moderate demand, medium sessions
+    (0.35, 0.25, (1500, 2700)),
+    // AAA streaming: heavy, long sessions
+    (0.15, 0.5, (2400, 5400)),
+    // tournament/spectator: near-dedicated
+    (0.05, 0.75, (3600, 7200)),
+];
+
+impl CloudGamingWorkload {
+    /// Creates the trace generator.
+    pub fn new(sessions: usize, horizon: Time) -> Self {
+        CloudGamingWorkload { sessions, horizon }
+    }
+}
+
+impl Workload for CloudGamingWorkload {
+    fn name(&self) -> String {
+        format!("cloud-gaming(n={})", self.sessions)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        let items = (0..self.sessions)
+            .map(|i| {
+                let mut pick: f64 = rng.gen_range(0.0..1.0);
+                let mut game = GAME_CATALOG.last().unwrap();
+                for g in GAME_CATALOG {
+                    if pick < g.0 {
+                        game = g;
+                        break;
+                    }
+                    pick -= g.0;
+                }
+                let a = rng.gen_range(0..self.horizon.max(1));
+                let d = rng.gen_range(game.2 .0..=game.2 .1);
+                Item::new(i as u32, Size::from_f64(game.1), a, a + d)
+            })
+            .collect();
+        Instance::from_items(items).expect("valid sessions")
+    }
+}
+
+/// Recurring analytics batches: `templates` job templates each fire every
+/// `period` ticks over `cycles` cycles, with jittered starts and stable
+/// durations — the "jobs are mostly recurring" setting of §1.
+#[derive(Clone, Debug)]
+pub struct AnalyticsWorkload {
+    /// Number of distinct job templates.
+    pub templates: usize,
+    /// Recurrence period in ticks.
+    pub period: Time,
+    /// Number of periods to generate.
+    pub cycles: usize,
+}
+
+impl AnalyticsWorkload {
+    /// Creates the generator.
+    pub fn new(templates: usize, period: Time, cycles: usize) -> Self {
+        AnalyticsWorkload {
+            templates,
+            period,
+            cycles,
+        }
+    }
+}
+
+impl Workload for AnalyticsWorkload {
+    fn name(&self) -> String {
+        format!(
+            "analytics(templates={},period={},cycles={})",
+            self.templates, self.period, self.cycles
+        )
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        // Per-template stable characteristics.
+        let profiles: Vec<(Size, i64, Time)> = (0..self.templates)
+            .map(|_| {
+                let size = Size::from_f64(rng.gen_range(0.05..0.45));
+                let dur = rng.gen_range(self.period / 10..self.period / 2).max(1);
+                let offset = rng.gen_range(0..self.period);
+                (size, dur, offset)
+            })
+            .collect();
+        let mut items = Vec::new();
+        let mut id = 0u32;
+        for cycle in 0..self.cycles {
+            for (size, dur, offset) in &profiles {
+                // Small run-to-run jitter: recurring jobs are similar, not
+                // identical.
+                let jitter = rng.gen_range(-(self.period / 20)..=(self.period / 20).max(1));
+                let a = cycle as Time * self.period + offset + jitter;
+                let d = (*dur as f64 * rng.gen_range(0.9..1.1)).round().max(1.0) as i64;
+                items.push(Item::new(id, *size, a, a + d));
+                id += 1;
+            }
+        }
+        Instance::from_items(items).expect("valid analytics jobs")
+    }
+}
+
+/// Diurnal arrivals: intensity follows `1 + amplitude·sin(2πt/day)`,
+/// producing realistic load waves for autoscaler experiments.
+#[derive(Clone, Debug)]
+pub struct DiurnalWorkload {
+    /// Total items.
+    pub n: usize,
+    /// Day length in ticks.
+    pub day: Time,
+    /// Number of days.
+    pub days: usize,
+    /// Wave amplitude in `[0, 1)`.
+    pub amplitude: f64,
+}
+
+impl DiurnalWorkload {
+    /// Creates the generator.
+    pub fn new(n: usize, day: Time, days: usize, amplitude: f64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude));
+        DiurnalWorkload {
+            n,
+            day,
+            days,
+            amplitude,
+        }
+    }
+}
+
+impl Workload for DiurnalWorkload {
+    fn name(&self) -> String {
+        format!("diurnal(n={},days={})", self.n, self.days)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        let horizon = self.day * self.days as Time;
+        let mut items = Vec::with_capacity(self.n);
+        let mut id = 0u32;
+        while items.len() < self.n {
+            // Rejection-sample arrivals against the diurnal intensity.
+            let t = rng.gen_range(0..horizon);
+            let phase = 2.0 * std::f64::consts::PI * (t % self.day) as f64 / self.day as f64;
+            let intensity = (1.0 + self.amplitude * phase.sin()) / (1.0 + self.amplitude);
+            if rng.gen_range(0.0..1.0) > intensity {
+                continue;
+            }
+            let dur = rng.gen_range(self.day / 48..self.day / 6).max(1);
+            let size = Size::from_f64(rng.gen_range(0.05..0.4));
+            items.push(Item::new(id, size, t, t + dur));
+            id += 1;
+        }
+        Instance::from_items(items).expect("valid diurnal jobs")
+    }
+}
+
+/// Synchronized bursts: `waves` bursts of `per_wave` near-simultaneous
+/// arrivals, `gap` ticks apart — stresses the moment many bins must open.
+#[derive(Clone, Debug)]
+pub struct SpikeWorkload {
+    /// Number of bursts.
+    pub waves: usize,
+    /// Items per burst.
+    pub per_wave: usize,
+    /// Ticks between burst starts.
+    pub gap: Time,
+}
+
+impl SpikeWorkload {
+    /// Creates the generator.
+    pub fn new(waves: usize, per_wave: usize, gap: Time) -> Self {
+        SpikeWorkload {
+            waves,
+            per_wave,
+            gap,
+        }
+    }
+}
+
+impl Workload for SpikeWorkload {
+    fn name(&self) -> String {
+        format!("spike(waves={},per_wave={})", self.waves, self.per_wave)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Instance {
+        let mut items = Vec::new();
+        let mut id = 0u32;
+        for w in 0..self.waves {
+            let base = w as Time * self.gap;
+            for _ in 0..self.per_wave {
+                let a = base + rng.gen_range(0..self.gap / 10 + 1);
+                let dur = rng.gen_range(self.gap / 4..self.gap * 2).max(1);
+                let size = Size::from_f64(rng.gen_range(0.1..0.6));
+                items.push(Item::new(id, size, a, a + dur));
+                id += 1;
+            }
+        }
+        Instance::from_items(items).expect("valid spikes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn gaming_sessions_have_catalog_sizes() {
+        let inst = CloudGamingWorkload::new(300, 36_000).generate(&mut rng());
+        assert_eq!(inst.len(), 300);
+        let valid: Vec<Size> = GAME_CATALOG.iter().map(|g| Size::from_f64(g.1)).collect();
+        assert!(inst.items().iter().all(|r| valid.contains(&r.size())));
+        // Durations bounded by the catalog.
+        assert!(inst
+            .items()
+            .iter()
+            .all(|r| (600..=7200).contains(&r.duration())));
+    }
+
+    #[test]
+    fn analytics_is_recurring() {
+        let w = AnalyticsWorkload::new(5, 1000, 4);
+        let inst = w.generate(&mut rng());
+        assert_eq!(inst.len(), 20);
+        // Each template contributes one job per cycle with a stable size:
+        // exactly 5 distinct sizes.
+        let mut sizes: Vec<u64> = inst.items().iter().map(|r| r.size().raw()).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert_eq!(sizes.len(), 5);
+    }
+
+    #[test]
+    fn diurnal_generates_requested_count() {
+        let inst = DiurnalWorkload::new(500, 8640, 3, 0.8).generate(&mut rng());
+        assert_eq!(inst.len(), 500);
+        // More arrivals in the peak half-day than the trough half-day.
+        let day = 8640i64;
+        let peak = inst
+            .items()
+            .iter()
+            .filter(|r| (r.arrival() % day) < day / 2)
+            .count();
+        assert!(peak > 300, "peak half got {peak} of 500");
+    }
+
+    #[test]
+    fn spikes_cluster() {
+        let inst = SpikeWorkload::new(3, 50, 1000).generate(&mut rng());
+        assert_eq!(inst.len(), 150);
+        for r in inst.items() {
+            let within = r.arrival() % 1000;
+            assert!(
+                within <= 100,
+                "arrival {} not near a wave start",
+                r.arrival()
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for workload generators and trace I/O: every generator
+//! must produce valid instances for arbitrary parameters, determinism
+//! must hold, and traces must round-trip.
+
+use dbp_workloads::adversarial::{any_fit_staircase, ff_tail_trap, short_long_pairs};
+use dbp_workloads::random::{
+    DurationDist, MuSweepWorkload, PoissonWorkload, SizeDist, UniformWorkload,
+};
+use dbp_workloads::scenarios::{
+    AnalyticsWorkload, CloudGamingWorkload, DiurnalWorkload, SpikeWorkload,
+};
+use dbp_workloads::{trace, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Uniform generator: any parameterization yields a valid instance of
+    /// the requested length, deterministically per seed.
+    #[test]
+    fn uniform_valid(n in 1usize..200, lo in 1i64..20, extra in 0i64..200, seed: u64) {
+        let w = UniformWorkload::new(n)
+            .with_durations(DurationDist::Uniform { lo, hi: lo + extra })
+            .with_sizes(SizeDist::Uniform { lo: 0.01, hi: 1.0 });
+        let a = w.generate_seeded(seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(a, w.generate_seeded(seed));
+    }
+
+    /// Poisson generator: arrivals within the horizon, durations within
+    /// the clamp.
+    #[test]
+    fn poisson_valid(rate in 0.01f64..2.0, horizon in 10i64..2_000, seed: u64) {
+        let w = PoissonWorkload::new(rate, horizon)
+            .with_durations(DurationDist::Exponential { mean: 30.0, min: 2, max: 300 });
+        let inst = w.generate_seeded(seed);
+        for r in inst.items() {
+            prop_assert!((0..horizon).contains(&r.arrival()));
+            prop_assert!((2..=300).contains(&r.duration()));
+        }
+    }
+
+    /// μ-sweep generator hits the requested duration extremes exactly.
+    #[test]
+    fn mu_sweep_extremes(n in 2usize..100, delta in 1i64..50, mu in 1.0f64..200.0, seed: u64) {
+        let inst = MuSweepWorkload::new(n, delta, mu).generate_seeded(seed);
+        prop_assert_eq!(inst.min_duration(), Some(delta));
+        let want_max = ((delta as f64) * mu).round().max(delta as f64) as i64;
+        prop_assert_eq!(inst.max_duration(), Some(want_max));
+    }
+
+    /// Scenario generators always produce valid instances.
+    #[test]
+    fn scenarios_valid(seed: u64) {
+        prop_assert_eq!(CloudGamingWorkload::new(50, 5_000).generate_seeded(seed).len(), 50);
+        let a = AnalyticsWorkload::new(7, 600, 5).generate_seeded(seed);
+        prop_assert_eq!(a.len(), 35);
+        prop_assert_eq!(DiurnalWorkload::new(60, 2_000, 2, 0.5).generate_seeded(seed).len(), 60);
+        prop_assert_eq!(SpikeWorkload::new(3, 20, 400).generate_seeded(seed).len(), 60);
+    }
+
+    /// Adversarial constructions satisfy their structural contracts.
+    #[test]
+    fn adversarial_shapes(k in 1usize..=16, step in 1i64..20) {
+        let horizon = 10_000;
+        let trap = ff_tail_trap(k, horizon, step);
+        prop_assert_eq!(trap.len(), 2 * k);
+        let stair = any_fit_staircase(k, step, k as i64 * step + 1000);
+        prop_assert_eq!(stair.len(), 2 * k);
+        let pairs = short_long_pairs(k, step, step + 100);
+        prop_assert_eq!(pairs.len(), 2 * k);
+    }
+
+    /// Trace text round-trips arbitrary generated instances (including
+    /// extreme seeds), and parsing is insensitive to interleaved comments.
+    #[test]
+    fn trace_round_trip(seed: u64, n in 1usize..150) {
+        let inst = UniformWorkload::new(n).generate_seeded(seed);
+        let mut text = String::from("# header\n");
+        for (i, line) in trace::to_string(&inst).lines().enumerate() {
+            text.push_str(line);
+            text.push('\n');
+            if i % 3 == 0 {
+                text.push_str("# interleaved comment\n\n");
+            }
+        }
+        prop_assert_eq!(trace::from_str(&text).unwrap(), inst);
+    }
+}

@@ -1,0 +1,100 @@
+//! Capacity advisor: tune the classify-by-departure-time window on a
+//! historical trace, stress the choice under estimate noise, and project
+//! next week's bill at higher volume.
+//!
+//! Workflow an operator would actually run:
+//! 1. fit a generative model to last week's trace (`TraceModel`),
+//! 2. sweep ρ candidates on the history (`recommend_rho`),
+//! 3. validate the winner under ±20% duration-estimate error,
+//! 4. re-simulate at 2× volume to budget for growth.
+//!
+//! Run with `cargo run --release --example capacity_advisor`.
+
+use clairvoyant_dbp::prelude::*;
+use clairvoyant_dbp::sim::{optimal_reservation, recommend_rho, timeline::RunTimeline};
+use clairvoyant_dbp::workloads::fit::TraceModel;
+use clairvoyant_dbp::workloads::scenarios::CloudGamingWorkload;
+
+fn main() {
+    // 1. "Last week's" trace (one tick = one second, ~2h window).
+    let history = CloudGamingWorkload::new(1_200, 7_200).generate_seeded(11);
+    println!(
+        "history: {} sessions, mu = {:.1}, span {:.1} h",
+        history.len(),
+        history.mu().unwrap(),
+        history.span() as f64 / 3600.0
+    );
+
+    // 2. Sweep rho on the history under hourly billing.
+    let billing = Billing::PerHour {
+        ticks_per_hour: 3600,
+        price: 0.50,
+    };
+    let rec = recommend_rho(&history, &[], billing).expect("advisor");
+    println!("\nrho sweep (hourly billing):");
+    for (rho, cost) in &rec.sweep {
+        let marker = if *rho == rec.best_rho {
+            "  <- best"
+        } else {
+            ""
+        };
+        println!("  rho = {rho:>6}  cost ${cost:.2}{marker}");
+    }
+    println!(
+        "theoretical rho (sqrt(mu)*delta, worst-case optimal): {}",
+        rec.theoretical_rho
+    );
+
+    // 3. Stress the winner under estimate noise.
+    let mut tuned = ClassifyByDepartureTime::new(rec.best_rho);
+    let clean =
+        simulate(&history, &mut tuned, ClairvoyanceMode::Clairvoyant, billing).expect("sim");
+    let noisy_est = NoisyEstimator::new(5, 0.20);
+    let mut tuned2 = ClassifyByDepartureTime::new(rec.best_rho);
+    let noisy = simulate(&history, &mut tuned2, noisy_est.mode(), billing).expect("sim");
+    println!(
+        "\nnoise stress (+-20% estimates): clean ${:.2} -> noisy ${:.2} ({:+.1}%)",
+        clean.cost,
+        noisy.cost,
+        (noisy.cost - clean.cost) / clean.cost * 100.0
+    );
+
+    // Timeline diagnostics for the clean run.
+    let tl = RunTimeline::new(&history, &clean.run);
+    println!(
+        "fleet peak {} servers; worst instantaneous utilization {:.1}%",
+        tl.fleet.max(),
+        tl.worst_utilization() * 100.0
+    );
+
+    // 3b. Capacity planning: how many servers to reserve at a 60%
+    // discount vs on-demand?
+    let (best_r, best_cost) = optimal_reservation(&clean.run, 0.40 / 3600.0, 1.0 / 3600.0);
+    println!(
+        "reservation advisor: reserve {best_r} servers -> blended cost ${best_cost:.2}\n                     (vs ${:.2} all on-demand)",
+        clairvoyant_dbp::sim::Billing::Reserved {
+            reserved: 0,
+            reserved_price: 0.40 / 3600.0,
+            on_demand_price: 1.0 / 3600.0,
+        }
+        .cost(&clean.run)
+    );
+
+    // 4. Project 2x volume with the fitted model.
+    let model = TraceModel::fit(&history).expect("nonempty");
+    let projected = model.scaled(7_200, 2.0).generate_seeded(12);
+    let mut tuned3 = ClassifyByDepartureTime::new(rec.best_rho);
+    let grown = simulate(
+        &projected,
+        &mut tuned3,
+        ClairvoyanceMode::Clairvoyant,
+        billing,
+    )
+    .expect("sim");
+    println!(
+        "\n2x volume projection: {} sessions -> cost ${:.2} ({:.2}x of today)",
+        projected.len(),
+        grown.cost,
+        grown.cost / clean.cost
+    );
+}

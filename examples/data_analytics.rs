@@ -1,0 +1,71 @@
+//! Recurring data-analytics batches (§1: "jobs are mostly recurring").
+//!
+//! Recurring jobs have well-known durations, making the classify-by-
+//! duration strategy natural: each duration class packs onto its own
+//! server pool, so short ETL jobs never pin servers that long model
+//! trainings keep busy. This example also shows offline (re)planning with
+//! Duration Descending First Fit and Dual Coloring once the day's schedule
+//! is fully known, and round-trips the trace through the text format.
+//!
+//! Run with `cargo run --release --example data_analytics`.
+
+use clairvoyant_dbp::prelude::*;
+use clairvoyant_dbp::workloads::scenarios::AnalyticsWorkload;
+use clairvoyant_dbp::workloads::trace;
+
+fn main() {
+    // 50 job templates recurring hourly for a 12-hour window.
+    let day = AnalyticsWorkload::new(50, 3600, 12).generate_seeded(7);
+    println!(
+        "analytics schedule: {} job runs, span {:.1} h, mu = {:.1}",
+        day.len(),
+        day.span() as f64 / 3600.0,
+        day.mu().unwrap()
+    );
+    let lb = lower_bounds(&day);
+
+    // Online dispatch as jobs fire, grouping by duration class (alpha=2).
+    let engine = OnlineEngine::clairvoyant();
+    let mut cbd = ClassifyByDuration::new(day.min_duration().unwrap(), 2.0);
+    let online = engine.run(&day, &mut cbd).expect("run");
+    online.packing.validate(&day).expect("valid");
+
+    let mut ff = AnyFit::first_fit();
+    let ff_run = OnlineEngine::non_clairvoyant()
+        .run(&day, &mut ff)
+        .expect("run");
+
+    println!("\nonline dispatch (server-seconds, lower is better):");
+    println!("  first-fit (no duration knowledge): {}", ff_run.usage);
+    println!("  classify-by-duration:              {}", online.usage);
+    println!("  LB3 lower bound:                   {}", lb.best());
+
+    // Overnight re-planning: the whole next-day schedule is known, so the
+    // offline approximation algorithms apply.
+    println!("\noffline plans for the same schedule:");
+    for packer in [
+        &DurationDescendingFirstFit::new() as &dyn OfflinePacker,
+        &DualColoring::new(),
+        &ArrivalFirstFit::new(),
+    ] {
+        let plan = packer.pack(&day);
+        plan.validate(&day).expect("valid");
+        println!(
+            "  {:<16} usage {:>9}  servers {:>4}  vs-LB {:.3}",
+            packer.name(),
+            plan.total_usage(&day),
+            plan.num_bins(),
+            plan.total_usage(&day) as f64 / lb.best() as f64
+        );
+    }
+
+    // Persist the schedule for replay (plain CSV; see dbp-workloads docs).
+    let path = std::env::temp_dir().join("analytics_day.csv");
+    trace::save(&day, &path).expect("save trace");
+    let reloaded = trace::load(&path).expect("load trace");
+    assert_eq!(reloaded, day);
+    println!(
+        "\nschedule saved to {} and round-tripped losslessly",
+        path.display()
+    );
+}

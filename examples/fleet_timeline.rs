@@ -1,0 +1,76 @@
+//! Fleet timeline export — feeding scheduler output to plotting tools.
+//!
+//! Runs three schedulers over a diurnal trace, exports each open-server
+//! timeline as CSV (plot with any tool), and prints a terminal sparkline
+//! so the shapes are visible right here. Also demonstrates the accounting
+//! identity: the integral of the fleet timeline equals the usage the
+//! engine reports.
+//!
+//! Run with `cargo run --release --example fleet_timeline`.
+
+use clairvoyant_dbp::core::stats::{instance_stats, StepSeries};
+use clairvoyant_dbp::prelude::*;
+use clairvoyant_dbp::workloads::scenarios::DiurnalWorkload;
+
+fn sparkline(series: &StepSeries, start: i64, end: i64, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.max().max(1);
+    (0..width)
+        .map(|i| {
+            let t = start + (end - start) * i as i64 / width as i64;
+            let v = series.value_at(t);
+            BARS[(v * 7 / max).clamp(0, 7) as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    // Two simulated days, strong day/night wave.
+    let trace = DiurnalWorkload::new(1500, 86_400, 2, 0.8).generate_seeded(5);
+    let stats = instance_stats(&trace).expect("nonempty");
+    println!(
+        "diurnal trace: {} jobs, peak load {:.1} servers-worth, peak concurrency {}",
+        stats.items, stats.peak_load, stats.peak_concurrency
+    );
+    let (start, end) = (
+        trace.first_arrival().unwrap(),
+        trace.last_departure().unwrap(),
+    );
+
+    let engine = OnlineEngine::clairvoyant();
+    let mut packers: Vec<Box<dyn OnlinePacker>> = vec![
+        Box::new(AnyFit::first_fit()),
+        Box::new(ClassifyByDepartureTime::with_known_durations(
+            trace.min_duration().unwrap(),
+            trace.mu().unwrap(),
+        )),
+        Box::new(ClassifyByDuration::new(trace.min_duration().unwrap(), 2.0)),
+    ];
+
+    let out_dir = std::env::temp_dir().join("dbp-fleet");
+    std::fs::create_dir_all(&out_dir).expect("mkdir");
+    println!();
+    for p in packers.iter_mut() {
+        let run = engine.run(&trace, p.as_mut()).expect("run");
+        run.packing.validate(&trace).expect("valid");
+        let fleet = run.fleet_series();
+
+        // Accounting identity: ∫ fleet dt == usage.
+        assert_eq!(fleet.integral() as u128, run.usage);
+
+        let csv_path = out_dir.join(format!(
+            "{}.csv",
+            p.name().replace(['(', ')', '=', ','], "_")
+        ));
+        std::fs::write(&csv_path, fleet.to_csv()).expect("write csv");
+        println!(
+            "{:<24} peak {:>3} servers  usage {:>9}  {}",
+            p.name(),
+            fleet.max(),
+            run.usage,
+            sparkline(&fleet, start, end, 60)
+        );
+        println!("{:<24} csv: {}", "", csv_path.display());
+    }
+    println!("\n(the day/night wave should be visible in every sparkline; the\n classified fleets run slightly larger but drain more promptly)");
+}

@@ -1,0 +1,88 @@
+//! Quickstart: pack a handful of jobs with every strategy and compare.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use clairvoyant_dbp::prelude::*;
+
+fn main() {
+    // A small job trace: (size as fraction of a server, arrival, departure).
+    // Departures are known at arrival — the clairvoyant setting.
+    let jobs = Instance::from_triples(&[
+        (0.50, 0, 40),   // short batch job
+        (0.50, 0, 400),  // long service
+        (0.25, 10, 50),  // short
+        (0.25, 15, 420), // long
+        (0.50, 45, 90),  // short, next wave
+        (0.75, 60, 460), // long, heavy
+        (0.25, 80, 120), // short
+    ]);
+
+    println!(
+        "{} jobs, span {} ticks, duration ratio mu = {:.1}",
+        jobs.len(),
+        jobs.span(),
+        jobs.mu().unwrap()
+    );
+    let lb = lower_bounds(&jobs);
+    println!(
+        "lower bounds: demand {:.1}, span {}, LB3 {}\n",
+        lb.demand.ticks_f64(),
+        lb.span,
+        lb.lb3
+    );
+
+    // Online strategies. Any Fit baselines ignore departures; the
+    // classification strategies require them.
+    let engine = OnlineEngine::clairvoyant();
+    let mut packers: Vec<Box<dyn OnlinePacker>> = vec![
+        Box::new(AnyFit::first_fit()),
+        Box::new(AnyFit::best_fit()),
+        Box::new(ClassifyByDepartureTime::new(100)),
+        Box::new(ClassifyByDuration::new(40, 3.0)),
+        Box::new(CombinedClassify::new(40, 3.0)),
+    ];
+    println!(
+        "{:<22} {:>8} {:>6} {:>8}",
+        "algorithm", "usage", "bins", "vs LB3"
+    );
+    for packer in packers.iter_mut() {
+        let run = engine.run(&jobs, packer.as_mut()).expect("run");
+        run.packing.validate(&jobs).expect("valid");
+        println!(
+            "{:<22} {:>8} {:>6} {:>8.3}",
+            packer.name(),
+            run.usage,
+            run.bins_opened(),
+            run.usage as f64 / lb.best() as f64
+        );
+    }
+
+    // Offline: the paper's two approximation algorithms plus the exact
+    // optimum (instance is small enough).
+    println!();
+    for offline in [
+        &DurationDescendingFirstFit::new() as &dyn OfflinePacker,
+        &DualColoring::new(),
+    ] {
+        let packing = offline.pack(&jobs);
+        packing.validate(&jobs).expect("valid");
+        println!(
+            "{:<22} {:>8} {:>6}",
+            offline.name(),
+            packing.total_usage(&jobs),
+            packing.num_bins()
+        );
+    }
+    let (opt_usage, opt_packing) = min_usage_packing(&jobs);
+    opt_packing.validate(&jobs).expect("valid");
+    println!(
+        "{:<22} {:>8} {:>6}",
+        "exact optimum",
+        opt_usage,
+        opt_packing.num_bins()
+    );
+    println!(
+        "\nrepacking adversary OPT_total (ratio denominator): {}",
+        opt_total(&jobs)
+    );
+}

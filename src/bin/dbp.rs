@@ -1,0 +1,288 @@
+//! `dbp` — command-line interface to the clairvoyant-dbp toolkit.
+//!
+//! ```text
+//! dbp generate --workload gaming --n 500 --seed 7 --out trace.csv
+//! dbp bounds   --trace trace.csv
+//! dbp pack     --trace trace.csv --algo cbdt
+//! dbp compare  --trace trace.csv
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! keeps the tree to rand/serde/crossbeam/parking_lot/proptest/criterion);
+//! flags are `--key value` pairs after a subcommand.
+
+use clairvoyant_dbp::core::accounting::lower_bounds;
+use clairvoyant_dbp::core::stats::instance_stats;
+use clairvoyant_dbp::prelude::*;
+use clairvoyant_dbp::workloads::random::{PoissonWorkload, UniformWorkload};
+use clairvoyant_dbp::workloads::scenarios::{
+    AnalyticsWorkload, CloudGamingWorkload, DiurnalWorkload, SpikeWorkload,
+};
+use clairvoyant_dbp::workloads::trace;
+use dbp_bench::registry::{offline_packer, online_packer, AlgoParams, OFFLINE_ALGOS, ONLINE_ALGOS};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dbp — Clairvoyant MinUsageTime Dynamic Bin Packing toolkit
+
+USAGE:
+  dbp generate --workload <uniform|poisson|gaming|analytics|diurnal|spike>
+               [--n <items>] [--seed <u64>] [--out <file>]
+  dbp bounds   --trace <file>
+  dbp pack     --trace <file> --algo <name> [--offline] [--non-clairvoyant]
+  dbp report   --trace <file> --algo <name> [--offline]
+  dbp compare  --trace <file>
+  dbp algos
+
+Online algorithms take their Theorem 4/5 optimal parameters from the
+trace's measured Δ and μ. `dbp algos` lists the rosters.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(&flags),
+        "bounds" => bounds(&flags),
+        "pack" => pack(&flags),
+        "report" => report(&flags),
+        "compare" => compare(&flags),
+        "algos" => {
+            println!("online:  {}", ONLINE_ALGOS.join(", "));
+            println!("offline: {}", OFFLINE_ALGOS.join(", "));
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(key) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key:?}"));
+        };
+        // Boolean flags: next token is another flag or absent.
+        let value = match it.clone().next() {
+            Some(v) if !v.starts_with("--") => {
+                it.next();
+                v.clone()
+            }
+            _ => "true".to_string(),
+        };
+        flags.insert(key.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+    }
+}
+
+fn load_trace(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    let path = get(flags, "trace")?;
+    trace::load(path).map_err(|e| e.to_string())
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = get(flags, "workload")?;
+    let n: usize = get_num(flags, "n", 500)?;
+    let seed: u64 = get_num(flags, "seed", 0)?;
+    let inst = match kind {
+        "uniform" => UniformWorkload::new(n).generate_seeded(seed),
+        "poisson" => PoissonWorkload::new(0.5, (n as i64 * 2).max(10)).generate_seeded(seed),
+        "gaming" => CloudGamingWorkload::new(n, (n as i64 * 20).max(3600)).generate_seeded(seed),
+        "analytics" => AnalyticsWorkload::new((n / 10).max(1), 1000, 10).generate_seeded(seed),
+        "diurnal" => DiurnalWorkload::new(n, 86_400, 1, 0.8).generate_seeded(seed),
+        "spike" => SpikeWorkload::new((n / 50).max(1), 50, 1000).generate_seeded(seed),
+        other => return Err(format!("unknown workload {other:?}")),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            trace::save(&inst, path).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} items to {path}", inst.len());
+        }
+        None => print!("{}", trace::to_string(&inst)),
+    }
+    Ok(())
+}
+
+fn bounds(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_trace(flags)?;
+    let stats = instance_stats(&inst).ok_or("empty trace")?;
+    let lb = lower_bounds(&inst);
+    println!("items:            {}", stats.items);
+    println!("span:             {} ticks", stats.span);
+    println!(
+        "durations:        {} .. {} (mu = {:.2})",
+        stats.min_duration, stats.max_duration, stats.mu
+    );
+    println!(
+        "sizes:            {:.4} .. {:.4} (mean {:.4})",
+        stats.min_size, stats.max_size, stats.mean_size
+    );
+    println!(
+        "peak load:        {:.2} (needs >= {} servers at peak)",
+        stats.peak_load, stats.peak_server_floor
+    );
+    println!("peak concurrency: {} items", stats.peak_concurrency);
+    println!("LB demand (P1):   {:.1} ticks", lb.demand.ticks_f64());
+    println!("LB span   (P2):   {} ticks", lb.span);
+    println!("LB3       (P3):   {} ticks  <- tightest", lb.lb3);
+    Ok(())
+}
+
+fn pack(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_trace(flags)?;
+    let algo = get(flags, "algo")?;
+    let lb = lower_bounds(&inst);
+    let offline = flags.contains_key("offline");
+    let (name, usage, bins) = if offline {
+        let packer = offline_packer(algo);
+        let packing = packer.pack(&inst);
+        packing.validate(&inst).map_err(|e| e.to_string())?;
+        (
+            packer.name().to_string(),
+            packing.total_usage(&inst),
+            packing.num_bins(),
+        )
+    } else {
+        let params = AlgoParams::from_instance(&inst);
+        let mut packer = online_packer(algo, params);
+        let mode = if flags.contains_key("non-clairvoyant") {
+            ClairvoyanceMode::NonClairvoyant
+        } else {
+            ClairvoyanceMode::Clairvoyant
+        };
+        let run = OnlineEngine::new(mode)
+            .run(&inst, packer.as_mut())
+            .map_err(|e| e.to_string())?;
+        run.packing.validate(&inst).map_err(|e| e.to_string())?;
+        (packer.name(), run.usage, run.bins_opened())
+    };
+    println!("algorithm:   {name}");
+    println!("usage:       {usage} ticks");
+    println!("bins:        {bins}");
+    println!("ratio vs LB: {:.4}", usage as f64 / lb.best().max(1) as f64);
+    Ok(())
+}
+
+fn report(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_trace(flags)?;
+    let algo = get(flags, "algo")?;
+    let packing = if flags.contains_key("offline") {
+        offline_packer(algo).pack(&inst)
+    } else {
+        let params = AlgoParams::from_instance(&inst);
+        let mut packer = online_packer(algo, params);
+        OnlineEngine::clairvoyant()
+            .run(&inst, packer.as_mut())
+            .map_err(|e| e.to_string())?
+            .packing
+    };
+    packing.validate(&inst).map_err(|e| e.to_string())?;
+    let rows = clairvoyant_dbp::core::stats::packing_report(&inst, &packing);
+    println!(
+        "{:<6} {:>6} {:>10} {:>12} {:>10}",
+        "bin", "items", "span", "utilization", "gap_ticks"
+    );
+    let mut total_util = 0.0;
+    for r in &rows {
+        println!(
+            "{:<6} {:>6} {:>10} {:>11.1}% {:>10}",
+            r.bin.0,
+            r.items,
+            r.span,
+            r.utilization * 100.0,
+            r.gap_ticks
+        );
+        total_util += r.utilization;
+    }
+    println!(
+        "
+{} bins, mean utilization {:.1}%, total usage {}",
+        rows.len(),
+        total_util / rows.len().max(1) as f64 * 100.0,
+        packing.total_usage(&inst)
+    );
+    Ok(())
+}
+
+fn compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_trace(flags)?;
+    let lb = lower_bounds(&inst).best().max(1);
+    let params = AlgoParams::from_instance(&inst);
+    println!(
+        "{:<26} {:>12} {:>6} {:>9}",
+        "algorithm", "usage", "bins", "vs LB3"
+    );
+    for algo in ONLINE_ALGOS {
+        let mut packer = online_packer(algo, params);
+        let mode = if matches!(*algo, "cbdt" | "cbd" | "combined") {
+            ClairvoyanceMode::Clairvoyant
+        } else {
+            ClairvoyanceMode::NonClairvoyant
+        };
+        let run = OnlineEngine::new(mode)
+            .run(&inst, packer.as_mut())
+            .map_err(|e| e.to_string())?;
+        run.packing.validate(&inst).map_err(|e| e.to_string())?;
+        println!(
+            "{:<26} {:>12} {:>6} {:>9.4}",
+            format!("{} (online)", packer.name()),
+            run.usage,
+            run.bins_opened(),
+            run.usage as f64 / lb as f64
+        );
+    }
+    for algo in OFFLINE_ALGOS {
+        let packer = offline_packer(algo);
+        let packing = packer.pack(&inst);
+        packing.validate(&inst).map_err(|e| e.to_string())?;
+        let usage = packing.total_usage(&inst);
+        println!(
+            "{:<26} {:>12} {:>6} {:>9.4}",
+            format!("{} (offline)", packer.name()),
+            usage,
+            packing.num_bins(),
+            usage as f64 / lb as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! # clairvoyant-dbp
+//!
+//! A production-quality Rust implementation of **Clairvoyant MinUsageTime
+//! Dynamic Bin Packing** — the job-scheduling / server-acquisition model of
+//! *Ren & Tang, "Clairvoyant Dynamic Bin Packing for Job Scheduling with
+//! Minimum Server Usage Time", SPAA 2016* — together with every baseline
+//! it compares against, exact reference solvers, workload generators, a
+//! cloud-cost simulator, and the harness that regenerates the paper's
+//! figures.
+//!
+//! ## The problem in one paragraph
+//!
+//! Jobs (items) with known sizes arrive over time and must immediately be
+//! placed on servers (unit-capacity bins) without migration; each server
+//! is paid for exactly while it hosts at least one job. Minimize the total
+//! server usage time. In the *clairvoyant* setting a job's departure time
+//! is known when it is placed — true for cloud gaming sessions and
+//! recurring analytics jobs — and the paper shows this knowledge buys
+//! dramatically better competitive ratios than the non-clairvoyant
+//! `μ + 4` of First Fit: `2√μ + 3` by classifying items on departure
+//! times, `min_n μ^{1/n} + n + 3` by classifying on durations.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Contents |
+//! |---|---|
+//! | [`core`] | items, instances, exact accounting, level profiles, the online engine |
+//! | [`algos`] | DDFF, Dual Coloring, exact solvers, Any Fit family, CBDT/CBD/combined, the Theorem 3 adversary |
+//! | [`theory`] | every theorem's bound in closed form; Figure 8 generation |
+//! | [`workloads`] | seedable generators (gaming, analytics, diurnal, adversarial) and trace I/O |
+//! | [`interval`] | interval scheduling with bounded parallelism (unit demands) |
+//! | [`multidim`] | the §6 multi-resource extension |
+//! | [`flex`] | the §6 flexible-jobs extension (release times + deadlines) |
+//! | [`sim`] | cloud renting-cost simulator, billing models, noisy clairvoyance |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use clairvoyant_dbp::prelude::*;
+//!
+//! // Three half-size jobs; departures are known at arrival.
+//! let jobs = Instance::from_triples(&[
+//!     (0.5, 0, 100),  // (size, arrival, departure)
+//!     (0.5, 10, 90),
+//!     (0.5, 20, 500),
+//! ]);
+//!
+//! // Pack them online with classify-by-departure-time First Fit.
+//! let mut packer = ClassifyByDepartureTime::new(100);
+//! let run = OnlineEngine::clairvoyant().run(&jobs, &mut packer).unwrap();
+//! run.packing.validate(&jobs).unwrap();
+//!
+//! // Compare against the Proposition 3 lower bound.
+//! let lb = lower_bounds(&jobs);
+//! assert!(run.usage >= lb.best());
+//! ```
+
+pub use dbp_algos as algos;
+pub use dbp_core as core;
+pub use dbp_flex as flex;
+pub use dbp_interval as interval;
+pub use dbp_multidim as multidim;
+pub use dbp_sim as sim;
+pub use dbp_theory as theory;
+pub use dbp_workloads as workloads;
+
+/// The most commonly used types and functions, for glob import.
+pub mod prelude {
+    pub use dbp_algos::adversary::{golden_ratio, run_adversary};
+    pub use dbp_algos::exact::{min_usage_packing, opt_total};
+    pub use dbp_algos::offline::{ArrivalFirstFit, DualColoring, DurationDescendingFirstFit};
+    pub use dbp_algos::online::{
+        AnyFit, ClassifyByDepartureTime, ClassifyByDuration, CombinedClassify, FitRule,
+        HybridFirstFit,
+    };
+    pub use dbp_core::accounting::{lower_bounds, LowerBounds};
+    pub use dbp_core::online::ClairvoyanceMode;
+    pub use dbp_core::{
+        Instance, Interval, Item, ItemId, OfflinePacker, OnlineEngine, OnlinePacker, OnlineRun,
+        Packing, Size, Time,
+    };
+    pub use dbp_sim::{simulate, Billing, NoisyEstimator};
+    pub use dbp_workloads::Workload;
+}

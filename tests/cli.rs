@@ -1,0 +1,135 @@
+//! End-to-end tests of the `dbp` command-line tool.
+
+use std::process::Command;
+
+fn dbp(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dbp"))
+        .args(args)
+        .output()
+        .expect("run dbp");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_trace(name: &str) -> String {
+    let dir = std::env::temp_dir().join("dbp-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn generate_bounds_pack_compare_pipeline() {
+    let path = temp_trace("pipeline.csv");
+    let (ok, _, err) = dbp(&[
+        "generate",
+        "--workload",
+        "uniform",
+        "--n",
+        "120",
+        "--seed",
+        "9",
+        "--out",
+        &path,
+    ]);
+    assert!(ok, "generate failed: {err}");
+
+    let (ok, out, _) = dbp(&["bounds", "--trace", &path]);
+    assert!(ok);
+    assert!(out.contains("items:            120"));
+    assert!(out.contains("LB3"));
+
+    let (ok, out, _) = dbp(&["pack", "--trace", &path, "--algo", "cbdt"]);
+    assert!(ok);
+    assert!(out.contains("ratio vs LB"));
+
+    let (ok, out, _) = dbp(&["pack", "--trace", &path, "--algo", "ddff", "--offline"]);
+    assert!(ok);
+    assert!(out.contains("algorithm:   ddff"));
+
+    let (ok, out, _) = dbp(&["compare", "--trace", &path]);
+    assert!(ok);
+    for name in ["first-fit", "cbdt", "ddff", "dual-coloring"] {
+        assert!(out.contains(name), "missing {name} in compare output");
+    }
+
+    let (ok, out, _) = dbp(&["report", "--trace", &path, "--algo", "cbdt"]);
+    assert!(ok);
+    assert!(out.contains("mean utilization"));
+    let (ok, out, _) = dbp(&["report", "--trace", &path, "--algo", "ddff", "--offline"]);
+    assert!(ok);
+    assert!(out.contains("gap_ticks"));
+}
+
+#[test]
+fn generate_to_stdout_parses_back() {
+    let (ok, out, _) = dbp(&[
+        "generate",
+        "--workload",
+        "spike",
+        "--n",
+        "100",
+        "--seed",
+        "1",
+    ]);
+    assert!(ok);
+    let inst = clairvoyant_dbp::workloads::trace::from_str(&out).expect("parse stdout trace");
+    assert_eq!(inst.len(), 100);
+}
+
+#[test]
+fn helpful_errors() {
+    let (ok, _, err) = dbp(&["pack", "--trace", "/nonexistent/file.csv", "--algo", "cbdt"]);
+    assert!(!ok);
+    assert!(err.contains("error:"));
+
+    let (ok, _, err) = dbp(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown subcommand"));
+
+    let (ok, _, err) = dbp(&["pack"]);
+    assert!(!ok);
+    assert!(err.contains("missing required flag"));
+
+    let (ok, out, _) = dbp(&["algos"]);
+    assert!(ok);
+    assert!(out.contains("first-fit") && out.contains("ddff"));
+}
+
+#[test]
+fn non_clairvoyant_flag_respected() {
+    let path = temp_trace("nc.csv");
+    dbp(&[
+        "generate",
+        "--workload",
+        "uniform",
+        "--n",
+        "60",
+        "--seed",
+        "4",
+        "--out",
+        &path,
+    ]);
+    // CBDT requires clairvoyance: non-clairvoyant mode must fail loudly
+    // (panics inside — surfaced as a failed exit status), while FF works.
+    let (ok_ff, _, _) = dbp(&[
+        "pack",
+        "--trace",
+        &path,
+        "--algo",
+        "first-fit",
+        "--non-clairvoyant",
+    ]);
+    assert!(ok_ff);
+    let (ok_cbdt, _, _) = dbp(&[
+        "pack",
+        "--trace",
+        &path,
+        "--algo",
+        "cbdt",
+        "--non-clairvoyant",
+    ]);
+    assert!(!ok_cbdt);
+}

@@ -1,0 +1,50 @@
+//! Moderate-scale smoke tests: the engines must stay correct (and
+//! tolerably fast in debug builds) on thousands of items.
+
+use clairvoyant_dbp::algos::offline::ProfileBackend;
+use clairvoyant_dbp::core::accounting::lower_bounds;
+use clairvoyant_dbp::prelude::*;
+use clairvoyant_dbp::workloads::random::PoissonWorkload;
+use clairvoyant_dbp::workloads::Workload;
+
+#[test]
+fn online_roster_on_5k_items() {
+    let inst = PoissonWorkload::new(1.0, 5_000).generate_seeded(17);
+    assert!(inst.len() > 4_000);
+    let lb = lower_bounds(&inst);
+    let engine = OnlineEngine::clairvoyant();
+    let delta = inst.min_duration().unwrap();
+    let mu = inst.mu().unwrap();
+    let mut packers: Vec<Box<dyn OnlinePacker>> = vec![
+        Box::new(AnyFit::first_fit()),
+        Box::new(AnyFit::best_fit()),
+        Box::new(ClassifyByDepartureTime::with_known_durations(delta, mu)),
+        Box::new(ClassifyByDuration::with_known_durations(delta, mu)),
+    ];
+    for p in packers.iter_mut() {
+        let run = engine.run(&inst, p.as_mut()).unwrap();
+        run.packing.validate(&inst).unwrap();
+        assert!(run.usage >= lb.best());
+        assert_eq!(run.usage, run.packing.total_usage(&inst));
+        // Fleet accounting identity at scale.
+        assert_eq!(run.fleet_series().integral() as u128, run.usage);
+    }
+}
+
+#[test]
+fn ddff_segtree_on_5k_items() {
+    let inst = PoissonWorkload::new(1.0, 5_000).generate_seeded(18);
+    let packing = DurationDescendingFirstFit::with_backend(ProfileBackend::SegTree).pack(&inst);
+    packing.validate(&inst).unwrap();
+    let lb = lower_bounds(&inst);
+    assert!(packing.total_usage(&inst) < 5 * lb.best());
+}
+
+#[test]
+fn lower_bounds_on_50k_items() {
+    let inst = PoissonWorkload::new(5.0, 10_000).generate_seeded(19);
+    assert!(inst.len() > 40_000);
+    let lb = lower_bounds(&inst);
+    assert!(lb.lb3 >= lb.span);
+    assert!(lb.lb3 >= lb.demand.ticks_ceil());
+}

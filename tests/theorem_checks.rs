@@ -1,0 +1,158 @@
+//! Deterministic theorem verification on structured instance families —
+//! the executable companion to the paper's proofs.
+
+use clairvoyant_dbp::algos::adversary::{
+    golden_ratio, guaranteed_ratio, run_adversary, theorem3_instance,
+};
+use clairvoyant_dbp::algos::exact;
+use clairvoyant_dbp::core::accounting::lower_bounds;
+use clairvoyant_dbp::prelude::*;
+use clairvoyant_dbp::theory;
+use clairvoyant_dbp::workloads::adversarial::{any_fit_staircase, ff_tail_trap, short_long_pairs};
+
+/// Theorem 3: every roster algorithm is forced to ≥ φ − ε by the adversary.
+#[test]
+fn theorem3_nobody_escapes() {
+    let unit = 100_000;
+    let x = 161_803;
+    let mut packers: Vec<Box<dyn OnlinePacker>> = vec![
+        Box::new(AnyFit::first_fit()),
+        Box::new(AnyFit::best_fit()),
+        Box::new(AnyFit::worst_fit()),
+        Box::new(AnyFit::next_fit()),
+        Box::new(HybridFirstFit::default()),
+        Box::new(ClassifyByDepartureTime::new(50_000)),
+        Box::new(ClassifyByDuration::new(unit, 2.0)),
+        Box::new(CombinedClassify::new(unit, 2.0)),
+    ];
+    for p in packers.iter_mut() {
+        let rep = run_adversary(p.as_mut(), unit, x, 1);
+        assert!(
+            rep.ratio >= golden_ratio() - 0.001,
+            "{} escaped with {:.4}",
+            p.name(),
+            rep.ratio
+        );
+    }
+}
+
+/// The adversary's guarantee curve peaks exactly at φ.
+#[test]
+fn theorem3_guarantee_curve() {
+    let phi = golden_ratio();
+    assert!((guaranteed_ratio(phi) - phi).abs() < 1e-12);
+    // The curve is the min of a decreasing and an increasing function.
+    for x in [1.05, 1.2, 1.4, 1.6, 1.62, 1.8, 2.5, 4.0] {
+        assert!(guaranteed_ratio(x) <= phi + 1e-12);
+    }
+}
+
+/// Theorem 3 case-B optimum matches the closed form x + 1 + 2τ.
+#[test]
+fn theorem3_case_b_optimum() {
+    for (unit, x, tau) in [(100i64, 162i64, 1i64), (1000, 1618, 5), (50, 90, 2)] {
+        let inst = theorem3_instance(unit, x, tau, true);
+        let (opt, packing) = exact::min_usage_packing(&inst);
+        packing.validate(&inst).unwrap();
+        assert_eq!(opt, (x + unit + 2 * tau) as u128);
+    }
+}
+
+/// Tang et al.'s μ+4 bound for First Fit, stress-tested on the adversarial
+/// families it was designed around.
+#[test]
+fn first_fit_mu_plus_4_on_adversarial_families() {
+    let engine = OnlineEngine::non_clairvoyant();
+    let instances = vec![
+        ff_tail_trap(16, 2000, 10),
+        any_fit_staircase(10, 5, 1000),
+        short_long_pairs(6, 10, 900),
+    ];
+    for inst in instances {
+        let mu = inst.mu().unwrap();
+        let lb = lower_bounds(&inst).best() as f64;
+        let mut ff = AnyFit::first_fit();
+        let run = engine.run(&inst, &mut ff).unwrap();
+        run.packing.validate(&inst).unwrap();
+        assert!(
+            run.usage as f64 <= (mu + 4.0) * lb,
+            "FF {} vs (mu+4)·LB = {}",
+            run.usage,
+            (mu + 4.0) * lb
+        );
+    }
+}
+
+/// The tail trap actually exhibits Ω(μ)-type behaviour for FF while CBDT
+/// stays O(1) — the gap the paper's classification strategies close.
+#[test]
+fn classification_closes_the_tail_trap_gap() {
+    let inst = ff_tail_trap(16, 4000, 10);
+    let lb = lower_bounds(&inst).best() as f64;
+
+    let mut ff = AnyFit::first_fit();
+    let ff_ratio = OnlineEngine::non_clairvoyant()
+        .run(&inst, &mut ff)
+        .unwrap()
+        .usage as f64
+        / lb;
+
+    let mut cbdt = ClassifyByDepartureTime::new(100);
+    let cbdt_ratio = OnlineEngine::clairvoyant()
+        .run(&inst, &mut cbdt)
+        .unwrap()
+        .usage as f64
+        / lb;
+
+    assert!(ff_ratio > 10.0, "trap must hurt FF (got {ff_ratio:.2})");
+    assert!(
+        cbdt_ratio < 2.0,
+        "CBDT must dismantle the trap (got {cbdt_ratio:.2})"
+    );
+}
+
+/// Figure 8 consistency between the theory crate and direct formulas.
+#[test]
+fn figure8_matches_theorem_formulas() {
+    for mu in [1.0, 3.0, 4.0, 9.0, 64.0, 1e4] {
+        assert_eq!(theory::ff_non_clairvoyant(mu), mu + 4.0);
+        assert!((theory::cbdt_best_known(mu) - (2.0 * mu.sqrt() + 3.0)).abs() < 1e-12);
+        let (bound, n) = theory::cbd_best_known(mu);
+        let direct = mu.powf(1.0 / n as f64) + n as f64 + 3.0;
+        assert!((bound - direct).abs() < 1e-12);
+    }
+}
+
+/// Proposition ordering on structured instances where all three bounds
+/// differ.
+#[test]
+fn proposition_bounds_strict_ordering_possible() {
+    // Dyadic item sizes 0.625: span < demand < LB3 strictly.
+    let inst = Instance::from_triples(&[(0.625, 0, 10), (0.625, 0, 10)]);
+    let lb = lower_bounds(&inst);
+    assert_eq!(lb.demand.ticks_ceil(), 13);
+    assert_eq!(lb.span, 10);
+    assert_eq!(lb.lb3, 20);
+    assert!(lb.lb3 > lb.demand.ticks_ceil() && lb.demand.ticks_ceil() > lb.span);
+    // And OPT_total achieves LB3 here.
+    assert_eq!(exact::opt_total(&inst), 20);
+}
+
+/// Known-μ parameterizations: the chosen ρ and α really are the argmins
+/// of their bound formulas (sampled check).
+#[test]
+fn optimal_parameters_are_argmins() {
+    for mu in [2.0f64, 4.0, 16.0, 100.0] {
+        let delta = 10.0;
+        let rho_star = theory::cbdt_optimal_rho(delta, mu);
+        let best = theory::cbdt_bound(rho_star, delta, mu);
+        for mult in [0.25, 0.5, 0.9, 1.1, 2.0, 4.0] {
+            assert!(theory::cbdt_bound(rho_star * mult, delta, mu) >= best - 1e-12);
+        }
+        let (cbd_best, n_star) = theory::cbd_best_known(mu);
+        for n in 1..=20u32 {
+            let v = mu.powf(1.0 / n as f64) + n as f64 + 3.0;
+            assert!(v >= cbd_best - 1e-12, "n={n} beats n*={n_star} at mu={mu}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the §5.2 stage decomposition
+//! ([`dbp_algos::instrument::stage_breakdown`]): the defensive
+//! zero-length-bin-life branch, and a property test that the three
+//! stages tile the total usage on random workloads.
+
+use dbp_algos::instrument::stage_breakdown;
+use dbp_algos::online::ClassifyByDepartureTime;
+use dbp_core::online::BinRecord;
+use dbp_core::{BinId, Instance, OnlineEngine, OnlineRun};
+use proptest::prelude::*;
+
+fn run_cbdt(inst: &Instance, rho: i64) -> OnlineRun {
+    let mut p = ClassifyByDepartureTime::new(rho);
+    OnlineEngine::clairvoyant().run(inst, &mut p).unwrap()
+}
+
+/// A zero-length bin life (opened_at == closed_at) cannot come out of the
+/// engine — bins live at least as long as their shortest item — but
+/// `stage_breakdown` also runs on event-replayed and hand-built runs, so
+/// the defensive `continue` must skip such records without contributing
+/// usage or panicking.
+#[test]
+fn zero_length_bin_life_is_skipped() {
+    let inst = Instance::from_triples(&[(0.6, 0, 9), (0.6, 1, 10), (0.5, 12, 25), (0.7, 13, 24)]);
+    let rho = 10;
+    let mut run = run_cbdt(&inst, rho);
+    let (cats_before, agg_before) = stage_breakdown(&inst, &run, rho);
+    assert_eq!(agg_before.total(), run.usage);
+
+    // Inject a degenerate record into an existing category and a brand-new
+    // one; neither may change any stage total.
+    let tag = run.bins[0].tag;
+    run.bins.push(BinRecord {
+        id: BinId(900),
+        opened_at: 5,
+        closed_at: 5,
+        tag,
+        items: Vec::new(),
+    });
+    run.bins.push(BinRecord {
+        id: BinId(901),
+        opened_at: 7,
+        closed_at: 7,
+        tag: tag + 50,
+        items: Vec::new(),
+    });
+    let (cats_after, agg_after) = stage_breakdown(&inst, &run, rho);
+    assert_eq!(agg_after, agg_before);
+    // The new empty category still shows up in the per-category detail,
+    // with zero usage in every stage.
+    assert_eq!(cats_after.len(), cats_before.len() + 1);
+    let empty = cats_after
+        .iter()
+        .find(|c| c.category == tag + 50)
+        .expect("degenerate category listed");
+    assert_eq!(empty.usage.total(), 0);
+    assert_eq!(empty.bins, 1);
+}
+
+proptest! {
+    /// The decomposition is a tiling: for any random workload and any ρ,
+    /// stage A + stage B + stage C equals the run's total usage exactly,
+    /// and every per-category window is ordered t₁ ≤ t₂ ≤ t₃.
+    #[test]
+    fn stages_tile_total_usage_on_random_workloads(
+        jobs in prop::collection::vec(
+            (5u32..95, 0i64..400, 1i64..200),
+            1..60,
+        ),
+        rho in 1i64..300,
+    ) {
+        let triples: Vec<(f64, i64, i64)> = jobs
+            .iter()
+            .map(|&(pct, arrival, dur)| (pct as f64 / 100.0, arrival, arrival + dur))
+            .collect();
+        let inst = Instance::from_triples(&triples);
+        let run = run_cbdt(&inst, rho);
+        run.packing.validate(&inst).unwrap();
+        let (cats, agg) = stage_breakdown(&inst, &run, rho);
+        prop_assert_eq!(agg.total(), run.usage);
+        let per_cat: u128 = cats.iter().map(|c| c.usage.total()).sum();
+        prop_assert_eq!(per_cat, run.usage);
+        for c in &cats {
+            prop_assert!(c.t1 <= c.t2 && c.t2 <= c.t3, "window order in category {}", c.category);
+        }
+    }
+}

@@ -57,7 +57,9 @@ fn sort_order() {
     }
     let results = run_grid(cells, None, |(algo, seed)| {
         let inst = UniformWorkload::new(600).generate_seeded(*seed);
-        measure_offline(&inst, offline_packer(algo).as_ref(), false).ratio_vs_lb3
+        measure_offline(&inst, offline_packer(algo).as_ref(), false)
+            .expect("measure")
+            .ratio_vs_lb3
     });
     let mut table = Table::new(&["order", "uniform_mean", "staircase"]);
     let stair = staircase();
@@ -68,7 +70,9 @@ fn sort_order() {
             .map(|r| r.output)
             .collect();
         let mean = rs.iter().sum::<f64>() / rs.len() as f64;
-        let s = measure_offline(&stair, offline_packer(algo).as_ref(), false).ratio_vs_lb3;
+        let s = measure_offline(&stair, offline_packer(algo).as_ref(), false)
+            .expect("measure")
+            .ratio_vs_lb3;
         table.row(&[algo.to_string(), f3(mean), f3(s)]);
     }
     table.print();
@@ -99,7 +103,11 @@ fn large_rule() {
             let inst = UniformWorkload::new(400)
                 .with_sizes(dbp_workloads::random::SizeDist::Uniform { lo: 0.3, hi: 0.95 })
                 .generate_seeded(seed);
-            rs.push(measure_offline(&inst, offline_packer(algo).as_ref(), false).ratio_vs_lb3);
+            rs.push(
+                measure_offline(&inst, offline_packer(algo).as_ref(), false)
+                    .expect("measure")
+                    .ratio_vs_lb3,
+            );
         }
         let mean = rs.iter().sum::<f64>() / rs.len() as f64;
         let max = rs.iter().cloned().fold(0.0, f64::max);
@@ -118,7 +126,8 @@ fn rho_extremes() {
 
     // rho = 1 tick: each departure tick its own category.
     let mut tiny = ClassifyByDepartureTime::new(1);
-    let m = measure_online(&inst, &mut tiny, ClairvoyanceMode::Clairvoyant, false);
+    let m =
+        measure_online(&inst, &mut tiny, ClairvoyanceMode::Clairvoyant, false).expect("measure");
     table.row(&[
         "cbdt(rho=1)".into(),
         m.usage.to_string(),
@@ -128,7 +137,8 @@ fn rho_extremes() {
 
     // Optimal rho.
     let mut opt = online_packer("cbdt", params);
-    let m_opt = measure_online(&inst, opt.as_mut(), ClairvoyanceMode::Clairvoyant, false);
+    let m_opt =
+        measure_online(&inst, opt.as_mut(), ClairvoyanceMode::Clairvoyant, false).expect("measure");
     table.row(&[
         m_opt.algo.clone(),
         m_opt.usage.to_string(),
@@ -139,7 +149,8 @@ fn rho_extremes() {
     // rho = entire horizon: single category — identical decisions to FF.
     let horizon = inst.last_departure().unwrap() - inst.first_arrival().unwrap() + 1;
     let mut huge = ClassifyByDepartureTime::new(horizon);
-    let m_huge = measure_online(&inst, &mut huge, ClairvoyanceMode::Clairvoyant, false);
+    let m_huge =
+        measure_online(&inst, &mut huge, ClairvoyanceMode::Clairvoyant, false).expect("measure");
     table.row(&[
         "cbdt(rho=horizon)".into(),
         m_huge.usage.to_string(),
@@ -148,7 +159,8 @@ fn rho_extremes() {
     ]);
 
     let mut ff = online_packer("first-fit", params);
-    let m_ff = measure_online(&inst, ff.as_mut(), ClairvoyanceMode::Clairvoyant, false);
+    let m_ff =
+        measure_online(&inst, ff.as_mut(), ClairvoyanceMode::Clairvoyant, false).expect("measure");
     table.row(&[
         "first-fit".into(),
         m_ff.usage.to_string(),
@@ -179,9 +191,11 @@ fn sliding_vs_fixed() {
                 .generate_seeded(seed);
             let mut fixed = ClassifyByDepartureTime::new(rho);
             fixed_sum += measure_online(&inst, &mut fixed, ClairvoyanceMode::Clairvoyant, false)
+                .expect("measure")
                 .ratio_vs_lb3;
             let mut sliding = SlidingDepartureWindow::new(rho);
             slide_sum += measure_online(&inst, &mut sliding, ClairvoyanceMode::Clairvoyant, false)
+                .expect("measure")
                 .ratio_vs_lb3;
         }
         table.row(&[

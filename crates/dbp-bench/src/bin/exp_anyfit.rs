@@ -30,8 +30,10 @@ fn cascade_scaling() {
         let params = AlgoParams::from_instance(&inst);
         let mut bf = online_packer("best-fit", params);
         let mut ff = online_packer("first-fit", params);
-        let m_bf = measure_online(&inst, bf.as_mut(), ClairvoyanceMode::NonClairvoyant, false);
-        let m_ff = measure_online(&inst, ff.as_mut(), ClairvoyanceMode::NonClairvoyant, false);
+        let m_bf = measure_online(&inst, bf.as_mut(), ClairvoyanceMode::NonClairvoyant, false)
+            .expect("measure");
+        let m_ff = measure_online(&inst, ff.as_mut(), ClairvoyanceMode::NonClairvoyant, false)
+            .expect("measure");
         table.row(&[k.to_string(), f3(m_bf.ratio_vs_lb3), f3(m_ff.ratio_vs_lb3)]);
         assert!(m_bf.ratio_vs_lb3 > prev_bf, "BF ratio must grow with k");
         assert!(m_ff.ratio_vs_lb3 < 1.5, "FF must stay near-optimal");
@@ -63,7 +65,7 @@ fn family_on_adversarial() {
             } else {
                 ClairvoyanceMode::NonClairvoyant
             };
-            let m = measure_online(inst, p.as_mut(), mode, false);
+            let m = measure_online(inst, p.as_mut(), mode, false).expect("measure");
             row.push(f3(m.ratio_vs_lb3));
         }
         table.row(&row);

@@ -43,7 +43,9 @@ fn random_sweep() {
         let inst = MuSweepWorkload::new(400, 20, mus[*mi]).generate_seeded(*seed);
         let params = AlgoParams::from_instance(&inst);
         let mut p = online_packer(algo, params);
-        measure_online(&inst, p.as_mut(), ClairvoyanceMode::Clairvoyant, false).ratio_vs_lb3
+        measure_online(&inst, p.as_mut(), ClairvoyanceMode::Clairvoyant, false)
+            .expect("measure")
+            .ratio_vs_lb3
     });
 
     let mut table = Table::new(&["mu", "cbdt", "cbd", "combined"]);
@@ -90,7 +92,8 @@ fn structured() {
     let mut usages = std::collections::HashMap::new();
     for algo in ["first-fit", "cbdt", "cbd", "combined"] {
         let mut p = online_packer(algo, params);
-        let m = measure_online(&inst, p.as_mut(), ClairvoyanceMode::Clairvoyant, false);
+        let m = measure_online(&inst, p.as_mut(), ClairvoyanceMode::Clairvoyant, false)
+            .expect("measure");
         usages.insert(algo.to_string(), m.usage);
         table.row(&[
             algo.to_string(),

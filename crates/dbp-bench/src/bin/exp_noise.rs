@@ -49,7 +49,9 @@ fn main() {
         } else {
             NoisyEstimator::new(seed * 7919 + 13, err).mode()
         };
-        measure_online(&inst, packer.as_mut(), mode, false).ratio_vs_lb3
+        measure_online(&inst, packer.as_mut(), mode, false)
+            .expect("measure")
+            .ratio_vs_lb3
     });
 
     // FF baseline (needs no estimates).
@@ -58,6 +60,7 @@ fn main() {
         let inst = MuSweepWorkload::new(400, delta, mu).generate_seeded(seed);
         let mut ff = online_packer("first-fit", AlgoParams::from_instance(&inst));
         ff_sum += measure_online(&inst, ff.as_mut(), ClairvoyanceMode::NonClairvoyant, false)
+            .expect("measure")
             .ratio_vs_lb3;
     }
     let ff_mean = ff_sum / SEEDS as f64;

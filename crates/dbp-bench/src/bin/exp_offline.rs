@@ -38,7 +38,7 @@ fn small_exact() {
     }
     let results = run_grid(cells, None, |(algo, seed)| {
         let inst = workload.generate_seeded(*seed);
-        let m = measure_offline(&inst, offline_packer(algo).as_ref(), true);
+        let m = measure_offline(&inst, offline_packer(algo).as_ref(), true).expect("measure");
         m.ratio_vs_opt.expect("exact opt requested")
     });
 
@@ -99,7 +99,7 @@ fn large_lb3() {
     let results = run_grid(cells, None, move |(algo, wname, seed)| {
         let w = &wl_ref.iter().find(|(n, _)| n == wname).unwrap().1;
         let inst = w.generate_seeded(*seed);
-        let m = measure_offline(&inst, offline_packer(algo).as_ref(), false);
+        let m = measure_offline(&inst, offline_packer(algo).as_ref(), false).expect("measure");
         m.ratio_vs_lb3
     });
 

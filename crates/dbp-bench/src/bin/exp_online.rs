@@ -40,15 +40,16 @@ fn main() {
         let inst = w.generate_seeded(*seed);
         let params = AlgoParams::from_instance(&inst);
         let mut packer = online_packer(algo, params);
-        let m = measure_online(&inst, packer.as_mut(), ClairvoyanceMode::Clairvoyant, false);
-        m.ratio_vs_lb3
+        let m = measure_online(&inst, packer.as_mut(), ClairvoyanceMode::Clairvoyant, false)
+            .expect("measure");
+        (m.ratio_vs_lb3, m.counters)
     });
 
     let mean = |algo: &str, mu: f64| -> f64 {
         let rs: Vec<f64> = results
             .iter()
             .filter(|r| r.label.starts_with(&format!("{algo}/mu{mu}/")))
-            .map(|r| r.output)
+            .map(|r| r.output.0)
             .collect();
         rs.iter().sum::<f64>() / rs.len() as f64
     };
@@ -87,4 +88,69 @@ fn main() {
         );
     }
     println!("\nchecks: every measured mean ratio below its theorem bound ... OK");
+
+    // Observability cross-section: aggregate run counters per algorithm
+    // over the whole grid — scan depth and decision latency are the cost
+    // side of the ratios above.
+    let mut ctable = Table::new(&[
+        "algo",
+        "items",
+        "reuse_frac",
+        "mean_scan",
+        "ns_per_decision",
+    ]);
+    for algo in ONLINE_ALGOS {
+        let mut total = dbp_obs::CountersSnapshot::default();
+        for r in results
+            .iter()
+            .filter(|r| r.label.starts_with(&format!("{algo}/")))
+        {
+            let c = r.output.1;
+            total.items_packed += c.items_packed;
+            total.placements_reused += c.placements_reused;
+            total.bins_opened += c.bins_opened;
+            total.bins_closed += c.bins_closed;
+            total.candidates_scanned += c.candidates_scanned;
+            total.decide_ns_total += c.decide_ns_total;
+            total.decide_ns_max = total.decide_ns_max.max(c.decide_ns_max);
+        }
+        ctable.row(&[
+            algo.to_string(),
+            total.items_packed.to_string(),
+            f3(total.reuse_fraction()),
+            f3(total.mean_candidates()),
+            f3(total.mean_decide_ns()),
+        ]);
+        assert_eq!(
+            total.bins_opened, total.bins_closed,
+            "every opened bin must close ({algo})"
+        );
+    }
+    println!("\nrun counters (whole grid):");
+    ctable.print();
+
+    // Trace-replay oracle: one representative run per algorithm must
+    // reconstruct bit-for-bit from its own event stream.
+    for algo in ONLINE_ALGOS {
+        let w =
+            MuSweepWorkload::new(400, 20, 16.0).with_sizes(SizeDist::Uniform { lo: 0.05, hi: 0.6 });
+        let inst = w.generate_seeded(0);
+        let params = AlgoParams::from_instance(&inst);
+        let mut packer = online_packer(algo, params);
+        let mut log = dbp_core::observe::EventLog::new();
+        let run = dbp_core::OnlineEngine::clairvoyant()
+            .run_observed(&inst, packer.as_mut(), &mut log)
+            .expect("observed run");
+        let replay = dbp_obs::replay_events(&log.events).expect("replay");
+        replay.verify().expect("replay verifies");
+        assert_eq!(replay.run.usage, run.usage, "replayed usage ({algo})");
+        assert_eq!(
+            replay.run.packing, run.packing,
+            "replayed bin assignments ({algo})"
+        );
+    }
+    println!(
+        "checks: traces replay bit-for-bit for all {} algorithms ... OK",
+        ONLINE_ALGOS.len()
+    );
 }

@@ -51,7 +51,9 @@ fn rho_sweep() {
     let results = run_grid(cells, None, |(rho, seed)| {
         let inst = MuSweepWorkload::new(400, delta, mu).generate_seeded(*seed);
         let mut p = ClassifyByDepartureTime::new(*rho);
-        measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false).ratio_vs_lb3
+        measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false)
+            .expect("measure")
+            .ratio_vs_lb3
     });
 
     let mut table = Table::new(&["rho", "mean_ratio_vs_lb3", "theorem4_bound"]);
@@ -101,7 +103,9 @@ fn n_sweep() {
         let alpha = mu.powf(1.0 / *n as f64) * (1.0 + 1e-9);
         let alpha = alpha.max(1.0 + 1e-6);
         let mut p = ClassifyByDuration::new(delta, alpha);
-        measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false).ratio_vs_lb3
+        measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false)
+            .expect("measure")
+            .ratio_vs_lb3
     });
 
     let mut table = Table::new(&["n", "alpha", "mean_ratio_vs_lb3", "thm5_bound(mu^1/n+n+3)"]);
@@ -133,7 +137,8 @@ fn tail_trap_rho() {
     let mut table = Table::new(&["rho", "usage", "vs_best_possible"]);
     for rho in [5i64, 10, 100, 500, 1000, 2000] {
         let mut p = ClassifyByDepartureTime::new(rho);
-        let m = measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false);
+        let m =
+            measure_online(&inst, &mut p, ClairvoyanceMode::Clairvoyant, false).expect("measure");
         table.row(&[rho.to_string(), m.usage.to_string(), f3(m.ratio_vs_lb3)]);
     }
     table.print();

@@ -1,9 +1,10 @@
 //! Measurement helpers: run a packer, validate the packing, compute
-//! ratios.
+//! ratios and run counters.
 
 use dbp_core::accounting::lower_bounds;
 use dbp_core::online::ClairvoyanceMode;
-use dbp_core::{Instance, OfflinePacker, OnlineEngine, OnlinePacker};
+use dbp_core::{DbpError, Instance, OfflinePacker, OnlineEngine, OnlinePacker};
+use dbp_obs::counters::{Counters, CountersSnapshot};
 
 /// One validated run's headline numbers.
 #[derive(Clone, Debug)]
@@ -21,6 +22,10 @@ pub struct Measurement {
     pub ratio_vs_lb3: f64,
     /// `usage / OPT_total` when the exact adversary was computed.
     pub ratio_vs_opt: Option<f64>,
+    /// Run counters (placements, bins, scan depth, decision latency).
+    /// Zeroed for offline packers, whose decisions happen outside the
+    /// engine loop.
+    pub counters: CountersSnapshot,
 }
 
 fn ratio(usage: u128, denom: u128) -> f64 {
@@ -40,21 +45,21 @@ pub fn measure_online(
     packer: &mut dyn OnlinePacker,
     mode: ClairvoyanceMode,
     exact_opt: bool,
-) -> Measurement {
-    let run = OnlineEngine::new(mode)
-        .run(inst, packer)
-        .expect("engine run");
-    run.packing.validate(inst).expect("valid packing");
+) -> Result<Measurement, DbpError> {
+    let mut counters = Counters::new();
+    let run = OnlineEngine::new(mode).run_observed(inst, packer, &mut counters)?;
+    run.packing.validate(inst)?;
     let lb = lower_bounds(inst);
     let opt = exact_opt.then(|| dbp_algos::exact::opt_total(inst));
-    Measurement {
+    Ok(Measurement {
         algo: packer.name(),
         usage: run.usage,
         bins: run.bins_opened(),
         lb3: lb.lb3,
-        ratio_vs_lb3: ratio(run.usage, lb.best()),
+        ratio_vs_lb3: ratio(run.usage, lb.lb3),
         ratio_vs_opt: opt.map(|o| ratio(run.usage, o)),
-    }
+        counters: counters.snapshot(),
+    })
 }
 
 /// Runs an offline packer, validates, computes ratios (see
@@ -63,20 +68,21 @@ pub fn measure_offline(
     inst: &Instance,
     packer: &dyn OfflinePacker,
     exact_opt: bool,
-) -> Measurement {
+) -> Result<Measurement, DbpError> {
     let packing = packer.pack(inst);
-    packing.validate(inst).expect("valid packing");
+    packing.validate(inst)?;
     let usage = packing.total_usage(inst);
     let lb = lower_bounds(inst);
     let opt = exact_opt.then(|| dbp_algos::exact::opt_total(inst));
-    Measurement {
+    Ok(Measurement {
         algo: packer.name().to_string(),
         usage,
         bins: packing.num_bins(),
         lb3: lb.lb3,
-        ratio_vs_lb3: ratio(usage, lb.best()),
+        ratio_vs_lb3: ratio(usage, lb.lb3),
         ratio_vs_opt: opt.map(|o| ratio(usage, o)),
-    }
+        counters: CountersSnapshot::default(),
+    })
 }
 
 #[cfg(test)]
@@ -93,17 +99,65 @@ mod tests {
             &mut AnyFit::first_fit(),
             ClairvoyanceMode::Clairvoyant,
             true,
-        );
+        )
+        .unwrap();
         assert!(m.ratio_vs_lb3 >= 1.0);
         let vs_opt = m.ratio_vs_opt.unwrap();
         assert!(vs_opt >= 1.0 && vs_opt <= m.ratio_vs_lb3 + 1e-12);
+        assert_eq!(m.counters.items_packed, 3);
+        assert_eq!(m.counters.bins_opened as usize, m.bins);
     }
 
     #[test]
     fn offline_measurement_sane() {
         let inst = Instance::from_triples(&[(0.6, 0, 10), (0.6, 2, 12), (0.3, 5, 9)]);
-        let m = measure_offline(&inst, &DurationDescendingFirstFit::new(), true);
+        let m = measure_offline(&inst, &DurationDescendingFirstFit::new(), true).unwrap();
         assert!(m.ratio_vs_lb3 >= 1.0);
         assert!(m.ratio_vs_opt.unwrap() <= 5.0, "Theorem 1");
+    }
+
+    /// Regression for the `ratio_vs_lb3` doc/code mismatch: the field is
+    /// defined as `usage / lb3` and must divide by `lb.lb3` specifically,
+    /// not whichever bound happens to be `lb.best()`.
+    #[test]
+    fn ratio_vs_lb3_divides_by_lb3() {
+        let inst = Instance::from_triples(&[
+            (0.6, 0, 10),
+            (0.6, 2, 12),
+            (0.3, 5, 9),
+            (0.8, 20, 45),
+            (0.5, 21, 33),
+        ]);
+        let lb = lower_bounds(&inst);
+        let m = measure_online(
+            &inst,
+            &mut AnyFit::first_fit(),
+            ClairvoyanceMode::Clairvoyant,
+            false,
+        )
+        .unwrap();
+        assert_eq!(m.lb3, lb.lb3);
+        assert!((m.ratio_vs_lb3 - m.usage as f64 / lb.lb3 as f64).abs() < 1e-12);
+    }
+
+    /// An infeasible run is now an `Err`, not a panic.
+    #[test]
+    fn engine_errors_propagate() {
+        use dbp_core::online::{Decision, ItemView, OpenBin};
+        struct Overfill;
+        impl OnlinePacker for Overfill {
+            fn name(&self) -> String {
+                "overfill".into()
+            }
+            fn place(&mut self, _: &ItemView, open: &[OpenBin]) -> Decision {
+                open.first()
+                    .map(|b| Decision::Existing(b.id()))
+                    .unwrap_or(Decision::NEW)
+            }
+        }
+        let inst = Instance::from_triples(&[(0.8, 0, 10), (0.8, 1, 9)]);
+        let err =
+            measure_online(&inst, &mut Overfill, ClairvoyanceMode::Clairvoyant, false).unwrap_err();
+        assert!(matches!(err, DbpError::BadDecision { .. }));
     }
 }

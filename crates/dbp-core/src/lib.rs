@@ -56,6 +56,7 @@ pub mod instance;
 pub mod interval;
 pub mod interval_set;
 pub mod item;
+pub mod observe;
 pub mod online;
 pub mod packing;
 pub mod profile;
@@ -68,6 +69,7 @@ pub use instance::Instance;
 pub use interval::{Interval, Time};
 pub use interval_set::IntervalSet;
 pub use item::{Item, ItemId};
+pub use observe::{EventLog, FitDecision, NoopObserver, PackEvent, PackObserver, Tee};
 pub use online::{ClairvoyanceMode, Decision, OnlineEngine, OnlinePacker, OnlineRun};
 pub use packing::{BinId, OfflinePacker, Packing};
 pub use size::Size;

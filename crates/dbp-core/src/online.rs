@@ -297,7 +297,21 @@ impl OnlineEngine {
         inst: &Instance,
         packer: &mut dyn OnlinePacker,
     ) -> Result<OnlineRun, DbpError> {
-        let mut session = crate::stream::StreamingSession::new(self.mode.clone(), packer);
+        self.run_observed(inst, packer, &mut crate::observe::NoopObserver)
+    }
+
+    /// Like [`OnlineEngine::run`], but reports every packing event to the
+    /// given [`crate::observe::PackObserver`]. The observer is
+    /// monomorphized in; with [`crate::observe::NoopObserver`] this
+    /// compiles to exactly the unobserved loop.
+    pub fn run_observed<O: crate::observe::PackObserver>(
+        &self,
+        inst: &Instance,
+        packer: &mut dyn OnlinePacker,
+        obs: &mut O,
+    ) -> Result<OnlineRun, DbpError> {
+        let mut session =
+            crate::stream::StreamingSession::with_observer(self.mode.clone(), packer, obs);
         for item in inst.items() {
             session.arrive(item)?;
         }

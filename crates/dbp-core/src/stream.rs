@@ -12,21 +12,35 @@
 //! identical runs on identical input order (see tests) — the batch path
 //! is a thin convenience over this one conceptually, and both enforce the
 //! same rules: capacity, bin closure on last departure, no migration.
+//!
+//! ## Observability
+//!
+//! The session is generic over a [`PackObserver`] that receives a
+//! [`crate::observe::PackEvent`] for every arrival, placement, level
+//! change, bin opening, and bin closure. The default [`NoopObserver`]
+//! compiles all emission sites away (`O::ENABLED` is an associated
+//! constant), so unobserved sessions cost exactly what they did before
+//! the hooks existed. Attach an observer with
+//! [`StreamingSession::with_observer`] or
+//! [`crate::OnlineEngine::run_observed`].
 
 use crate::error::DbpError;
 use crate::interval::Time;
 use crate::item::{Item, ItemId};
+use crate::observe::{FitDecision, NoopObserver, PackEvent, PackObserver};
 use crate::online::{
     ActiveItem, BinRecord, ClairvoyanceMode, Decision, ItemView, OnlinePacker, OnlineRun, OpenBin,
 };
 use crate::packing::{BinId, Packing};
+use crate::size::Size;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// An in-progress online packing over a stream of arrivals.
-pub struct StreamingSession<'p> {
+pub struct StreamingSession<'p, O: PackObserver = NoopObserver> {
     mode: ClairvoyanceMode,
     packer: &'p mut dyn OnlinePacker,
+    obs: O,
     open: Vec<OpenBin>,
     records: Vec<BinRecord>,
     placement: HashMap<ItemId, BinId>,
@@ -36,13 +50,24 @@ pub struct StreamingSession<'p> {
     seen: std::collections::HashSet<ItemId>,
 }
 
-impl<'p> StreamingSession<'p> {
-    /// Starts a session; the packer's [`OnlinePacker::reset`] is invoked.
+impl<'p> StreamingSession<'p, NoopObserver> {
+    /// Starts an unobserved session; the packer's [`OnlinePacker::reset`]
+    /// is invoked.
     pub fn new(mode: ClairvoyanceMode, packer: &'p mut dyn OnlinePacker) -> Self {
+        Self::with_observer(mode, packer, NoopObserver)
+    }
+}
+
+impl<'p, O: PackObserver> StreamingSession<'p, O> {
+    /// Starts a session that reports every packing event to `obs` (pass
+    /// `&mut observer` to keep ownership). The packer's
+    /// [`OnlinePacker::reset`] is invoked.
+    pub fn with_observer(mode: ClairvoyanceMode, packer: &'p mut dyn OnlinePacker, obs: O) -> Self {
         packer.reset();
         StreamingSession {
             mode,
             packer,
+            obs,
             open: Vec::new(),
             records: Vec::new(),
             placement: HashMap::new(),
@@ -85,6 +110,30 @@ impl<'p> StreamingSession<'p> {
                     .find(|r| r.id == bin.id())
                     .expect("record exists for every opened bin");
                 rec.closed_at = dt;
+                if O::ENABLED {
+                    let (opened_at, items) = (rec.opened_at, rec.items.len());
+                    self.obs.on_event(&PackEvent::LevelChanged {
+                        bin: bin_id,
+                        at: dt,
+                        level: Size::ZERO,
+                        open_bins: self.open.len(),
+                    });
+                    self.obs.on_event(&PackEvent::BinClosed {
+                        bin: bin_id,
+                        at: dt,
+                        opened_at,
+                        items,
+                    });
+                }
+            } else if O::ENABLED {
+                let level = self.open[idx].level();
+                let open_bins = self.open.len();
+                self.obs.on_event(&PackEvent::LevelChanged {
+                    bin: bin_id,
+                    at: dt,
+                    level,
+                    open_bins,
+                });
             }
         }
         Ok(())
@@ -132,13 +181,35 @@ impl<'p> StreamingSession<'p> {
         self.close_until(now)?;
 
         let visible_dep = self.visible_departure(item);
+        if O::ENABLED {
+            self.obs.on_event(&PackEvent::ItemArrived {
+                id: item.id(),
+                size: item.size(),
+                at: now,
+                departure: item.departure(),
+                visible_departure: visible_dep,
+            });
+            if matches!(self.mode, ClairvoyanceMode::Noisy(_)) {
+                self.obs.on_event(&PackEvent::EstimateUsed {
+                    id: item.id(),
+                    estimate: visible_dep.expect("noisy mode always estimates"),
+                    actual: item.departure(),
+                });
+            }
+        }
         let view = ItemView {
             id: item.id(),
             size: item.size(),
             arrival: now,
             departure: visible_dep,
         };
+        let started = if O::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let decision = self.packer.place(&view, &self.open);
+        let decide_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let active = ActiveItem {
             id: item.id(),
             size: item.size(),
@@ -146,19 +217,37 @@ impl<'p> StreamingSession<'p> {
         };
         let bin_id = match decision {
             Decision::Existing(bid) => {
-                let bin = self
+                let pos = self
                     .open
-                    .iter_mut()
-                    .find(|b| b.id() == bid)
+                    .iter()
+                    .position(|b| b.id() == bid)
                     .ok_or_else(|| DbpError::BadDecision {
                         what: format!("bin {bid:?} is not open (item {})", item.id()),
                     })?;
-                bin.push_item(active, item.size())?;
+                self.open[pos].push_item(active, item.size())?;
+                if O::ENABLED {
+                    let level = self.open[pos].level();
+                    let open_bins = self.open.len();
+                    self.obs.on_event(&PackEvent::PlacementDecided {
+                        id: item.id(),
+                        bin: bid,
+                        fit_rule: FitDecision::Reused,
+                        candidates_scanned: pos + 1,
+                        decide_ns,
+                    });
+                    self.obs.on_event(&PackEvent::LevelChanged {
+                        bin: bid,
+                        at: now,
+                        level,
+                        open_bins,
+                    });
+                }
                 bid
             }
             Decision::New { tag } => {
                 let bid = BinId(self.next_bin);
                 self.next_bin += 1;
+                let rejected = self.open.len();
                 self.open.push(OpenBin::new(bid, now, tag, active));
                 self.records.push(BinRecord {
                     id: bid,
@@ -167,6 +256,26 @@ impl<'p> StreamingSession<'p> {
                     tag,
                     items: Vec::new(),
                 });
+                if O::ENABLED {
+                    self.obs.on_event(&PackEvent::BinOpened {
+                        bin: bid,
+                        at: now,
+                        tag,
+                    });
+                    self.obs.on_event(&PackEvent::PlacementDecided {
+                        id: item.id(),
+                        bin: bid,
+                        fit_rule: FitDecision::OpenedNew,
+                        candidates_scanned: rejected,
+                        decide_ns,
+                    });
+                    self.obs.on_event(&PackEvent::LevelChanged {
+                        bin: bid,
+                        at: now,
+                        level: item.size(),
+                        open_bins: rejected + 1,
+                    });
+                }
                 bid
             }
         };
@@ -202,6 +311,7 @@ impl<'p> StreamingSession<'p> {
 mod tests {
     use super::*;
     use crate::instance::Instance;
+    use crate::observe::EventLog;
     use crate::online::OnlineEngine;
     use crate::size::Size;
 
@@ -310,5 +420,116 @@ mod tests {
         for (item, bin) in assigned {
             assert!(run.packing.bin(bin).contains(&item));
         }
+    }
+
+    #[test]
+    fn observed_session_emits_consistent_stream() {
+        let inst = sample();
+        let mut packer = FirstFit;
+        let mut log = EventLog::new();
+        let mut s =
+            StreamingSession::with_observer(ClairvoyanceMode::Clairvoyant, &mut packer, &mut log);
+        for r in inst.items() {
+            s.arrive(r).unwrap();
+        }
+        let run = s.finish().unwrap();
+
+        let mut arrived = 0usize;
+        let mut placed = 0usize;
+        let mut opened = 0usize;
+        let mut closed_usage = 0u128;
+        let mut closed = 0usize;
+        for ev in &log.events {
+            match ev {
+                PackEvent::ItemArrived { departure, at, .. } => {
+                    arrived += 1;
+                    assert!(departure > at);
+                }
+                PackEvent::PlacementDecided { .. } => placed += 1,
+                PackEvent::BinOpened { .. } => opened += 1,
+                PackEvent::BinClosed { at, opened_at, .. } => {
+                    closed += 1;
+                    closed_usage += (at - opened_at) as u128;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(arrived, inst.len());
+        assert_eq!(placed, inst.len());
+        assert_eq!(opened, run.bins_opened());
+        assert_eq!(closed, run.bins_opened(), "every opened bin closes");
+        assert_eq!(closed_usage, run.usage, "closures reconstruct usage");
+    }
+
+    #[test]
+    fn observed_run_equals_unobserved_run() {
+        let inst = sample();
+        let batch = OnlineEngine::clairvoyant()
+            .run(&inst, &mut FirstFit)
+            .unwrap();
+        let mut log = EventLog::new();
+        let observed = OnlineEngine::clairvoyant()
+            .run_observed(&inst, &mut FirstFit, &mut log)
+            .unwrap();
+        assert_eq!(observed.packing, batch.packing);
+        assert_eq!(observed.usage, batch.usage);
+        assert!(!log.events.is_empty());
+    }
+
+    #[test]
+    fn noisy_session_emits_estimate_events() {
+        use std::sync::Arc;
+        let inst = Instance::from_triples(&[(0.5, 0, 10), (0.5, 1, 12)]);
+        let mode = ClairvoyanceMode::Noisy(Arc::new(|r: &Item| r.departure() + 5));
+        let mut packer = FirstFit;
+        let mut log = EventLog::new();
+        OnlineEngine::new(mode)
+            .run_observed(&inst, &mut packer, &mut log)
+            .unwrap();
+        let estimates: Vec<_> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                PackEvent::EstimateUsed {
+                    estimate, actual, ..
+                } => Some((*estimate, *actual)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(estimates, vec![(15, 10), (17, 12)]);
+    }
+
+    #[test]
+    fn candidates_scanned_reflects_scan_depth() {
+        // Two 0.9 items force two bins; a 0.05 item then fits bin 0 at
+        // scan depth 1; a 0.9 item must reject both bins before opening.
+        let inst =
+            Instance::from_triples(&[(0.9, 0, 100), (0.9, 1, 100), (0.05, 2, 100), (0.9, 3, 100)]);
+        let mut packer = FirstFit;
+        let mut log = EventLog::new();
+        OnlineEngine::clairvoyant()
+            .run_observed(&inst, &mut packer, &mut log)
+            .unwrap();
+        let scans: Vec<(FitDecision, usize)> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                PackEvent::PlacementDecided {
+                    fit_rule,
+                    candidates_scanned,
+                    ..
+                } => Some((*fit_rule, *candidates_scanned)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            scans,
+            vec![
+                (FitDecision::OpenedNew, 0),
+                (FitDecision::OpenedNew, 1),
+                (FitDecision::Reused, 1),
+                (FitDecision::OpenedNew, 2),
+            ]
+        );
     }
 }

@@ -1,0 +1,165 @@
+//! Scalar counters and timing totals over a packing run.
+//!
+//! [`Counters`] is the cheapest real observer: a handful of integer adds
+//! per event. It is what `dbp-bench` attaches to every measurement so
+//! that [`CountersSnapshot`] can ride along in `Measurement` and
+//! `SimReport` without meaningfully perturbing timings.
+
+use dbp_core::observe::{FitDecision, PackEvent, PackObserver};
+
+/// Accumulates counters from the event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    snap: CountersSnapshot,
+}
+
+impl Counters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The totals so far.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        self.snap
+    }
+}
+
+impl PackObserver for Counters {
+    #[inline]
+    fn on_event(&mut self, event: &PackEvent) {
+        let s = &mut self.snap;
+        match event {
+            PackEvent::ItemArrived { .. } => s.items_packed += 1,
+            PackEvent::EstimateUsed { .. } => s.estimates_used += 1,
+            PackEvent::PlacementDecided {
+                fit_rule,
+                candidates_scanned,
+                decide_ns,
+                ..
+            } => {
+                if *fit_rule == FitDecision::Reused {
+                    s.placements_reused += 1;
+                }
+                s.candidates_scanned += *candidates_scanned as u64;
+                s.decide_ns_total += decide_ns;
+                s.decide_ns_max = s.decide_ns_max.max(*decide_ns);
+            }
+            PackEvent::BinOpened { .. } => s.bins_opened += 1,
+            PackEvent::BinClosed { .. } => s.bins_closed += 1,
+            PackEvent::LevelChanged { .. } => {}
+        }
+    }
+}
+
+/// A point-in-time copy of the run counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Items fed to the packer.
+    pub items_packed: u64,
+    /// Placements that reused an open bin.
+    pub placements_reused: u64,
+    /// Bins opened.
+    pub bins_opened: u64,
+    /// Bins closed.
+    pub bins_closed: u64,
+    /// Total open bins inspected across all placement decisions (scan
+    /// depth for reuses, rejections for opens).
+    pub candidates_scanned: u64,
+    /// Total wall-clock nanoseconds spent inside `place` calls.
+    pub decide_ns_total: u64,
+    /// The slowest single `place` call, in nanoseconds.
+    pub decide_ns_max: u64,
+    /// Departure estimates substituted under noisy clairvoyance.
+    pub estimates_used: u64,
+}
+
+impl CountersSnapshot {
+    /// Mean open bins scanned per placement (0 with no placements).
+    pub fn mean_candidates(&self) -> f64 {
+        if self.items_packed == 0 {
+            0.0
+        } else {
+            self.candidates_scanned as f64 / self.items_packed as f64
+        }
+    }
+
+    /// Mean nanoseconds per placement decision (0 with no placements).
+    pub fn mean_decide_ns(&self) -> f64 {
+        if self.items_packed == 0 {
+            0.0
+        } else {
+            self.decide_ns_total as f64 / self.items_packed as f64
+        }
+    }
+
+    /// Fraction of placements that reused an open bin.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.items_packed == 0 {
+            0.0
+        } else {
+            self.placements_reused as f64 / self.items_packed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::{BinId, ItemId, Size};
+
+    #[test]
+    fn counts_add_up() {
+        let mut c = Counters::new();
+        c.on_event(&PackEvent::ItemArrived {
+            id: ItemId(0),
+            size: Size::HALF,
+            at: 0,
+            departure: 9,
+            visible_departure: Some(9),
+        });
+        c.on_event(&PackEvent::BinOpened {
+            bin: BinId(0),
+            at: 0,
+            tag: 0,
+        });
+        c.on_event(&PackEvent::PlacementDecided {
+            id: ItemId(0),
+            bin: BinId(0),
+            fit_rule: FitDecision::OpenedNew,
+            candidates_scanned: 3,
+            decide_ns: 100,
+        });
+        c.on_event(&PackEvent::ItemArrived {
+            id: ItemId(1),
+            size: Size::HALF,
+            at: 1,
+            departure: 9,
+            visible_departure: Some(9),
+        });
+        c.on_event(&PackEvent::PlacementDecided {
+            id: ItemId(1),
+            bin: BinId(0),
+            fit_rule: FitDecision::Reused,
+            candidates_scanned: 1,
+            decide_ns: 300,
+        });
+        c.on_event(&PackEvent::BinClosed {
+            bin: BinId(0),
+            at: 9,
+            opened_at: 0,
+            items: 2,
+        });
+        let s = c.snapshot();
+        assert_eq!(s.items_packed, 2);
+        assert_eq!(s.bins_opened, 1);
+        assert_eq!(s.bins_closed, 1);
+        assert_eq!(s.placements_reused, 1);
+        assert_eq!(s.candidates_scanned, 4);
+        assert_eq!(s.decide_ns_total, 400);
+        assert_eq!(s.decide_ns_max, 300);
+        assert!((s.mean_candidates() - 2.0).abs() < 1e-9);
+        assert!((s.mean_decide_ns() - 200.0).abs() < 1e-9);
+        assert!((s.reuse_fraction() - 0.5).abs() < 1e-9);
+    }
+}

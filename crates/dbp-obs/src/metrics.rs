@@ -1,0 +1,384 @@
+//! Time-series metrics derived from the packing event stream.
+//!
+//! [`MetricsAggregator`] is a [`PackObserver`] that folds events into the
+//! quantities the paper's figures are drawn from:
+//!
+//! * **active bins over time** — the fleet timeline an autoscaler sees;
+//! * **total level `S(t)`** — the instantaneous resource demand, tracked
+//!   exactly in raw fixed-point units;
+//! * **`⌈S(t)⌉`** — the integrand of the paper's strongest lower bound
+//!   LB3 = ∫⌈S(t)⌉dt (Proposition 3), so the gap between the active-bin
+//!   curve and this curve *is* the instantaneous inefficiency;
+//! * **per-bin utilization** — each closed bin's time-averaged level over
+//!   its lifetime, summarized as a histogram;
+//! * **instantaneous ratio vs. LB3** — active bins ÷ `⌈S(t)⌉` pointwise.
+//!
+//! [`MetricsReport::to_csv`] exports a merged timeline consumable by the
+//! plotting helpers in `dbp-bench` (and any spreadsheet).
+
+use dbp_core::observe::{PackEvent, PackObserver};
+use dbp_core::stats::StepSeries;
+use dbp_core::{BinId, Size, Time};
+use std::collections::HashMap;
+
+/// Number of buckets in the utilization histogram (bucket `i` covers
+/// `[i/10, (i+1)/10)`, with 1.0 landing in the last bucket).
+pub const HIST_BUCKETS: usize = 10;
+
+struct BinState {
+    opened_at: Time,
+    last_change: Time,
+    level_raw: u64,
+    /// ∫ level dt so far, in raw-size × ticks.
+    area_raw: u128,
+}
+
+/// Folds [`PackEvent`]s into time-series metrics. Attach to a run (e.g.
+/// via `OnlineEngine::run_observed`), then call
+/// [`MetricsAggregator::report`].
+#[derive(Default)]
+pub struct MetricsAggregator {
+    fleet_deltas: Vec<(Time, i64)>,
+    level_points: Vec<(Time, u128)>,
+    total_level_raw: u128,
+    bins: HashMap<BinId, BinState>,
+    histogram: [u32; HIST_BUCKETS],
+    utilization_sum: f64,
+    bins_closed: u64,
+    items_packed: u64,
+}
+
+impl MetricsAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Produces the report. The aggregator can keep receiving events
+    /// afterwards, but a report taken mid-run reflects only events so far
+    /// (open bins contribute no utilization sample yet).
+    pub fn report(&self) -> MetricsReport {
+        let scale = u128::from(Size::SCALE);
+        let ceil_points: Vec<(Time, i64)> = self
+            .level_points
+            .iter()
+            .map(|&(t, raw)| (t, raw.div_ceil(scale) as i64))
+            .collect();
+        MetricsReport {
+            active_bins: StepSeries::from_deltas(self.fleet_deltas.clone()),
+            total_level: dedup_series(
+                self.level_points
+                    .iter()
+                    .map(|&(t, raw)| (t, raw as f64 / Size::SCALE as f64))
+                    .collect(),
+            ),
+            ceil_level: series_from_points(ceil_points),
+            utilization_histogram: self.histogram,
+            mean_utilization: if self.bins_closed == 0 {
+                0.0
+            } else {
+                self.utilization_sum / self.bins_closed as f64
+            },
+            bins_closed: self.bins_closed,
+            items_packed: self.items_packed,
+        }
+    }
+
+    fn settle(&mut self, bin: BinId, at: Time) {
+        if let Some(st) = self.bins.get_mut(&bin) {
+            st.area_raw += u128::from(st.level_raw) * (at - st.last_change).max(0) as u128;
+            st.last_change = at;
+        }
+    }
+}
+
+/// Collapses same-instant updates (last wins) and consecutive equal
+/// values (first wins).
+fn dedup_series(points: Vec<(Time, f64)>) -> Vec<(Time, f64)> {
+    let mut out: Vec<(Time, f64)> = Vec::with_capacity(points.len());
+    for (t, v) in points {
+        if let Some(last) = out.last_mut() {
+            if last.0 == t {
+                last.1 = v;
+                continue;
+            }
+            if last.1 == v {
+                continue;
+            }
+        }
+        out.push((t, v));
+    }
+    out
+}
+
+/// Builds a [`StepSeries`] from absolute `(time, value)` samples.
+fn series_from_points(points: Vec<(Time, i64)>) -> StepSeries {
+    let mut deltas = Vec::with_capacity(points.len());
+    let mut prev = 0i64;
+    for (t, v) in points {
+        deltas.push((t, v - prev));
+        prev = v;
+    }
+    StepSeries::from_deltas(deltas)
+}
+
+impl PackObserver for MetricsAggregator {
+    fn on_event(&mut self, event: &PackEvent) {
+        match event {
+            PackEvent::ItemArrived { .. } => self.items_packed += 1,
+            PackEvent::BinOpened { bin, at, .. } => {
+                self.fleet_deltas.push((*at, 1));
+                self.bins.insert(
+                    *bin,
+                    BinState {
+                        opened_at: *at,
+                        last_change: *at,
+                        level_raw: 0,
+                        area_raw: 0,
+                    },
+                );
+            }
+            PackEvent::LevelChanged { bin, at, level, .. } => {
+                self.settle(*bin, *at);
+                if let Some(st) = self.bins.get_mut(bin) {
+                    self.total_level_raw =
+                        self.total_level_raw + u128::from(level.raw()) - u128::from(st.level_raw);
+                    st.level_raw = level.raw();
+                    self.level_points.push((*at, self.total_level_raw));
+                }
+            }
+            PackEvent::BinClosed { bin, at, .. } => {
+                self.settle(*bin, *at);
+                self.fleet_deltas.push((*at, -1));
+                if let Some(st) = self.bins.remove(bin) {
+                    let lifetime = (at - st.opened_at) as u128;
+                    if lifetime > 0 {
+                        let capacity_time = lifetime * u128::from(Size::SCALE);
+                        let util = st.area_raw as f64 / capacity_time as f64;
+                        let bucket = ((util * HIST_BUCKETS as f64) as usize).min(HIST_BUCKETS - 1);
+                        self.histogram[bucket] += 1;
+                        self.utilization_sum += util;
+                        self.bins_closed += 1;
+                    }
+                }
+            }
+            PackEvent::PlacementDecided { .. } | PackEvent::EstimateUsed { .. } => {}
+        }
+    }
+}
+
+/// The time-series metrics of one observed run.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    /// Open bins over time; its integral is the total usage.
+    pub active_bins: StepSeries,
+    /// Total active level `S(t)` in units of bin capacity.
+    pub total_level: Vec<(Time, f64)>,
+    /// `⌈S(t)⌉` over time; its integral is LB3.
+    pub ceil_level: StepSeries,
+    /// Closed-bin utilization histogram over [`HIST_BUCKETS`] equal
+    /// buckets of `[0, 1]`.
+    pub utilization_histogram: [u32; HIST_BUCKETS],
+    /// Mean utilization over closed bins (0 if none closed).
+    pub mean_utilization: f64,
+    /// Bins that closed with a positive lifetime.
+    pub bins_closed: u64,
+    /// Items observed arriving.
+    pub items_packed: u64,
+}
+
+impl MetricsReport {
+    /// The instantaneous competitive-ratio curve: active bins divided by
+    /// `⌈S(t)⌉`, sampled at every change point of either series (skipping
+    /// instants where `⌈S(t)⌉ = 0`).
+    pub fn ratio_vs_lb3(&self) -> Vec<(Time, f64)> {
+        self.change_points()
+            .into_iter()
+            .filter_map(|t| {
+                let ceil = self.ceil_level.value_at(t);
+                (ceil > 0).then(|| (t, self.active_bins.value_at(t) as f64 / ceil as f64))
+            })
+            .collect()
+    }
+
+    /// The usage the paper charges: ∫ active_bins dt.
+    pub fn usage(&self) -> u128 {
+        self.active_bins.integral().max(0) as u128
+    }
+
+    /// ∫⌈S(t)⌉dt — the LB3 lower bound recomputed from observed levels.
+    pub fn lb3(&self) -> u128 {
+        self.ceil_level.integral().max(0) as u128
+    }
+
+    /// All change points of the merged timeline, ascending.
+    fn change_points(&self) -> Vec<Time> {
+        let mut times: Vec<Time> = self
+            .active_bins
+            .points
+            .iter()
+            .map(|p| p.0)
+            .chain(self.ceil_level.points.iter().map(|p| p.0))
+            .chain(self.total_level.iter().map(|p| p.0))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        times
+    }
+
+    /// Renders the merged timeline as CSV:
+    /// `time,active_bins,total_level,ceil_level,ratio_vs_lb3` (ratio is
+    /// empty where `⌈S(t)⌉ = 0`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,active_bins,total_level,ceil_level,ratio_vs_lb3\n");
+        let mut level = 0.0f64;
+        let mut li = 0usize;
+        for t in self.change_points() {
+            while li < self.total_level.len() && self.total_level[li].0 <= t {
+                level = self.total_level[li].1;
+                li += 1;
+            }
+            let active = self.active_bins.value_at(t);
+            let ceil = self.ceil_level.value_at(t);
+            let ratio = if ceil > 0 {
+                format!("{:.6}", active as f64 / ceil as f64)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("{t},{active},{level:.6},{ceil},{ratio}\n"));
+        }
+        out
+    }
+
+    /// `(time, active_bins)` as float points for plotting.
+    pub fn active_points(&self) -> Vec<(f64, f64)> {
+        self.active_bins
+            .points
+            .iter()
+            .map(|&(t, v)| (t as f64, v as f64))
+            .collect()
+    }
+
+    /// `(time, ⌈S(t)⌉)` as float points for plotting.
+    pub fn ceil_points(&self) -> Vec<(f64, f64)> {
+        self.ceil_level
+            .points
+            .iter()
+            .map(|&(t, v)| (t as f64, v as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::observe::FitDecision;
+    use dbp_core::ItemId;
+
+    fn ev_open(bin: u32, at: Time) -> PackEvent {
+        PackEvent::BinOpened {
+            bin: BinId(bin),
+            at,
+            tag: 0,
+        }
+    }
+    fn ev_level(bin: u32, at: Time, level: f64, open_bins: usize) -> PackEvent {
+        PackEvent::LevelChanged {
+            bin: BinId(bin),
+            at,
+            level: Size::from_f64(level),
+            open_bins,
+        }
+    }
+    fn ev_close(bin: u32, at: Time, opened_at: Time, items: usize) -> PackEvent {
+        PackEvent::BinClosed {
+            bin: BinId(bin),
+            at,
+            opened_at,
+            items,
+        }
+    }
+    fn ev_placed(id: u32, bin: u32) -> PackEvent {
+        PackEvent::PlacementDecided {
+            id: ItemId(id),
+            bin: BinId(bin),
+            fit_rule: FitDecision::OpenedNew,
+            candidates_scanned: 0,
+            decide_ns: 0,
+        }
+    }
+
+    /// One bin at half level over [0,10): S(t)=0.5, ⌈S⌉=1, 1 active bin.
+    #[test]
+    fn single_bin_metrics() {
+        let mut agg = MetricsAggregator::new();
+        for ev in [
+            ev_open(0, 0),
+            ev_placed(0, 0),
+            ev_level(0, 0, 0.5, 1),
+            ev_level(0, 10, 0.0, 0),
+            ev_close(0, 10, 0, 1),
+        ] {
+            agg.on_event(&ev);
+        }
+        let rep = agg.report();
+        assert_eq!(rep.usage(), 10);
+        assert_eq!(rep.lb3(), 10);
+        assert_eq!(rep.active_bins.max(), 1);
+        assert_eq!(rep.ceil_level.max(), 1);
+        assert_eq!(rep.bins_closed, 1);
+        assert!((rep.mean_utilization - 0.5).abs() < 1e-9);
+        assert_eq!(rep.utilization_histogram[5], 1);
+        let ratios = rep.ratio_vs_lb3();
+        assert!(ratios.iter().all(|&(_, r)| (r - 1.0).abs() < 1e-9));
+    }
+
+    /// Two half bins that could be one: ratio 2 while both are open.
+    #[test]
+    fn wasteful_packing_shows_ratio_two() {
+        let mut agg = MetricsAggregator::new();
+        for ev in [
+            ev_open(0, 0),
+            ev_placed(0, 0),
+            ev_level(0, 0, 0.4, 1),
+            ev_open(1, 0),
+            ev_placed(1, 1),
+            ev_level(1, 0, 0.4, 2),
+            ev_level(0, 10, 0.0, 1),
+            ev_close(0, 10, 0, 1),
+            ev_level(1, 10, 0.0, 0),
+            ev_close(1, 10, 0, 1),
+        ] {
+            agg.on_event(&ev);
+        }
+        let rep = agg.report();
+        assert_eq!(rep.usage(), 20);
+        assert_eq!(rep.lb3(), 10, "S(t)=0.8 ceils to one server");
+        let r = rep.ratio_vs_lb3();
+        assert_eq!(r.first().map(|&(t, _)| t), Some(0));
+        assert!((r[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut agg = MetricsAggregator::new();
+        for ev in [
+            ev_open(0, 2),
+            ev_placed(0, 0),
+            ev_level(0, 2, 1.0, 1),
+            ev_level(0, 7, 0.0, 0),
+            ev_close(0, 7, 2, 1),
+        ] {
+            agg.on_event(&ev);
+        }
+        let csv = agg.report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "time,active_bins,total_level,ceil_level,ratio_vs_lb3"
+        );
+        assert!(lines[1].starts_with("2,1,1.000000,1,1.000000"), "{csv}");
+        // Full utilization lands in the last histogram bucket.
+        assert_eq!(agg.report().utilization_histogram[9], 1);
+    }
+}

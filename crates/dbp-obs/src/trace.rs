@@ -1,0 +1,364 @@
+//! JSONL trace format: one [`PackEvent`] per line.
+//!
+//! The encoding is lossless — [`dbp_core::Size`] values are written as
+//! their raw fixed-point `u64` (`size_raw`, `level_raw`), never as
+//! floats — so a parsed trace replays to the bit-identical packing (see
+//! [`crate::replay`]). The schema is documented in
+//! `docs/observability.md`.
+
+use crate::json::{escape, parse, Json};
+use dbp_core::observe::{FitDecision, PackEvent, PackObserver};
+use dbp_core::{BinId, DbpError, ItemId, Size};
+use std::io::Write;
+
+/// Encodes one event as a single JSON line (no trailing newline).
+pub fn event_to_json(ev: &PackEvent) -> String {
+    match ev {
+        PackEvent::ItemArrived {
+            id,
+            size,
+            at,
+            departure,
+            visible_departure,
+        } => {
+            let vis = match visible_departure {
+                Some(t) => t.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"type\":\"item_arrived\",\"id\":{},\"size_raw\":{},\"at\":{at},\
+                 \"departure\":{departure},\"visible_departure\":{vis}}}",
+                id.0,
+                size.raw()
+            )
+        }
+        PackEvent::EstimateUsed {
+            id,
+            estimate,
+            actual,
+        } => format!(
+            "{{\"type\":\"estimate_used\",\"id\":{},\"estimate\":{estimate},\"actual\":{actual}}}",
+            id.0
+        ),
+        PackEvent::PlacementDecided {
+            id,
+            bin,
+            fit_rule,
+            candidates_scanned,
+            decide_ns,
+        } => {
+            let rule = match fit_rule {
+                FitDecision::Reused => "reused",
+                FitDecision::OpenedNew => "opened_new",
+            };
+            format!(
+                "{{\"type\":\"placement_decided\",\"id\":{},\"bin\":{},\"fit_rule\":\"{rule}\",\
+                 \"candidates_scanned\":{candidates_scanned},\"decide_ns\":{decide_ns}}}",
+                id.0, bin.0
+            )
+        }
+        PackEvent::BinOpened { bin, at, tag } => format!(
+            "{{\"type\":\"bin_opened\",\"bin\":{},\"at\":{at},\"tag\":{tag}}}",
+            bin.0
+        ),
+        PackEvent::LevelChanged {
+            bin,
+            at,
+            level,
+            open_bins,
+        } => format!(
+            "{{\"type\":\"level_changed\",\"bin\":{},\"at\":{at},\"level_raw\":{},\
+             \"open_bins\":{open_bins}}}",
+            bin.0,
+            level.raw()
+        ),
+        PackEvent::BinClosed {
+            bin,
+            at,
+            opened_at,
+            items,
+        } => format!(
+            "{{\"type\":\"bin_closed\",\"bin\":{},\"at\":{at},\"opened_at\":{opened_at},\
+             \"items\":{items}}}",
+            bin.0
+        ),
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn field_i64(v: &Json, key: &str) -> Result<i64, String> {
+    field(v, key)?
+        .as_i64()
+        .ok_or_else(|| format!("field {key:?} is not an integer"))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+/// Decodes one event from a parsed JSON object.
+pub fn event_from_json(v: &Json) -> Result<PackEvent, String> {
+    let ty = field(v, "type")?
+        .as_str()
+        .ok_or("field \"type\" is not a string")?;
+    match ty {
+        "item_arrived" => {
+            let vis = field(v, "visible_departure")?;
+            let visible_departure = if vis.is_null() {
+                None
+            } else {
+                Some(
+                    vis.as_i64()
+                        .ok_or("field \"visible_departure\" is not an integer")?,
+                )
+            };
+            Ok(PackEvent::ItemArrived {
+                id: ItemId(field_u64(v, "id")? as u32),
+                size: Size::from_raw(field_u64(v, "size_raw")?),
+                at: field_i64(v, "at")?,
+                departure: field_i64(v, "departure")?,
+                visible_departure,
+            })
+        }
+        "estimate_used" => Ok(PackEvent::EstimateUsed {
+            id: ItemId(field_u64(v, "id")? as u32),
+            estimate: field_i64(v, "estimate")?,
+            actual: field_i64(v, "actual")?,
+        }),
+        "placement_decided" => {
+            let rule = match field(v, "fit_rule")?.as_str() {
+                Some("reused") => FitDecision::Reused,
+                Some("opened_new") => FitDecision::OpenedNew,
+                other => return Err(format!("bad fit_rule {other:?}")),
+            };
+            Ok(PackEvent::PlacementDecided {
+                id: ItemId(field_u64(v, "id")? as u32),
+                bin: BinId(field_u64(v, "bin")? as u32),
+                fit_rule: rule,
+                candidates_scanned: field_u64(v, "candidates_scanned")? as usize,
+                decide_ns: field_u64(v, "decide_ns")?,
+            })
+        }
+        "bin_opened" => Ok(PackEvent::BinOpened {
+            bin: BinId(field_u64(v, "bin")? as u32),
+            at: field_i64(v, "at")?,
+            tag: field_u64(v, "tag")?,
+        }),
+        "level_changed" => Ok(PackEvent::LevelChanged {
+            bin: BinId(field_u64(v, "bin")? as u32),
+            at: field_i64(v, "at")?,
+            level: Size::from_raw(field_u64(v, "level_raw")?),
+            open_bins: field_u64(v, "open_bins")? as usize,
+        }),
+        "bin_closed" => Ok(PackEvent::BinClosed {
+            bin: BinId(field_u64(v, "bin")? as u32),
+            at: field_i64(v, "at")?,
+            opened_at: field_i64(v, "opened_at")?,
+            items: field_u64(v, "items")? as usize,
+        }),
+        other => Err(format!("unknown event type {}", escape(other))),
+    }
+}
+
+/// Parses a whole JSONL trace. Blank lines are skipped; errors carry the
+/// 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<PackEvent>, DbpError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|what| DbpError::Trace { line: i + 1, what })?;
+        events.push(event_from_json(&value).map_err(|what| DbpError::Trace { line: i + 1, what })?);
+    }
+    Ok(events)
+}
+
+/// Serializes a slice of events as a JSONL document.
+pub fn events_to_jsonl(events: &[PackEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// A [`PackObserver`] that streams events to a writer as JSONL.
+///
+/// `on_event` must not panic, so I/O errors are latched: the first error
+/// stops further writing and is surfaced by [`TraceWriter::finish`] (or
+/// inspectable via [`TraceWriter::error`]).
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a writer. Consider a `BufWriter` for file sinks: one write
+    /// per event otherwise.
+    pub fn new(sink: W) -> Self {
+        TraceWriter {
+            sink,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Number of event lines successfully written.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// The latched I/O error, if any write failed.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the inner writer, surfacing any latched error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> PackObserver for TraceWriter<W> {
+    fn on_event(&mut self, event: &PackEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event_to_json(event);
+        line.push('\n');
+        match self.sink.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<PackEvent> {
+        vec![
+            PackEvent::ItemArrived {
+                id: ItemId(7),
+                size: Size::from_f64(0.3),
+                at: 5,
+                departure: 40,
+                visible_departure: Some(38),
+            },
+            PackEvent::ItemArrived {
+                id: ItemId(8),
+                size: Size::from_raw(1),
+                at: 5,
+                departure: 9,
+                visible_departure: None,
+            },
+            PackEvent::EstimateUsed {
+                id: ItemId(7),
+                estimate: 38,
+                actual: 40,
+            },
+            PackEvent::BinOpened {
+                bin: BinId(2),
+                at: 5,
+                tag: 9,
+            },
+            PackEvent::PlacementDecided {
+                id: ItemId(7),
+                bin: BinId(2),
+                fit_rule: FitDecision::OpenedNew,
+                candidates_scanned: 2,
+                decide_ns: 1234,
+            },
+            PackEvent::PlacementDecided {
+                id: ItemId(8),
+                bin: BinId(2),
+                fit_rule: FitDecision::Reused,
+                candidates_scanned: 1,
+                decide_ns: 0,
+            },
+            PackEvent::LevelChanged {
+                bin: BinId(2),
+                at: 5,
+                level: Size::from_f64(0.3),
+                open_bins: 3,
+            },
+            PackEvent::BinClosed {
+                bin: BinId(2),
+                at: 40,
+                opened_at: 5,
+                items: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for ev in samples() {
+            let line = event_to_json(&ev);
+            let back = event_from_json(&parse(&line).unwrap()).unwrap();
+            assert_eq!(back, ev, "round-trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_blank_lines() {
+        let events = samples();
+        let mut text = events_to_jsonl(&events);
+        text.insert_str(0, "\n\n");
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_jsonl("{\"type\":\"bin_opened\",\"bin\":0,\"at\":0,\"tag\":0}\nnot json\n")
+            .unwrap_err();
+        assert!(matches!(err, DbpError::Trace { line: 2, .. }), "{err:?}");
+        let err = parse_jsonl("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert!(matches!(err, DbpError::Trace { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn writer_streams_lines() {
+        let mut w = TraceWriter::new(Vec::new());
+        for ev in samples() {
+            w.on_event(&ev);
+        }
+        assert_eq!(w.lines_written(), samples().len() as u64);
+        let buf = w.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(parse_jsonl(&text).unwrap(), samples());
+    }
+
+    #[test]
+    fn writer_latches_io_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = TraceWriter::new(Broken);
+        w.on_event(&samples()[0]);
+        w.on_event(&samples()[1]); // must not panic
+        assert_eq!(w.lines_written(), 0);
+        assert!(w.error().is_some());
+        assert!(w.finish().is_err());
+    }
+}

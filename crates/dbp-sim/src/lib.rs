@@ -38,8 +38,10 @@
 pub mod timeline;
 
 use dbp_core::accounting::lower_bounds;
+use dbp_core::observe::{NoopObserver, PackObserver, Tee};
 use dbp_core::online::ClairvoyanceMode;
 use dbp_core::{DbpError, Instance, Item, OnlineEngine, OnlinePacker, OnlineRun, Size, Time};
+use dbp_obs::counters::{Counters, CountersSnapshot};
 use std::sync::Arc;
 
 /// How server time is billed.
@@ -158,6 +160,8 @@ pub struct SimReport {
     pub utilization: f64,
     /// Ratio of usage to the Proposition 3 lower bound.
     pub ratio_vs_lb: f64,
+    /// Run counters: placements, bins, scan depth, decision latency.
+    pub counters: CountersSnapshot,
     /// The underlying run (packing, bin records).
     pub run: OnlineRun,
 }
@@ -170,7 +174,23 @@ pub fn simulate(
     mode: ClairvoyanceMode,
     billing: Billing,
 ) -> Result<SimReport, DbpError> {
-    let run = OnlineEngine::new(mode).run(inst, packer)?;
+    simulate_observed(inst, packer, mode, billing, &mut NoopObserver)
+}
+
+/// Like [`simulate`], but additionally streams every packing event to
+/// `obs` (e.g. a [`dbp_obs::TraceWriter`] or
+/// [`dbp_obs::MetricsAggregator`]). [`SimReport::counters`] is collected
+/// in both paths via an internal [`Counters`] observer.
+pub fn simulate_observed<O: PackObserver>(
+    inst: &Instance,
+    packer: &mut dyn OnlinePacker,
+    mode: ClairvoyanceMode,
+    billing: Billing,
+    obs: &mut O,
+) -> Result<SimReport, DbpError> {
+    let mut counters = Counters::new();
+    let mut tee = Tee(&mut counters, obs);
+    let run = OnlineEngine::new(mode).run_observed(inst, packer, &mut tee)?;
     run.packing.validate(inst)?;
     let lb = lower_bounds(inst);
     let demand_ticks = lb.demand.ticks_f64();
@@ -196,6 +216,7 @@ pub fn simulate(
         } else {
             run.usage as f64 / lb.best() as f64
         },
+        counters: counters.snapshot(),
         run,
     })
 }
@@ -393,6 +414,49 @@ mod tests {
         assert!(rep.ratio_vs_lb >= 1.0);
         assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
         assert!(rep.peak_servers >= 1 && rep.peak_servers <= rep.servers_acquired);
+    }
+
+    #[test]
+    fn counters_ride_along_in_every_report() {
+        let rep = simulate(
+            &inst(),
+            &mut AnyFit::first_fit(),
+            ClairvoyanceMode::Clairvoyant,
+            unit_billing(),
+        )
+        .unwrap();
+        assert_eq!(rep.counters.items_packed as usize, inst().len());
+        assert_eq!(rep.counters.bins_opened as usize, rep.servers_acquired);
+        assert_eq!(rep.counters.bins_opened, rep.counters.bins_closed);
+        assert!(rep.counters.decide_ns_total > 0, "decisions were timed");
+    }
+
+    #[test]
+    fn simulate_observed_streams_events_and_matches_plain_run() {
+        use dbp_core::observe::EventLog;
+        let mut log = EventLog::new();
+        let observed = simulate_observed(
+            &inst(),
+            &mut AnyFit::first_fit(),
+            ClairvoyanceMode::Clairvoyant,
+            unit_billing(),
+            &mut log,
+        )
+        .unwrap();
+        let plain = simulate(
+            &inst(),
+            &mut AnyFit::first_fit(),
+            ClairvoyanceMode::Clairvoyant,
+            unit_billing(),
+        )
+        .unwrap();
+        assert_eq!(observed.usage, plain.usage);
+        assert_eq!(observed.run.packing, plain.run.packing);
+        // The streamed events replay to the same run.
+        let replay = dbp_obs::replay_events(&log.events).unwrap();
+        replay.verify().unwrap();
+        assert_eq!(replay.run.usage, observed.usage);
+        assert_eq!(replay.run.packing, observed.run.packing);
     }
 
     #[test]

@@ -31,12 +31,19 @@ USAGE:
                [--n <items>] [--seed <u64>] [--out <file>]
   dbp bounds   --trace <file>
   dbp pack     --trace <file> --algo <name> [--offline] [--non-clairvoyant]
+               [--trace-out <file.jsonl>] [--metrics <file.csv>]
+  dbp replay   --trace <file.jsonl>
   dbp report   --trace <file> --algo <name> [--offline]
   dbp compare  --trace <file>
   dbp algos
 
 Online algorithms take their Theorem 4/5 optimal parameters from the
-trace's measured Δ and μ. `dbp algos` lists the rosters.";
+trace's measured Δ and μ. `dbp algos` lists the rosters.
+
+`pack --trace-out` streams every packing decision as JSONL;
+`pack --metrics` exports the time-series metrics (active bins, S(t),
+⌈S(t)⌉, instantaneous ratio vs LB3) as CSV. `replay` reconstructs a
+packing from a JSONL decision trace and verifies it bit-for-bit.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +62,7 @@ fn main() -> ExitCode {
         "generate" => generate(&flags),
         "bounds" => bounds(&flags),
         "pack" => pack(&flags),
+        "replay" => replay(&flags),
         "report" => report(&flags),
         "compare" => compare(&flags),
         "algos" => {
@@ -173,10 +181,32 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), String> {
     let algo = get(flags, "algo")?;
     let lb = lower_bounds(&inst);
     let offline = flags.contains_key("offline");
+
+    // Optional observers: a JSONL decision trace and/or a metrics
+    // time series. Both are `Option<_>` observers composed with `Tee`,
+    // so the plain path stays a plain engine run.
+    let trace_out = flags.get("trace-out").cloned();
+    let metrics_out = flags.get("metrics").cloned();
+    let writer = match &trace_out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            Some(dbp_obs::TraceWriter::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let mut obs = Tee(
+        writer,
+        metrics_out
+            .as_ref()
+            .map(|_| dbp_obs::MetricsAggregator::new()),
+    );
+
     let (name, usage, bins) = if offline {
         let packer = offline_packer(algo);
         let packing = packer.pack(&inst);
         packing.validate(&inst).map_err(|e| e.to_string())?;
+        dbp_obs::emit_packing(&inst, &packing, &mut obs).map_err(|e| e.to_string())?;
         (
             packer.name().to_string(),
             packing.total_usage(&inst),
@@ -191,7 +221,7 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), String> {
             ClairvoyanceMode::Clairvoyant
         };
         let run = OnlineEngine::new(mode)
-            .run(&inst, packer.as_mut())
+            .run_observed(&inst, packer.as_mut(), &mut obs)
             .map_err(|e| e.to_string())?;
         run.packing.validate(&inst).map_err(|e| e.to_string())?;
         (packer.name(), run.usage, run.bins_opened())
@@ -200,6 +230,48 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("usage:       {usage} ticks");
     println!("bins:        {bins}");
     println!("ratio vs LB: {:.4}", usage as f64 / lb.best().max(1) as f64);
+    if let Some(writer) = obs.0 {
+        let path = trace_out.expect("writer implies path");
+        let lines = writer.lines_written();
+        writer
+            .finish()
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("trace:       {lines} events -> {path}");
+    }
+    if let Some(agg) = obs.1 {
+        let path = metrics_out.expect("aggregator implies path");
+        let report = agg.report();
+        std::fs::write(&path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "metrics:     {} bins closed -> {path} (mean utilization {:.1}%)",
+            report.bins_closed,
+            report.mean_utilization * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Reconstructs a packing from a JSONL decision trace (written by
+/// `pack --trace-out`) and verifies it: the rebuilt packing must be
+/// feasible for the rebuilt instance and its usage must match the
+/// closed-bin episodes exactly.
+fn replay(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "trace")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let replay = dbp_obs::replay_jsonl(&text).map_err(|e| e.to_string())?;
+    replay.verify().map_err(|e| e.to_string())?;
+    let lb = lower_bounds(&replay.instance);
+    println!("events file: {path}");
+    println!("items:       {}", replay.instance.len());
+    println!("usage:       {} ticks", replay.run.usage);
+    // Offline traces model an idle-then-reused bin as several episodes
+    // of one id, so count episodes (== bins for online traces).
+    println!("episodes:    {}", replay.run.bins_opened());
+    println!(
+        "ratio vs LB: {:.4}",
+        replay.run.usage as f64 / lb.best().max(1) as f64
+    );
+    println!("verified:    packing feasible, usage matches bin episodes");
     Ok(())
 }
 

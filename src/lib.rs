@@ -32,6 +32,7 @@
 //! | [`multidim`] | the §6 multi-resource extension |
 //! | [`flex`] | the §6 flexible-jobs extension (release times + deadlines) |
 //! | [`sim`] | cloud renting-cost simulator, billing models, noisy clairvoyance |
+//! | [`obs`] | packing-decision tracing, deterministic replay, time-series metrics |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use dbp_core as core;
 pub use dbp_flex as flex;
 pub use dbp_interval as interval;
 pub use dbp_multidim as multidim;
+pub use dbp_obs as obs;
 pub use dbp_sim as sim;
 pub use dbp_theory as theory;
 pub use dbp_workloads as workloads;
@@ -76,9 +78,10 @@ pub mod prelude {
     pub use dbp_core::accounting::{lower_bounds, LowerBounds};
     pub use dbp_core::online::ClairvoyanceMode;
     pub use dbp_core::{
-        Instance, Interval, Item, ItemId, OfflinePacker, OnlineEngine, OnlinePacker, OnlineRun,
-        Packing, Size, Time,
+        Instance, Interval, Item, ItemId, NoopObserver, OfflinePacker, OnlineEngine, OnlinePacker,
+        OnlineRun, PackEvent, PackObserver, Packing, Size, Tee, Time,
     };
+    pub use dbp_obs::{MetricsAggregator, Replay, TraceWriter};
     pub use dbp_sim::{simulate, Billing, NoisyEstimator};
     pub use dbp_workloads::Workload;
 }

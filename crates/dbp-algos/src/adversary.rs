@@ -158,7 +158,7 @@ mod tests {
             fn place(
                 &mut self,
                 _: &dbp_core::online::ItemView,
-                _: &[dbp_core::online::OpenBin],
+                _: &dbp_core::online::OpenBins,
             ) -> dbp_core::Decision {
                 dbp_core::Decision::NEW
             }

@@ -7,7 +7,7 @@
 //! non-clairvoyant engines.
 
 use super::rule_tagged;
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
 /// Which open bin an [`AnyFit`] packer prefers among those that fit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,7 +88,7 @@ impl OnlinePacker for AnyFit {
         self.rule.name().to_string()
     }
 
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         rule_tagged(self.rule, 0, item, open_bins)
     }
 }

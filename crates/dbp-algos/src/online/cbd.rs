@@ -10,7 +10,7 @@
 //! choosing `b = Δ` and `α = μ^{1/n}` gives `min_{n≥1} μ^{1/n} + n + 3`.
 
 use super::first_fit_tagged;
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
 /// Classify-by-duration First Fit with base duration `b` (ticks) and
 /// category ratio `α > 1`.
@@ -35,6 +35,11 @@ use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
 pub struct ClassifyByDuration {
     base: i64,
     alpha: f64,
+    /// Highest category index an item may occupy, when the duration range
+    /// is known. `Some(n - 1)` for [`Self::with_known_durations`]: the
+    /// max-duration item `μΔ` sits exactly on the `b·αⁿ` boundary and
+    /// belongs in the closed last category `[b·αⁿ⁻¹, b·αⁿ]`.
+    max_category: Option<i64>,
 }
 
 impl ClassifyByDuration {
@@ -46,22 +51,30 @@ impl ClassifyByDuration {
     pub fn new(base: i64, alpha: f64) -> Self {
         assert!(base >= 1, "base duration must be at least one tick");
         assert!(alpha > 1.0, "alpha must exceed 1");
-        ClassifyByDuration { base, alpha }
+        ClassifyByDuration {
+            base,
+            alpha,
+            max_category: None,
+        }
     }
 
     /// The optimal known-durations configuration of Theorem 5: `b = Δ` and
     /// `α = μ^{1/n}` for the `n ≥ 1` minimizing `μ^{1/n} + n + 3`.
+    ///
+    /// `α` is kept exact. The max-duration item `μΔ` sits exactly on the
+    /// `b·αⁿ` boundary, so [`Self::category`] clamps indices to `n - 1`,
+    /// making the last category the closed interval `[b·αⁿ⁻¹, b·αⁿ]` (its
+    /// max/min ratio is still exactly `α`). A multiplicative nudge of `α`
+    /// cannot do this reliably: the slack it adds at the top boundary
+    /// competes with `powf`/`powi` rounding that grows with `μ`, so for
+    /// large ranges (e.g. `μ = 2⁴⁰`) a boundary duration can still spill
+    /// into a spurious `(n+1)`-th category.
     pub fn with_known_durations(min_duration: i64, mu: f64) -> Self {
         let n = optimal_num_categories(mu);
         let alpha = mu.powf(1.0 / n as f64);
-        // With α = μ^{1/n} exactly, the max-duration item sits on a category
-        // boundary; nudge α up so every duration falls in categories 0..n.
-        let alpha = if alpha <= 1.0 {
-            2.0
-        } else {
-            alpha * (1.0 + 1e-9)
-        };
-        Self::new(min_duration, alpha)
+        let mut packer = Self::new(min_duration, if alpha > 1.0 { alpha } else { 2.0 });
+        packer.max_category = Some(n as i64 - 1);
+        packer
     }
 
     /// The configured base duration `b`.
@@ -89,6 +102,9 @@ impl ClassifyByDuration {
         }
         while self.boundary(i + 1) <= duration as f64 {
             i += 1;
+        }
+        if let Some(max) = self.max_category {
+            i = i.min(max);
         }
         (i + (1 << 32)) as u64
     }
@@ -124,7 +140,7 @@ impl OnlinePacker for ClassifyByDuration {
         format!("cbd(b={},alpha={:.3})", self.base, self.alpha)
     }
 
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         let dur = item
             .duration()
             .expect("ClassifyByDuration requires a clairvoyant engine");
@@ -202,6 +218,45 @@ mod tests {
             cats.insert(p.category(d));
         }
         assert!(cats.len() <= n as usize, "{} > {}", cats.len(), n);
+    }
+
+    #[test]
+    fn known_durations_exact_boundary_at_mu_two_pow_forty() {
+        // Regression: the old `α·(1 + 1e-9)` nudge left the top boundary
+        // at the mercy of powf rounding for wide ranges. With exact α and
+        // an index clamp, the max-duration item μΔ must land in the last
+        // category (n − 1), never a spurious n-th, even at μ = 2^40.
+        let mu = (1u64 << 40) as f64;
+        let delta = 1i64;
+        let p = ClassifyByDuration::with_known_durations(delta, mu);
+        let n = optimal_num_categories(mu) as i64;
+        let max_d = 1i64 << 40; // μ·Δ exactly
+        assert_eq!(p.category(max_d), ((n - 1) + (1 << 32)) as u64);
+        // Spot-check the whole range (and both sides of every boundary):
+        // indices stay within 0..n and remain monotone.
+        let mut cats = std::collections::HashSet::new();
+        let mut probes: Vec<i64> = (0..=2048u32)
+            .map(|k| delta + (((max_d - delta) as i128 * k as i128) / 2048) as i64)
+            .collect();
+        for i in 0..n {
+            let b = (delta as f64 * p.alpha().powi(i as i32)).round() as i64;
+            for d in [b - 1, b, b + 1] {
+                if (delta..=max_d).contains(&d) {
+                    probes.push(d);
+                }
+            }
+        }
+        probes.sort_unstable();
+        let mut prev = p.category(probes[0]);
+        for &d in &probes {
+            let c = p.category(d);
+            assert!(c >= prev, "category must be non-decreasing at d={d}");
+            prev = c;
+            let i = c as i64 - (1 << 32);
+            assert!((0..n).contains(&i), "d={d} classified into category {i}");
+            cats.insert(c);
+        }
+        assert!(cats.len() <= n as usize);
     }
 
     #[test]

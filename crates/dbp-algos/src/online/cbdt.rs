@@ -11,7 +11,7 @@
 
 use super::first_fit_tagged;
 use dbp_core::interval::Time;
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
 /// Classify-by-departure-time First Fit with interval length `ρ` (ticks).
 ///
@@ -83,7 +83,7 @@ impl OnlinePacker for ClassifyByDepartureTime {
         self.epoch = None;
     }
 
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         if self.epoch.is_none() {
             self.epoch = Some(item.arrival);
         }

@@ -13,7 +13,7 @@
 
 use super::first_fit_tagged;
 use dbp_core::interval::Time;
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
 use super::cbd::ClassifyByDuration;
 
@@ -65,7 +65,7 @@ impl OnlinePacker for CombinedClassify {
         self.epoch = None;
     }
 
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         if self.epoch.is_none() {
             self.epoch = Some(item.arrival);
         }

@@ -14,7 +14,7 @@
 //! compared against like-for-like machinery.
 
 use super::first_fit_tagged;
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 use dbp_core::Size;
 
 /// Hybrid First Fit with `num_classes` harmonic size classes.
@@ -57,7 +57,7 @@ impl OnlinePacker for HybridFirstFit {
         format!("hybrid-ff(k={})", self.num_classes)
     }
 
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         let tag = self.class_of(item.size);
         first_fit_tagged(tag, item.size, open_bins)
     }

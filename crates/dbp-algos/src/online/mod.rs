@@ -15,17 +15,18 @@ pub use combined::CombinedClassify;
 pub use hybrid_ff::HybridFirstFit;
 pub use sliding::SlidingDepartureWindow;
 
-use dbp_core::online::{Decision, ItemView, OpenBin};
+use dbp_core::online::{Decision, ItemView, OpenBins};
 use dbp_core::Size;
 
 /// First Fit restricted to bins carrying `tag`: place in the earliest-opened
 /// feasible bin of that tag, else open a new bin with that tag.
 ///
 /// All classification strategies in the paper apply First Fit within each
-/// item category; this helper is their shared packing rule.
-pub(crate) fn first_fit_tagged(tag: u64, size: Size, open_bins: &[OpenBin]) -> Decision {
-    for b in open_bins {
-        if b.tag() == tag && b.fits(size) {
+/// item category; this helper is their shared packing rule. It scans via
+/// [`OpenBins::iter_tag`], so cost is O(category size), not O(fleet).
+pub(crate) fn first_fit_tagged(tag: u64, size: Size, open_bins: &OpenBins) -> Decision {
+    for b in open_bins.iter_tag(tag) {
+        if b.fits(size) {
             return Decision::Existing(b.id());
         }
     }
@@ -33,13 +34,19 @@ pub(crate) fn first_fit_tagged(tag: u64, size: Size, open_bins: &[OpenBin]) -> D
 }
 
 /// Applies a [`FitRule`] among bins carrying `tag`.
+///
+/// Candidates come from [`OpenBins::iter_tag`] in opening order, which
+/// preserves the classical tie-breaks: Best Fit resolves level ties to
+/// the *latest* opened (`max_by_key` keeps the last maximum), Worst Fit
+/// to the *earliest* (`min_by_key` keeps the first minimum), and Next
+/// Fit looks only at the newest bin of the tag.
 pub(crate) fn rule_tagged(
     rule: FitRule,
     tag: u64,
     item: &ItemView,
-    open_bins: &[OpenBin],
+    open_bins: &OpenBins,
 ) -> Decision {
-    let mut candidates = open_bins.iter().filter(|b| b.tag() == tag);
+    let mut candidates = open_bins.iter_tag(tag);
     match rule {
         FitRule::First => first_fit_tagged(tag, item.size, open_bins),
         FitRule::Best => candidates

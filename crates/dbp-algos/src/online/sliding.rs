@@ -12,7 +12,7 @@
 //! it carries no proven competitive bound. The `exp_ablations` experiment
 //! measures whether the analyzable fixed rule costs anything in practice.
 
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
 /// First Fit among bins whose residents all depart within `ρ` of the
 /// arriving item's departure (sliding compatibility; see module docs).
@@ -39,7 +39,7 @@ impl OnlinePacker for SlidingDepartureWindow {
         format!("sliding-dep(rho={})", self.rho)
     }
 
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         let dep = item
             .departure
             .expect("SlidingDepartureWindow requires a clairvoyant engine");

@@ -1,0 +1,180 @@
+//! Engine throughput benchmark: stream a million-item workload through
+//! the full online roster and record the trajectory in `BENCH_engine.json`.
+//!
+//! Unlike the Criterion micro-benches (which time small closed loops),
+//! this measures the *engine* end to end the way an integrator runs it:
+//! one [`StreamingSession`] per algorithm fed arrivals one at a time,
+//! timing the whole stream including departure processing, and tracking
+//! peak open bins plus a live-memory RSS proxy
+//! ([`StreamingSession::approx_live_bytes`], sampled every 1024
+//! arrivals). Cells fan out across cores via [`dbp_bench::run_grid`].
+//!
+//! Usage: `cargo run --release -p dbp-bench --bin bench_engine [-- flags]`
+//!
+//! * `--short`  — ~100k items instead of ~1M (the CI smoke configuration).
+//! * `--serial` — one cell at a time, for minimum-noise timings.
+//! * `--out P`  — write the JSON report to `P` (default
+//!   `BENCH_engine.json` in the working directory, i.e. the repo root).
+//!
+//! The JSON is a measurement artifact: regenerate it with a release build
+//! from the repo root after engine changes (see `docs/performance.md`).
+
+use dbp_bench::registry::{online_packer, AlgoParams, ONLINE_ALGOS};
+use dbp_bench::report::Table;
+use dbp_bench::{run_grid, GridCell};
+use dbp_core::stream::StreamingSession;
+use dbp_core::ClairvoyanceMode;
+use dbp_workloads::random::PoissonWorkload;
+use dbp_workloads::Workload;
+use std::time::Instant;
+
+const SEED: u64 = 1;
+
+struct AlgoReport {
+    items: usize,
+    elapsed_s: f64,
+    items_per_sec: f64,
+    peak_open_bins: usize,
+    peak_live_bytes: usize,
+    bins_opened: usize,
+    usage: u128,
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: bench_engine [--short] [--serial] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut short = false;
+    let mut serial = false;
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--serial" => serial = true,
+            "--out" => out_path = args.next().unwrap_or_else(|| usage_exit()),
+            _ => usage_exit(),
+        }
+    }
+
+    // Poisson arrivals at 4 items/tick: the horizon sets the expected
+    // item count. The full horizon targets comfortably over one million
+    // items (40σ above the line for this rate), per the perf trajectory's
+    // acceptance floor.
+    let horizon = if short { 26_000 } else { 260_000 };
+    let workload = PoissonWorkload::new(4.0, horizon);
+    let inst = workload.generate_seeded(SEED);
+    let params = AlgoParams::from_instance(&inst);
+    let mode = if short { "short" } else { "full" };
+    println!(
+        "engine benchmark ({mode}): {} items from {} seed {SEED}\n",
+        inst.len(),
+        workload.name(),
+    );
+    if !short {
+        assert!(
+            inst.len() >= 1_000_000,
+            "full mode must stream at least one million items"
+        );
+    }
+
+    let cells: Vec<GridCell<&str>> = ONLINE_ALGOS
+        .iter()
+        .map(|algo| GridCell {
+            label: algo.to_string(),
+            input: *algo,
+        })
+        .collect();
+    let workers = if serial {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(ONLINE_ALGOS.len())
+    };
+    let inst_ref = &inst;
+    let results = run_grid(cells, Some(workers), move |algo: &&str| {
+        let mut packer = online_packer(algo, params);
+        let mut session = StreamingSession::new(ClairvoyanceMode::Clairvoyant, packer.as_mut());
+        let mut peak_open_bins = 0usize;
+        let mut peak_live_bytes = 0usize;
+        let started = Instant::now();
+        for (k, item) in inst_ref.items().iter().enumerate() {
+            session.arrive(item).expect("benchmark stream is valid");
+            peak_open_bins = peak_open_bins.max(session.open_bins());
+            if k % 1024 == 0 {
+                peak_live_bytes = peak_live_bytes.max(session.approx_live_bytes());
+            }
+        }
+        let run = session.finish().expect("stream drains cleanly");
+        let elapsed_s = started.elapsed().as_secs_f64();
+        AlgoReport {
+            items: inst_ref.len(),
+            elapsed_s,
+            items_per_sec: inst_ref.len() as f64 / elapsed_s,
+            peak_open_bins,
+            peak_live_bytes,
+            bins_opened: run.bins_opened(),
+            usage: run.usage,
+        }
+    });
+
+    let mut table = Table::new(&[
+        "algo",
+        "items/s",
+        "elapsed_s",
+        "peak_open",
+        "peak_live_KiB",
+        "bins",
+        "usage",
+    ]);
+    for r in &results {
+        let o = &r.output;
+        table.row(&[
+            r.label.clone(),
+            format!("{:.0}", o.items_per_sec),
+            format!("{:.3}", o.elapsed_s),
+            o.peak_open_bins.to_string(),
+            format!("{}", o.peak_live_bytes / 1024),
+            o.bins_opened.to_string(),
+            o.usage.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dbp-bench/engine-v1\",\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!(
+        "  \"workload\": {{ \"generator\": \"{}\", \"seed\": {SEED}, \"items\": {} }},\n",
+        workload.name(),
+        inst.len()
+    ));
+    json.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let o = &r.output;
+        json.push_str(&format!(
+            "    {{ \"algo\": \"{}\", \"items\": {}, \"elapsed_s\": {:.6}, \
+             \"items_per_sec\": {:.0}, \"peak_open_bins\": {}, \
+             \"peak_live_bytes\": {}, \"bins_opened\": {}, \"usage\": {} }}{}\n",
+            r.label,
+            o.items,
+            o.elapsed_s,
+            o.items_per_sec,
+            o.peak_open_bins,
+            o.peak_live_bytes,
+            o.bins_opened,
+            o.usage,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+    println!("OK");
+}

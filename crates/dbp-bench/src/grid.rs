@@ -1,13 +1,14 @@
 //! Parallel experiment grid runner.
 //!
 //! Experiments evaluate an (algorithm × workload-config × seed) grid whose
-//! cells are independent — a textbook fan-out. Following the workspace's
-//! HPC guides, the runner uses `crossbeam::scope` worker threads pulling
-//! cells from a shared atomic cursor (work-stealing-lite), with results
-//! written into a pre-sized slot vector so output order is deterministic
-//! regardless of scheduling.
+//! cells are independent — a textbook fan-out. The runner uses
+//! `std::thread::scope` worker threads pulling cells from a shared atomic
+//! cursor (work-stealing-lite). Each worker accumulates `(index, result)`
+//! pairs privately and hands them back through its join handle; the merge
+//! into a pre-sized slot vector happens after the scope joins, so there is
+//! no lock anywhere on the result path and output order stays
+//! deterministic regardless of scheduling.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One cell of the grid: an opaque description plus the closure input.
@@ -50,36 +51,51 @@ where
         })
         .clamp(1, n.max(1));
 
-    let mut slots: Vec<Option<GridResult<O>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots = Mutex::new(&mut slots);
     let cursor = AtomicUsize::new(0);
     let cells_ref = &cells;
     let eval_ref = &eval;
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cell = &cells_ref[i];
-                let output = eval_ref(&cell.input);
-                let result = GridResult {
-                    label: cell.label.clone(),
-                    output,
-                };
-                slots.lock()[i] = Some(result);
-            });
-        }
-    })
-    .expect("grid workers must not panic");
+    let per_worker: Vec<Vec<(usize, GridResult<O>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Worker-local accumulator: no sharing, no locking.
+                    let mut local: Vec<(usize, GridResult<O>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let cell = &cells_ref[i];
+                        let output = eval_ref(&cell.input);
+                        local.push((
+                            i,
+                            GridResult {
+                                label: cell.label.clone(),
+                                output,
+                            },
+                        ));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid workers must not panic"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<GridResult<O>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, result) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "cell {i} evaluated twice");
+        slots[i] = Some(result);
+    }
 
     slots
-        .into_inner()
-        .iter_mut()
-        .map(|s| s.take().expect("every slot filled"))
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
         .collect()
 }
 
@@ -132,6 +148,21 @@ mod tests {
         let ser = run_grid(cells, Some(1), f);
         for (a, b) in par.iter().zip(&ser) {
             assert_eq!(a.output, b.output);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_cells() {
+        let cells: Vec<GridCell<u64>> = (0..3)
+            .map(|i| GridCell {
+                label: i.to_string(),
+                input: i,
+            })
+            .collect();
+        let results = run_grid(cells, Some(64), |&x| x);
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.output, i as u64);
         }
     }
 }

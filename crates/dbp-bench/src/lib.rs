@@ -7,18 +7,21 @@
 //!   experiment sweeps the same algorithm roster.
 //! * [`measure`] — run a packer on an instance and compute usage and
 //!   ratios against LB3 / exact `OPT_total`.
-//! * [`grid`] — a crossbeam-based parallel grid runner: evaluate an
+//! * [`grid`] — a lock-free scoped-thread parallel grid runner: evaluate an
 //!   (algorithm × workload × seed) grid across CPU cores with
 //!   deterministic output ordering.
 //! * [`report`] — minimal aligned-table / CSV printers so each binary
 //!   regenerates its figure as both human-readable rows and
 //!   machine-readable CSV.
+//! * [`reference`] — a deliberately naive seed-style engine used as the
+//!   correctness foil and performance baseline for the indexed engine.
 
 #![warn(missing_docs)]
 
 pub mod grid;
 pub mod measure;
 pub mod plot;
+pub mod reference;
 pub mod registry;
 pub mod report;
 

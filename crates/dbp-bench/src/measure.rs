@@ -143,13 +143,13 @@ mod tests {
     /// An infeasible run is now an `Err`, not a panic.
     #[test]
     fn engine_errors_propagate() {
-        use dbp_core::online::{Decision, ItemView, OpenBin};
+        use dbp_core::online::{Decision, ItemView, OpenBins};
         struct Overfill;
         impl OnlinePacker for Overfill {
             fn name(&self) -> String {
                 "overfill".into()
             }
-            fn place(&mut self, _: &ItemView, open: &[OpenBin]) -> Decision {
+            fn place(&mut self, _: &ItemView, open: &OpenBins) -> Decision {
                 open.first()
                     .map(|b| Decision::Existing(b.id()))
                     .unwrap_or(Decision::NEW)

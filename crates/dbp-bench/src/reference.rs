@@ -1,0 +1,188 @@
+//! A deliberately naive streaming engine: the performance foil.
+//!
+//! This replicates the *pre-indexed* engine's bookkeeping, kept here as
+//! an executable record of what the indexed engine in `dbp-core` was
+//! measured against (see `docs/performance.md`):
+//!
+//! * open bins live in a plain `Vec` — closing a bin is a linear scan
+//!   plus `Vec::remove` (an O(fleet) shift),
+//! * bin records are found by scanning the full history (`O(bins ever
+//!   opened)` per touch),
+//! * the item→bin `placement` map is never pruned and the duplicate-id
+//!   `seen` set keeps every id, so memory grows with stream *length*
+//!   rather than concurrent load.
+//!
+//! It packs with the Next Fit rule (newest open bin or a new one), whose
+//! decision itself is O(1) — so every cost this engine pays beyond the
+//! indexed one is pure bookkeeping overhead, which is exactly what the
+//! differential perf test wants to isolate. Results are bit-identical to
+//! `OnlineEngine` driving `AnyFit::next_fit()`; the differential tests
+//! assert that.
+
+use dbp_core::{Instance, Item, ItemId, Size, Time};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One bin's lifetime as the reference engine records it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefBin {
+    /// Opening time (arrival of the first item).
+    pub opened_at: Time,
+    /// Closing time (departure of the last item).
+    pub closed_at: Time,
+    /// Every item ever placed in the bin, in placement order.
+    pub items: Vec<ItemId>,
+}
+
+/// The reference engine's run outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefRun {
+    /// Total usage time in ticks (sum of bin lifetimes).
+    pub usage: u128,
+    /// Per-bin records in opening order.
+    pub bins: Vec<RefBin>,
+}
+
+struct OpenSlot {
+    record: usize,
+    level: Size,
+    active: Vec<ItemId>,
+}
+
+/// The seed's record access: scan the full bin history for the record,
+/// even though the index alone would do.
+fn record_mut(bins: &mut [RefBin], record: usize) -> &mut RefBin {
+    bins.iter_mut()
+        .enumerate()
+        .find(|(i, _)| *i == record)
+        .map(|(_, r)| r)
+        .expect("record exists")
+}
+
+/// Runs Next Fit over the instance with seed-style linear bookkeeping.
+///
+/// # Panics
+/// On duplicate item ids, out-of-order arrivals, or an item that cannot
+/// fit an empty bin — the same inputs the real engine rejects as errors.
+pub fn reference_next_fit(inst: &Instance) -> RefRun {
+    let mut bins: Vec<RefBin> = Vec::new();
+    let mut open: Vec<OpenSlot> = Vec::new();
+    let mut departures: BinaryHeap<Reverse<(Time, ItemId)>> = BinaryHeap::new();
+    // Grows with stream length, never pruned — the seed behavior.
+    let mut placement: HashMap<ItemId, usize> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut last_arrival: Option<Time> = None;
+
+    let close_until = |t: Time,
+                       open: &mut Vec<OpenSlot>,
+                       bins: &mut Vec<RefBin>,
+                       departures: &mut BinaryHeap<Reverse<(Time, ItemId)>>,
+                       placement: &HashMap<ItemId, usize>| {
+        while let Some(&Reverse((dt, id))) = departures.peek() {
+            if dt > t {
+                break;
+            }
+            departures.pop();
+            let record = placement[&id];
+            // Linear scan for the bin, linear shift to drop it: the
+            // seed's departure path.
+            let pos = open
+                .iter()
+                .position(|s| s.record == record)
+                .expect("departing item's bin is open");
+            let slot = &mut open[pos];
+            let at = slot.active.iter().position(|a| *a == id).unwrap();
+            slot.active.swap_remove(at);
+            let size = inst.items()[id.0 as usize].size();
+            slot.level -= size;
+            if slot.active.is_empty() {
+                open.remove(pos);
+                record_mut(bins, record).closed_at = dt;
+            }
+        }
+    };
+
+    for item in inst.items() {
+        let now = item.arrival();
+        assert!(
+            last_arrival.is_none_or(|l| now >= l),
+            "arrivals must be non-decreasing"
+        );
+        last_arrival = Some(now);
+        assert!(seen.insert(item.id().0), "duplicate item id {}", item.id());
+        close_until(now, &mut open, &mut bins, &mut departures, &placement);
+
+        // Next Fit: the newest open bin or a fresh one.
+        let record = match open.last_mut() {
+            Some(slot) if slot.level + item.size() <= Size::CAPACITY => {
+                slot.level += item.size();
+                slot.active.push(item.id());
+                slot.record
+            }
+            _ => {
+                assert!(item.size() <= Size::CAPACITY, "item exceeds capacity");
+                let record = bins.len();
+                bins.push(RefBin {
+                    opened_at: now,
+                    closed_at: now,
+                    items: Vec::new(),
+                });
+                open.push(OpenSlot {
+                    record,
+                    level: item.size(),
+                    active: vec![item.id()],
+                });
+                record
+            }
+        };
+        record_mut(&mut bins, record).items.push(item.id());
+        placement.insert(item.id(), record);
+        departures.push(Reverse((item.departure(), item.id())));
+    }
+    close_until(Time::MAX, &mut open, &mut bins, &mut departures, &placement);
+    assert!(open.is_empty());
+
+    let usage = bins
+        .iter()
+        .map(|b| (b.closed_at - b.opened_at) as u128)
+        .sum();
+    RefRun { usage, bins }
+}
+
+/// Builds the all-overlapping workload the perf comparison uses: `n`
+/// items of size 0.45, arriving one tick apart, all departing after the
+/// last arrival — Next Fit pairs them two per bin, so roughly `n / 2`
+/// bins are open simultaneously at the peak.
+pub fn wide_fleet_instance(n: u32) -> Instance {
+    let items: Vec<Item> = (0..n)
+        .map(|k| {
+            let t = k as Time;
+            Item::new(k, Size::from_f64(0.45), t, n as Time + t + 1)
+        })
+        .collect();
+    Instance::from_items(items).expect("valid workload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_hand_computed_next_fit() {
+        // Two halves share bin 0; 0.9 opens bin 1; the next 0.5 cannot
+        // join the newest bin (level 0.9), so it opens bin 2 even though
+        // bin 0 has room — that's Next Fit.
+        let inst = Instance::from_triples(&[(0.5, 0, 10), (0.5, 1, 8), (0.9, 2, 6), (0.5, 3, 12)]);
+        let run = reference_next_fit(&inst);
+        assert_eq!(run.bins.len(), 3);
+        assert_eq!(run.usage, 10 + 4 + 9);
+        assert_eq!(run.bins[0].items, vec![ItemId(0), ItemId(1)]);
+    }
+
+    #[test]
+    fn wide_fleet_peaks_at_half_n() {
+        let inst = wide_fleet_instance(100);
+        let run = reference_next_fit(&inst);
+        assert_eq!(run.bins.len(), 50);
+    }
+}

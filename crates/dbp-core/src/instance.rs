@@ -4,7 +4,6 @@ use crate::error::DbpError;
 use crate::interval::{span_of, Interval, Time};
 use crate::item::{Item, ItemId};
 use crate::size::Size;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// An immutable list of items `R` with unique ids.
@@ -12,7 +11,7 @@ use std::collections::HashSet;
 /// Construction validates the items (unique ids, sizes in `(0,1]`,
 /// non-empty intervals). Items are stored sorted by `(arrival, id)` — the
 /// order in which an online algorithm sees them.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Instance {
     items: Vec<Item>,
 }

@@ -6,7 +6,6 @@
 //! own resolution (e.g. one tick = one second).
 
 use crate::error::DbpError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point in time, in integer ticks.
@@ -17,7 +16,7 @@ pub type Time = i64;
 /// Mirrors the paper's `I = [I⁻, I⁺)`; [`Interval::start`] is `I⁻` and
 /// [`Interval::end`] is `I⁺`. The length `l(I) = I⁺ − I⁻` is
 /// [`Interval::len`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     start: Time,
     end: Time,

@@ -3,11 +3,10 @@
 use crate::error::DbpError;
 use crate::interval::{Interval, Time};
 use crate::size::Size;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an item, unique within an [`crate::Instance`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ItemId(pub u32);
 
 impl fmt::Debug for ItemId {
@@ -27,7 +26,7 @@ impl fmt::Display for ItemId {
 ///
 /// Items are immutable once constructed; algorithms never mutate items, only
 /// assign them to bins.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Item {
     id: ItemId,
     size: Size,

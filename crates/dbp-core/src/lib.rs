@@ -58,6 +58,7 @@ pub mod interval_set;
 pub mod item;
 pub mod observe;
 pub mod online;
+pub mod openbins;
 pub mod packing;
 pub mod profile;
 pub mod size;
@@ -71,6 +72,7 @@ pub use interval_set::IntervalSet;
 pub use item::{Item, ItemId};
 pub use observe::{EventLog, FitDecision, NoopObserver, PackEvent, PackObserver, Tee};
 pub use online::{ClairvoyanceMode, Decision, OnlineEngine, OnlinePacker, OnlineRun};
+pub use openbins::OpenBins;
 pub use packing::{BinId, OfflinePacker, Packing};
 pub use size::Size;
 

@@ -28,6 +28,8 @@ use crate::item::{Item, ItemId};
 use crate::packing::{BinId, Packing};
 use crate::size::Size;
 
+pub use crate::openbins::OpenBins;
+
 use std::sync::Arc;
 
 /// Controls what departure information packers observe.
@@ -203,9 +205,13 @@ pub trait OnlinePacker {
     /// Called once before each run; resets internal state.
     fn reset(&mut self) {}
 
-    /// Chooses where the arriving item goes. `open_bins` is ordered by
-    /// opening time.
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision;
+    /// Chooses where the arriving item goes.
+    ///
+    /// `open_bins` iterates in opening order (First Fit's "opened
+    /// earliest" tie-break is simply the first feasible element); use
+    /// [`OpenBins::iter_tag`] to scan a single category in O(category)
+    /// instead of O(fleet), and [`OpenBins::get`] for O(1) lookup by id.
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision;
 }
 
 /// Record of one bin's lifetime after a run.
@@ -329,7 +335,7 @@ mod tests {
         fn name(&self) -> String {
             "test-ff".into()
         }
-        fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+        fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
             for b in open_bins {
                 if b.fits(item.size) {
                     return Decision::Existing(b.id());
@@ -345,7 +351,7 @@ mod tests {
         fn name(&self) -> String {
             "always-new".into()
         }
-        fn place(&mut self, _: &ItemView, _: &[OpenBin]) -> Decision {
+        fn place(&mut self, _: &ItemView, _: &OpenBins) -> Decision {
             Decision::NEW
         }
     }
@@ -357,7 +363,7 @@ mod tests {
         fn name(&self) -> String {
             "bad".into()
         }
-        fn place(&mut self, _: &ItemView, open_bins: &[OpenBin]) -> Decision {
+        fn place(&mut self, _: &ItemView, open_bins: &OpenBins) -> Decision {
             match open_bins.first() {
                 Some(b) => Decision::Existing(b.id()),
                 None => Decision::NEW,
@@ -417,7 +423,7 @@ mod tests {
             fn name(&self) -> String {
                 "assert-hidden".into()
             }
-            fn place(&mut self, item: &ItemView, bins: &[OpenBin]) -> Decision {
+            fn place(&mut self, item: &ItemView, bins: &OpenBins) -> Decision {
                 assert!(item.departure.is_none());
                 for b in bins {
                     for a in b.items() {
@@ -441,7 +447,7 @@ mod tests {
             fn name(&self) -> String {
                 "record".into()
             }
-            fn place(&mut self, item: &ItemView, _: &[OpenBin]) -> Decision {
+            fn place(&mut self, item: &ItemView, _: &OpenBins) -> Decision {
                 self.0.push(item.departure.unwrap());
                 Decision::NEW
             }
@@ -480,7 +486,7 @@ mod tests {
             fn name(&self) -> String {
                 "tagger".into()
             }
-            fn place(&mut self, item: &ItemView, bins: &[OpenBin]) -> Decision {
+            fn place(&mut self, item: &ItemView, bins: &OpenBins) -> Decision {
                 let tag = item.id.0 as u64 % 2;
                 for b in bins {
                     if b.tag() == tag && b.fits(item.size) {

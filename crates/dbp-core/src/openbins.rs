@@ -1,0 +1,431 @@
+//! The indexed open-bin set presented to packers.
+//!
+//! The seed engine kept open bins in a plain `Vec<OpenBin>`, which made
+//! every departure an O(open) scan plus an O(open) `Vec::remove` shift,
+//! and gave classification packers (CBD, CBDT, combined) no better option
+//! than scanning the whole fleet and filtering by tag. [`OpenBins`] keeps
+//! the same *observable* contract — bins iterate in opening order — on
+//! top of O(1) indexed storage:
+//!
+//! * a slab of slots with a free list, so insert/remove never shift;
+//! * a `BinId → slot` hash index, so lookups by id are O(1);
+//! * an intrusive doubly-linked list through the slots in opening order,
+//!   driving [`OpenBins::iter`];
+//! * a second intrusive list per tag, driving [`OpenBins::iter_tag`] so a
+//!   classification packer visits only its own category.
+//!
+//! Both iterators are double-ended (Next Fit takes the newest bin via
+//! `next_back`) and yield bins in exactly the order the seed's `Vec` did,
+//! which is what keeps indexed runs bit-identical to the seed engine —
+//! First Fit's "earliest opened" is still simply the first element, and
+//! `max_by_key`/`min_by_key` tie-breaking is unchanged.
+
+use crate::online::OpenBin;
+use crate::packing::BinId;
+use std::collections::HashMap;
+
+/// Sentinel for "no slot" in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot {
+    bin: OpenBin,
+    /// Opening-order list links.
+    prev: u32,
+    next: u32,
+    /// Per-tag opening-order list links.
+    tag_prev: u32,
+    tag_next: u32,
+}
+
+/// The set of currently open bins, ordered by opening time.
+///
+/// Packers receive `&OpenBins` in [`crate::online::OnlinePacker::place`].
+/// Use [`OpenBins::iter`] (or `for bin in open_bins`) to scan the whole
+/// fleet in opening order, [`OpenBins::iter_tag`] to scan one category,
+/// and [`OpenBins::get`] for O(1) lookup by id.
+#[derive(Clone, Debug, Default)]
+pub struct OpenBins {
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    index: HashMap<BinId, u32>,
+    /// Head/tail of the global opening-order list.
+    head: u32,
+    tail: u32,
+    /// Tag → (head, tail) of that tag's opening-order list. Entries are
+    /// removed when a tag's last bin closes, so the map tracks *live*
+    /// tags only.
+    tags: HashMap<u64, (u32, u32)>,
+}
+
+impl OpenBins {
+    /// An empty open set.
+    pub fn new() -> OpenBins {
+        OpenBins {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            tags: HashMap::new(),
+        }
+    }
+
+    /// Number of open bins.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no bin is open.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The bin with this id, if it is open. O(1).
+    pub fn get(&self, id: BinId) -> Option<&OpenBin> {
+        self.index
+            .get(&id)
+            .map(|&s| &self.slots[s as usize].as_ref().expect("indexed slot").bin)
+    }
+
+    /// Whether the bin with this id is open. O(1).
+    pub fn contains(&self, id: BinId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// The earliest-opened bin.
+    pub fn first(&self) -> Option<&OpenBin> {
+        self.iter().next()
+    }
+
+    /// The latest-opened bin.
+    pub fn last(&self) -> Option<&OpenBin> {
+        self.iter().next_back()
+    }
+
+    /// All open bins in opening order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            slots: &self.slots,
+            front: self.head,
+            back: self.tail,
+            by_tag: false,
+            done: self.head == NIL,
+        }
+    }
+
+    /// The open bins carrying `tag`, in opening order. Scans only that
+    /// category: cost is proportional to the category's size, not the
+    /// fleet's.
+    pub fn iter_tag(&self, tag: u64) -> Iter<'_> {
+        let (head, tail) = self.tags.get(&tag).copied().unwrap_or((NIL, NIL));
+        Iter {
+            slots: &self.slots,
+            front: head,
+            back: tail,
+            by_tag: true,
+            done: head == NIL,
+        }
+    }
+
+    /// Position of the bin in opening order (0-based), if open. O(open);
+    /// exists for observability call sites that report scan depths, not
+    /// for packer hot paths.
+    pub fn position(&self, id: BinId) -> Option<usize> {
+        self.iter().position(|b| b.id() == id)
+    }
+
+    /// Mutable access for the engine. O(1).
+    pub(crate) fn get_mut(&mut self, id: BinId) -> Option<&mut OpenBin> {
+        let s = *self.index.get(&id)?;
+        Some(&mut self.slots[s as usize].as_mut().expect("indexed slot").bin)
+    }
+
+    /// Appends a newly opened bin (engine-internal). O(1).
+    pub(crate) fn insert(&mut self, bin: OpenBin) {
+        let id = bin.id();
+        let tag = bin.tag();
+        debug_assert!(!self.index.contains_key(&id), "bin {id:?} already open");
+
+        let s = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+
+        let (tag_prev, _) = match self.tags.get_mut(&tag) {
+            Some(entry) => {
+                let old_tail = entry.1;
+                entry.1 = s;
+                (old_tail, ())
+            }
+            None => {
+                self.tags.insert(tag, (s, s));
+                (NIL, ())
+            }
+        };
+        if tag_prev != NIL {
+            self.slots[tag_prev as usize]
+                .as_mut()
+                .expect("tag tail slot")
+                .tag_next = s;
+        }
+
+        let prev = self.tail;
+        if prev != NIL {
+            self.slots[prev as usize].as_mut().expect("tail slot").next = s;
+        } else {
+            self.head = s;
+        }
+        self.tail = s;
+
+        self.slots[s as usize] = Some(Slot {
+            bin,
+            prev,
+            next: NIL,
+            tag_prev,
+            tag_next: NIL,
+        });
+        self.index.insert(id, s);
+    }
+
+    /// Removes a closed bin and returns it (engine-internal). O(1).
+    pub(crate) fn remove(&mut self, id: BinId) -> Option<OpenBin> {
+        let s = self.index.remove(&id)?;
+        let slot = self.slots[s as usize].take().expect("indexed slot");
+
+        // Unlink from the global opening-order list.
+        if slot.prev != NIL {
+            self.slots[slot.prev as usize]
+                .as_mut()
+                .expect("prev slot")
+                .next = slot.next;
+        } else {
+            self.head = slot.next;
+        }
+        if slot.next != NIL {
+            self.slots[slot.next as usize]
+                .as_mut()
+                .expect("next slot")
+                .prev = slot.prev;
+        } else {
+            self.tail = slot.prev;
+        }
+
+        // Unlink from the tag list, dropping the tag entry when it empties.
+        let tag = slot.bin.tag();
+        if slot.tag_prev != NIL {
+            self.slots[slot.tag_prev as usize]
+                .as_mut()
+                .expect("tag prev slot")
+                .tag_next = slot.tag_next;
+        }
+        if slot.tag_next != NIL {
+            self.slots[slot.tag_next as usize]
+                .as_mut()
+                .expect("tag next slot")
+                .tag_prev = slot.tag_prev;
+        }
+        let entry = self.tags.get_mut(&tag).expect("open tag entry");
+        if entry.0 == s && entry.1 == s {
+            self.tags.remove(&tag);
+        } else if entry.0 == s {
+            entry.0 = slot.tag_next;
+        } else if entry.1 == s {
+            entry.1 = slot.tag_prev;
+        }
+
+        self.free.push(s);
+        Some(slot.bin)
+    }
+
+    /// Bytes of heap-adjacent state held per open slot — a cheap live-state
+    /// proxy used by the benchmark's RSS estimate.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.slots.capacity() * size_of::<Option<Slot>>()
+            + self.free.capacity() * size_of::<u32>()
+            + self.index.capacity() * (size_of::<BinId>() + size_of::<u32>())
+            + self.tags.capacity() * (size_of::<u64>() + 2 * size_of::<u32>())
+            + self
+                .iter()
+                .map(|b| std::mem::size_of_val(b.items()))
+                .sum::<usize>()
+    }
+}
+
+impl<'a> IntoIterator for &'a OpenBins {
+    type Item = &'a OpenBin;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Double-ended iterator over open bins in opening order.
+///
+/// Returned by [`OpenBins::iter`] (whole fleet) and [`OpenBins::iter_tag`]
+/// (one category).
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    slots: &'a [Option<Slot>],
+    front: u32,
+    back: u32,
+    by_tag: bool,
+    done: bool,
+}
+
+impl<'a> Iter<'a> {
+    fn slot(&self, s: u32) -> &'a Slot {
+        self.slots[s as usize].as_ref().expect("linked slot")
+    }
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a OpenBin;
+
+    fn next(&mut self) -> Option<&'a OpenBin> {
+        if self.done {
+            return None;
+        }
+        let cur = self.front;
+        let slot = self.slot(cur);
+        if cur == self.back {
+            self.done = true;
+        } else {
+            self.front = if self.by_tag {
+                slot.tag_next
+            } else {
+                slot.next
+            };
+        }
+        Some(&slot.bin)
+    }
+}
+
+impl<'a> DoubleEndedIterator for Iter<'a> {
+    fn next_back(&mut self) -> Option<&'a OpenBin> {
+        if self.done {
+            return None;
+        }
+        let cur = self.back;
+        let slot = self.slot(cur);
+        if cur == self.front {
+            self.done = true;
+        } else {
+            self.back = if self.by_tag {
+                slot.tag_prev
+            } else {
+                slot.prev
+            };
+        }
+        Some(&slot.bin)
+    }
+}
+
+impl std::iter::FusedIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemId;
+    use crate::online::ActiveItem;
+    use crate::size::Size;
+
+    fn bin(id: u32, tag: u64) -> OpenBin {
+        OpenBin::new(
+            BinId(id),
+            id as i64,
+            tag,
+            ActiveItem {
+                id: ItemId(id),
+                size: Size::from_f64(0.25),
+                departure: None,
+            },
+        )
+    }
+
+    fn ids(it: impl Iterator<Item = u32>) -> Vec<u32> {
+        it.collect()
+    }
+
+    #[test]
+    fn opening_order_is_preserved_through_removals() {
+        let mut open = OpenBins::new();
+        for i in 0..6 {
+            open.insert(bin(i, i as u64 % 2));
+        }
+        assert_eq!(open.len(), 6);
+        assert_eq!(ids(open.iter().map(|b| b.id().0)), vec![0, 1, 2, 3, 4, 5]);
+
+        open.remove(BinId(0)).unwrap(); // head
+        open.remove(BinId(3)).unwrap(); // middle
+        open.remove(BinId(5)).unwrap(); // tail
+        assert_eq!(ids(open.iter().map(|b| b.id().0)), vec![1, 2, 4]);
+        assert_eq!(open.first().unwrap().id(), BinId(1));
+        assert_eq!(open.last().unwrap().id(), BinId(4));
+
+        // Slab reuses freed slots without disturbing order.
+        open.insert(bin(6, 1));
+        assert_eq!(ids(open.iter().map(|b| b.id().0)), vec![1, 2, 4, 6]);
+        assert_eq!(open.position(BinId(4)), Some(2));
+        assert_eq!(open.position(BinId(0)), None);
+    }
+
+    #[test]
+    fn tag_partitions_track_membership() {
+        let mut open = OpenBins::new();
+        for i in 0..6 {
+            open.insert(bin(i, i as u64 % 3));
+        }
+        assert_eq!(ids(open.iter_tag(0).map(|b| b.id().0)), vec![0, 3]);
+        assert_eq!(ids(open.iter_tag(1).map(|b| b.id().0)), vec![1, 4]);
+        assert_eq!(ids(open.iter_tag(2).map(|b| b.id().0)), vec![2, 5]);
+        assert_eq!(ids(open.iter_tag(9).map(|b| b.id().0)), Vec::<u32>::new());
+
+        open.remove(BinId(0)).unwrap();
+        open.remove(BinId(3)).unwrap();
+        assert_eq!(ids(open.iter_tag(0).map(|b| b.id().0)), Vec::<u32>::new());
+        assert_eq!(ids(open.iter_tag(1).map(|b| b.id().0)), vec![1, 4]);
+
+        open.insert(bin(7, 0));
+        assert_eq!(ids(open.iter_tag(0).map(|b| b.id().0)), vec![7]);
+    }
+
+    #[test]
+    fn double_ended_iteration_meets_in_the_middle() {
+        let mut open = OpenBins::new();
+        for i in 0..4 {
+            open.insert(bin(i, 0));
+        }
+        assert_eq!(ids(open.iter().rev().map(|b| b.id().0)), vec![3, 2, 1, 0]);
+        let mut it = open.iter();
+        assert_eq!(it.next().unwrap().id(), BinId(0));
+        assert_eq!(it.next_back().unwrap().id(), BinId(3));
+        assert_eq!(it.next().unwrap().id(), BinId(1));
+        assert_eq!(it.next_back().unwrap().id(), BinId(2));
+        assert!(it.next().is_none());
+        assert!(it.next_back().is_none());
+        assert_eq!(
+            ids(open.iter_tag(0).rev().map(|b| b.id().0)),
+            vec![3, 2, 1, 0]
+        );
+    }
+
+    #[test]
+    fn get_is_indexed_and_removal_returns_the_bin() {
+        let mut open = OpenBins::new();
+        open.insert(bin(10, 7));
+        open.insert(bin(11, 7));
+        assert!(open.contains(BinId(10)));
+        assert_eq!(open.get(BinId(11)).unwrap().tag(), 7);
+        assert!(open.get(BinId(12)).is_none());
+        let removed = open.remove(BinId(10)).unwrap();
+        assert_eq!(removed.id(), BinId(10));
+        assert!(open.remove(BinId(10)).is_none());
+        assert_eq!(open.len(), 1);
+    }
+}

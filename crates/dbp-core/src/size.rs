@@ -12,7 +12,6 @@
 //! and sums of up to ~2⁴⁰ items cannot overflow.
 
 use crate::error::DbpError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
@@ -22,7 +21,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 ///
 /// `Size` is a plain quantity, not restricted to `(0, CAPACITY]`: bin levels
 /// and demand-chart altitudes (sums of item sizes) use the same type.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Size(u64);
 
 impl Size {

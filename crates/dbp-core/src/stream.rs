@@ -23,6 +23,26 @@
 //! the hooks existed. Attach an observer with
 //! [`StreamingSession::with_observer`] or
 //! [`crate::OnlineEngine::run_observed`].
+//!
+//! ## Hot-path complexity
+//!
+//! The session is built for unbounded streams: every per-arrival and
+//! per-departure operation is O(1) expected (hash lookups) in the live
+//! state, never in the stream's history. Bin records are indexed directly
+//! by [`BinId`] (bins are numbered in opening order), the open set is the
+//! indexed [`crate::openbins::OpenBins`] slab, and `placement` entries are
+//! pruned when their item departs — see `docs/performance.md`.
+//!
+//! ## The id-watermark contract
+//!
+//! Duplicate item-id rejection does not keep every id ever seen. The
+//! session maintains a *watermark* `w` such that every id `< w` has been
+//! seen, plus the exact set of seen ids `≥ w`. Feed ids in roughly
+//! increasing order (the natural choice for generated streams) and that
+//! overflow set stays tiny — O(1) memory for a monotone id stream — while
+//! duplicate detection stays exact for *any* id order. The current values
+//! are observable via [`StreamingSession::id_watermark`] and
+//! [`StreamingSession::dedupe_backlog`].
 
 use crate::error::DbpError;
 use crate::interval::Time;
@@ -31,23 +51,30 @@ use crate::observe::{FitDecision, NoopObserver, PackEvent, PackObserver};
 use crate::online::{
     ActiveItem, BinRecord, ClairvoyanceMode, Decision, ItemView, OnlinePacker, OnlineRun, OpenBin,
 };
+use crate::openbins::OpenBins;
 use crate::packing::{BinId, Packing};
 use crate::size::Size;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// An in-progress online packing over a stream of arrivals.
 pub struct StreamingSession<'p, O: PackObserver = NoopObserver> {
     mode: ClairvoyanceMode,
     packer: &'p mut dyn OnlinePacker,
     obs: O,
-    open: Vec<OpenBin>,
+    open: OpenBins,
+    /// Indexed by `BinId` — bins are numbered in opening order, so the
+    /// record for bin `b` is `records[b.0 as usize]`.
     records: Vec<BinRecord>,
+    /// Bin of each *live* item; entries are pruned at departure.
     placement: HashMap<ItemId, BinId>,
     departures: BinaryHeap<Reverse<(Time, ItemId)>>,
     next_bin: u32,
     last_arrival: Option<Time>,
-    seen: std::collections::HashSet<ItemId>,
+    /// Every id `< watermark` has been seen.
+    watermark: u32,
+    /// The exact set of seen ids `≥ watermark`.
+    above: HashSet<u32>,
 }
 
 impl<'p> StreamingSession<'p, NoopObserver> {
@@ -68,13 +95,14 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
             mode,
             packer,
             obs,
-            open: Vec::new(),
+            open: OpenBins::new(),
             records: Vec::new(),
             placement: HashMap::new(),
             departures: BinaryHeap::new(),
             next_bin: 0,
             last_arrival: None,
-            seen: std::collections::HashSet::new(),
+            watermark: 0,
+            above: HashSet::new(),
         }
     }
 
@@ -86,29 +114,31 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         }
     }
 
-    /// Processes all departures up to and including time `t`.
+    /// Processes all departures up to and including time `t`. Each
+    /// departure is O(1): the item's bin comes from the pruned
+    /// `placement` map and the bin itself from the indexed open set.
     fn close_until(&mut self, t: Time) -> Result<(), DbpError> {
         while let Some(&Reverse((dt, id))) = self.departures.peek() {
             if dt > t {
                 break;
             }
             self.departures.pop();
-            let bin_id = self.placement[&id];
-            let idx = self
+            let bin_id = self
+                .placement
+                .remove(&id)
+                .ok_or_else(|| DbpError::Internal {
+                    what: format!("departing item {id} has no live placement"),
+                })?;
+            let bin = self
                 .open
-                .iter()
-                .position(|b| b.id() == bin_id)
+                .get_mut(bin_id)
                 .ok_or_else(|| DbpError::Internal {
                     what: format!("departing item {id} maps to a closed bin"),
                 })?;
-            let became_empty = self.open[idx].remove_item(id)?;
+            let became_empty = bin.remove_item(id)?;
             if became_empty {
-                let bin = self.open.remove(idx);
-                let rec = self
-                    .records
-                    .iter_mut()
-                    .find(|r| r.id == bin.id())
-                    .expect("record exists for every opened bin");
+                self.open.remove(bin_id).expect("bin was open");
+                let rec = &mut self.records[bin_id.0 as usize];
                 rec.closed_at = dt;
                 if O::ENABLED {
                     let (opened_at, items) = (rec.opened_at, rec.items.len());
@@ -126,7 +156,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                     });
                 }
             } else if O::ENABLED {
-                let level = self.open[idx].level();
+                let level = self.open.get(bin_id).expect("bin still open").level();
                 let open_bins = self.open.len();
                 self.obs.on_event(&PackEvent::LevelChanged {
                     bin: bin_id,
@@ -142,6 +172,39 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
     /// The number of currently open bins.
     pub fn open_bins(&self) -> usize {
         self.open.len()
+    }
+
+    /// The number of items currently resident in open bins. The
+    /// `placement` map holds exactly these (departed items are pruned),
+    /// so live memory tracks the *concurrent* load, not stream length.
+    pub fn live_items(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// All item ids below this value have been seen (watermark dedupe
+    /// contract; see the module docs).
+    pub fn id_watermark(&self) -> u32 {
+        self.watermark
+    }
+
+    /// Number of seen ids at or above the watermark still held for exact
+    /// duplicate detection. Stays O(1) for monotone id streams.
+    pub fn dedupe_backlog(&self) -> usize {
+        self.above.len()
+    }
+
+    /// A cheap estimate of the session's live working-state heap
+    /// footprint: the open-bin slab plus the live-placement map, the
+    /// pending-departure heap, and the dedupe overflow set. Excludes the
+    /// append-only bin history (`records`), which is run *output*, not
+    /// working state. O(open bins); the engine benchmark samples this as
+    /// its RSS proxy.
+    pub fn approx_live_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.open.approx_bytes()
+            + self.placement.capacity() * (size_of::<ItemId>() + size_of::<BinId>())
+            + self.departures.capacity() * size_of::<Reverse<(Time, ItemId)>>()
+            + self.above.capacity() * size_of::<u32>()
     }
 
     /// Advances simulated time to `t` without an arrival: departures up
@@ -174,8 +237,16 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                 });
             }
         }
-        if !self.seen.insert(item.id()) {
-            return Err(DbpError::DuplicateItemId { id: item.id().0 });
+        let raw_id = item.id().0;
+        if raw_id < self.watermark || !self.above.insert(raw_id) {
+            return Err(DbpError::DuplicateItemId { id: raw_id });
+        }
+        // Advance the watermark over contiguously-seen ids so monotone
+        // streams keep the overflow set empty. `u32::MAX` cannot be
+        // absorbed (the watermark would need to be MAX + 1), so it simply
+        // stays in the overflow set.
+        while self.watermark < u32::MAX && self.above.remove(&self.watermark) {
+            self.watermark += 1;
         }
         self.last_arrival = Some(now);
         self.close_until(now)?;
@@ -217,16 +288,19 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         };
         let bin_id = match decision {
             Decision::Existing(bid) => {
-                let pos = self
+                let bin = self
                     .open
-                    .iter()
-                    .position(|b| b.id() == bid)
+                    .get_mut(bid)
                     .ok_or_else(|| DbpError::BadDecision {
                         what: format!("bin {bid:?} is not open (item {})", item.id()),
                     })?;
-                self.open[pos].push_item(active, item.size())?;
+                bin.push_item(active, item.size())?;
                 if O::ENABLED {
-                    let level = self.open[pos].level();
+                    // Scan depth keeps its historical meaning — the bin's
+                    // position in opening order — and is only computed
+                    // (O(open)) when an observer is attached.
+                    let pos = self.open.position(bid).expect("bin is open");
+                    let level = self.open.get(bid).expect("bin is open").level();
                     let open_bins = self.open.len();
                     self.obs.on_event(&PackEvent::PlacementDecided {
                         id: item.id(),
@@ -248,7 +322,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                 let bid = BinId(self.next_bin);
                 self.next_bin += 1;
                 let rejected = self.open.len();
-                self.open.push(OpenBin::new(bid, now, tag, active));
+                self.open.insert(OpenBin::new(bid, now, tag, active));
                 self.records.push(BinRecord {
                     id: bid,
                     opened_at: now,
@@ -280,12 +354,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
             }
         };
         self.placement.insert(item.id(), bin_id);
-        self.records
-            .iter_mut()
-            .find(|r| r.id == bin_id)
-            .expect("record exists")
-            .items
-            .push(item.id());
+        self.records[bin_id.0 as usize].items.push(item.id());
         self.departures.push(Reverse((item.departure(), item.id())));
         Ok(bin_id)
     }
@@ -294,6 +363,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
     pub fn finish(mut self) -> Result<OnlineRun, DbpError> {
         self.close_until(Time::MAX)?;
         debug_assert!(self.open.is_empty());
+        debug_assert!(self.placement.is_empty(), "placement pruned on departure");
         let usage: u128 = self.records.iter().map(|r| r.usage()).sum();
         let mut bins = vec![Vec::new(); self.next_bin as usize];
         for r in &self.records {
@@ -320,7 +390,7 @@ mod tests {
         fn name(&self) -> String {
             "ff".into()
         }
-        fn place(&mut self, item: &ItemView, open: &[OpenBin]) -> Decision {
+        fn place(&mut self, item: &ItemView, open: &OpenBins) -> Decision {
             open.iter()
                 .find(|b| b.fits(item.size))
                 .map(|b| Decision::Existing(b.id()))
@@ -497,6 +567,57 @@ mod tests {
             })
             .collect();
         assert_eq!(estimates, vec![(15, 10), (17, 12)]);
+    }
+
+    #[test]
+    fn long_stream_memory_stays_bounded() {
+        // Regression for the pre-indexed engine, whose `seen` set and
+        // unpruned `placement` map grew with stream *length*. Live state
+        // must track the *concurrent* load: a 200k-item stream with at
+        // most 3 overlapping jobs keeps placement at ≤ 3 entries and the
+        // dedupe overflow set empty (monotone ids fold into the
+        // watermark), while records/usage still cover the full history.
+        const N: u32 = 200_000;
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        for k in 0..N {
+            let t = k as Time;
+            s.arrive(&Item::new(k, Size::from_f64(0.4), t, t + 3))
+                .unwrap();
+            assert!(s.live_items() <= 3, "placement must be pruned (k={k})");
+            assert!(s.open_bins() <= 2, "fleet tracks concurrency (k={k})");
+            assert_eq!(s.dedupe_backlog(), 0, "monotone ids leave no backlog");
+            assert_eq!(s.id_watermark(), k + 1);
+        }
+        let run = s.finish().unwrap();
+        let placed: usize = run.packing.iter_bins().map(|(_, v)| v.len()).sum();
+        assert_eq!(placed, N as usize);
+        assert!(run.bins_opened() > 10_000, "history is still complete");
+    }
+
+    #[test]
+    fn out_of_order_ids_drain_into_watermark() {
+        // Ids arrive pairwise swapped (1,0,3,2,…): the overflow set holds
+        // at most the one id ahead of the watermark and drains as soon as
+        // the gap fills. Duplicate detection stays exact throughout.
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        for pair in 0..500u32 {
+            let (hi, lo) = (2 * pair + 1, 2 * pair);
+            let t = pair as Time;
+            s.arrive(&Item::new(hi, Size::from_f64(0.1), t, t + 2))
+                .unwrap();
+            assert_eq!(s.dedupe_backlog(), 1, "hi id waits above the watermark");
+            assert_eq!(s.id_watermark(), lo);
+            s.arrive(&Item::new(lo, Size::from_f64(0.1), t, t + 2))
+                .unwrap();
+            assert_eq!(s.dedupe_backlog(), 0, "gap filled, backlog drains");
+            assert_eq!(s.id_watermark(), hi + 1);
+        }
+        // An id far below the watermark is rejected without any set entry.
+        let err = s.arrive(&Item::new(7, Size::HALF, 600, 610)).unwrap_err();
+        assert!(matches!(err, DbpError::DuplicateItemId { id: 7 }));
+        s.finish().unwrap();
     }
 
     #[test]

@@ -22,14 +22,14 @@
 //! ```
 //! use dbp_core::{Instance, OnlineEngine};
 //! use dbp_core::observe::Tee;
-//! use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+//! use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 //! use dbp_obs::counters::Counters;
 //! use dbp_obs::metrics::MetricsAggregator;
 //!
 //! struct FirstFit;
 //! impl OnlinePacker for FirstFit {
 //!     fn name(&self) -> String { "ff".into() }
-//!     fn place(&mut self, item: &ItemView, open: &[OpenBin]) -> Decision {
+//!     fn place(&mut self, item: &ItemView, open: &OpenBins) -> Decision {
 //!         open.iter().find(|b| b.fits(item.size))
 //!             .map(|b| Decision::Existing(b.id()))
 //!             .unwrap_or(Decision::NEW)

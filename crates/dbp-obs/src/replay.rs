@@ -182,7 +182,7 @@ pub fn replay_jsonl(text: &str) -> Result<Replay, DbpError> {
 mod tests {
     use super::*;
     use dbp_core::observe::{EventLog, FitDecision};
-    use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+    use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
     use dbp_core::{OnlineEngine, Size};
 
     struct FirstFit;
@@ -190,7 +190,7 @@ mod tests {
         fn name(&self) -> String {
             "ff".into()
         }
-        fn place(&mut self, item: &ItemView, open: &[OpenBin]) -> Decision {
+        fn place(&mut self, item: &ItemView, open: &OpenBins) -> Decision {
             open.iter()
                 .find(|b| b.fits(item.size))
                 .map(|b| Decision::Existing(b.id()))

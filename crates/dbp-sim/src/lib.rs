@@ -345,7 +345,7 @@ pub fn recommend_rho(
 /// — asserted by a test over there.
 mod dbp_packers {
     use dbp_core::interval::Time;
-    use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBin};
+    use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
     pub struct CbdtShim {
         rho: i64,
@@ -370,15 +370,15 @@ mod dbp_packers {
             self.epoch = None;
         }
 
-        fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+        fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
             if self.epoch.is_none() {
                 self.epoch = Some(item.arrival);
             }
             let dep = item.departure.expect("requires clairvoyance");
             let off = dep - self.epoch.unwrap();
             let tag = ((off + self.rho - 1) / self.rho) as u64;
-            for b in open_bins {
-                if b.tag() == tag && b.fits(item.size) {
+            for b in open_bins.iter_tag(tag) {
+                if b.fits(item.size) {
                     return Decision::Existing(b.id());
                 }
             }

@@ -121,7 +121,7 @@ impl Workload for AnalyticsWorkload {
                 // identical.
                 let jitter = rng.gen_range(-(self.period / 20)..=(self.period / 20).max(1));
                 let a = cycle as Time * self.period + offset + jitter;
-                let d = (*dur as f64 * rng.gen_range(0.9..1.1)).round().max(1.0) as i64;
+                let d = (*dur as f64 * rng.gen_range(0.9f64..1.1)).round().max(1.0) as i64;
                 items.push(Item::new(id, *size, a, a + d));
                 id += 1;
             }

@@ -13,7 +13,7 @@
 //! Run with `cargo run --release --example custom_packer`.
 
 use clairvoyant_dbp::algos::adversary::{golden_ratio, run_adversary};
-use clairvoyant_dbp::core::online::{Decision, ItemView, OpenBin};
+use clairvoyant_dbp::core::online::{Decision, ItemView, OpenBins};
 use clairvoyant_dbp::prelude::*;
 use clairvoyant_dbp::workloads::adversarial::ff_tail_trap;
 use clairvoyant_dbp::workloads::random::PoissonWorkload;
@@ -27,7 +27,7 @@ impl OnlinePacker for DeadlineAwareBestFit {
         "deadline-aware-bf".into()
     }
 
-    fn place(&mut self, item: &ItemView, open_bins: &[OpenBin]) -> Decision {
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         let dep = item.departure.expect("needs clairvoyance");
         open_bins
             .iter()

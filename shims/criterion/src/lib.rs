@@ -1,0 +1,275 @@
+//! Hermetic in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendors the
+//! subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`BenchmarkGroup`] with `sample_size` / `throughput` /
+//! `bench_with_input` / `bench_function` / `finish`,
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs
+//! `sample_size` samples and reports the median and min per-iteration
+//! wall time (plus derived throughput when set). There is no HTML
+//! report, outlier analysis, or baseline comparison — `cargo bench`
+//! here is a smoke-and-magnitude tool; `dbp-bench`'s own binaries do
+//! the tracked measurements.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration durations, one per completed sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively batching fast closures so each sample is
+    /// long enough for the clock to resolve.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch-size calibration: grow the batch until one
+        // batch takes ≥ ~200µs, so per-iteration noise stays bounded.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= (1 << 20) {
+                break;
+            }
+            batch *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / batch as u32);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<56} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let rate = throughput.map(|t| {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!(" {:>12.0} elem/s", per_sec(*n)),
+                Throughput::Bytes(n) => format!(" {:>12.0} B/s", per_sec(*n)),
+            }
+        });
+        println!(
+            "{label:<56} median {median:>12?}  min {min:>12?}{}",
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Benchmark throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 16 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 16,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    /// Runs a benchmark within the group. Accepts a name or a
+    /// [`BenchmarkId`], as real criterion does.
+    pub fn bench_function<N: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(
+            &format!("{}/{}", self.name, id.into().label),
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = <$crate::Criterion as ::std::default::Default>::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags (e.g. `--bench`);
+            // this stand-in has no flags, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(4);
+        group.throughput(Throughput::Elements(128));
+        group.bench_with_input(BenchmarkId::new("sum", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("inline", |b| b.iter(|| 2 + 2));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| vec![1u8; 64].len()));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_macros_run() {
+        benches();
+    }
+}

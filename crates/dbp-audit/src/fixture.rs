@@ -1,0 +1,268 @@
+//! JSON regression fixtures: shrunk counterexamples persisted to disk and
+//! replayed by tests forever after.
+//!
+//! The format is one flat object (see `docs/auditing.md`):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "name": "overfull-first-fit",
+//!   "algo": "first-fit",
+//!   "check": "capacity",
+//!   "seed": 0,
+//!   "case": 17,
+//!   "note": "how this fixture came to be",
+//!   "items": [
+//!     {"id": 0, "size_raw": 11744051, "arrival": 0, "departure": 10}
+//!   ]
+//! }
+//! ```
+//!
+//! Sizes are stored as **raw** [`Size`] units (`u64`, `SCALE` = 1.0) and
+//! parsed with `dbp-obs`'s literal-text JSON numbers, so they round-trip
+//! exactly — a fixture replays the bit-identical instance that failed.
+
+use dbp_core::{DbpError, Instance, Item, Size};
+use dbp_obs::json::{self, Json};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One item of a fixture instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixtureItem {
+    /// Item id.
+    pub id: u32,
+    /// Raw size units (`Size::SCALE` = full bin).
+    pub size_raw: u64,
+    /// Arrival tick.
+    pub arrival: i64,
+    /// Departure tick.
+    pub departure: i64,
+}
+
+/// A persisted counterexample: the shrunk instance plus enough metadata
+/// to know what it once broke and how to regenerate it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fixture {
+    /// Short kebab-case name (also the file stem).
+    pub name: String,
+    /// The algorithm that failed (roster name, or a description for
+    /// injected packers).
+    pub algo: String,
+    /// The violated check's stable id ([`crate::invariants::CheckId`]).
+    pub check: String,
+    /// The fuzzer seed that produced the original failure.
+    pub seed: u64,
+    /// The case index under that seed.
+    pub case: u64,
+    /// Free-form provenance note.
+    pub note: String,
+    /// The shrunk instance's items.
+    pub items: Vec<FixtureItem>,
+}
+
+impl Fixture {
+    /// Builds a fixture from an instance plus metadata.
+    pub fn from_instance(
+        name: impl Into<String>,
+        algo: impl Into<String>,
+        check: impl Into<String>,
+        seed: u64,
+        case: u64,
+        note: impl Into<String>,
+        inst: &Instance,
+    ) -> Fixture {
+        Fixture {
+            name: name.into(),
+            algo: algo.into(),
+            check: check.into(),
+            seed,
+            case,
+            note: note.into(),
+            items: inst
+                .items()
+                .iter()
+                .map(|r| FixtureItem {
+                    id: r.id().0,
+                    size_raw: r.size().raw(),
+                    arrival: r.arrival(),
+                    departure: r.departure(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the instance.
+    pub fn instance(&self) -> Result<Instance, DbpError> {
+        let items = self
+            .items
+            .iter()
+            .map(|fi| Item::try_new(fi.id, Size::from_raw(fi.size_raw), fi.arrival, fi.departure))
+            .collect::<Result<Vec<_>, _>>()?;
+        Instance::from_items(items)
+    }
+
+    /// Serializes to the on-disk JSON form.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"name\": \"{}\",", json::escape(&self.name));
+        let _ = writeln!(s, "  \"algo\": \"{}\",", json::escape(&self.algo));
+        let _ = writeln!(s, "  \"check\": \"{}\",", json::escape(&self.check));
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"case\": {},", self.case);
+        let _ = writeln!(s, "  \"note\": \"{}\",", json::escape(&self.note));
+        let _ = writeln!(s, "  \"items\": [");
+        for (i, it) in self.items.iter().enumerate() {
+            let comma = if i + 1 < self.items.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"id\": {}, \"size_raw\": {}, \"arrival\": {}, \"departure\": {}}}{comma}",
+                it.id, it.size_raw, it.arrival, it.departure
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = write!(s, "}}");
+        s
+    }
+
+    /// Parses the on-disk JSON form.
+    pub fn parse(text: &str) -> Result<Fixture, String> {
+        let v = json::parse(text)?;
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("missing version")?;
+        if version != 1 {
+            return Err(format!("unsupported fixture version {version}"));
+        }
+        let field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let Some(Json::Arr(raw_items)) = v.get("items") else {
+            return Err("missing items array".into());
+        };
+        let mut items = Vec::with_capacity(raw_items.len());
+        for (i, it) in raw_items.iter().enumerate() {
+            let geti = |key: &str| -> Result<i64, String> {
+                it.get(key)
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("item {i}: missing field {key:?}"))
+            };
+            items.push(FixtureItem {
+                id: it
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("item {i}: missing id"))? as u32,
+                size_raw: it
+                    .get("size_raw")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("item {i}: missing size_raw"))?,
+                arrival: geti("arrival")?,
+                departure: geti("departure")?,
+            });
+        }
+        Ok(Fixture {
+            name: field("name")?,
+            algo: field("algo")?,
+            check: field("check")?,
+            seed: num("seed")?,
+            case: num("case")?,
+            note: field("note").unwrap_or_default(),
+            items,
+        })
+    }
+
+    /// Writes the fixture to `dir/<name>.json`, creating `dir` if needed.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Loads every `*.json` fixture in a directory, sorted by file name so
+/// test output is stable. A missing directory is an empty set, not an
+/// error (a fresh checkout has no generated fixtures beyond the committed
+/// ones).
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Fixture)>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(out),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let fixture = Fixture::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path.display().to_string(), fixture));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fixture {
+        Fixture {
+            name: "sample".into(),
+            algo: "first-fit".into(),
+            check: "capacity".into(),
+            seed: 7,
+            case: 42,
+            note: "hand-written \"sample\"".into(),
+            items: vec![
+                FixtureItem {
+                    id: 0,
+                    size_raw: Size::SCALE,
+                    arrival: 0,
+                    departure: 10,
+                },
+                FixtureItem {
+                    id: 1,
+                    size_raw: 11_744_051, // an awkward raw value, exact
+                    arrival: 3,
+                    departure: 12,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let f = sample();
+        let parsed = Fixture::parse(&f.to_json()).unwrap();
+        assert_eq!(parsed, f);
+        let inst = parsed.instance().unwrap();
+        assert_eq!(inst.items()[1].size().raw(), 11_744_051);
+    }
+
+    #[test]
+    fn write_and_load_dir() {
+        let dir = std::env::temp_dir().join(format!("dbp-audit-fixture-{}", std::process::id()));
+        let f = sample();
+        let path = f.write_to(&dir).unwrap();
+        assert!(path.ends_with("sample.json"));
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, f);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(load_dir(&dir).unwrap().is_empty(), "missing dir is empty");
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end audit pipeline tests: a clean sweep stays clean, and an
+//! injected fault is caught, shrunk to a tiny witness, and persisted as a
+//! replayable fixture — without aborting the surrounding sweep.
+
+use dbp_audit::diff::audit_online_with;
+use dbp_audit::faulty::{OverfullFirstFit, PanicOnNth};
+use dbp_audit::fixture::Fixture;
+use dbp_audit::fuzz::{case_instance, isolated, run_audit};
+use dbp_audit::invariants::{exact_baselines, CheckId, ExactLimits};
+use dbp_audit::shrink::{shrink_instance, ShrinkBudget};
+use dbp_audit::{AuditConfig, QuietPanics};
+use dbp_core::online::ClairvoyanceMode;
+use dbp_core::Instance;
+
+#[test]
+fn clean_sweep_over_both_rosters() {
+    let summary = run_audit(&AuditConfig {
+        cases: 40,
+        seed: 2,
+        ..Default::default()
+    });
+    assert_eq!(summary.cases, 40);
+    assert!(summary.ok(), "unexpected failures: {:?}", summary.failures);
+}
+
+/// The acceptance scenario: a deliberately faulty packer fed a fuzzer
+/// instance is caught as a violation (not a crash), shrunk to a witness
+/// of at most 6 items, and round-trips through the fixture format.
+#[test]
+fn injected_fault_is_caught_shrunk_and_persisted() {
+    let _quiet = QuietPanics::new();
+    let limits = ExactLimits::default();
+    let (_, inst) = case_instance(0, 1, 24);
+    assert!(inst.len() >= 2, "need a multi-item instance");
+
+    let fails = |candidate: &Instance| -> bool {
+        let exact = match isolated(|| exact_baselines(candidate, limits)) {
+            Ok(e) => e,
+            Err(_) => return true,
+        };
+        match isolated(|| {
+            audit_online_with(
+                candidate,
+                "faulty-overfull-ff",
+                ClairvoyanceMode::NonClairvoyant,
+                &exact,
+                || Box::new(OverfullFirstFit),
+            )
+        }) {
+            Ok(v) => !v.is_empty(),
+            Err(_) => true,
+        }
+    };
+    assert!(fails(&inst), "faulty packer must be caught");
+
+    let small = shrink_instance(&inst, fails, ShrinkBudget::default());
+    assert!(fails(&small), "shrunk witness must still fail");
+    assert!(small.len() <= 6, "witness too large: {} items", small.len());
+
+    let fixture = Fixture::from_instance(
+        "e2e-overfull-ff",
+        "faulty-overfull-ff",
+        CheckId::EngineError.as_str(),
+        0,
+        1,
+        "e2e test",
+        &small,
+    );
+    let parsed = Fixture::parse(&fixture.to_json()).expect("round-trip");
+    assert_eq!(parsed, fixture);
+    assert!(fails(&parsed.instance().expect("valid instance")));
+}
+
+/// A packer that panics mid-run poisons only its own audit cell; the rest
+/// of the roster still reports.
+#[test]
+fn panicking_packer_does_not_abort_the_sweep() {
+    let _quiet = QuietPanics::new();
+    let (_, inst) = case_instance(0, 9, 24);
+    assert!(inst.len() >= 3);
+
+    let exact = exact_baselines(&inst, ExactLimits::default());
+    let poisoned = isolated(|| {
+        audit_online_with(
+            &inst,
+            "faulty-panic-on-2",
+            ClairvoyanceMode::NonClairvoyant,
+            &exact,
+            || Box::new(PanicOnNth::new(2)),
+        )
+    });
+    assert!(poisoned.unwrap_err().contains("injected fault"));
+
+    // And the real roster still audits cleanly right after.
+    let per_algo = dbp_audit::fuzz::audit_instance(&inst, ExactLimits::default(), false);
+    assert!(per_algo.iter().all(|(_, v)| v.is_empty()), "{per_algo:?}");
+}

@@ -9,6 +9,7 @@
 //! no lock anywhere on the result path and output order stays
 //! deterministic regardless of scheduling.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One cell of the grid: an opaque description plus the closure input.
@@ -29,14 +30,64 @@ pub struct GridResult<O> {
     pub output: O,
 }
 
+/// A cell whose evaluation panicked, captured instead of propagated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellPanic {
+    /// The label of the poisoned cell.
+    pub label: String,
+    /// The panic payload, when it was a string (the overwhelmingly common
+    /// case); `"<non-string panic payload>"` otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell '{}' panicked: {}", self.label, self.message)
+    }
+}
+
+impl std::error::Error for CellPanic {}
+
 /// Evaluates `eval` over all cells in parallel on up to
 /// `threads` workers (defaults to available parallelism when `None`),
 /// preserving cell order in the output.
+///
+/// A panicking cell aborts the whole sweep (the historical behaviour).
+/// Long or adversarial sweeps — anything where one poisoned cell should
+/// report instead of killing a million-case run — should use
+/// [`run_grid_checked`].
 pub fn run_grid<I, O, F>(
     cells: Vec<GridCell<I>>,
     threads: Option<usize>,
     eval: F,
 ) -> Vec<GridResult<O>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    run_grid_checked(cells, threads, eval)
+        .into_iter()
+        .map(|r| GridResult {
+            label: r.label,
+            output: match r.output {
+                Ok(o) => o,
+                Err(p) => panic!("{p}"),
+            },
+        })
+        .collect()
+}
+
+/// Like [`run_grid`], but each cell's evaluation is isolated with
+/// [`catch_unwind`]: a panicking cell yields `Err(CellPanic)` in its slot
+/// while every other cell still completes and the output order is
+/// preserved. The workers themselves never unwind, so one poisoned cell
+/// cannot abort the sweep.
+pub fn run_grid_checked<I, O, F>(
+    cells: Vec<GridCell<I>>,
+    threads: Option<usize>,
+    eval: F,
+) -> Vec<GridResult<Result<O, CellPanic>>>
 where
     I: Sync,
     O: Send,
@@ -55,19 +106,27 @@ where
     let cells_ref = &cells;
     let eval_ref = &eval;
 
-    let per_worker: Vec<Vec<(usize, GridResult<O>)>> = std::thread::scope(|scope| {
+    type Checked<O> = GridResult<Result<O, CellPanic>>;
+    let per_worker: Vec<Vec<(usize, Checked<O>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     // Worker-local accumulator: no sharing, no locking.
-                    let mut local: Vec<(usize, GridResult<O>)> = Vec::new();
+                    let mut local: Vec<(usize, Checked<O>)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         let cell = &cells_ref[i];
-                        let output = eval_ref(&cell.input);
+                        // AssertUnwindSafe: `eval` is only ever observed
+                        // through `&F`, and a panicking call hands back
+                        // nothing — no broken invariant can leak out.
+                        let output = catch_unwind(AssertUnwindSafe(|| eval_ref(&cell.input)))
+                            .map_err(|payload| CellPanic {
+                                label: cell.label.clone(),
+                                message: panic_message(payload.as_ref()),
+                            });
                         local.push((
                             i,
                             GridResult {
@@ -86,7 +145,7 @@ where
             .collect()
     });
 
-    let mut slots: Vec<Option<GridResult<O>>> = Vec::with_capacity(n);
+    let mut slots: Vec<Option<Checked<O>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     for (i, result) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "cell {i} evaluated twice");
@@ -97,6 +156,18 @@ where
         .into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()
+}
+
+/// Renders a caught panic payload: the `&str` / `String` cases cover every
+/// `panic!`, `assert!` and `expect` in practice.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +219,86 @@ mod tests {
         let ser = run_grid(cells, Some(1), f);
         for (a, b) in par.iter().zip(&ser) {
             assert_eq!(a.output, b.output);
+        }
+    }
+
+    /// Serializes tests that swap the (process-global) panic hook.
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn checked_isolates_panicking_cells() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        // Silence the default hook's backtrace spew for the expected panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let cells: Vec<GridCell<u64>> = (0..50)
+            .map(|i| GridCell {
+                label: format!("cell{i}"),
+                input: i,
+            })
+            .collect();
+        let results = run_grid_checked(cells, Some(8), |&x| {
+            assert!(x % 7 != 3, "poisoned cell {x}");
+            x * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(results.len(), 50);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.label, format!("cell{i}"));
+            if i % 7 == 3 {
+                let p = r.output.as_ref().unwrap_err();
+                assert_eq!(p.label, r.label);
+                assert!(p.message.contains(&format!("poisoned cell {i}")));
+            } else {
+                assert_eq!(*r.output.as_ref().unwrap(), (i as u64) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_matches_unchecked_when_nothing_panics() {
+        let cells: Vec<GridCell<u64>> = (0..40)
+            .map(|i| GridCell {
+                label: i.to_string(),
+                input: i,
+            })
+            .collect();
+        let plain = run_grid(cells.clone(), Some(4), |&x| x.wrapping_mul(13));
+        let checked = run_grid_checked(cells, Some(4), |&x| x.wrapping_mul(13));
+        for (a, b) in plain.iter().zip(&checked) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.output, *b.output.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 5")]
+    fn unchecked_still_propagates_panics() {
+        // The expected panic is caught and re-raised only after the hook
+        // and lock are restored, so the mutex is never poisoned.
+        let result = {
+            let _guard = HOOK_LOCK.lock().unwrap();
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let cells: Vec<GridCell<u64>> = (0..10)
+                .map(|i| GridCell {
+                    label: i.to_string(),
+                    input: i,
+                })
+                .collect();
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_grid(cells, Some(2), |&x| {
+                    if x == 5 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            }));
+            std::panic::set_hook(prev);
+            result
+        };
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
         }
     }
 

@@ -70,6 +70,10 @@ pub fn reference_next_fit(inst: &Instance) -> RefRun {
     let mut departures: BinaryHeap<Reverse<(Time, ItemId)>> = BinaryHeap::new();
     // Grows with stream length, never pruned — the seed behavior.
     let mut placement: HashMap<ItemId, usize> = HashMap::new();
+    // Sizes keyed by id: `inst.items()` is arrival-sorted, so indexing it
+    // by raw id reads the wrong item whenever arrivals are not in id
+    // order (caught by dbp-audit as a Size underflow at departure).
+    let mut sizes: HashMap<ItemId, Size> = HashMap::new();
     let mut seen: HashSet<u32> = HashSet::new();
     let mut last_arrival: Option<Time> = None;
 
@@ -77,7 +81,8 @@ pub fn reference_next_fit(inst: &Instance) -> RefRun {
                        open: &mut Vec<OpenSlot>,
                        bins: &mut Vec<RefBin>,
                        departures: &mut BinaryHeap<Reverse<(Time, ItemId)>>,
-                       placement: &HashMap<ItemId, usize>| {
+                       placement: &HashMap<ItemId, usize>,
+                       sizes: &HashMap<ItemId, Size>| {
         while let Some(&Reverse((dt, id))) = departures.peek() {
             if dt > t {
                 break;
@@ -93,8 +98,7 @@ pub fn reference_next_fit(inst: &Instance) -> RefRun {
             let slot = &mut open[pos];
             let at = slot.active.iter().position(|a| *a == id).unwrap();
             slot.active.swap_remove(at);
-            let size = inst.items()[id.0 as usize].size();
-            slot.level -= size;
+            slot.level -= sizes[&id];
             if slot.active.is_empty() {
                 open.remove(pos);
                 record_mut(bins, record).closed_at = dt;
@@ -110,7 +114,14 @@ pub fn reference_next_fit(inst: &Instance) -> RefRun {
         );
         last_arrival = Some(now);
         assert!(seen.insert(item.id().0), "duplicate item id {}", item.id());
-        close_until(now, &mut open, &mut bins, &mut departures, &placement);
+        close_until(
+            now,
+            &mut open,
+            &mut bins,
+            &mut departures,
+            &placement,
+            &sizes,
+        );
 
         // Next Fit: the newest open bin or a fresh one.
         let record = match open.last_mut() {
@@ -137,9 +148,17 @@ pub fn reference_next_fit(inst: &Instance) -> RefRun {
         };
         record_mut(&mut bins, record).items.push(item.id());
         placement.insert(item.id(), record);
+        sizes.insert(item.id(), item.size());
         departures.push(Reverse((item.departure(), item.id())));
     }
-    close_until(Time::MAX, &mut open, &mut bins, &mut departures, &placement);
+    close_until(
+        Time::MAX,
+        &mut open,
+        &mut bins,
+        &mut departures,
+        &placement,
+        &sizes,
+    );
     assert!(open.is_empty());
 
     let usage = bins
@@ -184,5 +203,22 @@ mod tests {
         let inst = wide_fleet_instance(100);
         let run = reference_next_fit(&inst);
         assert_eq!(run.bins.len(), 50);
+    }
+
+    #[test]
+    fn departures_use_the_departing_items_own_size() {
+        // Ids deliberately out of arrival order: item 1 arrives (and
+        // departs) first. Indexing `inst.items()` (arrival-sorted) by raw
+        // id would charge item 1's departure with item 0's 0.9 size and
+        // underflow the 0.1 level. Found by dbp-audit's differential
+        // fuzzer.
+        let items = vec![
+            Item::new(0, Size::from_f64(0.9), 10, 20),
+            Item::new(1, Size::from_f64(0.1), 0, 5),
+        ];
+        let inst = Instance::from_items(items).unwrap();
+        let run = reference_next_fit(&inst);
+        assert_eq!(run.bins.len(), 2);
+        assert_eq!(run.usage, 5 + (20 - 10) as u128);
     }
 }

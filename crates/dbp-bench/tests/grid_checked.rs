@@ -1,0 +1,35 @@
+//! `run_grid_checked` must be a drop-in superset of `run_grid`: when no
+//! cell panics, the two agree cell-for-cell, for any grid shape and
+//! thread count.
+
+use dbp_bench::grid::{run_grid, run_grid_checked, GridCell};
+use proptest::prelude::*;
+
+fn cells(n: usize) -> Vec<GridCell<u64>> {
+    (0..n as u64)
+        .map(|x| GridCell {
+            label: format!("cell{x}"),
+            input: x,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checked_matches_unchecked_when_no_cell_panics(
+        n in 0usize..40,
+        threads in 1usize..5,
+        salt: u64,
+    ) {
+        let eval = move |&x: &u64| x.wrapping_mul(salt).wrapping_add(x / 3);
+        let plain = run_grid(cells(n), Some(threads), eval);
+        let checked = run_grid_checked(cells(n), Some(threads), eval);
+        prop_assert_eq!(plain.len(), checked.len());
+        for (p, c) in plain.iter().zip(&checked) {
+            prop_assert_eq!(&p.label, &c.label);
+            prop_assert_eq!(Ok(&p.output), c.output.as_ref());
+        }
+    }
+}

@@ -54,6 +54,14 @@ pub enum DbpError {
         /// The violated invariant.
         what: String,
     },
+    /// A configuration parameter outside its documented domain (e.g. a
+    /// size-distribution bound outside `(0, 1]`, or a zero-tick billing
+    /// hour). Reported by validating constructors so bad parameters fail
+    /// at configuration time instead of panicking deep inside a sweep.
+    InvalidParameter {
+        /// Which parameter was rejected and why.
+        what: String,
+    },
 }
 
 impl fmt::Display for DbpError {
@@ -71,6 +79,7 @@ impl fmt::Display for DbpError {
             DbpError::BadDecision { what } => write!(f, "bad online decision: {what}"),
             DbpError::Trace { line, what } => write!(f, "trace parse error at line {line}: {what}"),
             DbpError::Internal { what } => write!(f, "internal invariant violated: {what}"),
+            DbpError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
         }
     }
 }

@@ -76,9 +76,40 @@ pub enum Billing {
 }
 
 impl Billing {
+    /// A validated hourly billing model: rejects zero or negative
+    /// `ticks_per_hour`, which would otherwise divide by zero (or silently
+    /// wrap through a `u128` cast) inside [`Billing::cost`].
+    pub fn per_hour(ticks_per_hour: i64, price: f64) -> Result<Billing, DbpError> {
+        let billing = Billing::PerHour {
+            ticks_per_hour,
+            price,
+        };
+        billing.validate()?;
+        Ok(billing)
+    }
+
+    /// Checks the model's parameters are inside their domains. Called by
+    /// [`simulate`] so a bad struct-literal configuration fails as a
+    /// [`DbpError::InvalidParameter`] instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), DbpError> {
+        match *self {
+            Billing::PerHour { ticks_per_hour, .. } if ticks_per_hour < 1 => {
+                Err(DbpError::InvalidParameter {
+                    what: format!("ticks_per_hour {ticks_per_hour} must be >= 1"),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// The cost of a run under this model. For [`Billing::Reserved`], the
     /// horizon is the hull of all bin lifetimes (a fleet exists only while
     /// something could run).
+    ///
+    /// # Panics
+    /// [`Billing::PerHour`] with `ticks_per_hour < 1` divides by zero; use
+    /// [`Billing::per_hour`] or [`Billing::validate`] to reject such
+    /// configurations up front ([`simulate`] does).
     pub fn cost(&self, run: &OnlineRun) -> f64 {
         match *self {
             Billing::PerTick { price } => run.usage as f64 * price,
@@ -188,6 +219,7 @@ pub fn simulate_observed<O: PackObserver>(
     billing: Billing,
     obs: &mut O,
 ) -> Result<SimReport, DbpError> {
+    billing.validate()?;
     let mut counters = Counters::new();
     let mut tee = Tee(&mut counters, obs);
     let run = OnlineEngine::new(mode).run_observed(inst, packer, &mut tee)?;
@@ -414,6 +446,32 @@ mod tests {
         assert!(rep.ratio_vs_lb >= 1.0);
         assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
         assert!(rep.peak_servers >= 1 && rep.peak_servers <= rep.servers_acquired);
+    }
+
+    #[test]
+    fn per_hour_billing_rejects_nonpositive_tick_hours() {
+        for bad in [0, -5] {
+            match Billing::per_hour(bad, 1.0) {
+                Err(DbpError::InvalidParameter { what }) => {
+                    assert!(what.contains("ticks_per_hour"), "message names the field");
+                }
+                other => panic!("ticks_per_hour={bad} accepted: {other:?}"),
+            }
+            let raw = Billing::PerHour {
+                ticks_per_hour: bad,
+                price: 1.0,
+            };
+            let err = simulate(
+                &inst(),
+                &mut AnyFit::first_fit(),
+                ClairvoyanceMode::NonClairvoyant,
+                raw,
+            )
+            .unwrap_err();
+            assert!(matches!(err, DbpError::InvalidParameter { .. }));
+        }
+        let ok = Billing::per_hour(60, 2.5).unwrap();
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -84,13 +84,16 @@ pub fn cbd_best_known(mu: f64) -> (f64, u32) {
 pub fn cbd_best_alpha(mu: f64) -> (f64, f64) {
     assert!(mu >= 1.0);
     // For each integer k = ⌈log_α μ⌉, the best α is μ^{1/k} (the smallest α
-    // giving that k), yielding bound μ^{1/k} + k + 4.
-    let mut best = (cbd_bound(2.0, mu), 2.0);
-    for k in 1..=128u32 {
-        let alpha = mu.powf(1.0 / k as f64).max(1.0 + 1e-12);
-        if alpha <= 1.0 {
+    // giving that k), yielding bound μ^{1/k} + k + 4. The k = 1 candidate
+    // seeds the scan (α = μ, bound μ + 5); since α ≥ 1 forces the bound to
+    // at least k + 5, the scan stops once no larger k can win.
+    let seed_alpha = mu.max(1.0 + 1e-12);
+    let mut best = (seed_alpha + 1.0 + 4.0, seed_alpha);
+    for k in 2..=128u32 {
+        if k as f64 + 5.0 >= best.0 {
             break;
         }
+        let alpha = mu.powf(1.0 / k as f64).max(1.0 + 1e-12);
         let b = alpha + k as f64 + 4.0;
         if b < best.0 {
             best = (b, alpha);
@@ -256,6 +259,28 @@ mod tests {
         assert!((at_opt - cbdt_best_known(mu)).abs() < 1e-12);
         for rho in [10.0, 20.0, 40.0, 80.0, 200.0] {
             assert!(cbdt_bound(rho, delta, mu) >= at_opt - 1e-12);
+        }
+    }
+
+    #[test]
+    fn cbd_best_alpha_boundaries() {
+        // μ = 1: one category suffices, α degenerates to 1⁺, bound → 6.
+        let (b1, a1) = cbd_best_alpha(1.0);
+        assert!((b1 - 6.0).abs() < 1e-9, "bound at mu=1: {b1}");
+        assert!(a1 > 1.0 && a1 < 1.0 + 1e-9, "alpha at mu=1: {a1}");
+        // μ just above 1: continuity — still k = 1, bound ≈ μ + 5.
+        let mu = 1.0 + 1e-9;
+        let (b, a) = cbd_best_alpha(mu);
+        assert!((b - (mu + 5.0)).abs() < 1e-6, "bound at mu=1+ε: {b}");
+        assert!((a - mu).abs() < 1e-6);
+        // For μ > 1 the k-parametrized scan is complete: it matches the
+        // direct formula at its own α and never loses to any other α.
+        for mu in [1.5, 4.0, 100.0, 1e6] {
+            let (best, alpha) = cbd_best_alpha(mu);
+            assert!((cbd_bound(alpha, mu) - best).abs() < 1e-6, "mu={mu}");
+            for cand in [1.0001, 1.5, 2.0, 3.0, 8.0, 64.0] {
+                assert!(best <= cbd_bound(cand, mu) + 1e-9, "mu={mu} cand={cand}");
+            }
         }
     }
 

@@ -1,7 +1,15 @@
 //! Random workload families.
+//!
+//! The distribution enums carry public fields for struct-literal
+//! construction in tests and experiments, but sweep drivers and the fuzz
+//! harness should go through the validating constructors
+//! ([`SizeDist::uniform`], [`DurationDist::uniform`], …): a bad parameter
+//! then surfaces as a [`DbpError::InvalidParameter`] at configuration time
+//! instead of panicking inside `gen_range` (or silently clamping sizes)
+//! thousands of cells into a sweep.
 
 use crate::Workload;
-use dbp_core::{Instance, Item, Size, Time};
+use dbp_core::{DbpError, Instance, Item, Size, Time};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -36,6 +44,92 @@ pub enum SizeDist {
 }
 
 impl SizeDist {
+    /// A validated `Uniform` distribution: requires `0 < lo ≤ hi ≤ 1`.
+    pub fn uniform(lo: f64, hi: f64) -> Result<SizeDist, DbpError> {
+        let dist = SizeDist::Uniform { lo, hi };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// A validated `Bimodal` distribution: sizes in `(0, 1]`, probability
+    /// in `[0, 1]`.
+    pub fn bimodal(p_small: f64, small: f64, large: f64) -> Result<SizeDist, DbpError> {
+        let dist = SizeDist::Bimodal {
+            p_small,
+            small,
+            large,
+        };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// A validated `Catalog` distribution from 1–8 sizes in `(0, 1]`.
+    pub fn catalog(entries: &[f64]) -> Result<SizeDist, DbpError> {
+        if entries.is_empty() || entries.len() > 8 {
+            return Err(DbpError::InvalidParameter {
+                what: format!("catalog needs 1..=8 sizes, got {}", entries.len()),
+            });
+        }
+        let mut sizes = [0.0f64; 8];
+        sizes[..entries.len()].copy_from_slice(entries);
+        let dist = SizeDist::Catalog {
+            sizes,
+            len: entries.len(),
+        };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// Checks every parameter is inside its documented domain, so
+    /// [`SizeDist::sample`]'s clamp never has to correct anything.
+    pub fn validate(&self) -> Result<(), DbpError> {
+        let check = |name: &str, f: f64| {
+            if f.is_finite() && f > 0.0 && f <= 1.0 {
+                Ok(())
+            } else {
+                Err(DbpError::InvalidParameter {
+                    what: format!("{name} size {f} outside (0, 1] of capacity"),
+                })
+            }
+        };
+        match *self {
+            SizeDist::Uniform { lo, hi } => {
+                check("uniform lo", lo)?;
+                check("uniform hi", hi)?;
+                if lo > hi {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("uniform size bounds inverted: lo {lo} > hi {hi}"),
+                    });
+                }
+                Ok(())
+            }
+            SizeDist::Bimodal {
+                p_small,
+                small,
+                large,
+            } => {
+                if !(0.0..=1.0).contains(&p_small) {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("bimodal p_small {p_small} outside [0, 1]"),
+                    });
+                }
+                check("bimodal small", small)?;
+                check("bimodal large", large)
+            }
+            SizeDist::Catalog { sizes, len } => {
+                if len == 0 || len > sizes.len() {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("catalog len {len} outside 1..=8"),
+                    });
+                }
+                for &s in &sizes[..len] {
+                    check("catalog entry", s)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn sample(&self, rng: &mut StdRng) -> Size {
         let f = match *self {
             SizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
@@ -121,6 +215,115 @@ pub enum DurationDist {
 }
 
 impl DurationDist {
+    /// A validated `Uniform` distribution: requires `1 ≤ lo ≤ hi`.
+    pub fn uniform(lo: i64, hi: i64) -> Result<DurationDist, DbpError> {
+        let dist = DurationDist::Uniform { lo, hi };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// A validated `Exponential` distribution: `mean > 0`, `1 ≤ min ≤ max`.
+    pub fn exponential(mean: f64, min: i64, max: i64) -> Result<DurationDist, DbpError> {
+        let dist = DurationDist::Exponential { mean, min, max };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// A validated `ShortLong` mixture: positive durations, `p_short` in
+    /// `[0, 1]`.
+    pub fn short_long(short: i64, long: i64, p_short: f64) -> Result<DurationDist, DbpError> {
+        let dist = DurationDist::ShortLong {
+            short,
+            long,
+            p_short,
+        };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// A validated bounded `Pareto`: `shape > 0`, `1 ≤ min ≤ max`.
+    pub fn pareto(shape: f64, min: i64, max: i64) -> Result<DurationDist, DbpError> {
+        let dist = DurationDist::Pareto { shape, min, max };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// A validated `LogNormal`: `sigma_ln > 0`, `1 ≤ min ≤ max`.
+    pub fn log_normal(
+        mu_ln: f64,
+        sigma_ln: f64,
+        min: i64,
+        max: i64,
+    ) -> Result<DurationDist, DbpError> {
+        let dist = DurationDist::LogNormal {
+            mu_ln,
+            sigma_ln,
+            min,
+            max,
+        };
+        dist.validate()?;
+        Ok(dist)
+    }
+
+    /// Checks every parameter is inside its documented domain.
+    pub fn validate(&self) -> Result<(), DbpError> {
+        let clamp_range = |min: i64, max: i64| {
+            if min >= 1 && max >= min {
+                Ok(())
+            } else {
+                Err(DbpError::InvalidParameter {
+                    what: format!("duration clamp [{min}, {max}] needs 1 <= min <= max"),
+                })
+            }
+        };
+        match *self {
+            DurationDist::Uniform { lo, hi } => clamp_range(lo, hi),
+            DurationDist::Exponential { mean, min, max } => {
+                if !(mean.is_finite() && mean > 0.0) {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("exponential mean {mean} must be positive"),
+                    });
+                }
+                clamp_range(min, max)
+            }
+            DurationDist::ShortLong {
+                short,
+                long,
+                p_short,
+            } => {
+                if short < 1 || long < 1 {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("short/long durations ({short}, {long}) must be >= 1"),
+                    });
+                }
+                if !(0.0..=1.0).contains(&p_short) {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("p_short {p_short} outside [0, 1]"),
+                    });
+                }
+                Ok(())
+            }
+            DurationDist::Pareto { shape, min, max } => {
+                if !(shape.is_finite() && shape > 0.0) {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("pareto shape {shape} must be positive"),
+                    });
+                }
+                clamp_range(min, max)
+            }
+            DurationDist::LogNormal {
+                sigma_ln, min, max, ..
+            } => {
+                if !(sigma_ln.is_finite() && sigma_ln > 0.0) {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("log-normal sigma {sigma_ln} must be positive"),
+                    });
+                }
+                clamp_range(min, max)
+            }
+        }
+    }
+
     fn sample(&self, rng: &mut StdRng) -> i64 {
         match *self {
             DurationDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
@@ -470,6 +673,39 @@ mod tests {
         for _ in 0..500 {
             assert!(valid.contains(&s.sample(&mut r)));
         }
+    }
+
+    #[test]
+    fn validating_constructors_reject_bad_parameters() {
+        use dbp_core::DbpError;
+        let bad = |r: Result<SizeDist, DbpError>| {
+            assert!(matches!(r, Err(DbpError::InvalidParameter { .. })), "{r:?}");
+        };
+        // Inverted bounds used to panic inside gen_range mid-sweep.
+        bad(SizeDist::uniform(0.9, 0.1));
+        // Out-of-range sizes used to be silently clamped at sample time.
+        bad(SizeDist::uniform(0.0, 0.5));
+        bad(SizeDist::uniform(0.5, 1.5));
+        bad(SizeDist::bimodal(1.5, 0.1, 0.9));
+        bad(SizeDist::bimodal(0.5, -0.1, 0.9));
+        bad(SizeDist::catalog(&[]));
+        bad(SizeDist::catalog(&[0.5, 2.0]));
+        assert!(SizeDist::uniform(0.05, 0.5).is_ok());
+        assert!(SizeDist::catalog(&[0.125, 0.25, 0.5]).is_ok());
+
+        let bad_d = |r: Result<DurationDist, DbpError>| {
+            assert!(matches!(r, Err(DbpError::InvalidParameter { .. })), "{r:?}");
+        };
+        bad_d(DurationDist::uniform(0, 10));
+        bad_d(DurationDist::uniform(20, 10));
+        bad_d(DurationDist::exponential(-1.0, 1, 10));
+        bad_d(DurationDist::exponential(50.0, 5, 4));
+        bad_d(DurationDist::short_long(0, 100, 0.5));
+        bad_d(DurationDist::short_long(1, 100, 1.5));
+        bad_d(DurationDist::pareto(0.0, 1, 10));
+        bad_d(DurationDist::log_normal(4.0, 0.0, 1, 10));
+        assert!(DurationDist::uniform(10, 100).is_ok());
+        assert!(DurationDist::pareto(1.2, 10, 10_000).is_ok());
     }
 
     #[test]

@@ -35,6 +35,8 @@ USAGE:
   dbp replay   --trace <file.jsonl>
   dbp report   --trace <file> --algo <name> [--offline]
   dbp compare  --trace <file>
+  dbp audit    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
+               [--no-offline] [--fixtures-dir <dir>] [--self-test]
   dbp algos
 
 Online algorithms take their Theorem 4/5 optimal parameters from the
@@ -43,7 +45,16 @@ trace's measured Δ and μ. `dbp algos` lists the rosters.
 `pack --trace-out` streams every packing decision as JSONL;
 `pack --metrics` exports the time-series metrics (active bins, S(t),
 ⌈S(t)⌉, instantaneous ratio vs LB3) as CSV. `replay` reconstructs a
-packing from a JSONL decision trace and verifies it bit-for-bit.";
+packing from a JSONL decision trace and verifies it bit-for-bit.
+
+`audit` fuzzes the full roster with seeded random + adversarial
+instances, checking every invariant (capacity, no-migration, usage
+accounting, the Prop 1-3 bound chain, Theorem 4/5 ceilings) and
+cross-checking batch vs streaming vs replay vs the reference engine.
+Failures are shrunk to minimal instances and written as JSON fixtures
+under --fixtures-dir (default audit-fixtures). `audit --self-test`
+injects known-faulty packers and proves the catch -> shrink -> persist
+pipeline. See docs/auditing.md.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +76,7 @@ fn main() -> ExitCode {
         "replay" => replay(&flags),
         "report" => report(&flags),
         "compare" => compare(&flags),
+        "audit" => audit(&flags),
         "algos" => {
             println!("online:  {}", ONLINE_ALGOS.join(", "));
             println!("offline: {}", OFFLINE_ALGOS.join(", "));
@@ -313,6 +325,173 @@ fn report(flags: &HashMap<String, String>) -> Result<(), String> {
         total_util / rows.len().max(1) as f64 * 100.0,
         packing.total_usage(&inst)
     );
+    Ok(())
+}
+
+/// Runs the differential fuzzing sweep (`dbp audit`), shrinking any
+/// failure to a minimal fixture, or the `--self-test` pipeline proof.
+fn audit(flags: &HashMap<String, String>) -> Result<(), String> {
+    use clairvoyant_dbp::audit::fixture::Fixture;
+    use clairvoyant_dbp::audit::fuzz::{self, shrink_roster_failure};
+    use clairvoyant_dbp::audit::shrink::ShrinkBudget;
+    use clairvoyant_dbp::audit::{AuditConfig, QuietPanics};
+    use std::path::Path;
+
+    if flags.contains_key("self-test") {
+        return audit_self_test(flags);
+    }
+
+    let cfg = AuditConfig {
+        cases: get_num(flags, "cases", 1000)?,
+        seed: get_num(flags, "seed", 0)?,
+        max_items: get_num(flags, "max-items", 24)?,
+        threads: flags
+            .get("threads")
+            .map(|v| v.parse().map_err(|_| format!("bad --threads value {v:?}")))
+            .transpose()?,
+        offline: !flags.contains_key("no-offline"),
+        ..Default::default()
+    };
+    let fixtures_dir = flags
+        .get("fixtures-dir")
+        .map(String::as_str)
+        .unwrap_or("audit-fixtures");
+
+    // Expected panics (engine rejections, injected faults) are caught and
+    // reported as violations; keep them off stderr.
+    let _quiet = QuietPanics::new();
+    let summary = fuzz::run_audit(&cfg);
+    println!(
+        "audit: {} cases x roster = {} cells, seed {}",
+        summary.cases, summary.cells, cfg.seed
+    );
+    if summary.ok() {
+        println!("audit: no violations");
+        return Ok(());
+    }
+
+    println!(
+        "audit: {} failing (case, algo) cells, {} violations",
+        summary.failures.len(),
+        summary.violations()
+    );
+    for f in &summary.failures {
+        println!("\ncase {} [{}] algo {}:", f.case, f.family, f.algo);
+        for v in &f.violations {
+            println!("  [{}] {}", v.check, v.detail);
+        }
+        // Shrink and persist a replayable fixture (skip cells that failed
+        // before an algorithm was even involved).
+        if f.algo.starts_with('<') || f.algo == "exact-oracles" {
+            continue;
+        }
+        let (_, inst) = fuzz::case_instance(cfg.seed, f.case, cfg.max_items);
+        let small = shrink_roster_failure(&inst, &f.algo, cfg.limits, ShrinkBudget::default());
+        let fixture = Fixture::from_instance(
+            format!("seed{}-case{}-{}", cfg.seed, f.case, f.algo),
+            &f.algo,
+            f.violations[0].check.as_str(),
+            cfg.seed,
+            f.case,
+            format!("shrunk from {} to {} items", inst.len(), small.len()),
+            &small,
+        );
+        match fixture.write_to(Path::new(fixtures_dir)) {
+            Ok(path) => println!("  shrunk to {} items -> {}", small.len(), path.display()),
+            Err(e) => println!("  shrunk to {} items (write failed: {e})", small.len()),
+        }
+    }
+    Err(format!("{} audit violations", summary.violations()))
+}
+
+/// Proves the audit pipeline end to end with injected faults: the
+/// overfull packer must be caught and shrunk to a tiny fixture that
+/// round-trips through JSON, and a panicking packer must not abort the
+/// surrounding sweep.
+fn audit_self_test(flags: &HashMap<String, String>) -> Result<(), String> {
+    use clairvoyant_dbp::audit::diff::audit_online_with;
+    use clairvoyant_dbp::audit::faulty::{OverfullFirstFit, PanicOnNth};
+    use clairvoyant_dbp::audit::fixture::Fixture;
+    use clairvoyant_dbp::audit::fuzz::{case_instance, isolated};
+    use clairvoyant_dbp::audit::invariants::{exact_baselines, ExactLimits};
+    use clairvoyant_dbp::audit::shrink::{shrink_instance, ShrinkBudget};
+    use clairvoyant_dbp::audit::QuietPanics;
+
+    let seed: u64 = get_num(flags, "seed", 0)?;
+    let limits = ExactLimits::default();
+    let _quiet = QuietPanics::new();
+
+    // A generated instance large enough that the faulty packer trips.
+    let (family, inst) = case_instance(seed, 1, 24);
+    println!(
+        "self-test: instance from seed {seed} case 1 [{family}], {} items",
+        inst.len()
+    );
+
+    let fails = |candidate: &Instance| -> bool {
+        let exact = match isolated(|| exact_baselines(candidate, limits)) {
+            Ok(e) => e,
+            Err(_) => return true,
+        };
+        let v = isolated(|| {
+            audit_online_with(
+                candidate,
+                "faulty-overfull-ff",
+                ClairvoyanceMode::NonClairvoyant,
+                &exact,
+                || Box::new(OverfullFirstFit),
+            )
+        });
+        match v {
+            Ok(v) => !v.is_empty(),
+            Err(_) => true,
+        }
+    };
+    if !fails(&inst) {
+        return Err("self-test: overfull packer was NOT caught".into());
+    }
+    println!("self-test: overfull first-fit caught as a violation");
+
+    let small = shrink_instance(&inst, fails, ShrinkBudget::default());
+    println!("self-test: shrunk {} -> {} items", inst.len(), small.len());
+    if small.len() > 6 {
+        return Err(format!(
+            "self-test: shrunk witness has {} items (> 6)",
+            small.len()
+        ));
+    }
+    let fixture = Fixture::from_instance(
+        "self-test-overfull-ff",
+        "faulty-overfull-ff",
+        "engine-error",
+        seed,
+        1,
+        "self-test injected fault",
+        &small,
+    );
+    let round_trip =
+        Fixture::parse(&fixture.to_json()).map_err(|e| format!("fixture round-trip: {e}"))?;
+    if round_trip != fixture {
+        return Err("self-test: fixture did not round-trip".into());
+    }
+    println!(
+        "self-test: fixture round-trips through JSON ({} items)",
+        fixture.items.len()
+    );
+
+    // A panicking packer must be contained, not abort the process.
+    let outcome = isolated(|| {
+        OnlineEngine::non_clairvoyant()
+            .run(&inst, &mut PanicOnNth::new(2))
+            .map(|r| r.usage)
+    });
+    match outcome {
+        Err(msg) if msg.contains("injected fault") => {
+            println!("self-test: panicking packer isolated ({msg})");
+        }
+        other => return Err(format!("self-test: expected injected panic, got {other:?}")),
+    }
+    println!("self-test: ok");
     Ok(())
 }
 

@@ -33,6 +33,7 @@
 //! | [`flex`] | the §6 flexible-jobs extension (release times + deadlines) |
 //! | [`sim`] | cloud renting-cost simulator, billing models, noisy clairvoyance |
 //! | [`obs`] | packing-decision tracing, deterministic replay, time-series metrics |
+//! | [`audit`] | invariant checker, differential fuzzer, counterexample shrinker, regression fixtures |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 //! ```
 
 pub use dbp_algos as algos;
+pub use dbp_audit as audit;
 pub use dbp_core as core;
 pub use dbp_flex as flex;
 pub use dbp_interval as interval;

@@ -10,8 +10,9 @@
 //! `ρ = √μ·Δ` (durations known) this becomes `2√μ + 3`.
 
 use super::first_fit_tagged;
+use dbp_core::error::DbpError;
 use dbp_core::interval::Time;
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins, PackerState};
 
 /// Classify-by-departure-time First Fit with interval length `ρ` (ticks).
 ///
@@ -92,6 +93,19 @@ impl OnlinePacker for ClassifyByDepartureTime {
             .expect("ClassifyByDepartureTime requires a clairvoyant engine");
         let tag = self.category(dep);
         first_fit_tagged(tag, item.size, open_bins)
+    }
+
+    fn save_state(&self) -> PackerState {
+        let mut st = PackerState::new();
+        if let Some(e) = self.epoch {
+            st.set("epoch", e);
+        }
+        st
+    }
+
+    fn restore_state(&mut self, state: &PackerState) -> Result<(), DbpError> {
+        self.epoch = state.get("epoch");
+        Ok(())
     }
 }
 

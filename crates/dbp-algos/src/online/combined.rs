@@ -12,8 +12,9 @@
 //! class indices into one `u64` (duration class in the high 32 bits).
 
 use super::first_fit_tagged;
+use dbp_core::error::DbpError;
 use dbp_core::interval::Time;
-use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
+use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins, PackerState};
 
 use super::cbd::ClassifyByDuration;
 
@@ -84,6 +85,21 @@ impl OnlinePacker for CombinedClassify {
         // Duration class in high 32 bits, departure class (mod 2^32) low.
         let tag = (dur_tag << 32) | (dep_tag & 0xFFFF_FFFF);
         first_fit_tagged(tag, item.size, open_bins)
+    }
+
+    fn save_state(&self) -> PackerState {
+        // The duration classifier is pure configuration; only the
+        // departure-class epoch is run state.
+        let mut st = PackerState::new();
+        if let Some(e) = self.epoch {
+            st.set("epoch", e);
+        }
+        st
+    }
+
+    fn restore_state(&mut self, state: &PackerState) -> Result<(), DbpError> {
+        self.epoch = state.get("epoch");
+        Ok(())
     }
 }
 

@@ -54,6 +54,13 @@ pub enum CheckId {
     EngineError,
     /// The cell panicked (caught; the sweep continued).
     Panic,
+    /// Chaos accounting: a job was lost, double-counted, or its ledger
+    /// contradicts its recorded outcome.
+    ChaosAccounting,
+    /// Chaos capacity: a bin exceeded capacity after fault recovery.
+    ChaosCapacity,
+    /// A checkpoint/resume differed from the uninterrupted run.
+    Resume,
 }
 
 impl CheckId {
@@ -69,6 +76,9 @@ impl CheckId {
             CheckId::Differential => "differential",
             CheckId::EngineError => "engine-error",
             CheckId::Panic => "panic",
+            CheckId::ChaosAccounting => "chaos-accounting",
+            CheckId::ChaosCapacity => "chaos-capacity",
+            CheckId::Resume => "resume",
         }
     }
 
@@ -84,6 +94,9 @@ impl CheckId {
             CheckId::Differential,
             CheckId::EngineError,
             CheckId::Panic,
+            CheckId::ChaosAccounting,
+            CheckId::ChaosCapacity,
+            CheckId::Resume,
         ]
         .into_iter()
         .find(|c| c.as_str() == s)
@@ -436,6 +449,9 @@ mod tests {
             CheckId::Differential,
             CheckId::EngineError,
             CheckId::Panic,
+            CheckId::ChaosAccounting,
+            CheckId::ChaosCapacity,
+            CheckId::Resume,
         ] {
             assert_eq!(CheckId::parse(c.as_str()), Some(c));
         }

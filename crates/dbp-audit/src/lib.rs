@@ -24,12 +24,16 @@
 //!   test on every build.
 //! * [`faulty`] — deliberately broken packers proving the catch → shrink →
 //!   persist pipeline end to end (`dbp audit --self-test`).
+//! * [`chaos`] — the fault-injection family: seeded [`dbp_resilience`]
+//!   sweeps checking exactly-once job accounting, post-recovery capacity,
+//!   and checkpoint/resume bit-identity across the roster.
 //!
 //! See `docs/auditing.md` for the invariant list, the shrink loop, the
 //! fixture format, and how to reproduce any failure from its seed.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod diff;
 pub mod faulty;
 pub mod fixture;
@@ -37,6 +41,7 @@ pub mod fuzz;
 pub mod invariants;
 pub mod shrink;
 
+pub use chaos::{run_chaos_audit, ChaosAuditConfig};
 pub use fuzz::{run_audit, AuditConfig, AuditSummary};
 pub use invariants::{CheckId, Violation};
 

@@ -71,10 +71,13 @@ pub use interval::{Interval, Time};
 pub use interval_set::IntervalSet;
 pub use item::{Item, ItemId};
 pub use observe::{EventLog, FitDecision, NoopObserver, PackEvent, PackObserver, Tee};
-pub use online::{ClairvoyanceMode, Decision, OnlineEngine, OnlinePacker, OnlineRun};
+pub use online::{
+    ActiveItem, ClairvoyanceMode, Decision, OnlineEngine, OnlinePacker, OnlineRun, PackerState,
+};
 pub use openbins::OpenBins;
 pub use packing::{BinId, OfflinePacker, Packing};
 pub use size::Size;
+pub use stream::{Admission, BinSnapshot, SessionSnapshot, StreamingSession, SNAPSHOT_VERSION};
 
 /// Result alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, DbpError>;

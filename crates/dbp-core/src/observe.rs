@@ -117,6 +117,34 @@ pub enum PackEvent {
         /// Total number of items the bin ever held.
         items: usize,
     },
+    /// An open server failed under fault injection
+    /// ([`crate::stream::StreamingSession::fail_bin`]): the bin closed at
+    /// the failure time and its still-resident items were displaced.
+    /// Emitted *instead of* [`PackEvent::BinClosed`] for the failed bin.
+    BinFailed {
+        /// The failed bin.
+        bin: BinId,
+        /// Failure time (becomes the bin's `closed_at`).
+        at: Time,
+        /// When the bin had been opened.
+        opened_at: Time,
+        /// Number of live items displaced by the failure.
+        displaced: usize,
+        /// Number of bins still open after the failure.
+        open_bins: usize,
+    },
+    /// Admission control shed an arrival
+    /// ([`crate::stream::StreamingSession::arrive_capped`]): the packer
+    /// wanted a new server but the fleet cap was reached, so the item was
+    /// not admitted and no session state changed.
+    ArrivalShed {
+        /// The shed item's id.
+        id: ItemId,
+        /// Arrival time of the shed item.
+        at: Time,
+        /// Number of open bins (equal to the fleet cap) at the time.
+        open_bins: usize,
+    },
 }
 
 /// A sink for [`PackEvent`]s.

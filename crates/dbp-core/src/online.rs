@@ -75,7 +75,7 @@ impl ItemView {
 }
 
 /// An item currently residing in an open bin, as visible to packers.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ActiveItem {
     /// Item id.
     pub id: ItemId,
@@ -197,6 +197,58 @@ impl Decision {
     pub const NEW: Decision = Decision::New { tag: 0 };
 }
 
+/// Opaque, serializable packer state captured in a checkpoint.
+///
+/// Most roster packers are pure functions of the arriving item and the
+/// open set and carry no mutable state; those use the default empty
+/// value. Stateful packers (CBDT's classification epoch, and the
+/// combined classifier's) store named integer fields. Fields are kept
+/// sorted by name so equal states compare equal bit-for-bit regardless
+/// of insertion order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackerState {
+    fields: Vec<(String, i64)>,
+}
+
+impl PackerState {
+    /// An empty (stateless) packer state.
+    pub fn new() -> PackerState {
+        PackerState::default()
+    }
+
+    /// Sets `key` to `value`, replacing any existing entry.
+    pub fn set(&mut self, key: &str, value: i64) {
+        match self.fields.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.fields[i].1 = value,
+            Err(i) => self.fields.insert(i, (key.to_string(), value)),
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<i64> {
+        self.fields
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.fields[i].1)
+    }
+
+    /// Whether the state carries no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in canonical (name-sorted) order.
+    pub fn fields(&self) -> &[(String, i64)] {
+        &self.fields
+    }
+
+    /// Builds a state from arbitrary-order fields (checkpoint decode).
+    pub fn from_fields(mut fields: Vec<(String, i64)>) -> PackerState {
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        PackerState { fields }
+    }
+}
+
 /// An online packing algorithm.
 pub trait OnlinePacker {
     /// Display name including parameterization, e.g. `"cbdt(rho=8)"`.
@@ -212,10 +264,36 @@ pub trait OnlinePacker {
     /// [`OpenBins::iter_tag`] to scan a single category in O(category)
     /// instead of O(fleet), and [`OpenBins::get`] for O(1) lookup by id.
     fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision;
+
+    /// Captures internal state for a checkpoint
+    /// ([`crate::stream::StreamingSession::snapshot`]). The default
+    /// (stateless) implementation returns the empty state; packers whose
+    /// decisions depend on run history must override this together with
+    /// [`OnlinePacker::restore_state`].
+    fn save_state(&self) -> PackerState {
+        PackerState::new()
+    }
+
+    /// Restores state captured by [`OnlinePacker::save_state`]. Called
+    /// after [`OnlinePacker::reset`] on the restore path. The default
+    /// (stateless) implementation accepts only the empty state, so a
+    /// snapshot carrying state cannot be silently dropped.
+    fn restore_state(&mut self, state: &PackerState) -> Result<(), DbpError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(DbpError::InvalidParameter {
+                what: format!(
+                    "packer {} is stateless but the snapshot carries packer state",
+                    self.name()
+                ),
+            })
+        }
+    }
 }
 
 /// Record of one bin's lifetime after a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BinRecord {
     /// The bin id (opening order).
     pub id: BinId,
@@ -238,8 +316,10 @@ impl BinRecord {
     }
 }
 
-/// The outcome of an online run.
-#[derive(Clone, Debug)]
+/// The outcome of an online run. Two runs compare equal only when the
+/// full bin history matches bit-for-bit (the checkpoint/restore
+/// differential tests rely on this).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OnlineRun {
     /// Item→bin assignment, convertible to a [`Packing`].
     pub packing: Packing,

@@ -50,12 +50,83 @@ use crate::item::{Item, ItemId};
 use crate::observe::{FitDecision, NoopObserver, PackEvent, PackObserver};
 use crate::online::{
     ActiveItem, BinRecord, ClairvoyanceMode, Decision, ItemView, OnlinePacker, OnlineRun, OpenBin,
+    PackerState,
 };
 use crate::openbins::OpenBins;
 use crate::packing::{BinId, Packing};
 use crate::size::Size;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Snapshot format version written by [`StreamingSession::snapshot`] and
+/// accepted by [`StreamingSession::restore`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One open bin's state inside a [`SessionSnapshot`].
+///
+/// Bins are listed in opening order; `items` preserves the bin's exact
+/// internal item order (which is history-dependent because departures use
+/// `swap_remove`, and which packers can observe via
+/// [`OpenBin::items`]), so rebuilding bins from a snapshot reproduces
+/// packer-visible state bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinSnapshot {
+    /// The bin id (global opening order).
+    pub id: BinId,
+    /// When the bin was opened.
+    pub opened_at: Time,
+    /// The packer-supplied category tag.
+    pub tag: u64,
+    /// The resident items, in the bin's exact internal order.
+    pub items: Vec<ActiveItem>,
+}
+
+/// A versioned, self-contained snapshot of a [`StreamingSession`]'s
+/// state, sufficient to resume the stream bit-identically.
+///
+/// What is *not* captured: the [`ClairvoyanceMode`] (it may hold an
+/// arbitrary estimator closure) and the packer object itself — the caller
+/// reconstructs both and [`StreamingSession::restore`] verifies the
+/// packer's name matches before handing it its saved [`PackerState`].
+/// Hash-based collections are stored as sorted vectors and the departure
+/// heap as a sorted list, so equal sessions produce byte-equal encodings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// `packer.name()` at snapshot time; restore refuses a mismatch.
+    pub packer: String,
+    /// The packer's saved internal state.
+    pub packer_state: PackerState,
+    /// Open bins in opening order.
+    pub open_bins: Vec<BinSnapshot>,
+    /// Full bin history (indexed by bin id).
+    pub records: Vec<BinRecord>,
+    /// Pending departures as sorted `(time, item)` pairs, cancelled
+    /// entries already filtered out.
+    pub departures: Vec<(Time, ItemId)>,
+    /// The next bin id to assign.
+    pub next_bin: u32,
+    /// The session clock (last arrival / advance time).
+    pub last_arrival: Option<Time>,
+    /// Id-dedupe watermark (every id below it has been seen).
+    pub watermark: u32,
+    /// Seen ids at or above the watermark, sorted.
+    pub above: Vec<u32>,
+}
+
+/// Outcome of a capacity-capped arrival
+/// ([`StreamingSession::arrive_capped`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The item was admitted and placed in this bin.
+    Placed(BinId),
+    /// The packer needed a new server but the fleet cap was reached; the
+    /// item was **not** admitted and no session state changed (beyond the
+    /// clock advancing to the arrival time). The same item id may be
+    /// re-presented later.
+    Shed,
+}
 
 /// An in-progress online packing over a stream of arrivals.
 pub struct StreamingSession<'p, O: PackObserver = NoopObserver> {
@@ -75,6 +146,9 @@ pub struct StreamingSession<'p, O: PackObserver = NoopObserver> {
     watermark: u32,
     /// The exact set of seen ids `≥ watermark`.
     above: HashSet<u32>,
+    /// Raw ids displaced by [`StreamingSession::fail_bin`] whose stale
+    /// departure-heap entries must be skipped when they surface.
+    cancelled: HashSet<u32>,
 }
 
 impl<'p> StreamingSession<'p, NoopObserver> {
@@ -82,6 +156,15 @@ impl<'p> StreamingSession<'p, NoopObserver> {
     /// is invoked.
     pub fn new(mode: ClairvoyanceMode, packer: &'p mut dyn OnlinePacker) -> Self {
         Self::with_observer(mode, packer, NoopObserver)
+    }
+
+    /// Unobserved [`StreamingSession::restore_with_observer`].
+    pub fn restore(
+        mode: ClairvoyanceMode,
+        packer: &'p mut dyn OnlinePacker,
+        snap: &SessionSnapshot,
+    ) -> Result<Self, DbpError> {
+        Self::restore_with_observer(mode, packer, snap, NoopObserver)
     }
 }
 
@@ -103,7 +186,157 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
             last_arrival: None,
             watermark: 0,
             above: HashSet::new(),
+            cancelled: HashSet::new(),
         }
+    }
+
+    /// Captures the session's full state as a [`SessionSnapshot`]. Can be
+    /// taken between any two calls; resuming via
+    /// [`StreamingSession::restore`] and feeding the remaining stream
+    /// produces a final [`OnlineRun`] bit-identical to an uninterrupted
+    /// run (verified across the whole roster in `dbp-resilience`).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let open_bins = self
+            .open
+            .iter()
+            .map(|b| BinSnapshot {
+                id: b.id(),
+                opened_at: b.opened_at(),
+                tag: b.tag(),
+                items: b.items().to_vec(),
+            })
+            .collect();
+        // Stale heap entries for displaced items are filtered out here so
+        // the restored session starts with an empty cancelled set.
+        let mut departures: Vec<(Time, ItemId)> = self
+            .departures
+            .iter()
+            .filter(|Reverse((_, id))| !self.cancelled.contains(&id.0))
+            .map(|Reverse(p)| *p)
+            .collect();
+        departures.sort_unstable();
+        let mut above: Vec<u32> = self.above.iter().copied().collect();
+        above.sort_unstable();
+        SessionSnapshot {
+            version: SNAPSHOT_VERSION,
+            packer: self.packer.name(),
+            packer_state: self.packer.save_state(),
+            open_bins,
+            records: self.records.clone(),
+            departures,
+            next_bin: self.next_bin,
+            last_arrival: self.last_arrival,
+            watermark: self.watermark,
+            above,
+        }
+    }
+
+    /// Reconstructs a session from a [`SessionSnapshot`], validating the
+    /// snapshot as it goes: version and packer name must match, records
+    /// must be indexed by bin id, every open bin must respect capacity,
+    /// and live items / pending departures must correspond one-to-one.
+    /// The packer is `reset()` and then handed its saved state.
+    pub fn restore_with_observer(
+        mode: ClairvoyanceMode,
+        packer: &'p mut dyn OnlinePacker,
+        snap: &SessionSnapshot,
+        obs: O,
+    ) -> Result<Self, DbpError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(DbpError::InvalidParameter {
+                what: format!(
+                    "unsupported snapshot version {} (this build reads version {SNAPSHOT_VERSION})",
+                    snap.version
+                ),
+            });
+        }
+        if packer.name() != snap.packer {
+            return Err(DbpError::InvalidParameter {
+                what: format!(
+                    "snapshot was taken with packer '{}' but '{}' was supplied",
+                    snap.packer,
+                    packer.name()
+                ),
+            });
+        }
+        if snap.records.len() != snap.next_bin as usize {
+            return Err(DbpError::InvalidParameter {
+                what: format!(
+                    "snapshot has {} bin records but next_bin is {}",
+                    snap.records.len(),
+                    snap.next_bin
+                ),
+            });
+        }
+        for (i, r) in snap.records.iter().enumerate() {
+            if r.id.0 as usize != i {
+                return Err(DbpError::InvalidParameter {
+                    what: format!("bin record {i} carries id {:?}", r.id),
+                });
+            }
+        }
+        packer.reset();
+        packer.restore_state(&snap.packer_state)?;
+        let mut open = OpenBins::new();
+        let mut placement = HashMap::new();
+        // Re-inserting bins in opening order rebuilds both the global and
+        // the per-tag intrusive order lists exactly (per-tag order is a
+        // subsequence of global order); slab slot indices may differ from
+        // the original session's but are not observable.
+        for b in &snap.open_bins {
+            if b.id.0 >= snap.next_bin || open.get(b.id).is_some() {
+                return Err(DbpError::InvalidParameter {
+                    what: format!("snapshot open bin {:?} is out of range or repeated", b.id),
+                });
+            }
+            let mut items = b.items.iter().copied();
+            let first = items.next().ok_or_else(|| DbpError::InvalidParameter {
+                what: format!("snapshot open bin {:?} holds no items", b.id),
+            })?;
+            let mut bin = OpenBin::new(b.id, b.opened_at, b.tag, first);
+            if placement.insert(first.id, b.id).is_some() {
+                return Err(DbpError::DuplicateItemId { id: first.id.0 });
+            }
+            for a in items {
+                bin.push_item(a, a.size)?;
+                if placement.insert(a.id, b.id).is_some() {
+                    return Err(DbpError::DuplicateItemId { id: a.id.0 });
+                }
+            }
+            open.insert(bin);
+        }
+        let mut departures = BinaryHeap::with_capacity(snap.departures.len());
+        for &(t, id) in &snap.departures {
+            if !placement.contains_key(&id) {
+                return Err(DbpError::InvalidParameter {
+                    what: format!("snapshot pending departure for non-live item {id}"),
+                });
+            }
+            departures.push(Reverse((t, id)));
+        }
+        if snap.departures.len() != placement.len() {
+            return Err(DbpError::InvalidParameter {
+                what: format!(
+                    "snapshot has {} pending departures for {} live items",
+                    snap.departures.len(),
+                    placement.len()
+                ),
+            });
+        }
+        Ok(StreamingSession {
+            mode,
+            packer,
+            obs,
+            open,
+            records: snap.records.clone(),
+            placement,
+            departures,
+            next_bin: snap.next_bin,
+            last_arrival: snap.last_arrival,
+            watermark: snap.watermark,
+            above: snap.above.iter().copied().collect(),
+            cancelled: HashSet::new(),
+        })
     }
 
     fn visible_departure(&self, item: &Item) -> Option<Time> {
@@ -123,6 +356,11 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                 break;
             }
             self.departures.pop();
+            // Items displaced by a server failure never depart normally;
+            // their heap entries are stale and simply skipped.
+            if self.cancelled.remove(&id.0) {
+                continue;
+            }
             let bin_id = self
                 .placement
                 .remove(&id)
@@ -205,6 +443,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
             + self.placement.capacity() * (size_of::<ItemId>() + size_of::<BinId>())
             + self.departures.capacity() * size_of::<Reverse<(Time, ItemId)>>()
             + self.above.capacity() * size_of::<u32>()
+            + self.cancelled.capacity() * size_of::<u32>()
     }
 
     /// Advances simulated time to `t` without an arrival: departures up
@@ -226,10 +465,8 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         self.close_until(t)
     }
 
-    /// Feeds one arrival. Arrival times must be non-decreasing and item
-    /// ids unique; the chosen bin id is returned.
-    pub fn arrive(&mut self, item: &Item) -> Result<BinId, DbpError> {
-        let now = item.arrival();
+    /// Rejects arrivals that would move the session clock backwards.
+    fn check_order(&self, now: Time) -> Result<(), DbpError> {
         if let Some(last) = self.last_arrival {
             if now < last {
                 return Err(DbpError::BadDecision {
@@ -237,7 +474,11 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                 });
             }
         }
-        let raw_id = item.id().0;
+        Ok(())
+    }
+
+    /// Commits an id into the dedupe state, rejecting duplicates.
+    fn note_id(&mut self, raw_id: u32) -> Result<(), DbpError> {
         if raw_id < self.watermark || !self.above.insert(raw_id) {
             return Err(DbpError::DuplicateItemId { id: raw_id });
         }
@@ -248,15 +489,16 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         while self.watermark < u32::MAX && self.above.remove(&self.watermark) {
             self.watermark += 1;
         }
-        self.last_arrival = Some(now);
-        self.close_until(now)?;
+        Ok(())
+    }
 
-        let visible_dep = self.visible_departure(item);
+    /// Emits the arrival (and noisy-estimate) events for an admitted item.
+    fn emit_arrival(&mut self, item: &Item, visible_dep: Option<Time>) {
         if O::ENABLED {
             self.obs.on_event(&PackEvent::ItemArrived {
                 id: item.id(),
                 size: item.size(),
-                at: now,
+                at: item.arrival(),
                 departure: item.departure(),
                 visible_departure: visible_dep,
             });
@@ -268,10 +510,14 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                 });
             }
         }
+    }
+
+    /// Asks the packer for a decision, timing it when observed.
+    fn decide(&mut self, item: &Item, visible_dep: Option<Time>) -> (Decision, u64) {
         let view = ItemView {
             id: item.id(),
             size: item.size(),
-            arrival: now,
+            arrival: item.arrival(),
             departure: visible_dep,
         };
         let started = if O::ENABLED {
@@ -280,7 +526,88 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
             None
         };
         let decision = self.packer.place(&view, &self.open);
-        let decide_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        (
+            decision,
+            started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        )
+    }
+
+    /// Feeds one arrival. Arrival times must be non-decreasing and item
+    /// ids unique; the chosen bin id is returned.
+    pub fn arrive(&mut self, item: &Item) -> Result<BinId, DbpError> {
+        let now = item.arrival();
+        self.check_order(now)?;
+        self.note_id(item.id().0)?;
+        self.last_arrival = Some(now);
+        self.close_until(now)?;
+
+        let visible_dep = self.visible_departure(item);
+        self.emit_arrival(item, visible_dep);
+        let (decision, decide_ns) = self.decide(item, visible_dep);
+        self.commit_decision(item, visible_dep, decision, decide_ns)
+    }
+
+    /// Feeds one arrival under a fleet-size cap (graceful degradation).
+    ///
+    /// Works like [`StreamingSession::arrive`] except that when the
+    /// packer's decision would open a new server while `max_open_bins`
+    /// are already open, the item is **shed**: an
+    /// [`PackEvent::ArrivalShed`] event is emitted, no state changes
+    /// (beyond the clock advancing to the arrival time and departures up
+    /// to it closing), and [`Admission::Shed`] is returned. The caller's
+    /// admission policy decides whether to queue the job for retry or
+    /// reject it; the same item id may be re-presented later. Decisions
+    /// that reuse an open bin are always admitted.
+    ///
+    /// Note that the packer is consulted *before* the item is committed,
+    /// so a stateful packer may observe a shed arrival (e.g. CBDT pins
+    /// its classification epoch to the first arrival it sees); this is
+    /// deterministic and harmless for the roster packers.
+    pub fn arrive_capped(
+        &mut self,
+        item: &Item,
+        max_open_bins: usize,
+    ) -> Result<Admission, DbpError> {
+        let now = item.arrival();
+        self.check_order(now)?;
+        let raw_id = item.id().0;
+        // Duplicate check only — the id is committed after admission so a
+        // shed item's id stays usable.
+        if raw_id < self.watermark || self.above.contains(&raw_id) {
+            return Err(DbpError::DuplicateItemId { id: raw_id });
+        }
+        self.last_arrival = Some(now);
+        self.close_until(now)?;
+
+        let visible_dep = self.visible_departure(item);
+        let (decision, decide_ns) = self.decide(item, visible_dep);
+        if matches!(decision, Decision::New { .. }) && self.open.len() >= max_open_bins {
+            if O::ENABLED {
+                self.obs.on_event(&PackEvent::ArrivalShed {
+                    id: item.id(),
+                    at: now,
+                    open_bins: self.open.len(),
+                });
+            }
+            return Ok(Admission::Shed);
+        }
+        self.note_id(raw_id)?;
+        self.emit_arrival(item, visible_dep);
+        self.commit_decision(item, visible_dep, decision, decide_ns)
+            .map(Admission::Placed)
+    }
+
+    /// Applies a placement decision and commits the item into the
+    /// session's live state (shared tail of [`StreamingSession::arrive`]
+    /// and [`StreamingSession::arrive_capped`]).
+    fn commit_decision(
+        &mut self,
+        item: &Item,
+        visible_dep: Option<Time>,
+        decision: Decision,
+        decide_ns: u64,
+    ) -> Result<BinId, DbpError> {
+        let now = item.arrival();
         let active = ActiveItem {
             id: item.id(),
             size: item.size(),
@@ -359,11 +686,84 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         Ok(bin_id)
     }
 
+    /// Kills an open server at time `at` (fault injection).
+    ///
+    /// Departures up to and including `at` are processed first (so a
+    /// failure cannot displace items that had already left), then the bin
+    /// is force-closed: its record's `closed_at` becomes the failure time
+    /// and its still-resident items are removed from the live state and
+    /// returned so the caller's recovery policy can resubmit or drop
+    /// them. Their pending departure entries are cancelled. Emits
+    /// [`PackEvent::BinFailed`] (instead of [`PackEvent::BinClosed`]).
+    ///
+    /// `at` must be at least the last arrival time; subsequent arrivals
+    /// must not precede `at`.
+    pub fn fail_bin(&mut self, bin: BinId, at: Time) -> Result<Vec<ActiveItem>, DbpError> {
+        if let Some(last) = self.last_arrival {
+            if at < last {
+                return Err(DbpError::BadDecision {
+                    what: format!("cannot fail a bin at {at} before last arrival {last}"),
+                });
+            }
+        }
+        self.last_arrival = Some(at);
+        self.close_until(at)?;
+        let state = self.open.remove(bin).ok_or_else(|| DbpError::BadDecision {
+            what: format!("bin {bin:?} is not open at {at}"),
+        })?;
+        let displaced: Vec<ActiveItem> = state.items().to_vec();
+        for a in &displaced {
+            self.placement.remove(&a.id);
+            self.cancelled.insert(a.id.0);
+        }
+        let rec = &mut self.records[bin.0 as usize];
+        rec.closed_at = at;
+        if O::ENABLED {
+            self.obs.on_event(&PackEvent::BinFailed {
+                bin,
+                at,
+                opened_at: rec.opened_at,
+                displaced: displaced.len(),
+                open_bins: self.open.len(),
+            });
+        }
+        Ok(displaced)
+    }
+
+    /// Advances the session clock to `at`, closing every bin whose last
+    /// item departs at or before it. Fault injectors call this before
+    /// inspecting [`StreamingSession::open_set`] so victims are picked
+    /// among the bins actually alive at the fault instant, not ones that
+    /// had already drained.
+    pub fn advance(&mut self, at: Time) -> Result<(), DbpError> {
+        if let Some(last) = self.last_arrival {
+            if at < last {
+                return Err(DbpError::BadDecision {
+                    what: format!("cannot advance to {at} before last arrival {last}"),
+                });
+            }
+        }
+        self.last_arrival = Some(at);
+        self.close_until(at)
+    }
+
+    /// The currently open bins (fault injectors use this to pick
+    /// victims; same view the packer sees).
+    pub fn open_set(&self) -> &OpenBins {
+        &self.open
+    }
+
+    /// The session clock: the latest arrival / advance / failure time.
+    pub fn now(&self) -> Option<Time> {
+        self.last_arrival
+    }
+
     /// Flushes all remaining departures and returns the finished run.
     pub fn finish(mut self) -> Result<OnlineRun, DbpError> {
         self.close_until(Time::MAX)?;
         debug_assert!(self.open.is_empty());
         debug_assert!(self.placement.is_empty(), "placement pruned on departure");
+        debug_assert!(self.cancelled.is_empty(), "stale entries all skipped");
         let usage: u128 = self.records.iter().map(|r| r.usage()).sum();
         let mut bins = vec![Vec::new(); self.next_bin as usize];
         for r in &self.records {
@@ -618,6 +1018,179 @@ mod tests {
         let err = s.arrive(&Item::new(7, Size::HALF, 600, 610)).unwrap_err();
         assert!(matches!(err, DbpError::DuplicateItemId { id: 7 }));
         s.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identical() {
+        // Cut the stream after every prefix length k, resume from the
+        // snapshot, and require the finished run to equal the
+        // uninterrupted one bit-for-bit.
+        let inst = sample();
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        for r in inst.items() {
+            s.arrive(r).unwrap();
+        }
+        let full = s.finish().unwrap();
+        for k in 0..=inst.len() {
+            let mut p1 = FirstFit;
+            let mut s1 = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut p1);
+            for r in inst.items().iter().take(k) {
+                s1.arrive(r).unwrap();
+            }
+            let snap = s1.snapshot();
+            drop(s1);
+            let mut p2 = FirstFit;
+            let mut s2 =
+                StreamingSession::restore(ClairvoyanceMode::Clairvoyant, &mut p2, &snap).unwrap();
+            for r in inst.items().iter().skip(k) {
+                s2.arrive(r).unwrap();
+            }
+            let resumed = s2.finish().unwrap();
+            assert_eq!(resumed, full, "resume after {k} events diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_restore() {
+        let inst = sample();
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        for r in inst.items().iter().take(3) {
+            s.arrive(r).unwrap();
+        }
+        let snap = s.snapshot();
+        drop(s);
+        let mut p2 = FirstFit;
+        let restored =
+            StreamingSession::restore(ClairvoyanceMode::Clairvoyant, &mut p2, &snap).unwrap();
+        assert_eq!(restored.snapshot(), snap, "snapshot of a restore is stable");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_packer_and_version() {
+        struct Other;
+        impl OnlinePacker for Other {
+            fn name(&self) -> String {
+                "other".into()
+            }
+            fn place(&mut self, _: &ItemView, _: &OpenBins) -> Decision {
+                Decision::NEW
+            }
+        }
+        let mut packer = FirstFit;
+        let s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        let snap = s.snapshot();
+        drop(s);
+        let mut other = Other;
+        let err = StreamingSession::restore(ClairvoyanceMode::Clairvoyant, &mut other, &snap)
+            .err()
+            .expect("packer name mismatch");
+        assert!(matches!(err, DbpError::InvalidParameter { .. }));
+        let mut future = snap.clone();
+        future.version = SNAPSHOT_VERSION + 1;
+        let mut p2 = FirstFit;
+        let err = StreamingSession::restore(ClairvoyanceMode::Clairvoyant, &mut p2, &future)
+            .err()
+            .expect("version mismatch");
+        assert!(matches!(err, DbpError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn fail_bin_displaces_live_items() {
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        s.arrive(&Item::new(0, Size::from_f64(0.4), 0, 10)).unwrap();
+        s.arrive(&Item::new(1, Size::from_f64(0.4), 1, 20)).unwrap();
+        s.arrive(&Item::new(2, Size::from_f64(0.9), 2, 30)).unwrap();
+        assert_eq!(s.open_bins(), 2);
+        let displaced = s.fail_bin(BinId(0), 5).unwrap();
+        let mut ids: Vec<u32> = displaced.iter().map(|a| a.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1], "both live items displaced");
+        assert_eq!(s.open_bins(), 1);
+        assert_eq!(s.live_items(), 1);
+        // Failing a closed bin is an error.
+        assert!(s.fail_bin(BinId(0), 6).is_err());
+        let run = s.finish().unwrap();
+        assert_eq!(run.bins[0].closed_at, 5, "record closed at failure time");
+        assert_eq!(run.usage, 5 + 28);
+    }
+
+    #[test]
+    fn fail_bin_does_not_displace_already_departed_items() {
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        s.arrive(&Item::new(0, Size::from_f64(0.4), 0, 5)).unwrap();
+        s.arrive(&Item::new(1, Size::from_f64(0.4), 1, 20)).unwrap();
+        // Failure at t=7: item 0 departed at 5, only item 1 is displaced.
+        let displaced = s.fail_bin(BinId(0), 7).unwrap();
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(displaced[0].id, ItemId(1));
+        let run = s.finish().unwrap();
+        assert_eq!(run.bins[0].closed_at, 7);
+    }
+
+    #[test]
+    fn arrive_capped_sheds_and_leaves_no_trace() {
+        let mut packer = FirstFit;
+        let mut log = EventLog::new();
+        let mut s =
+            StreamingSession::with_observer(ClairvoyanceMode::Clairvoyant, &mut packer, &mut log);
+        let a = s
+            .arrive_capped(&Item::new(0, Size::from_f64(0.9), 0, 10), 1)
+            .unwrap();
+        assert_eq!(a, Admission::Placed(BinId(0)));
+        // Would need a second server: shed.
+        let a = s
+            .arrive_capped(&Item::new(1, Size::from_f64(0.9), 1, 10), 1)
+            .unwrap();
+        assert_eq!(a, Admission::Shed);
+        assert_eq!(s.live_items(), 1);
+        // A reuse fits under the cap and is admitted.
+        let a = s
+            .arrive_capped(&Item::new(2, Size::from_f64(0.05), 2, 9), 1)
+            .unwrap();
+        assert_eq!(a, Admission::Placed(BinId(0)));
+        // The shed id was not consumed: re-presenting it later works.
+        let a = s
+            .arrive_capped(&Item::new(1, Size::from_f64(0.9), 11, 20), 1)
+            .unwrap();
+        assert_eq!(a, Admission::Placed(BinId(1)));
+        let run = s.finish().unwrap();
+        assert_eq!(run.bins_opened(), 2);
+        let shed: Vec<_> = log
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    PackEvent::ArrivalShed {
+                        id: ItemId(1),
+                        at: 1,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(shed.len(), 1, "exactly one shed event");
+    }
+
+    #[test]
+    fn snapshot_after_failure_filters_cancelled_departures() {
+        let mut packer = FirstFit;
+        let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut packer);
+        s.arrive(&Item::new(0, Size::from_f64(0.4), 0, 10)).unwrap();
+        s.arrive(&Item::new(1, Size::from_f64(0.9), 1, 30)).unwrap();
+        s.fail_bin(BinId(0), 2).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.departures, vec![(30, ItemId(1))]);
+        drop(s);
+        let mut p2 = FirstFit;
+        let s2 = StreamingSession::restore(ClairvoyanceMode::Clairvoyant, &mut p2, &snap).unwrap();
+        let run = s2.finish().unwrap();
+        assert_eq!(run.bins[0].closed_at, 2);
+        assert_eq!(run.bins[1].closed_at, 30);
     }
 
     #[test]

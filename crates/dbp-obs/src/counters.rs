@@ -47,6 +47,8 @@ impl PackObserver for Counters {
             }
             PackEvent::BinOpened { .. } => s.bins_opened += 1,
             PackEvent::BinClosed { .. } => s.bins_closed += 1,
+            PackEvent::BinFailed { .. } => s.bins_failed += 1,
+            PackEvent::ArrivalShed { .. } => s.arrivals_shed += 1,
             PackEvent::LevelChanged { .. } => {}
         }
     }
@@ -72,6 +74,10 @@ pub struct CountersSnapshot {
     pub decide_ns_max: u64,
     /// Departure estimates substituted under noisy clairvoyance.
     pub estimates_used: u64,
+    /// Bins killed by fault injection.
+    pub bins_failed: u64,
+    /// Arrivals shed by admission control.
+    pub arrivals_shed: u64,
 }
 
 impl CountersSnapshot {

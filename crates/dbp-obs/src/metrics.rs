@@ -46,6 +46,8 @@ pub struct MetricsAggregator {
     utilization_sum: f64,
     bins_closed: u64,
     items_packed: u64,
+    bins_failed: u64,
+    arrivals_shed: u64,
 }
 
 impl MetricsAggregator {
@@ -81,6 +83,8 @@ impl MetricsAggregator {
             },
             bins_closed: self.bins_closed,
             items_packed: self.items_packed,
+            bins_failed: self.bins_failed,
+            arrivals_shed: self.arrivals_shed,
         }
     }
 
@@ -162,6 +166,28 @@ impl PackObserver for MetricsAggregator {
                     }
                 }
             }
+            PackEvent::BinFailed { bin, at, .. } => {
+                // A failure ends the bin's fleet contribution like a close,
+                // but the displaced level vanishes in one step (no
+                // per-item LevelChanged events are emitted for it).
+                self.settle(*bin, *at);
+                self.fleet_deltas.push((*at, -1));
+                self.bins_failed += 1;
+                if let Some(st) = self.bins.remove(bin) {
+                    self.total_level_raw -= u128::from(st.level_raw);
+                    self.level_points.push((*at, self.total_level_raw));
+                    let lifetime = (at - st.opened_at) as u128;
+                    if lifetime > 0 {
+                        let capacity_time = lifetime * u128::from(Size::SCALE);
+                        let util = st.area_raw as f64 / capacity_time as f64;
+                        let bucket = ((util * HIST_BUCKETS as f64) as usize).min(HIST_BUCKETS - 1);
+                        self.histogram[bucket] += 1;
+                        self.utilization_sum += util;
+                        self.bins_closed += 1;
+                    }
+                }
+            }
+            PackEvent::ArrivalShed { .. } => self.arrivals_shed += 1,
             PackEvent::PlacementDecided { .. } | PackEvent::EstimateUsed { .. } => {}
         }
     }
@@ -181,10 +207,15 @@ pub struct MetricsReport {
     pub utilization_histogram: [u32; HIST_BUCKETS],
     /// Mean utilization over closed bins (0 if none closed).
     pub mean_utilization: f64,
-    /// Bins that closed with a positive lifetime.
+    /// Bins that closed with a positive lifetime (normal closes plus
+    /// failures).
     pub bins_closed: u64,
     /// Items observed arriving.
     pub items_packed: u64,
+    /// Bins killed by fault injection.
+    pub bins_failed: u64,
+    /// Arrivals shed by admission control.
+    pub arrivals_shed: u64,
 }
 
 impl MetricsReport {
@@ -357,6 +388,39 @@ mod tests {
         let r = rep.ratio_vs_lb3();
         assert_eq!(r.first().map(|&(t, _)| t), Some(0));
         assert!((r[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    /// A failure drops the bin's whole level in one step and the fleet
+    /// count with it; shed arrivals are counted.
+    #[test]
+    fn failure_and_shed_fold_into_metrics() {
+        let mut agg = MetricsAggregator::new();
+        for ev in [
+            ev_open(0, 0),
+            ev_placed(0, 0),
+            ev_level(0, 0, 0.6, 1),
+            PackEvent::BinFailed {
+                bin: BinId(0),
+                at: 4,
+                opened_at: 0,
+                displaced: 1,
+                open_bins: 0,
+            },
+            PackEvent::ArrivalShed {
+                id: ItemId(9),
+                at: 5,
+                open_bins: 0,
+            },
+        ] {
+            agg.on_event(&ev);
+        }
+        let rep = agg.report();
+        assert_eq!(rep.usage(), 4, "fleet contribution ends at the failure");
+        assert_eq!(rep.bins_failed, 1);
+        assert_eq!(rep.arrivals_shed, 1);
+        assert_eq!(rep.active_bins.value_at(4), 0);
+        assert_eq!(rep.ceil_level.value_at(4), 0, "displaced level vanishes");
+        assert!((rep.mean_utilization - 0.6).abs() < 1e-6);
     }
 
     #[test]

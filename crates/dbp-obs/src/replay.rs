@@ -137,6 +137,21 @@ pub fn replay_events(events: &[PackEvent]) -> Result<Replay, DbpError> {
                     items: episode_items.remove(bin).expect("episode exists"),
                 });
             }
+            // Chaos traces are not replayable: a failed bin's truncated
+            // lifetime and shed arrivals break the "every item placed,
+            // every bin drains" model the oracle cross-checks. Fail loudly
+            // instead of reconstructing a silently-wrong run.
+            PackEvent::BinFailed { bin, at, .. } => {
+                return Err(bad(format!(
+                    "bin {} failed at {at}: chaos traces cannot be replayed",
+                    bin.0
+                )));
+            }
+            PackEvent::ArrivalShed { id, at, .. } => {
+                return Err(bad(format!(
+                    "arrival {id} shed at {at}: chaos traces cannot be replayed",
+                )));
+            }
             PackEvent::EstimateUsed { .. } | PackEvent::LevelChanged { .. } => {}
         }
     }
@@ -246,6 +261,26 @@ mod tests {
         let (log, _) = traced_run(&inst);
         let truncated = &log.events[..log.events.len() - 1];
         assert!(replay_events(truncated).is_err());
+    }
+
+    #[test]
+    fn chaos_traces_are_rejected() {
+        let err = replay_events(&[PackEvent::BinFailed {
+            bin: BinId(0),
+            at: 3,
+            opened_at: 0,
+            displaced: 1,
+            open_bins: 0,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, DbpError::Trace { .. }), "{err}");
+        let err = replay_events(&[PackEvent::ArrivalShed {
+            id: ItemId(4),
+            at: 3,
+            open_bins: 2,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, DbpError::Trace { .. }), "{err}");
     }
 
     #[test]

@@ -82,6 +82,21 @@ pub fn event_to_json(ev: &PackEvent) -> String {
              \"items\":{items}}}",
             bin.0
         ),
+        PackEvent::BinFailed {
+            bin,
+            at,
+            opened_at,
+            displaced,
+            open_bins,
+        } => format!(
+            "{{\"type\":\"bin_failed\",\"bin\":{},\"at\":{at},\"opened_at\":{opened_at},\
+             \"displaced\":{displaced},\"open_bins\":{open_bins}}}",
+            bin.0
+        ),
+        PackEvent::ArrivalShed { id, at, open_bins } => format!(
+            "{{\"type\":\"arrival_shed\",\"id\":{},\"at\":{at},\"open_bins\":{open_bins}}}",
+            id.0
+        ),
     }
 }
 
@@ -160,6 +175,18 @@ pub fn event_from_json(v: &Json) -> Result<PackEvent, String> {
             at: field_i64(v, "at")?,
             opened_at: field_i64(v, "opened_at")?,
             items: field_u64(v, "items")? as usize,
+        }),
+        "bin_failed" => Ok(PackEvent::BinFailed {
+            bin: BinId(field_u64(v, "bin")? as u32),
+            at: field_i64(v, "at")?,
+            opened_at: field_i64(v, "opened_at")?,
+            displaced: field_u64(v, "displaced")? as usize,
+            open_bins: field_u64(v, "open_bins")? as usize,
+        }),
+        "arrival_shed" => Ok(PackEvent::ArrivalShed {
+            id: ItemId(field_u64(v, "id")? as u32),
+            at: field_i64(v, "at")?,
+            open_bins: field_u64(v, "open_bins")? as usize,
         }),
         other => Err(format!("unknown event type {}", escape(other))),
     }
@@ -301,6 +328,18 @@ mod tests {
                 at: 40,
                 opened_at: 5,
                 items: 2,
+            },
+            PackEvent::BinFailed {
+                bin: BinId(3),
+                at: 17,
+                opened_at: 6,
+                displaced: 2,
+                open_bins: 1,
+            },
+            PackEvent::ArrivalShed {
+                id: ItemId(9),
+                at: 18,
+                open_bins: 4,
             },
         ]
     }

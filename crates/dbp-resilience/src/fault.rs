@@ -1,0 +1,232 @@
+//! Seeded fault plans and recovery/admission policies.
+//!
+//! A [`FaultPlan`] is a deterministic, time-ordered list of
+//! [`FaultEvent`]s replayed against a live session by
+//! [`crate::chaos::run_chaos`]. Determinism is load-bearing: the audit
+//! chaos family shrinks counterexamples by re-running the same plan on
+//! smaller instances, which only works if the plan is a pure function of
+//! its seed.
+
+use dbp_core::Time;
+
+/// What a single fault does to the fleet when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill up to `count` servers picked pseudo-randomly (from the plan
+    /// seed and the fault's index) among the bins open at fire time —
+    /// the cloud spot-revocation model.
+    SpotRevocation {
+        /// How many servers to revoke (clamped to the open fleet).
+        count: usize,
+    },
+    /// Kill every open server — a whole-fleet crash.
+    Crash,
+    /// Kill every open server on one rack, with servers assigned to
+    /// racks round-robin by bin id (`bin.id % racks == rack`) — the
+    /// correlated-failure model.
+    RackFailure {
+        /// The failing rack index, in `0..racks`.
+        rack: u32,
+        /// Total number of racks (must be ≥ 1).
+        racks: u32,
+    },
+}
+
+/// One fault at one instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: Time,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-ordered fault schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for victim selection inside [`FaultKind::SpotRevocation`].
+    pub seed: u64,
+    /// The faults, sorted by fire time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit events (sorted by time; order among
+    /// same-time events is preserved).
+    pub fn new(seed: u64, mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// The empty plan (chaos runner degenerates to a plain run).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// A seeded plan of `faults` events spread over `[0, horizon)`:
+    /// mostly single spot revocations, with occasional rack failures and
+    /// (rarely) a crash, all derived from `seed`.
+    pub fn seeded(seed: u64, horizon: Time, faults: usize) -> FaultPlan {
+        let horizon = horizon.max(1);
+        let mut events = Vec::with_capacity(faults);
+        for i in 0..faults {
+            let at = (mix(seed, 2 * i as u64) % horizon as u64) as Time;
+            let roll = mix(seed, 2 * i as u64 + 1);
+            let kind = match roll % 10 {
+                0 => FaultKind::Crash,
+                1 | 2 => FaultKind::RackFailure {
+                    rack: ((roll >> 8) % 4) as u32,
+                    racks: 4,
+                },
+                _ => FaultKind::SpotRevocation {
+                    count: 1 + ((roll >> 8) % 2) as usize,
+                },
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        FaultPlan::new(seed, events)
+    }
+}
+
+/// What happens to a job displaced by a server failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Resubmit at the failure instant, with no retry limit.
+    Immediate,
+    /// Capped exponential backoff: retry `k` (1-based) is resubmitted
+    /// `min(base · 2^(k−1), cap)` ticks after the failure; the job is
+    /// dropped once `max_retries` retries have been consumed.
+    Backoff {
+        /// Delay of the first retry, in ticks (≥ 0).
+        base: i64,
+        /// Upper bound on any single delay, in ticks.
+        cap: i64,
+        /// Retries allowed before the job is dropped.
+        max_retries: u32,
+    },
+    /// Resubmit immediately, but drop the job once `max_retries` retries
+    /// have been consumed.
+    DropAfter {
+        /// Retries allowed before the job is dropped.
+        max_retries: u32,
+    },
+}
+
+impl RecoveryPolicy {
+    /// When retry number `retry` (1-based) of a job displaced at `at`
+    /// should be resubmitted, or `None` if the policy drops it instead.
+    pub fn resubmit_at(&self, at: Time, retry: u32) -> Option<Time> {
+        match *self {
+            RecoveryPolicy::Immediate => Some(at),
+            RecoveryPolicy::Backoff {
+                base,
+                cap,
+                max_retries,
+            } => {
+                if retry > max_retries {
+                    return None;
+                }
+                // 2^(k−1) overflows i64 from k = 64 up (and goes negative
+                // at exactly 63); the doubling is monotone, so past 62 the
+                // cap has certainly been reached.
+                let delay = if retry > 62 {
+                    cap
+                } else {
+                    base.saturating_mul(1i64 << (retry - 1)).min(cap)
+                }
+                .max(0);
+                Some(at.saturating_add(delay))
+            }
+            RecoveryPolicy::DropAfter { max_retries } => {
+                if retry > max_retries {
+                    None
+                } else {
+                    Some(at)
+                }
+            }
+        }
+    }
+}
+
+/// What happens to an arrival shed at the fleet cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Queue the job and re-present it when a server next frees up;
+    /// reject only if no open server will ever depart.
+    Queue,
+    /// Reject the job outright.
+    Reject,
+}
+
+/// SplitMix64 over `(seed, n)` — the crate's one source of randomness,
+/// shared by victim selection and plan generation so a `(seed, index)`
+/// pair always means the same draw.
+pub(crate) fn mix(seed: u64, n: u64) -> u64 {
+    let mut z = seed ^ (n.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_sort_and_are_deterministic() {
+        let p = FaultPlan::new(
+            1,
+            vec![
+                FaultEvent {
+                    at: 9,
+                    kind: FaultKind::Crash,
+                },
+                FaultEvent {
+                    at: 3,
+                    kind: FaultKind::SpotRevocation { count: 1 },
+                },
+            ],
+        );
+        assert_eq!(p.events[0].at, 3);
+        let a = FaultPlan::seeded(7, 100, 5);
+        let b = FaultPlan::seeded(7, 100, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 5);
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.events.iter().all(|e| (0..100).contains(&e.at)));
+        assert_ne!(a, FaultPlan::seeded(8, 100, 5));
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_then_caps_then_drops() {
+        let p = RecoveryPolicy::Backoff {
+            base: 4,
+            cap: 10,
+            max_retries: 4,
+        };
+        assert_eq!(p.resubmit_at(100, 1), Some(104));
+        assert_eq!(p.resubmit_at(100, 2), Some(108));
+        assert_eq!(p.resubmit_at(100, 3), Some(110), "capped at 10");
+        assert_eq!(p.resubmit_at(100, 4), Some(110));
+        assert_eq!(p.resubmit_at(100, 5), None, "budget exhausted");
+        // Huge retry numbers must not overflow the shift.
+        let wide = RecoveryPolicy::Backoff {
+            base: 1,
+            cap: i64::MAX,
+            max_retries: u32::MAX,
+        };
+        assert!(wide.resubmit_at(0, 200).is_some());
+    }
+
+    #[test]
+    fn immediate_and_drop_after() {
+        assert_eq!(RecoveryPolicy::Immediate.resubmit_at(5, 999), Some(5));
+        let d = RecoveryPolicy::DropAfter { max_retries: 2 };
+        assert_eq!(d.resubmit_at(5, 1), Some(5));
+        assert_eq!(d.resubmit_at(5, 2), Some(5));
+        assert_eq!(d.resubmit_at(5, 3), None);
+    }
+}

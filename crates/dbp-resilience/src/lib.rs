@@ -1,0 +1,40 @@
+//! Resilience layer for the streaming DBP engine: checkpoint/restore,
+//! seeded fault injection, and graceful degradation under a fleet cap.
+//!
+//! The paper's model assumes servers never fail and capacity is
+//! unbounded; production schedulers get neither. This crate closes the
+//! gap in three pieces:
+//!
+//! * [`checkpoint`] — a versioned JSON encoding of
+//!   [`dbp_core::SessionSnapshot`], proven bit-identical on resume: a
+//!   run checkpointed after any prefix of arrivals and restored into a
+//!   fresh session finishes with exactly the [`dbp_core::OnlineRun`] an
+//!   uninterrupted run produces.
+//! * [`fault`] — deterministic, seeded [`fault::FaultPlan`]s (spot
+//!   revocations, whole-fleet crashes, correlated rack failures) plus
+//!   the [`fault::RecoveryPolicy`] and [`fault::AdmissionPolicy`] knobs
+//!   that decide what happens to displaced and shed jobs.
+//! * [`chaos`] — the runner that drives a live session through a fault
+//!   plan, re-packs displaced jobs under the recovery policy, applies
+//!   admission control at a fleet cap, and accounts for every job
+//!   exactly once in a [`chaos::ChaosReport`] whose
+//!   [`chaos::ChaosReport::verify`] is a self-contained oracle.
+//!
+//! Failure and shedding surface through the ordinary
+//! [`dbp_core::observe::PackObserver`] stream (`bin_failed`,
+//! `arrival_shed`), so traces and metrics pick them up with no extra
+//! wiring; `dbp-audit`'s chaos family fuzzes the whole stack.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod checkpoint;
+pub mod fault;
+
+pub use chaos::{
+    simulate_chaos, ChaosConfig, ChaosReport, JobOutcome, SubmissionFate, SubmissionRecord,
+};
+pub use checkpoint::{
+    read_checkpoint, snapshot_from_json, snapshot_to_json, write_checkpoint, CHECKPOINT_FORMAT,
+};
+pub use fault::{AdmissionPolicy, FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};

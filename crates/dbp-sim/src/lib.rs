@@ -92,13 +92,38 @@ impl Billing {
     /// [`simulate`] so a bad struct-literal configuration fails as a
     /// [`DbpError::InvalidParameter`] instead of panicking mid-run.
     pub fn validate(&self) -> Result<(), DbpError> {
-        match *self {
-            Billing::PerHour { ticks_per_hour, .. } if ticks_per_hour < 1 => {
+        // NaN prices are rejected too, not silently propagated into
+        // every cost, so the test must be "not known to be >= 0".
+        fn price_ok(what: &str, price: f64) -> Result<(), DbpError> {
+            if price >= 0.0 {
+                Ok(())
+            } else {
                 Err(DbpError::InvalidParameter {
-                    what: format!("ticks_per_hour {ticks_per_hour} must be >= 1"),
+                    what: format!("{what} {price} must be >= 0"),
                 })
             }
-            _ => Ok(()),
+        }
+        match *self {
+            Billing::PerTick { price } => price_ok("price", price),
+            Billing::PerHour {
+                ticks_per_hour,
+                price,
+            } => {
+                if ticks_per_hour < 1 {
+                    return Err(DbpError::InvalidParameter {
+                        what: format!("ticks_per_hour {ticks_per_hour} must be >= 1"),
+                    });
+                }
+                price_ok("price", price)
+            }
+            Billing::Reserved {
+                reserved_price,
+                on_demand_price,
+                ..
+            } => {
+                price_ok("reserved_price", reserved_price)?;
+                price_ok("on_demand_price", on_demand_price)
+            }
         }
     }
 
@@ -174,6 +199,29 @@ pub fn optimal_reservation(
     best
 }
 
+/// Per-job retry accounting for a fault-injected run. Populated by the
+/// `dbp-resilience` chaos runner; plain simulations leave
+/// [`SimReport::retry`] as `None`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Jobs that completed on their first attempt.
+    pub jobs_completed: u64,
+    /// Jobs that completed after at least one retry.
+    pub jobs_retried: u64,
+    /// Jobs dropped after exhausting the recovery policy's retry budget.
+    pub jobs_dropped: u64,
+    /// Jobs rejected outright by admission control.
+    pub jobs_rejected: u64,
+    /// Total resubmissions across all jobs.
+    pub retries_total: u64,
+    /// Servers killed by fault injection.
+    pub servers_killed: u64,
+    /// Job submissions displaced by a server failure.
+    pub jobs_displaced: u64,
+    /// Arrivals shed at the fleet-size cap.
+    pub arrivals_shed: u64,
+}
+
 /// Cluster-level outcome of one scheduling run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -193,6 +241,8 @@ pub struct SimReport {
     pub ratio_vs_lb: f64,
     /// Run counters: placements, bins, scan depth, decision latency.
     pub counters: CountersSnapshot,
+    /// Retry accounting for fault-injected runs; `None` for plain runs.
+    pub retry: Option<RetryCounters>,
     /// The underlying run (packing, bin records).
     pub run: OnlineRun,
 }
@@ -249,6 +299,7 @@ pub fn simulate_observed<O: PackObserver>(
             run.usage as f64 / lb.best() as f64
         },
         counters: counters.snapshot(),
+        retry: None,
         run,
     })
 }
@@ -475,6 +526,59 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_negative_and_nan_prices() {
+        let bad = [
+            Billing::PerTick { price: -1.0 },
+            Billing::PerTick { price: f64::NAN },
+            Billing::PerHour {
+                ticks_per_hour: 60,
+                price: -0.5,
+            },
+            Billing::PerHour {
+                ticks_per_hour: 60,
+                price: f64::NAN,
+            },
+            Billing::Reserved {
+                reserved: 2,
+                reserved_price: -0.1,
+                on_demand_price: 1.0,
+            },
+            Billing::Reserved {
+                reserved: 2,
+                reserved_price: 0.5,
+                on_demand_price: -1.0,
+            },
+            Billing::Reserved {
+                reserved: 2,
+                reserved_price: f64::NAN,
+                on_demand_price: 1.0,
+            },
+        ];
+        for b in bad {
+            let err = b.validate().unwrap_err();
+            assert!(matches!(err, DbpError::InvalidParameter { .. }), "{b:?}");
+            // simulate() refuses the same configurations up front.
+            let err = simulate(
+                &inst(),
+                &mut AnyFit::first_fit(),
+                ClairvoyanceMode::NonClairvoyant,
+                b,
+            )
+            .unwrap_err();
+            assert!(matches!(err, DbpError::InvalidParameter { .. }), "{b:?}");
+        }
+        // Zero prices are legal (free tiers are a real configuration).
+        assert!(Billing::PerTick { price: 0.0 }.validate().is_ok());
+        assert!(Billing::Reserved {
+            reserved: 0,
+            reserved_price: 0.0,
+            on_demand_price: 0.0,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
     fn counters_ride_along_in_every_report() {
         let rep = simulate(
             &inst(),
@@ -545,6 +649,30 @@ mod tests {
         // Different seeds give different estimates (almost surely).
         let est2 = NoisyEstimator::new(8, 0.25);
         assert_ne!(est.relative_error(3), est2.relative_error(3));
+    }
+
+    #[test]
+    fn noisy_estimator_same_seed_id_same_estimate_across_instances() {
+        // Determinism must hold across *fresh* estimator values, not just
+        // repeated calls on one value: rebuild the estimator every
+        // iteration and compare against the first answer.
+        for id in [0u32, 1, 7, 1_000_000] {
+            let item = Item::new(id, Size::HALF, 3, 503);
+            let first = NoisyEstimator::new(42, 0.3).estimate(&item);
+            for _ in 0..10 {
+                let est = NoisyEstimator::new(42, 0.3);
+                assert_eq!(est.estimate(&item), first, "id {id}");
+                assert_eq!(
+                    est.relative_error(id),
+                    NoisyEstimator::new(42, 0.3).relative_error(id)
+                );
+            }
+            // A different seed decorrelates the same id.
+            assert_ne!(
+                NoisyEstimator::new(43, 0.3).relative_error(id),
+                NoisyEstimator::new(42, 0.3).relative_error(id)
+            );
+        }
     }
 
     #[test]

@@ -214,6 +214,60 @@ mod tests {
     }
 
     #[test]
+    fn empty_instance_yields_empty_timeline() {
+        let inst = Instance::from_items(Vec::new()).unwrap();
+        let r = run(&inst);
+        let tl = RunTimeline::new(&inst, &r);
+        assert_eq!(r.usage, 0);
+        assert_eq!(tl.fleet.integral(), 0);
+        assert!(tl.demand_milli.points.is_empty());
+        assert!(tl.capacity_milli.points.is_empty());
+        // No servers open anywhere: utilization conventions still hold.
+        assert_eq!(tl.utilization_at(0), 1.0);
+        assert_eq!(tl.worst_utilization(), 1.0);
+        // Cost series of an empty run is empty under every model.
+        assert!(cost_series(&r, unit_billing()).points.is_empty());
+    }
+
+    #[test]
+    fn single_item_timeline_is_one_rectangle() {
+        let inst = Instance::from_triples(&[(0.25, 5, 17)]);
+        let r = run(&inst);
+        let tl = RunTimeline::new(&inst, &r);
+        assert_eq!(r.usage, 12);
+        assert_eq!(tl.fleet.value_at(5), 1);
+        assert_eq!(tl.fleet.value_at(16), 1);
+        assert_eq!(tl.fleet.value_at(17), 0);
+        assert_eq!(tl.fleet.value_at(4), 0);
+        assert_eq!(tl.demand_milli.value_at(5), 250);
+        assert_eq!(tl.demand_milli.value_at(17), 0);
+        assert_eq!(tl.capacity_milli.value_at(5), 1000);
+        assert!((tl.utilization_at(5) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simultaneous_departures_collapse_to_one_step() {
+        // Three items all depart at t=30: demand and fleet must drop to
+        // zero in a single step with no intermediate breakpoints.
+        let inst = Instance::from_triples(&[(0.5, 0, 30), (0.5, 5, 30), (0.5, 10, 30)]);
+        let r = run(&inst);
+        let tl = RunTimeline::new(&inst, &r);
+        assert_eq!(tl.fleet.value_at(29), 2);
+        assert_eq!(tl.fleet.value_at(30), 0);
+        assert_eq!(tl.demand_milli.value_at(29), 1500);
+        assert_eq!(tl.demand_milli.value_at(30), 0);
+        // Exactly one breakpoint at t=30 in each series.
+        for series in [&tl.fleet, &tl.demand_milli, &tl.capacity_milli] {
+            assert_eq!(
+                series.points.iter().filter(|p| p.0 == 30).count(),
+                1,
+                "duplicate breakpoints at the shared departure tick"
+            );
+        }
+        assert_eq!(tl.fleet.integral() as u128, r.usage);
+    }
+
+    #[test]
     fn per_tick_cost_rate_integrates_to_cost() {
         let inst = Instance::from_triples(&[(0.5, 0, 100), (0.5, 10, 50)]);
         let r = run(&inst);

@@ -5,11 +5,22 @@
 //! dbp bounds   --trace trace.csv
 //! dbp pack     --trace trace.csv --algo cbdt
 //! dbp compare  --trace trace.csv
+//! dbp chaos    --cases 200 --seed 3
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy
 //! keeps the tree to rand/serde/crossbeam/parking_lot/proptest/criterion);
 //! flags are `--key value` pairs after a subcommand.
+//!
+//! Exit codes are stable and scriptable:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 2 | usage error (bad subcommand, flag, or value) |
+//! | 3 | I/O or trace-format error |
+//! | 4 | runtime error (engine failure, packing validation) |
+//! | 5 | audit / chaos violations found |
 
 use clairvoyant_dbp::core::accounting::lower_bounds;
 use clairvoyant_dbp::core::stats::instance_stats;
@@ -37,6 +48,8 @@ USAGE:
   dbp compare  --trace <file>
   dbp audit    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
                [--no-offline] [--fixtures-dir <dir>] [--self-test]
+  dbp chaos    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
+               [--fixtures-dir <dir>] [--self-test]
   dbp algos
 
 Online algorithms take their Theorem 4/5 optimal parameters from the
@@ -54,19 +67,69 @@ cross-checking batch vs streaming vs replay vs the reference engine.
 Failures are shrunk to minimal instances and written as JSON fixtures
 under --fixtures-dir (default audit-fixtures). `audit --self-test`
 injects known-faulty packers and proves the catch -> shrink -> persist
-pipeline. See docs/auditing.md.";
+pipeline. See docs/auditing.md.
+
+`chaos` sweeps the roster under seeded fault injection (spot
+revocations, rack failures, crashes) with rotating recovery and
+admission policies, checking exactly-once job accounting, post-recovery
+capacity, and checkpoint/resume bit-identity. `chaos --self-test` proves
+the three resilience pillars on built-in scenarios. See
+docs/resilience.md.
+
+Exit codes: 0 ok, 2 usage, 3 I/O or trace format, 4 runtime/validation,
+5 audit or chaos violations.";
+
+/// A classified CLI failure; the variant fixes the process exit code.
+enum CliError {
+    /// Bad subcommand, flag, or flag value → exit 2.
+    Usage(String),
+    /// Filesystem or trace-format failure → exit 3.
+    Io(String),
+    /// Engine or validation failure at runtime → exit 4.
+    Runtime(String),
+    /// The sweep ran and found real violations → exit 5.
+    Violations(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Runtime(_) => 4,
+            CliError::Violations(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Runtime(m)
+            | CliError::Violations(m) => m,
+        }
+    }
+}
+
+fn io_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Io(e.to_string())
+}
+
+fn runtime_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match cmd.as_str() {
@@ -77,6 +140,7 @@ fn main() -> ExitCode {
         "report" => report(&flags),
         "compare" => compare(&flags),
         "audit" => audit(&flags),
+        "chaos" => chaos(&flags),
         "algos" => {
             println!("online:  {}", ONLINE_ALGOS.join(", "));
             println!("offline: {}", OFFLINE_ALGOS.join(", "));
@@ -86,13 +150,16 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.code())
         }
     }
 }
@@ -117,30 +184,45 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, CliError> {
     flags
         .get(key)
         .map(|s| s.as_str())
-        .ok_or_else(|| format!("missing required flag --{key}"))
+        .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
 }
 
 fn get_num<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --{key} value {v:?}"))),
     }
 }
 
-fn load_trace(flags: &HashMap<String, String>) -> Result<Instance, String> {
+fn load_trace(flags: &HashMap<String, String>) -> Result<Instance, CliError> {
     let path = get(flags, "trace")?;
-    trace::load(path).map_err(|e| e.to_string())
+    trace::load(path).map_err(io_err)
 }
 
-fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Checks an `--algo` value against a roster before handing it to the
+/// registry (whose lookup panics on unknown names).
+fn known_algo(algo: &str, roster: &[&str], what: &str) -> Result<(), CliError> {
+    if roster.contains(&algo) {
+        Ok(())
+    } else {
+        Err(CliError::Usage(format!(
+            "unknown {what} algorithm {algo:?}; available: {}",
+            roster.join(", ")
+        )))
+    }
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let kind = get(flags, "workload")?;
     let n: usize = get_num(flags, "n", 500)?;
     let seed: u64 = get_num(flags, "seed", 0)?;
@@ -151,11 +233,11 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
         "analytics" => AnalyticsWorkload::new((n / 10).max(1), 1000, 10).generate_seeded(seed),
         "diurnal" => DiurnalWorkload::new(n, 86_400, 1, 0.8).generate_seeded(seed),
         "spike" => SpikeWorkload::new((n / 50).max(1), 50, 1000).generate_seeded(seed),
-        other => return Err(format!("unknown workload {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown workload {other:?}"))),
     };
     match flags.get("out") {
         Some(path) => {
-            trace::save(&inst, path).map_err(|e| e.to_string())?;
+            trace::save(&inst, path).map_err(io_err)?;
             eprintln!("wrote {} items to {path}", inst.len());
         }
         None => print!("{}", trace::to_string(&inst)),
@@ -163,9 +245,9 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn bounds(flags: &HashMap<String, String>) -> Result<(), String> {
+fn bounds(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let inst = load_trace(flags)?;
-    let stats = instance_stats(&inst).ok_or("empty trace")?;
+    let stats = instance_stats(&inst).ok_or_else(|| runtime_err("empty trace"))?;
     let lb = lower_bounds(&inst);
     println!("items:            {}", stats.items);
     println!("span:             {} ticks", stats.span);
@@ -188,37 +270,41 @@ fn bounds(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn pack(flags: &HashMap<String, String>) -> Result<(), String> {
+fn pack(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let inst = load_trace(flags)?;
     let algo = get(flags, "algo")?;
     let lb = lower_bounds(&inst);
     let offline = flags.contains_key("offline");
+    known_algo(
+        algo,
+        if offline { OFFLINE_ALGOS } else { ONLINE_ALGOS },
+        if offline { "offline" } else { "online" },
+    )?;
 
     // Optional observers: a JSONL decision trace and/or a metrics
     // time series. Both are `Option<_>` observers composed with `Tee`,
-    // so the plain path stays a plain engine run.
-    let trace_out = flags.get("trace-out").cloned();
-    let metrics_out = flags.get("metrics").cloned();
-    let writer = match &trace_out {
+    // so the plain path stays a plain engine run. The drain below pairs
+    // each observer back with its path via the same flag lookup.
+    let writer = match flags.get("trace-out") {
         Some(path) => {
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let file = std::fs::File::create(path)
+                .map_err(|e| io_err(format!("cannot create {path}: {e}")))?;
             Some(dbp_obs::TraceWriter::new(std::io::BufWriter::new(file)))
         }
         None => None,
     };
     let mut obs = Tee(
         writer,
-        metrics_out
-            .as_ref()
-            .map(|_| dbp_obs::MetricsAggregator::new()),
+        flags
+            .contains_key("metrics")
+            .then(dbp_obs::MetricsAggregator::new),
     );
 
     let (name, usage, bins) = if offline {
         let packer = offline_packer(algo);
         let packing = packer.pack(&inst);
-        packing.validate(&inst).map_err(|e| e.to_string())?;
-        dbp_obs::emit_packing(&inst, &packing, &mut obs).map_err(|e| e.to_string())?;
+        packing.validate(&inst).map_err(runtime_err)?;
+        dbp_obs::emit_packing(&inst, &packing, &mut obs).map_err(runtime_err)?;
         (
             packer.name().to_string(),
             packing.total_usage(&inst),
@@ -234,26 +320,24 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), String> {
         };
         let run = OnlineEngine::new(mode)
             .run_observed(&inst, packer.as_mut(), &mut obs)
-            .map_err(|e| e.to_string())?;
-        run.packing.validate(&inst).map_err(|e| e.to_string())?;
+            .map_err(runtime_err)?;
+        run.packing.validate(&inst).map_err(runtime_err)?;
         (packer.name(), run.usage, run.bins_opened())
     };
     println!("algorithm:   {name}");
     println!("usage:       {usage} ticks");
     println!("bins:        {bins}");
     println!("ratio vs LB: {:.4}", usage as f64 / lb.best().max(1) as f64);
-    if let Some(writer) = obs.0 {
-        let path = trace_out.expect("writer implies path");
-        let lines = writer.lines_written();
-        writer
-            .finish()
-            .map_err(|e| format!("writing {path}: {e}"))?;
+    if let (Some(w), Some(path)) = (obs.0, flags.get("trace-out")) {
+        let lines = w.lines_written();
+        w.finish()
+            .map_err(|e| io_err(format!("writing {path}: {e}")))?;
         eprintln!("trace:       {lines} events -> {path}");
     }
-    if let Some(agg) = obs.1 {
-        let path = metrics_out.expect("aggregator implies path");
+    if let (Some(agg), Some(path)) = (obs.1, flags.get("metrics")) {
         let report = agg.report();
-        std::fs::write(&path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(path, report.to_csv())
+            .map_err(|e| io_err(format!("writing {path}: {e}")))?;
         eprintln!(
             "metrics:     {} bins closed -> {path} (mean utilization {:.1}%)",
             report.bins_closed,
@@ -267,11 +351,12 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `pack --trace-out`) and verifies it: the rebuilt packing must be
 /// feasible for the rebuilt instance and its usage must match the
 /// closed-bin episodes exactly.
-fn replay(flags: &HashMap<String, String>) -> Result<(), String> {
+fn replay(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let path = get(flags, "trace")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let replay = dbp_obs::replay_jsonl(&text).map_err(|e| e.to_string())?;
-    replay.verify().map_err(|e| e.to_string())?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| io_err(format!("cannot read {path}: {e}")))?;
+    let replay = dbp_obs::replay_jsonl(&text).map_err(io_err)?;
+    replay.verify().map_err(runtime_err)?;
     let lb = lower_bounds(&replay.instance);
     println!("events file: {path}");
     println!("items:       {}", replay.instance.len());
@@ -287,20 +372,22 @@ fn replay(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn report(flags: &HashMap<String, String>) -> Result<(), String> {
+fn report(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let inst = load_trace(flags)?;
     let algo = get(flags, "algo")?;
     let packing = if flags.contains_key("offline") {
+        known_algo(algo, OFFLINE_ALGOS, "offline")?;
         offline_packer(algo).pack(&inst)
     } else {
+        known_algo(algo, ONLINE_ALGOS, "online")?;
         let params = AlgoParams::from_instance(&inst);
         let mut packer = online_packer(algo, params);
         OnlineEngine::clairvoyant()
             .run(&inst, packer.as_mut())
-            .map_err(|e| e.to_string())?
+            .map_err(runtime_err)?
             .packing
     };
-    packing.validate(&inst).map_err(|e| e.to_string())?;
+    packing.validate(&inst).map_err(runtime_err)?;
     let rows = clairvoyant_dbp::core::stats::packing_report(&inst, &packing);
     println!(
         "{:<6} {:>6} {:>10} {:>12} {:>10}",
@@ -330,7 +417,7 @@ fn report(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// Runs the differential fuzzing sweep (`dbp audit`), shrinking any
 /// failure to a minimal fixture, or the `--self-test` pipeline proof.
-fn audit(flags: &HashMap<String, String>) -> Result<(), String> {
+fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use clairvoyant_dbp::audit::fixture::Fixture;
     use clairvoyant_dbp::audit::fuzz::{self, shrink_roster_failure};
     use clairvoyant_dbp::audit::shrink::ShrinkBudget;
@@ -347,7 +434,10 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), String> {
         max_items: get_num(flags, "max-items", 24)?,
         threads: flags
             .get("threads")
-            .map(|v| v.parse().map_err(|_| format!("bad --threads value {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --threads value {v:?}")))
+            })
             .transpose()?,
         offline: !flags.contains_key("no-offline"),
         ..Default::default()
@@ -401,14 +491,17 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), String> {
             Err(e) => println!("  shrunk to {} items (write failed: {e})", small.len()),
         }
     }
-    Err(format!("{} audit violations", summary.violations()))
+    Err(CliError::Violations(format!(
+        "{} audit violations",
+        summary.violations()
+    )))
 }
 
 /// Proves the audit pipeline end to end with injected faults: the
 /// overfull packer must be caught and shrunk to a tiny fixture that
 /// round-trips through JSON, and a panicking packer must not abort the
 /// surrounding sweep.
-fn audit_self_test(flags: &HashMap<String, String>) -> Result<(), String> {
+fn audit_self_test(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use clairvoyant_dbp::audit::diff::audit_online_with;
     use clairvoyant_dbp::audit::faulty::{OverfullFirstFit, PanicOnNth};
     use clairvoyant_dbp::audit::fixture::Fixture;
@@ -448,17 +541,19 @@ fn audit_self_test(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     if !fails(&inst) {
-        return Err("self-test: overfull packer was NOT caught".into());
+        return Err(CliError::Violations(
+            "self-test: overfull packer was NOT caught".into(),
+        ));
     }
     println!("self-test: overfull first-fit caught as a violation");
 
     let small = shrink_instance(&inst, fails, ShrinkBudget::default());
     println!("self-test: shrunk {} -> {} items", inst.len(), small.len());
     if small.len() > 6 {
-        return Err(format!(
+        return Err(CliError::Violations(format!(
             "self-test: shrunk witness has {} items (> 6)",
             small.len()
-        ));
+        )));
     }
     let fixture = Fixture::from_instance(
         "self-test-overfull-ff",
@@ -469,10 +564,12 @@ fn audit_self_test(flags: &HashMap<String, String>) -> Result<(), String> {
         "self-test injected fault",
         &small,
     );
-    let round_trip =
-        Fixture::parse(&fixture.to_json()).map_err(|e| format!("fixture round-trip: {e}"))?;
+    let round_trip = Fixture::parse(&fixture.to_json())
+        .map_err(|e| runtime_err(format!("fixture round-trip: {e}")))?;
     if round_trip != fixture {
-        return Err("self-test: fixture did not round-trip".into());
+        return Err(CliError::Violations(
+            "self-test: fixture did not round-trip".into(),
+        ));
     }
     println!(
         "self-test: fixture round-trips through JSON ({} items)",
@@ -489,13 +586,215 @@ fn audit_self_test(flags: &HashMap<String, String>) -> Result<(), String> {
         Err(msg) if msg.contains("injected fault") => {
             println!("self-test: panicking packer isolated ({msg})");
         }
-        other => return Err(format!("self-test: expected injected panic, got {other:?}")),
+        other => {
+            return Err(CliError::Violations(format!(
+                "self-test: expected injected panic, got {other:?}"
+            )))
+        }
     }
     println!("self-test: ok");
     Ok(())
 }
 
-fn compare(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Runs the chaos sweep (`dbp chaos`): seeded fault injection across the
+/// online roster with the three resilience invariants checked per cell,
+/// shrinking any failure to a minimal fixture. `--self-test` instead
+/// proves the three pillars on built-in scenarios.
+fn chaos(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::audit::chaos::{shrink_chaos_failure, ChaosAuditConfig};
+    use clairvoyant_dbp::audit::fixture::Fixture;
+    use clairvoyant_dbp::audit::fuzz::case_instance;
+    use clairvoyant_dbp::audit::shrink::ShrinkBudget;
+    use clairvoyant_dbp::audit::{run_chaos_audit, QuietPanics};
+    use std::path::Path;
+
+    if flags.contains_key("self-test") {
+        return chaos_self_test(flags);
+    }
+
+    let cfg = ChaosAuditConfig {
+        cases: get_num(flags, "cases", 200)?,
+        seed: get_num(flags, "seed", 0)?,
+        max_items: get_num(flags, "max-items", 24)?,
+        threads: flags
+            .get("threads")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --threads value {v:?}")))
+            })
+            .transpose()?,
+    };
+    let fixtures_dir = flags
+        .get("fixtures-dir")
+        .map(String::as_str)
+        .unwrap_or("chaos-fixtures");
+
+    let _quiet = QuietPanics::new();
+    let summary = run_chaos_audit(&cfg);
+    println!(
+        "chaos: {} cases x roster = {} cells, seed {}",
+        summary.cases, summary.cells, cfg.seed
+    );
+    if summary.ok() {
+        println!("chaos: no violations");
+        return Ok(());
+    }
+
+    println!(
+        "chaos: {} failing (case, algo) cells, {} violations",
+        summary.failures.len(),
+        summary.violations()
+    );
+    for f in &summary.failures {
+        println!("\ncase {} [{}] algo {}:", f.case, f.family, f.algo);
+        for v in &f.violations {
+            println!("  [{}] {}", v.check, v.detail);
+        }
+        if f.algo.starts_with('<') {
+            continue;
+        }
+        let (_, inst) = case_instance(cfg.seed, f.case, cfg.max_items);
+        let small = shrink_chaos_failure(&inst, &f.algo, cfg.seed, f.case, ShrinkBudget::default());
+        let fixture = Fixture::from_instance(
+            format!("chaos-seed{}-case{}-{}", cfg.seed, f.case, f.algo),
+            &f.algo,
+            f.violations[0].check.as_str(),
+            cfg.seed,
+            f.case,
+            format!("chaos: shrunk from {} to {} items", inst.len(), small.len()),
+            &small,
+        );
+        match fixture.write_to(Path::new(fixtures_dir)) {
+            Ok(path) => println!("  shrunk to {} items -> {}", small.len(), path.display()),
+            Err(e) => println!("  shrunk to {} items (write failed: {e})", small.len()),
+        }
+    }
+    Err(CliError::Violations(format!(
+        "{} chaos violations",
+        summary.violations()
+    )))
+}
+
+/// Proves the three resilience pillars on built-in scenarios:
+/// checkpoint/resume bit-identity, fault injection + recovery with
+/// exactly-once accounting, and graceful degradation at a fleet cap.
+fn chaos_self_test(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::audit::fuzz::case_instance;
+    use clairvoyant_dbp::core::StreamingSession;
+    use clairvoyant_dbp::resilience::chaos::run_chaos;
+    use clairvoyant_dbp::resilience::{
+        snapshot_from_json, snapshot_to_json, AdmissionPolicy, ChaosConfig, FaultEvent, FaultKind,
+        FaultPlan, RecoveryPolicy,
+    };
+    use clairvoyant_dbp::sim::RetryCounters;
+
+    let seed: u64 = get_num(flags, "seed", 0)?;
+    let fail = |what: &str| CliError::Violations(format!("self-test: {what}"));
+
+    // Pillar 1 — checkpoint/resume bit-identity through the JSON
+    // encoding, on a generated instance with the clairvoyant flagship.
+    let (family, inst) = case_instance(seed, 1, 24);
+    println!(
+        "self-test: instance from seed {seed} case 1 [{family}], {} items",
+        inst.len()
+    );
+    let mut items = inst.items().to_vec();
+    items.sort_by_key(|i| (i.arrival(), i.id()));
+    let cut = items.len() / 2;
+    let params = AlgoParams::from_instance(&inst);
+    let mut packer = online_packer("cbdt", params);
+    let mut s = StreamingSession::new(ClairvoyanceMode::Clairvoyant, &mut *packer);
+    for item in &items[..cut] {
+        s.arrive(item).map_err(runtime_err)?;
+    }
+    let snap = s.snapshot();
+    for item in &items[cut..] {
+        s.arrive(item).map_err(runtime_err)?;
+    }
+    let full = s.finish().map_err(runtime_err)?;
+    let json = snapshot_to_json(&snap);
+    let decoded = snapshot_from_json(&json).map_err(runtime_err)?;
+    if decoded != snap {
+        return Err(fail("checkpoint JSON round-trip was lossy"));
+    }
+    let mut packer = online_packer("cbdt", params);
+    let mut resumed =
+        StreamingSession::restore(ClairvoyanceMode::Clairvoyant, &mut *packer, &decoded)
+            .map_err(runtime_err)?;
+    for item in &items[cut..] {
+        resumed.arrive(item).map_err(runtime_err)?;
+    }
+    if resumed.finish().map_err(runtime_err)? != full {
+        return Err(fail("resumed run diverged from uninterrupted run"));
+    }
+    println!(
+        "self-test: checkpoint at cut {cut} resumed bit-identical ({} bytes of JSON)",
+        json.len()
+    );
+
+    // Pillar 2 — fault injection + recovery: three overlapping jobs, a
+    // crash mid-flight, immediate resubmission; everything must complete
+    // as a retry and the oracle must pass.
+    let tiny = Instance::from_triples(&[(0.4, 0, 100), (0.4, 0, 100), (0.4, 0, 100)]);
+    let cfg = ChaosConfig {
+        plan: FaultPlan::new(
+            seed,
+            vec![FaultEvent {
+                at: 5,
+                kind: FaultKind::Crash,
+            }],
+        ),
+        policy: RecoveryPolicy::Immediate,
+        fleet_cap: None,
+        admission: AdmissionPolicy::Reject,
+    };
+    let params = AlgoParams::from_instance(&tiny);
+    let mut packer = online_packer("first-fit", params);
+    let report = run_chaos(&tiny, &mut *packer, ClairvoyanceMode::NonClairvoyant, &cfg)
+        .map_err(runtime_err)?;
+    report.verify(&tiny).map_err(runtime_err)?;
+    let c = report.retry_counters();
+    if report.servers_killed == 0 || c.jobs_retried != 3 || c.jobs_completed != 0 {
+        return Err(fail(&format!(
+            "crash recovery: expected 3 retried jobs, got {c:?}"
+        )));
+    }
+    println!(
+        "self-test: crash at t=5 killed {} servers, displaced {} jobs, all 3 completed on retry",
+        report.servers_killed, report.jobs_displaced
+    );
+
+    // Pillar 3 — graceful degradation: cap the fleet at one server so
+    // the third job is shed, and verify the ledger still accounts for
+    // every job exactly once.
+    let cfg = ChaosConfig {
+        plan: FaultPlan::none(),
+        fleet_cap: Some(1),
+        admission: AdmissionPolicy::Reject,
+        policy: RecoveryPolicy::Immediate,
+    };
+    let mut packer = online_packer("first-fit", params);
+    let report = run_chaos(&tiny, &mut *packer, ClairvoyanceMode::NonClairvoyant, &cfg)
+        .map_err(runtime_err)?;
+    report.verify(&tiny).map_err(runtime_err)?;
+    let c = report.retry_counters();
+    let expect = RetryCounters {
+        jobs_completed: 2,
+        jobs_rejected: 1,
+        arrivals_shed: 1,
+        ..RetryCounters::default()
+    };
+    if c != expect {
+        return Err(fail(&format!(
+            "fleet cap: expected 2 completed + 1 rejected, got {c:?}"
+        )));
+    }
+    println!("self-test: fleet cap 1 shed the overflow job and accounted for it exactly once");
+    println!("self-test: ok");
+    Ok(())
+}
+
+fn compare(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let inst = load_trace(flags)?;
     let lb = lower_bounds(&inst).best().max(1);
     let params = AlgoParams::from_instance(&inst);
@@ -512,8 +811,8 @@ fn compare(flags: &HashMap<String, String>) -> Result<(), String> {
         };
         let run = OnlineEngine::new(mode)
             .run(&inst, packer.as_mut())
-            .map_err(|e| e.to_string())?;
-        run.packing.validate(&inst).map_err(|e| e.to_string())?;
+            .map_err(runtime_err)?;
+        run.packing.validate(&inst).map_err(runtime_err)?;
         println!(
             "{:<26} {:>12} {:>6} {:>9.4}",
             format!("{} (online)", packer.name()),
@@ -525,7 +824,7 @@ fn compare(flags: &HashMap<String, String>) -> Result<(), String> {
     for algo in OFFLINE_ALGOS {
         let packer = offline_packer(algo);
         let packing = packer.pack(&inst);
-        packing.validate(&inst).map_err(|e| e.to_string())?;
+        packing.validate(&inst).map_err(runtime_err)?;
         let usage = packing.total_usage(&inst);
         println!(
             "{:<26} {:>12} {:>6} {:>9.4}",

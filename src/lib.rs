@@ -34,6 +34,7 @@
 //! | [`sim`] | cloud renting-cost simulator, billing models, noisy clairvoyance |
 //! | [`obs`] | packing-decision tracing, deterministic replay, time-series metrics |
 //! | [`audit`] | invariant checker, differential fuzzer, counterexample shrinker, regression fixtures |
+//! | [`resilience`] | checkpoint/restore, fault injection, recovery policies, chaos simulation |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@ pub use dbp_flex as flex;
 pub use dbp_interval as interval;
 pub use dbp_multidim as multidim;
 pub use dbp_obs as obs;
+pub use dbp_resilience as resilience;
 pub use dbp_sim as sim;
 pub use dbp_theory as theory;
 pub use dbp_workloads as workloads;
@@ -84,6 +86,7 @@ pub mod prelude {
         OnlineRun, PackEvent, PackObserver, Packing, Size, Tee, Time,
     };
     pub use dbp_obs::{MetricsAggregator, Replay, TraceWriter};
+    pub use dbp_resilience::{simulate_chaos, ChaosConfig, FaultPlan, RecoveryPolicy};
     pub use dbp_sim::{simulate, Billing, NoisyEstimator};
     pub use dbp_workloads::Workload;
 }

@@ -61,6 +61,12 @@ pub enum CheckId {
     ChaosCapacity,
     /// A checkpoint/resume differed from the uninterrupted run.
     Resume,
+    /// Sharded accounting: an item was lost, duplicated, or the merged
+    /// totals contradict the per-shard slices.
+    ShardAccounting,
+    /// A sharded run diverged from its per-shard plain-session reference
+    /// (or a single-shard run from the unsharded session).
+    ShardMerge,
 }
 
 impl CheckId {
@@ -79,6 +85,8 @@ impl CheckId {
             CheckId::ChaosAccounting => "chaos-accounting",
             CheckId::ChaosCapacity => "chaos-capacity",
             CheckId::Resume => "resume",
+            CheckId::ShardAccounting => "shard-accounting",
+            CheckId::ShardMerge => "shard-merge",
         }
     }
 
@@ -97,6 +105,8 @@ impl CheckId {
             CheckId::ChaosAccounting,
             CheckId::ChaosCapacity,
             CheckId::Resume,
+            CheckId::ShardAccounting,
+            CheckId::ShardMerge,
         ]
         .into_iter()
         .find(|c| c.as_str() == s)

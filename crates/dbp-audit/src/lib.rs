@@ -27,6 +27,10 @@
 //! * [`chaos`] — the fault-injection family: seeded [`dbp_resilience`]
 //!   sweeps checking exactly-once job accounting, post-recovery capacity,
 //!   and checkpoint/resume bit-identity across the roster.
+//! * [`shard`] — the sharding family: seeded [`dbp_shard`] sweeps
+//!   checking per-shard bit-identity against plain-session references,
+//!   exactly-once item accounting, and the merged run's coverage +
+//!   capacity against the original instance.
 //!
 //! See `docs/auditing.md` for the invariant list, the shrink loop, the
 //! fixture format, and how to reproduce any failure from its seed.
@@ -39,11 +43,13 @@ pub mod faulty;
 pub mod fixture;
 pub mod fuzz;
 pub mod invariants;
+pub mod shard;
 pub mod shrink;
 
 pub use chaos::{run_chaos_audit, ChaosAuditConfig};
 pub use fuzz::{run_audit, AuditConfig, AuditSummary};
 pub use invariants::{CheckId, Violation};
+pub use shard::{run_shard_audit, ShardAuditConfig};
 
 /// Silences the process-global panic hook for the guard's lifetime and
 /// restores the previous hook on drop. Expected panics are the fuzzer's

@@ -1,9 +1,16 @@
-//! `run_grid_checked` must be a drop-in superset of `run_grid`: when no
-//! cell panics, the two agree cell-for-cell, for any grid shape and
-//! thread count.
+//! The grid runner's determinism contract, pinned by property test:
+//!
+//! * `run_grid_checked` is a drop-in superset of `run_grid` — when no
+//!   cell panics the two agree cell-for-cell, for any grid shape and
+//!   thread count.
+//! * Output order and values are identical for `threads ∈ {1, 2, 7,
+//!   None}` — scheduling must never leak into results.
+//! * A panicking cell lands in its own `Err` slot; every neighbour
+//!   still completes with the right value in the right position.
 
 use dbp_bench::grid::{run_grid, run_grid_checked, GridCell};
 use proptest::prelude::*;
+use std::sync::Once;
 
 fn cells(n: usize) -> Vec<GridCell<u64>> {
     (0..n as u64)
@@ -13,6 +20,19 @@ fn cells(n: usize) -> Vec<GridCell<u64>> {
         })
         .collect()
 }
+
+/// Silences the process-global panic hook once for this test binary:
+/// the isolation property deliberately panics hundreds of cells, and
+/// each would otherwise print a backtrace. Failures still surface
+/// through the caught payloads that `run_grid_checked` returns.
+fn quiet_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| std::panic::set_hook(Box::new(|_| {})));
+}
+
+/// The thread counts the contract quantifies over; `None` delegates to
+/// available parallelism.
+const THREAD_CHOICES: [Option<usize>; 4] = [Some(1), Some(2), Some(7), None];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -30,6 +50,62 @@ proptest! {
         for (p, c) in plain.iter().zip(&checked) {
             prop_assert_eq!(&p.label, &c.label);
             prop_assert_eq!(Ok(&p.output), c.output.as_ref());
+        }
+    }
+
+    #[test]
+    fn outputs_are_identical_for_every_thread_count(
+        n in 0usize..60,
+        salt: u64,
+    ) {
+        let eval = move |&x: &u64| (x ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let baseline: Vec<(String, u64)> = run_grid(cells(n), Some(1), eval)
+            .into_iter()
+            .map(|r| (r.label, r.output))
+            .collect();
+        for threads in [Some(2), Some(7), None] {
+            let got: Vec<(String, u64)> = run_grid(cells(n), threads, eval)
+                .into_iter()
+                .map(|r| (r.label, r.output))
+                .collect();
+            prop_assert_eq!(&baseline, &got, "threads = {:?}", threads);
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_in_its_own_slot(
+        n in 1usize..40,
+        poison_seed: u64,
+        threads_pick in 0usize..4,
+        salt: u64,
+    ) {
+        quiet_panics();
+        let threads = THREAD_CHOICES[threads_pick];
+        let poison = poison_seed % n as u64;
+        let eval = move |&x: &u64| {
+            if x == poison {
+                panic!("poisoned cell {x}");
+            }
+            x.wrapping_add(salt)
+        };
+        let results = run_grid_checked(cells(n), threads, eval);
+        prop_assert_eq!(results.len(), n);
+        for (i, r) in results.iter().enumerate() {
+            prop_assert_eq!(&r.label, &format!("cell{i}"));
+            if i as u64 == poison {
+                let p = r.output.as_ref().expect_err("poisoned slot must be Err");
+                prop_assert_eq!(&p.label, &r.label);
+                prop_assert!(
+                    p.message.contains(&format!("poisoned cell {poison}")),
+                    "payload lost: {}", p.message
+                );
+            } else {
+                prop_assert_eq!(
+                    r.output.as_ref().ok().copied(),
+                    Some((i as u64).wrapping_add(salt)),
+                    "neighbour {} was poisoned too", i
+                );
+            }
         }
     }
 }

@@ -759,7 +759,15 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
     }
 
     /// Flushes all remaining departures and returns the finished run.
-    pub fn finish(mut self) -> Result<OnlineRun, DbpError> {
+    pub fn finish(self) -> Result<OnlineRun, DbpError> {
+        self.finish_with_observer().map(|(run, _)| run)
+    }
+
+    /// Like [`StreamingSession::finish`], but also hands back the owned
+    /// observer so callers that moved one in (rather than borrowing via
+    /// `&mut obs`) can read its accumulated state — e.g. a per-shard
+    /// counters/metrics bundle in `dbp-shard`.
+    pub fn finish_with_observer(mut self) -> Result<(OnlineRun, O), DbpError> {
         self.close_until(Time::MAX)?;
         debug_assert!(self.open.is_empty());
         debug_assert!(self.placement.is_empty(), "placement pruned on departure");
@@ -769,11 +777,14 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         for r in &self.records {
             bins[r.id.0 as usize] = r.items.clone();
         }
-        Ok(OnlineRun {
-            packing: Packing::from_bins(bins),
-            usage,
-            bins: self.records,
-        })
+        Ok((
+            OnlineRun {
+                packing: Packing::from_bins(bins),
+                usage,
+                bins: self.records,
+            },
+            self.obs,
+        ))
     }
 }
 

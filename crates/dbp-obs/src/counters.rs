@@ -107,6 +107,30 @@ impl CountersSnapshot {
             self.placements_reused as f64 / self.items_packed as f64
         }
     }
+
+    /// Sums event counts across independent sessions (e.g. the shards of a
+    /// `dbp-shard` fleet) into fleet-wide totals.
+    ///
+    /// The wall-clock timing fields (`decide_ns_total`, `decide_ns_max`)
+    /// are **zeroed** in the merged snapshot: they are measured per run
+    /// and vary with scheduling, so summing them would both mislead (the
+    /// shards overlap in time) and break the bit-identical determinism
+    /// contract of the merge. Read per-shard timings from the individual
+    /// snapshots instead.
+    pub fn merged(parts: &[CountersSnapshot]) -> CountersSnapshot {
+        let mut out = CountersSnapshot::default();
+        for p in parts {
+            out.items_packed += p.items_packed;
+            out.placements_reused += p.placements_reused;
+            out.bins_opened += p.bins_opened;
+            out.bins_closed += p.bins_closed;
+            out.candidates_scanned += p.candidates_scanned;
+            out.estimates_used += p.estimates_used;
+            out.bins_failed += p.bins_failed;
+            out.arrivals_shed += p.arrivals_shed;
+        }
+        out
+    }
 }
 
 #[cfg(test)]

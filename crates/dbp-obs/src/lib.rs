@@ -56,7 +56,9 @@ pub mod replay;
 pub mod trace;
 
 pub use counters::{Counters, CountersSnapshot};
-pub use metrics::{MetricsAggregator, MetricsReport};
+pub use metrics::{merge_reports, merge_step_series, MetricsAggregator, MetricsReport};
 pub use offline::emit_packing;
 pub use replay::{replay_events, replay_jsonl, Replay};
-pub use trace::{events_to_jsonl, parse_jsonl, TraceWriter};
+pub use trace::{
+    events_to_jsonl, events_to_jsonl_tagged, parse_jsonl, parse_jsonl_tagged, TraceWriter,
+};

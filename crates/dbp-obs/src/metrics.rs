@@ -115,6 +115,102 @@ fn dedup_series(points: Vec<(Time, f64)>) -> Vec<(Time, f64)> {
     out
 }
 
+/// Sums independent step functions (e.g. per-shard fleet timelines) into
+/// one series. Each input's value between breakpoints contributes to the
+/// sum, so the result at any instant is the sum of the inputs at that
+/// instant. Purely integer delta arithmetic: the merge is a deterministic
+/// function of the inputs, independent of their computation order.
+pub fn merge_step_series(parts: &[StepSeries]) -> StepSeries {
+    let mut deltas = Vec::new();
+    for s in parts {
+        let mut prev = 0i64;
+        for &(t, v) in &s.points {
+            deltas.push((t, v - prev));
+            prev = v;
+        }
+    }
+    StepSeries::from_deltas(deltas)
+}
+
+/// Merges the time-series metrics of independent sessions (the shards of
+/// a `dbp-shard` fleet) into fleet-wide totals.
+///
+/// * `active_bins` and `ceil_level` are summed as step functions. Note
+///   the merged `ceil_level` is `Σᵢ ⌈Sᵢ(t)⌉` — the lower bound the
+///   *sharded* fleet is judged against (each shard owns disjoint bins),
+///   which is ≥ the unsharded `⌈S(t)⌉`; the gap is the packing-quality
+///   price of partitioning.
+/// * `total_level` sums the per-shard level curves, accumulating shards
+///   in slice order at every change point so the floating-point result
+///   is a deterministic function of the inputs.
+/// * The histogram, counts, and closed-bin utilization mean merge as
+///   weighted sums.
+pub fn merge_reports(parts: &[MetricsReport]) -> MetricsReport {
+    let active: Vec<StepSeries> = parts.iter().map(|p| p.active_bins.clone()).collect();
+    let ceil: Vec<StepSeries> = parts.iter().map(|p| p.ceil_level.clone()).collect();
+    let mut histogram = [0u32; HIST_BUCKETS];
+    let mut util_weighted = 0.0f64;
+    let mut bins_closed = 0u64;
+    let mut items_packed = 0u64;
+    let mut bins_failed = 0u64;
+    let mut arrivals_shed = 0u64;
+    for p in parts {
+        for (slot, add) in histogram.iter_mut().zip(&p.utilization_histogram) {
+            *slot += add;
+        }
+        util_weighted += p.mean_utilization * p.bins_closed as f64;
+        bins_closed += p.bins_closed;
+        items_packed += p.items_packed;
+        bins_failed += p.bins_failed;
+        arrivals_shed += p.arrivals_shed;
+    }
+    MetricsReport {
+        active_bins: merge_step_series(&active),
+        total_level: merge_level_series(parts),
+        ceil_level: merge_step_series(&ceil),
+        utilization_histogram: histogram,
+        mean_utilization: if bins_closed == 0 {
+            0.0
+        } else {
+            util_weighted / bins_closed as f64
+        },
+        bins_closed,
+        items_packed,
+        bins_failed,
+        arrivals_shed,
+    }
+}
+
+/// Sums the `total_level` curves of several reports, walking all change
+/// points in ascending time and adding shard values in slice order.
+fn merge_level_series(parts: &[MetricsReport]) -> Vec<(Time, f64)> {
+    let mut times: Vec<Time> = parts
+        .iter()
+        .flat_map(|p| p.total_level.iter().map(|&(t, _)| t))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    let mut idx = vec![0usize; parts.len()];
+    let mut cur = vec![0.0f64; parts.len()];
+    let mut out: Vec<(Time, f64)> = Vec::with_capacity(times.len());
+    for t in times {
+        let mut sum = 0.0f64;
+        for (k, p) in parts.iter().enumerate() {
+            let s = &p.total_level;
+            while idx[k] < s.len() && s[idx[k]].0 <= t {
+                cur[k] = s[idx[k]].1;
+                idx[k] += 1;
+            }
+            sum += cur[k];
+        }
+        match out.last() {
+            Some(&(_, prev)) if prev == sum => {}
+            _ => out.push((t, sum)),
+        }
+    }
+    out
+}
+
 /// Builds a [`StepSeries`] from absolute `(time, value)` samples.
 fn series_from_points(points: Vec<(Time, i64)>) -> StepSeries {
     let mut deltas = Vec::with_capacity(points.len());

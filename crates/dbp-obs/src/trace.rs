@@ -217,6 +217,48 @@ pub fn events_to_jsonl(events: &[PackEvent]) -> String {
     out
 }
 
+/// Encodes one event as a JSON line with a leading `"shard"` field, for
+/// traces merged across a `dbp-shard` fleet. The tag is additive: the
+/// untagged readers ([`event_from_json`], [`parse_jsonl`]) look fields up
+/// by key and simply ignore it, so a tagged trace still replays.
+pub fn event_to_json_tagged(shard: usize, ev: &PackEvent) -> String {
+    let base = event_to_json(ev);
+    debug_assert!(base.starts_with('{'));
+    format!("{{\"shard\":{shard},{}", &base[1..])
+}
+
+/// Serializes one shard's events as shard-tagged JSONL (see
+/// [`event_to_json_tagged`]).
+pub fn events_to_jsonl_tagged(shard: usize, events: &[PackEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json_tagged(shard, ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace keeping each line's `"shard"` tag (`None` for
+/// untagged lines). Blank lines are skipped; errors carry the 1-based
+/// line number.
+pub fn parse_jsonl_tagged(text: &str) -> Result<Vec<(Option<usize>, PackEvent)>, DbpError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|what| DbpError::Trace { line: i + 1, what })?;
+        let shard = value
+            .get("shard")
+            .and_then(Json::as_u64)
+            .map(|s| s as usize);
+        let ev = event_from_json(&value).map_err(|what| DbpError::Trace { line: i + 1, what })?;
+        events.push((shard, ev));
+    }
+    Ok(events)
+}
+
 /// A [`PackObserver`] that streams events to a writer as JSONL.
 ///
 /// `on_event` must not panic, so I/O errors are latched: the first error

@@ -1,0 +1,42 @@
+//! # dbp-shard — sharded multi-fleet streaming with deterministic merge
+//!
+//! Partitions one arrival stream across K independent
+//! [`dbp_core::stream::StreamingSession`]s (each with its own packer and
+//! its own server fleet) and merges per-shard usage, counters, and
+//! metrics into fleet-wide totals that are **bit-identical for every
+//! worker-thread count and OS schedule**.
+//!
+//! The three layers:
+//!
+//! * [`ShardRouter`] — the pluggable, stateless arrival→shard policy
+//!   (seeded hash, size class, duration-tag affinity). A router is a
+//!   pure function of the item, so the partition is reproducible from
+//!   the instance alone.
+//! * [`ShardedSession`] — the coordinator: validates the global stream
+//!   contract (non-decreasing arrivals, unique ids), batches arrivals at
+//!   timestamp boundaries, fans batches out to persistent worker
+//!   threads that own the shards.
+//! * [`ShardReport`] / [`ShardSlice`] — the merge: additive totals are
+//!   folded in shard-index order; [`ShardReport::merged_run`] stitches
+//!   the per-shard packings into one run that validates against the
+//!   original instance.
+//!
+//! ## Why shard?
+//!
+//! Throughput: best-fit style packers scan every open bin per placement,
+//! so cost per item grows with fleet depth; splitting the stream K ways
+//! cuts each scan to the shard's own fleet. Quality: the merged fleet
+//! can only be *larger* than the unsharded one (its lower bound is
+//! `Σᵢ ⌈Sᵢ(t)⌉ ≥ ⌈S(t)⌉`), and the router choice controls how much of
+//! that headroom is actually paid. `docs/performance.md` quantifies
+//! both sides; the `dbp-audit` shard family checks the accounting.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod router;
+pub mod session;
+
+pub use report::{ShardReport, ShardSlice};
+pub use router::ShardRouter;
+pub use session::{merged_counters, ShardConfig, ShardedSession};

@@ -1,0 +1,207 @@
+//! Pluggable arrival→shard routing policies.
+//!
+//! A router is a *pure function* of the item and the shard count — no
+//! state, no randomness at routing time — so the partition induced by a
+//! router is reproducible from the instance alone. That property is what
+//! lets the audit family rebuild each shard's sub-stream independently
+//! and check the merged run against it.
+
+use dbp_core::{DbpError, Item, Size};
+
+/// splitmix64 — the same avalanche mix the audit fuzzer uses for
+/// stream-independent sub-seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How arrivals are partitioned across the shards of a
+/// [`crate::ShardedSession`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardRouter {
+    /// Seeded hash of the item id — the load balancer: spreads items
+    /// (and therefore level) evenly, independent of item shape. Changing
+    /// the seed re-deals the partition without touching anything else.
+    SeededHash {
+        /// Hash seed; the partition is a pure function of `(seed, id)`.
+        seed: u64,
+    },
+    /// Bucket by item size: shard `⌊(size / capacity) · K⌋` (clamped).
+    /// Items of similar size land together, which keeps per-shard
+    /// packings dense (a shard of 0.1-sized items fits ten per bin) at
+    /// the cost of uneven shard load when the size mix is skewed.
+    SizeClass,
+    /// Bucket by duration class: shard `⌊duration / rho⌋ mod K`. Jobs of
+    /// similar lifetime co-locate, which is exactly the grouping the
+    /// paper's classification strategies exploit — bins close promptly
+    /// because their tenants leave together.
+    TagAffinity {
+        /// Width of one duration class in ticks (≥ 1).
+        rho: i64,
+    },
+}
+
+impl ShardRouter {
+    /// The default router: seeded hash with seed 0.
+    pub fn hash() -> ShardRouter {
+        ShardRouter::SeededHash { seed: 0 }
+    }
+
+    /// Validates the router parameters.
+    pub fn validate(&self) -> Result<(), DbpError> {
+        match *self {
+            ShardRouter::TagAffinity { rho } if rho < 1 => Err(DbpError::InvalidParameter {
+                what: format!("tag-affinity class width {rho} must be >= 1"),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Parses a CLI spec: `hash`, `hash:SEED`, `size`, `tag`, or
+    /// `tag:RHO` (`tag` defaults to class width 1).
+    pub fn parse(spec: &str) -> Result<ShardRouter, DbpError> {
+        let bad = |what: String| DbpError::InvalidParameter { what };
+        let (kind, param) = match spec.split_once(':') {
+            Some((k, p)) => (k, Some(p)),
+            None => (spec, None),
+        };
+        let router = match (kind, param) {
+            ("hash", None) => ShardRouter::hash(),
+            ("hash", Some(p)) => ShardRouter::SeededHash {
+                seed: p
+                    .parse()
+                    .map_err(|_| bad(format!("bad hash router seed {p:?}")))?,
+            },
+            ("size", None) => ShardRouter::SizeClass,
+            ("size", Some(_)) => return Err(bad("size router takes no parameter".into())),
+            ("tag", None) => ShardRouter::TagAffinity { rho: 1 },
+            ("tag", Some(p)) => ShardRouter::TagAffinity {
+                rho: p
+                    .parse()
+                    .map_err(|_| bad(format!("bad tag router class width {p:?}")))?,
+            },
+            _ => {
+                return Err(bad(format!(
+                    "unknown router {spec:?}; available: hash[:seed], size, tag[:rho]"
+                )))
+            }
+        };
+        router.validate()?;
+        Ok(router)
+    }
+
+    /// Stable display name (with parameters), round-trippable through
+    /// [`ShardRouter::parse`].
+    pub fn name(&self) -> String {
+        match *self {
+            ShardRouter::SeededHash { seed } => format!("hash:{seed}"),
+            ShardRouter::SizeClass => "size".to_string(),
+            ShardRouter::TagAffinity { rho } => format!("tag:{rho}"),
+        }
+    }
+
+    /// The shard for `item` in a fleet of `shards` shards. Always in
+    /// `0..shards`; a single-shard fleet routes everything to shard 0.
+    pub fn route(&self, item: &Item, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        match *self {
+            ShardRouter::SeededHash { seed } => {
+                (mix(seed ^ mix(u64::from(item.id().0))) % shards as u64) as usize
+            }
+            ShardRouter::SizeClass => {
+                // Sizes are raw fixed-point in [1, SCALE]; map (0, 1] of
+                // capacity onto 0..shards without floating point.
+                ((u128::from(item.size().raw() - 1) * shards as u128) / u128::from(Size::SCALE))
+                    as usize
+            }
+            ShardRouter::TagAffinity { rho } => {
+                let class = item.duration().max(1) / rho.max(1);
+                (class as u64 % shards as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::Item;
+
+    fn item(id: u32, size: f64, dur: i64) -> Item {
+        Item::new(id, Size::from_f64(size), 0, dur)
+    }
+
+    #[test]
+    fn routes_stay_in_range_for_every_policy() {
+        let routers = [
+            ShardRouter::hash(),
+            ShardRouter::SeededHash { seed: 99 },
+            ShardRouter::SizeClass,
+            ShardRouter::TagAffinity { rho: 7 },
+        ];
+        for k in [1usize, 2, 3, 8, 13] {
+            for r in routers {
+                for id in 0..200u32 {
+                    let it = item(
+                        id,
+                        (f64::from(id % 100) + 1.0) / 100.0,
+                        1 + i64::from(id % 50),
+                    );
+                    let s = r.route(&it, k);
+                    assert!(s < k, "{}: shard {s} out of range for k={k}", r.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_class_buckets_monotonically() {
+        let k = 4;
+        let small = ShardRouter::SizeClass.route(&item(0, 0.05, 10), k);
+        let big = ShardRouter::SizeClass.route(&item(1, 1.0, 10), k);
+        assert_eq!(small, 0);
+        assert_eq!(big, k - 1, "full-size items land in the top bucket");
+    }
+
+    #[test]
+    fn tag_affinity_groups_by_duration_class() {
+        let r = ShardRouter::TagAffinity { rho: 10 };
+        let a = r.route(&item(0, 0.5, 12), 8);
+        let b = r.route(&item(1, 0.2, 17), 8);
+        let c = r.route(&item(2, 0.2, 27), 8);
+        assert_eq!(a, b, "same duration class, same shard");
+        assert_ne!(b, c, "adjacent classes split");
+    }
+
+    #[test]
+    fn hash_seed_changes_the_deal_but_not_determinism() {
+        let it = item(42, 0.3, 25);
+        let a = ShardRouter::SeededHash { seed: 1 }.route(&it, 8);
+        let b = ShardRouter::SeededHash { seed: 1 }.route(&it, 8);
+        assert_eq!(a, b);
+        let spread: std::collections::HashSet<usize> = (0..64u64)
+            .map(|seed| ShardRouter::SeededHash { seed }.route(&it, 8))
+            .collect();
+        assert!(spread.len() > 1, "seed must influence the partition");
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        for spec in ["hash:0", "hash:77", "size", "tag:1", "tag:50"] {
+            let r = ShardRouter::parse(spec).expect(spec);
+            assert_eq!(r.name(), spec);
+        }
+        assert_eq!(ShardRouter::parse("hash").unwrap(), ShardRouter::hash());
+        assert_eq!(
+            ShardRouter::parse("tag").unwrap(),
+            ShardRouter::TagAffinity { rho: 1 }
+        );
+        for bad in ["", "rr", "hash:x", "tag:0", "tag:-3", "size:2"] {
+            assert!(ShardRouter::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -130,7 +130,10 @@ impl SizeDist {
         }
     }
 
-    fn sample(&self, rng: &mut StdRng) -> Size {
+    /// Draws one size. Always a valid item size: whatever the raw draw,
+    /// the result is clamped into `(0, 1]` of capacity (so statistical
+    /// tests may assert the domain unconditionally).
+    pub fn sample(&self, rng: &mut StdRng) -> Size {
         let f = match *self {
             SizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
             SizeDist::Bimodal {
@@ -324,7 +327,10 @@ impl DurationDist {
         }
     }
 
-    fn sample(&self, rng: &mut StdRng) -> i64 {
+    /// Draws one duration in ticks, always ≥ 1 (every family either
+    /// draws from or clamps into its positive `[min, max]` window), so
+    /// `arrival + duration` is a non-degenerate half-open interval.
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
         match *self {
             DurationDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
             DurationDist::Exponential { mean, min, max } => {

@@ -1,0 +1,214 @@
+//! Statistical checks on the workload generators: fixed-seed sample
+//! moments of every `SizeDist` / `DurationDist` family against their
+//! analytic values, plus the hard domain guarantees the packing core
+//! relies on — sizes in `(0, 1]` of capacity, durations ≥ 1, generated
+//! item intervals half-open and non-degenerate.
+//!
+//! The seeds are fixed, so these are deterministic regression tests,
+//! not flaky hypothesis tests: the tolerances are set for the n used
+//! here (≈5σ of the sample-mean error for the tightest family) and a
+//! failure means the sampler changed, not that luck ran out.
+
+use dbp_core::Size;
+use dbp_workloads::random::{DurationDist, PoissonWorkload, SizeDist, UniformWorkload};
+use dbp_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 200_000;
+const SEED: u64 = 0xD15_7A7;
+
+fn size_samples(dist: &SizeDist) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (0..N).map(|_| dist.sample(&mut rng).as_f64()).collect()
+}
+
+fn duration_samples(dist: &DurationDist) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (0..N).map(|_| dist.sample(&mut rng) as f64).collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+#[track_caller]
+fn assert_close(what: &str, got: f64, want: f64, rel_tol: f64) {
+    let err = (got - want).abs() / want.abs().max(1e-12);
+    assert!(
+        err <= rel_tol,
+        "{what}: sample {got:.6} vs analytic {want:.6} (rel err {err:.4} > {rel_tol})"
+    );
+}
+
+#[test]
+fn size_uniform_moments_match() {
+    let (lo, hi) = (0.1, 0.7);
+    let xs = size_samples(&SizeDist::uniform(lo, hi).unwrap());
+    assert_close("uniform size mean", mean(&xs), (lo + hi) / 2.0, 0.01);
+    assert_close(
+        "uniform size variance",
+        variance(&xs),
+        (hi - lo) * (hi - lo) / 12.0,
+        0.03,
+    );
+}
+
+#[test]
+fn size_bimodal_moments_match() {
+    let (p, small, large) = (0.75, 0.125, 0.875);
+    let xs = size_samples(&SizeDist::bimodal(p, small, large).unwrap());
+    let m = p * small + (1.0 - p) * large;
+    assert_close("bimodal size mean", mean(&xs), m, 0.01);
+    // Two-point mixture: Var = p(1-p)(large - small)^2.
+    assert_close(
+        "bimodal size variance",
+        variance(&xs),
+        p * (1.0 - p) * (large - small) * (large - small),
+        0.03,
+    );
+}
+
+#[test]
+fn size_catalog_mean_matches() {
+    let entries = [0.1, 0.25, 0.5, 1.0];
+    let xs = size_samples(&SizeDist::catalog(&entries).unwrap());
+    let m = entries.iter().sum::<f64>() / entries.len() as f64;
+    assert_close("catalog size mean", mean(&xs), m, 0.01);
+}
+
+#[test]
+fn duration_uniform_moments_match() {
+    let (lo, hi) = (5i64, 205i64);
+    let xs = duration_samples(&DurationDist::uniform(lo, hi).unwrap());
+    assert_close(
+        "uniform duration mean",
+        mean(&xs),
+        (lo + hi) as f64 / 2.0,
+        0.01,
+    );
+    // Discrete uniform on n = hi - lo + 1 points: Var = (n^2 - 1) / 12.
+    let n = (hi - lo + 1) as f64;
+    assert_close(
+        "uniform duration variance",
+        variance(&xs),
+        (n * n - 1.0) / 12.0,
+        0.03,
+    );
+}
+
+#[test]
+fn duration_exponential_mean_matches() {
+    // Clamps far out in the tail, so the clamped mean is the plain mean
+    // to within rounding.
+    let xs = duration_samples(&DurationDist::exponential(50.0, 1, 10_000).unwrap());
+    assert_close("exponential duration mean", mean(&xs), 50.0, 0.05);
+}
+
+#[test]
+fn duration_short_long_moments_match() {
+    let (short, long, p) = (3i64, 300i64, 0.9);
+    let xs = duration_samples(&DurationDist::short_long(short, long, p).unwrap());
+    let m = p * short as f64 + (1.0 - p) * long as f64;
+    assert_close("short/long duration mean", mean(&xs), m, 0.02);
+    assert_close(
+        "short/long duration variance",
+        variance(&xs),
+        p * (1.0 - p) * ((long - short) as f64).powi(2),
+        0.05,
+    );
+}
+
+#[test]
+fn duration_pareto_mean_matches() {
+    let (shape, min, max) = (1.5f64, 10i64, 10_000i64);
+    let xs = duration_samples(&DurationDist::pareto(shape, min, max).unwrap());
+    // Bounded Pareto on [L, H] with tail index a != 1:
+    //   E[X] = L^a / (1 - (L/H)^a) * a/(a-1) * (L^{1-a} - H^{1-a}).
+    let (l, h) = (min as f64, max as f64);
+    let want = l.powf(shape) / (1.0 - (l / h).powf(shape))
+        * (shape / (shape - 1.0))
+        * (l.powf(1.0 - shape) - h.powf(1.0 - shape));
+    assert_close("pareto duration mean", mean(&xs), want, 0.1);
+}
+
+#[test]
+fn duration_log_normal_mean_matches() {
+    let (mu, sigma) = (3.0f64, 0.5f64);
+    let xs = duration_samples(&DurationDist::log_normal(mu, sigma, 1, 10_000).unwrap());
+    // E[X] = exp(mu + sigma^2 / 2); the clamps sit >5 sigma out.
+    assert_close(
+        "log-normal duration mean",
+        mean(&xs),
+        (mu + sigma * sigma / 2.0).exp(),
+        0.1,
+    );
+}
+
+#[test]
+fn every_size_family_stays_in_unit_capacity() {
+    let families = [
+        SizeDist::uniform(1e-9_f64.max(1e-6), 1.0).unwrap(),
+        SizeDist::bimodal(0.5, 1e-6, 1.0).unwrap(),
+        SizeDist::catalog(&[1e-6, 0.5, 1.0]).unwrap(),
+    ];
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for dist in &families {
+        for _ in 0..50_000 {
+            let s = dist.sample(&mut rng);
+            assert!(
+                s > Size::ZERO && s <= Size::CAPACITY,
+                "{dist:?} sampled {s:?} outside (0, 1]"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_duration_family_respects_its_window() {
+    let families = [
+        DurationDist::uniform(1, 7).unwrap(),
+        DurationDist::exponential(2.0, 1, 50).unwrap(),
+        DurationDist::short_long(1, 9, 0.5).unwrap(),
+        DurationDist::pareto(0.8, 1, 100).unwrap(),
+        DurationDist::log_normal(0.0, 1.0, 1, 100).unwrap(),
+    ];
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for dist in &families {
+        for _ in 0..50_000 {
+            let d = dist.sample(&mut rng);
+            assert!(d >= 1, "{dist:?} sampled non-positive duration {d}");
+        }
+    }
+}
+
+#[test]
+fn generated_items_have_half_open_non_degenerate_intervals() {
+    // Ride the samplers through the actual generators: every item must
+    // occupy [arrival, departure) with departure strictly greater.
+    let heavy_tail = DurationDist::pareto(1.2, 1, 5_000).unwrap();
+    let uniform = UniformWorkload::new(4_000)
+        .with_durations(heavy_tail)
+        .generate_seeded(9);
+    let poisson = PoissonWorkload::new(2.0, 3_000)
+        .with_durations(DurationDist::log_normal(2.0, 1.0, 1, 5_000).unwrap())
+        .generate_seeded(9);
+    for inst in [&uniform, &poisson] {
+        assert!(!inst.items().is_empty());
+        for item in inst.items() {
+            assert!(
+                item.departure() > item.arrival(),
+                "degenerate interval on item {}: [{}, {})",
+                item.id(),
+                item.arrival(),
+                item.departure()
+            );
+            assert!(item.size() > Size::ZERO && item.size() <= Size::CAPACITY);
+        }
+    }
+}

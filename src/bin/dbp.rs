@@ -20,7 +20,7 @@
 //! | 2 | usage error (bad subcommand, flag, or value) |
 //! | 3 | I/O or trace-format error |
 //! | 4 | runtime error (engine failure, packing validation) |
-//! | 5 | audit / chaos violations found |
+//! | 5 | audit / chaos / shard-audit violations found |
 
 use clairvoyant_dbp::core::accounting::lower_bounds;
 use clairvoyant_dbp::core::stats::instance_stats;
@@ -42,14 +42,18 @@ USAGE:
                [--n <items>] [--seed <u64>] [--out <file>]
   dbp bounds   --trace <file>
   dbp pack     --trace <file> --algo <name> [--offline] [--non-clairvoyant]
-               [--trace-out <file.jsonl>] [--metrics <file.csv>]
+               [--shards <k>] [--router <hash[:seed]|size|tag[:rho]>]
+               [--threads <n>] [--trace-out <file.jsonl>] [--metrics <file.csv>]
   dbp replay   --trace <file.jsonl>
   dbp report   --trace <file> --algo <name> [--offline]
   dbp compare  --trace <file>
+  dbp bench    [--workload <kind>] [--n <items>] [--seeds <n>] [--threads <n>]
   dbp audit    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
                [--no-offline] [--fixtures-dir <dir>] [--self-test]
   dbp chaos    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
                [--fixtures-dir <dir>] [--self-test]
+  dbp shard-audit [--cases <n>] [--seed <u64>] [--max-items <n>]
+               [--threads <n>] [--fixtures-dir <dir>]
   dbp algos
 
 Online algorithms take their Theorem 4/5 optimal parameters from the
@@ -69,6 +73,22 @@ under --fixtures-dir (default audit-fixtures). `audit --self-test`
 injects known-faulty packers and proves the catch -> shrink -> persist
 pipeline. See docs/auditing.md.
 
+`pack --shards K` streams the trace through a sharded fleet of K
+independent sessions partitioned by `--router` (default `hash`), with
+`--threads` worker threads, and prints the deterministically merged
+fleet report plus a per-shard table. Sharding trades packing quality
+(each shard rounds its own load up) for scan-bounded throughput; see
+docs/performance.md.
+
+`bench` evaluates the online roster over seeded workload replicas on
+the panic-isolated experiment grid (`--threads` workers; a poisoned
+cell reports in place instead of aborting the sweep).
+
+`shard-audit` sweeps the sharded coordinator against plain-session
+references: per-shard bit-identity, exactly-once item accounting, and
+the merged run's coverage + capacity on the original instance, with
+failures shrunk and persisted like `audit`.
+
 `chaos` sweeps the roster under seeded fault injection (spot
 revocations, rack failures, crashes) with rotating recovery and
 admission policies, checking exactly-once job accounting, post-recovery
@@ -77,7 +97,7 @@ the three resilience pillars on built-in scenarios. See
 docs/resilience.md.
 
 Exit codes: 0 ok, 2 usage, 3 I/O or trace format, 4 runtime/validation,
-5 audit or chaos violations.";
+5 audit, chaos, or shard-audit violations.";
 
 /// A classified CLI failure; the variant fixes the process exit code.
 enum CliError {
@@ -139,8 +159,10 @@ fn main() -> ExitCode {
         "replay" => replay(&flags),
         "report" => report(&flags),
         "compare" => compare(&flags),
+        "bench" => bench(&flags),
         "audit" => audit(&flags),
         "chaos" => chaos(&flags),
+        "shard-audit" => shard_audit(&flags),
         "algos" => {
             println!("online:  {}", ONLINE_ALGOS.join(", "));
             println!("offline: {}", OFFLINE_ALGOS.join(", "));
@@ -204,6 +226,34 @@ fn get_num<T: std::str::FromStr>(
     }
 }
 
+/// Parses `--threads`, rejecting 0 up front: the grid runner and the
+/// shard coordinator would silently clamp it to 1, which is never what
+/// a script asking for zero threads meant — fail loudly as a usage
+/// error instead.
+fn get_threads(flags: &HashMap<String, String>) -> Result<Option<usize>, CliError> {
+    match flags.get("threads") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err(CliError::Usage(
+                "--threads must be at least 1 (0 would be silently clamped)".into(),
+            )),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(CliError::Usage(format!("bad --threads value {v:?}"))),
+        },
+    }
+}
+
+/// The clairvoyance mode each roster algorithm expects: the paper's
+/// clairvoyant family needs departure times, the classical family must
+/// not see them.
+fn clair_mode(algo: &str) -> ClairvoyanceMode {
+    if matches!(algo, "cbdt" | "cbd" | "combined") {
+        ClairvoyanceMode::Clairvoyant
+    } else {
+        ClairvoyanceMode::NonClairvoyant
+    }
+}
+
 fn load_trace(flags: &HashMap<String, String>) -> Result<Instance, CliError> {
     let path = get(flags, "trace")?;
     trace::load(path).map_err(io_err)
@@ -222,19 +272,26 @@ fn known_algo(algo: &str, roster: &[&str], what: &str) -> Result<(), CliError> {
     }
 }
 
-fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let kind = get(flags, "workload")?;
-    let n: usize = get_num(flags, "n", 500)?;
-    let seed: u64 = get_num(flags, "seed", 0)?;
-    let inst = match kind {
+/// Builds the named workload's seeded instance, or `None` for an
+/// unknown kind (shared by `generate` and `bench`).
+fn make_instance(kind: &str, n: usize, seed: u64) -> Option<Instance> {
+    Some(match kind {
         "uniform" => UniformWorkload::new(n).generate_seeded(seed),
         "poisson" => PoissonWorkload::new(0.5, (n as i64 * 2).max(10)).generate_seeded(seed),
         "gaming" => CloudGamingWorkload::new(n, (n as i64 * 20).max(3600)).generate_seeded(seed),
         "analytics" => AnalyticsWorkload::new((n / 10).max(1), 1000, 10).generate_seeded(seed),
         "diurnal" => DiurnalWorkload::new(n, 86_400, 1, 0.8).generate_seeded(seed),
         "spike" => SpikeWorkload::new((n / 50).max(1), 50, 1000).generate_seeded(seed),
-        other => return Err(CliError::Usage(format!("unknown workload {other:?}"))),
-    };
+        _ => return None,
+    })
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let kind = get(flags, "workload")?;
+    let n: usize = get_num(flags, "n", 500)?;
+    let seed: u64 = get_num(flags, "seed", 0)?;
+    let inst = make_instance(kind, n, seed)
+        .ok_or_else(|| CliError::Usage(format!("unknown workload {kind:?}")))?;
     match flags.get("out") {
         Some(path) => {
             trace::save(&inst, path).map_err(io_err)?;
@@ -280,6 +337,14 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), CliError> {
         if offline { OFFLINE_ALGOS } else { ONLINE_ALGOS },
         if offline { "offline" } else { "online" },
     )?;
+    if flags.contains_key("shards") {
+        if offline {
+            return Err(CliError::Usage(
+                "--shards streams online sessions; it cannot be combined with --offline".into(),
+            ));
+        }
+        return pack_sharded(flags, &inst, algo);
+    }
 
     // Optional observers: a JSONL decision trace and/or a metrics
     // time series. Both are `Option<_>` observers composed with `Tee`,
@@ -342,6 +407,103 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "metrics:     {} bins closed -> {path} (mean utilization {:.1}%)",
             report.bins_closed,
             report.mean_utilization * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// The `pack --shards K` path: stream the trace through a sharded
+/// fleet, verify the merged run against the full instance, and print
+/// the fleet report plus a per-shard table. The observer flags keep
+/// their unsharded meaning — `--trace-out` writes the shard-tagged
+/// JSONL decision stream, `--metrics` the merged time series.
+fn pack_sharded(
+    flags: &HashMap<String, String>,
+    inst: &Instance,
+    algo: &str,
+) -> Result<(), CliError> {
+    let shards: usize = get_num(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    let router = match flags.get("router") {
+        Some(spec) => ShardRouter::parse(spec).map_err(|e| CliError::Usage(e.to_string()))?,
+        None => ShardRouter::hash(),
+    };
+    let mode = if flags.contains_key("non-clairvoyant") {
+        ClairvoyanceMode::NonClairvoyant
+    } else {
+        ClairvoyanceMode::Clairvoyant
+    };
+    let cfg = ShardConfig {
+        threads: get_threads(flags)?,
+        collect_metrics: flags.contains_key("metrics"),
+        collect_events: flags.contains_key("trace-out"),
+        ..ShardConfig::new(shards, router)
+    };
+    let lb = lower_bounds(inst);
+    let params = AlgoParams::from_instance(inst);
+
+    // The streaming contract wants non-decreasing arrivals; trace files
+    // carry no such promise, so order the stream here.
+    let mut items = inst.items().to_vec();
+    items.sort_by_key(|i| (i.arrival(), i.id()));
+
+    let packers = (0..shards).map(|_| online_packer(algo, params)).collect();
+    let mut fleet = ShardedSession::new(mode, packers, cfg).map_err(|e| match e {
+        clairvoyant_dbp::core::DbpError::InvalidParameter { .. } => CliError::Usage(e.to_string()),
+        _ => runtime_err(e),
+    })?;
+    for item in &items {
+        fleet.arrive(item).map_err(runtime_err)?;
+    }
+    let report = fleet.finish().map_err(runtime_err)?;
+    let merged = report.merged_run();
+    merged.packing.validate(inst).map_err(runtime_err)?;
+
+    println!("algorithm:   {algo} (sharded)");
+    println!(
+        "fleet:       {} shards on {} workers, router {}",
+        report.shards, report.workers, report.router
+    );
+    println!("usage:       {} ticks", report.usage);
+    println!("bins:        {}", report.bins_opened);
+    println!("peak open:   {} bins fleet-wide", report.peak_open_bins);
+    println!(
+        "ratio vs LB: {:.4}",
+        report.usage as f64 / lb.best().max(1) as f64
+    );
+    println!(
+        "\n{:<6} {:>8} {:>12} {:>6} {:>10}",
+        "shard", "items", "usage", "bins", "peak_open"
+    );
+    for s in &report.slices {
+        println!(
+            "{:<6} {:>8} {:>12} {:>6} {:>10}",
+            s.shard,
+            s.items,
+            s.usage(),
+            s.run.bins_opened(),
+            s.peak_open_bins
+        );
+    }
+    let (mean_items, imbalance) = report.balance();
+    println!("\nbalance:     {mean_items:.1} items/shard mean, {imbalance:.2}x max/mean");
+
+    if let Some(path) = flags.get("trace-out") {
+        let jsonl = report
+            .tagged_jsonl()
+            .ok_or_else(|| runtime_err("event collection produced no trace"))?;
+        std::fs::write(path, &jsonl).map_err(|e| io_err(format!("writing {path}: {e}")))?;
+        eprintln!("trace:       {} events -> {path}", jsonl.lines().count());
+    }
+    if let (Some(metrics), Some(path)) = (&report.metrics, flags.get("metrics")) {
+        std::fs::write(path, metrics.to_csv())
+            .map_err(|e| io_err(format!("writing {path}: {e}")))?;
+        eprintln!(
+            "metrics:     {} bins closed -> {path} (mean utilization {:.1}%)",
+            metrics.bins_closed,
+            metrics.mean_utilization * 100.0
         );
     }
     Ok(())
@@ -415,6 +577,94 @@ fn report(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Evaluates the online roster over seeded workload replicas on the
+/// panic-isolated experiment grid (`dbp bench`). `--threads` goes
+/// straight to [`run_grid_checked`], so a poisoned cell reports in its
+/// own row instead of aborting the sweep.
+fn bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use dbp_bench::grid::{run_grid_checked, GridCell};
+
+    let kind = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("uniform");
+    let n: usize = get_num(flags, "n", 400)?;
+    let seeds: u64 = get_num(flags, "seeds", 3)?;
+    if seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+    let threads = get_threads(flags)?;
+    if make_instance(kind, 1, 0).is_none() {
+        return Err(CliError::Usage(format!("unknown workload {kind:?}")));
+    }
+
+    let cells: Vec<GridCell<(&str, u64)>> = ONLINE_ALGOS
+        .iter()
+        .flat_map(|algo| {
+            (0..seeds).map(move |seed| GridCell {
+                label: format!("{algo}/seed{seed}"),
+                input: (*algo, seed),
+            })
+        })
+        .collect();
+    println!(
+        "bench: {} online algos x {seeds} seeds on {kind}(n = {n}), {} cells",
+        ONLINE_ALGOS.len(),
+        cells.len()
+    );
+    let results = run_grid_checked(cells, threads, |&(algo, seed)| {
+        let inst = make_instance(kind, n, seed).expect("workload kind validated above");
+        let lb = lower_bounds(&inst).best().max(1);
+        let params = AlgoParams::from_instance(&inst);
+        let mut packer = online_packer(algo, params);
+        let run = OnlineEngine::new(clair_mode(algo))
+            .run(&inst, packer.as_mut())
+            .expect("roster run");
+        run.packing.validate(&inst).expect("roster packing");
+        (run.usage, run.bins_opened(), run.usage as f64 / lb as f64)
+    });
+
+    println!(
+        "\n{:<26} {:>12} {:>6} {:>9}",
+        "cell", "usage", "bins", "vs LB3"
+    );
+    let mut poisoned = Vec::new();
+    for r in &results {
+        match &r.output {
+            Ok((usage, bins, ratio)) => {
+                println!("{:<26} {:>12} {:>6} {:>9.4}", r.label, usage, bins, ratio)
+            }
+            Err(p) => {
+                println!("{:<26} {:>12}", r.label, "PANICKED");
+                poisoned.push(p.to_string());
+            }
+        }
+    }
+    for algo in ONLINE_ALGOS {
+        let ratios: Vec<f64> = results
+            .iter()
+            .filter(|r| r.label.starts_with(&format!("{algo}/")))
+            .filter_map(|r| r.output.as_ref().ok().map(|(_, _, ratio)| *ratio))
+            .collect();
+        if !ratios.is_empty() {
+            println!(
+                "{algo}: mean ratio vs LB3 = {:.4} over {} seeds",
+                ratios.iter().sum::<f64>() / ratios.len() as f64,
+                ratios.len()
+            );
+        }
+    }
+    if poisoned.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Runtime(format!(
+            "{} poisoned cells: {}",
+            poisoned.len(),
+            poisoned.join("; ")
+        )))
+    }
+}
+
 /// Runs the differential fuzzing sweep (`dbp audit`), shrinking any
 /// failure to a minimal fixture, or the `--self-test` pipeline proof.
 fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
@@ -432,13 +682,7 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
         cases: get_num(flags, "cases", 1000)?,
         seed: get_num(flags, "seed", 0)?,
         max_items: get_num(flags, "max-items", 24)?,
-        threads: flags
-            .get("threads")
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| CliError::Usage(format!("bad --threads value {v:?}")))
-            })
-            .transpose()?,
+        threads: get_threads(flags)?,
         offline: !flags.contains_key("no-offline"),
         ..Default::default()
     };
@@ -616,13 +860,7 @@ fn chaos(flags: &HashMap<String, String>) -> Result<(), CliError> {
         cases: get_num(flags, "cases", 200)?,
         seed: get_num(flags, "seed", 0)?,
         max_items: get_num(flags, "max-items", 24)?,
-        threads: flags
-            .get("threads")
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| CliError::Usage(format!("bad --threads value {v:?}")))
-            })
-            .transpose()?,
+        threads: get_threads(flags)?,
     };
     let fixtures_dir = flags
         .get("fixtures-dir")
@@ -794,6 +1032,82 @@ fn chaos_self_test(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Runs the shard sweep (`dbp shard-audit`): the sharded coordinator
+/// against plain-session references across the roster, routers, and
+/// K ∈ {1, 2, 3}, with failures shrunk to minimal fixtures exactly like
+/// `audit` and `chaos`.
+fn shard_audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::audit::fixture::Fixture;
+    use clairvoyant_dbp::audit::fuzz::case_instance;
+    use clairvoyant_dbp::audit::shard::shrink_shard_failure;
+    use clairvoyant_dbp::audit::shrink::ShrinkBudget;
+    use clairvoyant_dbp::audit::{run_shard_audit, QuietPanics, ShardAuditConfig};
+    use std::path::Path;
+
+    let cfg = ShardAuditConfig {
+        cases: get_num(flags, "cases", 200)?,
+        seed: get_num(flags, "seed", 0)?,
+        max_items: get_num(flags, "max-items", 32)?,
+        threads: get_threads(flags)?,
+    };
+    let fixtures_dir = flags
+        .get("fixtures-dir")
+        .map(String::as_str)
+        .unwrap_or("shard-fixtures");
+
+    let _quiet = QuietPanics::new();
+    let summary = run_shard_audit(&cfg);
+    println!(
+        "shard-audit: {} cases x roster x K = {} cells, seed {}",
+        summary.cases, summary.cells, cfg.seed
+    );
+    if summary.ok() {
+        println!("shard-audit: no violations");
+        return Ok(());
+    }
+
+    println!(
+        "shard-audit: {} failing (case, algo/K) cells, {} violations",
+        summary.failures.len(),
+        summary.violations()
+    );
+    for f in &summary.failures {
+        println!("\ncase {} [{}] cell {}:", f.case, f.family, f.algo);
+        for v in &f.violations {
+            println!("  [{}] {}", v.check, v.detail);
+        }
+        // Cell labels are "{algo}/k{K}"; generation failures carry no
+        // algorithm and cannot be shrunk.
+        let Some((algo, k)) = f.algo.rsplit_once("/k") else {
+            continue;
+        };
+        let Ok(k) = k.parse::<usize>() else { continue };
+        let (_, inst) = case_instance(cfg.seed, f.case, cfg.max_items);
+        let small = shrink_shard_failure(&inst, algo, k, cfg.seed, f.case, ShrinkBudget::default());
+        let fixture = Fixture::from_instance(
+            format!("shard-seed{}-case{}-{}-k{}", cfg.seed, f.case, algo, k),
+            algo,
+            f.violations[0].check.as_str(),
+            cfg.seed,
+            f.case,
+            format!(
+                "shard k={k}: shrunk from {} to {} items",
+                inst.len(),
+                small.len()
+            ),
+            &small,
+        );
+        match fixture.write_to(Path::new(fixtures_dir)) {
+            Ok(path) => println!("  shrunk to {} items -> {}", small.len(), path.display()),
+            Err(e) => println!("  shrunk to {} items (write failed: {e})", small.len()),
+        }
+    }
+    Err(CliError::Violations(format!(
+        "{} shard-audit violations",
+        summary.violations()
+    )))
+}
+
 fn compare(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let inst = load_trace(flags)?;
     let lb = lower_bounds(&inst).best().max(1);
@@ -804,12 +1118,7 @@ fn compare(flags: &HashMap<String, String>) -> Result<(), CliError> {
     );
     for algo in ONLINE_ALGOS {
         let mut packer = online_packer(algo, params);
-        let mode = if matches!(*algo, "cbdt" | "cbd" | "combined") {
-            ClairvoyanceMode::Clairvoyant
-        } else {
-            ClairvoyanceMode::NonClairvoyant
-        };
-        let run = OnlineEngine::new(mode)
+        let run = OnlineEngine::new(clair_mode(algo))
             .run(&inst, packer.as_mut())
             .map_err(runtime_err)?;
         run.packing.validate(&inst).map_err(runtime_err)?;

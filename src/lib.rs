@@ -33,6 +33,7 @@
 //! | [`flex`] | the §6 flexible-jobs extension (release times + deadlines) |
 //! | [`sim`] | cloud renting-cost simulator, billing models, noisy clairvoyance |
 //! | [`obs`] | packing-decision tracing, deterministic replay, time-series metrics |
+//! | [`shard`] | sharded multi-fleet streaming: routed partitioning, worker threads, deterministic merge |
 //! | [`audit`] | invariant checker, differential fuzzer, counterexample shrinker, regression fixtures |
 //! | [`resilience`] | checkpoint/restore, fault injection, recovery policies, chaos simulation |
 //!
@@ -66,6 +67,7 @@ pub use dbp_interval as interval;
 pub use dbp_multidim as multidim;
 pub use dbp_obs as obs;
 pub use dbp_resilience as resilience;
+pub use dbp_shard as shard;
 pub use dbp_sim as sim;
 pub use dbp_theory as theory;
 pub use dbp_workloads as workloads;
@@ -87,6 +89,7 @@ pub mod prelude {
     };
     pub use dbp_obs::{MetricsAggregator, Replay, TraceWriter};
     pub use dbp_resilience::{simulate_chaos, ChaosConfig, FaultPlan, RecoveryPolicy};
+    pub use dbp_shard::{ShardConfig, ShardRouter, ShardedSession};
     pub use dbp_sim::{simulate, Billing, NoisyEstimator};
     pub use dbp_workloads::Workload;
 }

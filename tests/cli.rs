@@ -14,6 +14,20 @@ fn dbp(args: &[&str]) -> (bool, String, String) {
     )
 }
 
+/// Like [`dbp`] but with the raw exit code, for tests pinning the
+/// documented code table (0 ok, 2 usage, ...).
+fn dbp_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dbp"))
+        .args(args)
+        .output()
+        .expect("run dbp");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 fn temp_trace(name: &str) -> String {
     let dir = std::env::temp_dir().join("dbp-cli-tests");
     std::fs::create_dir_all(&dir).expect("mkdir");
@@ -132,4 +146,110 @@ fn non_clairvoyant_flag_respected() {
         "--non-clairvoyant",
     ]);
     assert!(!ok_cbdt);
+}
+
+#[test]
+fn threads_zero_is_a_usage_error_on_every_sweep() {
+    // run_grid_checked and the shard coordinator both clamp 0 to 1;
+    // the CLI must reject it loudly instead (exit 2 = usage error).
+    for cmd in ["bench", "audit", "chaos", "shard-audit"] {
+        let (code, _, err) = dbp_code(&[cmd, "--threads", "0"]);
+        assert_eq!(
+            code,
+            Some(2),
+            "{cmd} --threads 0 must exit 2, stderr: {err}"
+        );
+        assert!(
+            err.contains("--threads must be at least 1"),
+            "{cmd}: unhelpful error: {err}"
+        );
+    }
+    // Sanity: a positive thread count parses on the same paths.
+    let (code, _, err) = dbp_code(&["bench", "--n", "40", "--seeds", "1", "--threads", "2"]);
+    assert_eq!(code, Some(0), "bench --threads 2 failed: {err}");
+}
+
+#[test]
+fn bench_subcommand_sweeps_the_roster() {
+    let (ok, out, err) = dbp(&[
+        "bench",
+        "--workload",
+        "uniform",
+        "--n",
+        "60",
+        "--seeds",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "bench failed: {err}");
+    for needle in ["first-fit/seed0", "cbdt/seed1", "mean ratio vs LB3"] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+    let (code, _, _) = dbp_code(&["bench", "--workload", "nope"]);
+    assert_eq!(
+        code,
+        Some(2),
+        "unknown bench workload must be a usage error"
+    );
+}
+
+#[test]
+fn sharded_pack_reports_the_fleet() {
+    let path = temp_trace("sharded.csv");
+    let (ok, _, err) = dbp(&[
+        "generate",
+        "--workload",
+        "uniform",
+        "--n",
+        "150",
+        "--seed",
+        "3",
+        "--out",
+        &path,
+    ]);
+    assert!(ok, "generate failed: {err}");
+
+    let (ok, out, err) = dbp(&[
+        "pack",
+        "--trace",
+        &path,
+        "--algo",
+        "cbdt",
+        "--shards",
+        "3",
+        "--router",
+        "size",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "sharded pack failed: {err}");
+    for needle in ["3 shards", "router size", "ratio vs LB", "balance:"] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+
+    // Sharding is an online-streaming construct, and router specs are
+    // validated at the flag layer: both are usage errors.
+    let (code, _, _) = dbp_code(&[
+        "pack",
+        "--trace",
+        &path,
+        "--algo",
+        "ddff",
+        "--offline",
+        "--shards",
+        "2",
+    ]);
+    assert_eq!(code, Some(2), "--offline --shards must be a usage error");
+    let (code, _, _) = dbp_code(&[
+        "pack", "--trace", &path, "--algo", "cbdt", "--shards", "2", "--router", "bogus",
+    ]);
+    assert_eq!(code, Some(2), "unknown router must be a usage error");
+}
+
+#[test]
+fn shard_audit_smoke_is_clean() {
+    let (ok, out, err) = dbp(&["shard-audit", "--cases", "2", "--seed", "1"]);
+    assert!(ok, "shard-audit failed: {err}");
+    assert!(out.contains("shard-audit: no violations"), "got:\n{out}");
 }

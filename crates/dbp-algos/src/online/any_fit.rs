@@ -53,12 +53,13 @@ impl FitRule {
 #[derive(Clone, Copy, Debug)]
 pub struct AnyFit {
     rule: FitRule,
+    scanned: usize,
 }
 
 impl AnyFit {
     /// Creates a packer with the given preference rule.
     pub fn new(rule: FitRule) -> Self {
-        AnyFit { rule }
+        AnyFit { rule, scanned: 0 }
     }
 
     /// First Fit — the best-known online algorithm in the non-clairvoyant
@@ -89,7 +90,13 @@ impl OnlinePacker for AnyFit {
     }
 
     fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
-        rule_tagged(self.rule, 0, item, open_bins)
+        let (decision, scanned) = rule_tagged(self.rule, 0, item, open_bins);
+        self.scanned = scanned;
+        decision
+    }
+
+    fn last_scanned(&self) -> Option<usize> {
+        Some(self.scanned)
     }
 }
 

@@ -40,6 +40,7 @@ pub struct ClassifyByDuration {
     /// max-duration item `μΔ` sits exactly on the `b·αⁿ` boundary and
     /// belongs in the closed last category `[b·αⁿ⁻¹, b·αⁿ]`.
     max_category: Option<i64>,
+    scanned: usize,
 }
 
 impl ClassifyByDuration {
@@ -55,6 +56,7 @@ impl ClassifyByDuration {
             base,
             alpha,
             max_category: None,
+            scanned: 0,
         }
     }
 
@@ -145,7 +147,13 @@ impl OnlinePacker for ClassifyByDuration {
             .duration()
             .expect("ClassifyByDuration requires a clairvoyant engine");
         let tag = self.category(dur);
-        first_fit_tagged(tag, item.size, open_bins)
+        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        self.scanned = scanned;
+        decision
+    }
+
+    fn last_scanned(&self) -> Option<usize> {
+        Some(self.scanned)
     }
 }
 

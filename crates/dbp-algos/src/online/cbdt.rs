@@ -40,6 +40,7 @@ use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins, PackerState};
 pub struct ClassifyByDepartureTime {
     rho: i64,
     epoch: Option<Time>,
+    scanned: usize,
 }
 
 impl ClassifyByDepartureTime {
@@ -49,7 +50,11 @@ impl ClassifyByDepartureTime {
     /// If `rho < 1`.
     pub fn new(rho: i64) -> Self {
         assert!(rho >= 1, "rho must be at least one tick");
-        ClassifyByDepartureTime { rho, epoch: None }
+        ClassifyByDepartureTime {
+            rho,
+            epoch: None,
+            scanned: 0,
+        }
     }
 
     /// The optimal parameter when `Δ` and `μ` are known: `ρ = √μ·Δ`
@@ -92,7 +97,13 @@ impl OnlinePacker for ClassifyByDepartureTime {
             .departure
             .expect("ClassifyByDepartureTime requires a clairvoyant engine");
         let tag = self.category(dep);
-        first_fit_tagged(tag, item.size, open_bins)
+        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        self.scanned = scanned;
+        decision
+    }
+
+    fn last_scanned(&self) -> Option<usize> {
+        Some(self.scanned)
     }
 
     fn save_state(&self) -> PackerState {

@@ -23,6 +23,7 @@ use super::cbd::ClassifyByDuration;
 pub struct CombinedClassify {
     duration: ClassifyByDuration,
     epoch: Option<Time>,
+    scanned: usize,
 }
 
 impl CombinedClassify {
@@ -33,6 +34,7 @@ impl CombinedClassify {
         CombinedClassify {
             duration: ClassifyByDuration::new(base, alpha),
             epoch: None,
+            scanned: 0,
         }
     }
 
@@ -43,6 +45,7 @@ impl CombinedClassify {
         CombinedClassify {
             epoch: None,
             duration: inner,
+            scanned: 0,
         }
     }
 
@@ -84,7 +87,13 @@ impl OnlinePacker for CombinedClassify {
         let dep_tag = ((off + rho - 1) / rho) as u64;
         // Duration class in high 32 bits, departure class (mod 2^32) low.
         let tag = (dur_tag << 32) | (dep_tag & 0xFFFF_FFFF);
-        first_fit_tagged(tag, item.size, open_bins)
+        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        self.scanned = scanned;
+        decision
+    }
+
+    fn last_scanned(&self) -> Option<usize> {
+        Some(self.scanned)
     }
 
     fn save_state(&self) -> PackerState {

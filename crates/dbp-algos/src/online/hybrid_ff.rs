@@ -21,6 +21,7 @@ use dbp_core::Size;
 #[derive(Clone, Debug)]
 pub struct HybridFirstFit {
     num_classes: u32,
+    scanned: usize,
 }
 
 impl Default for HybridFirstFit {
@@ -35,7 +36,10 @@ impl HybridFirstFit {
     /// `(1/2,1], (1/4,1/2], …` with the final one unbounded below.
     pub fn new(num_classes: u32) -> Self {
         assert!(num_classes >= 1);
-        HybridFirstFit { num_classes }
+        HybridFirstFit {
+            num_classes,
+            scanned: 0,
+        }
     }
 
     /// The size class of an item: the smallest `k` with
@@ -59,7 +63,13 @@ impl OnlinePacker for HybridFirstFit {
 
     fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         let tag = self.class_of(item.size);
-        first_fit_tagged(tag, item.size, open_bins)
+        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        self.scanned = scanned;
+        decision
+    }
+
+    fn last_scanned(&self) -> Option<usize> {
+        Some(self.scanned)
     }
 }
 

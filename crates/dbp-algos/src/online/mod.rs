@@ -24,45 +24,70 @@ use dbp_core::Size;
 /// All classification strategies in the paper apply First Fit within each
 /// item category; this helper is their shared packing rule. It scans via
 /// [`OpenBins::iter_tag`], so cost is O(category size), not O(fleet).
-pub(crate) fn first_fit_tagged(tag: u64, size: Size, open_bins: &OpenBins) -> Decision {
+///
+/// Returns the decision together with the number of candidate bins
+/// inspected (the chosen bin included), which callers surface through
+/// `OnlinePacker::last_scanned` so the engine's `candidates_scanned`
+/// work metric reports the algorithm's *real* scan — the category walk —
+/// rather than a whole-fleet proxy.
+pub(crate) fn first_fit_tagged(tag: u64, size: Size, open_bins: &OpenBins) -> (Decision, usize) {
+    let mut scanned = 0;
     for b in open_bins.iter_tag(tag) {
+        scanned += 1;
         if b.fits(size) {
-            return Decision::Existing(b.id());
+            return (Decision::Existing(b.id()), scanned);
         }
     }
-    Decision::New { tag }
+    (Decision::New { tag }, scanned)
 }
 
-/// Applies a [`FitRule`] among bins carrying `tag`.
+/// Applies a [`FitRule`] among bins carrying `tag`, returning the decision
+/// and the number of candidates inspected (see [`first_fit_tagged`]).
 ///
 /// Candidates come from [`OpenBins::iter_tag`] in opening order, which
 /// preserves the classical tie-breaks: Best Fit resolves level ties to
 /// the *latest* opened (`max_by_key` keeps the last maximum), Worst Fit
 /// to the *earliest* (`min_by_key` keeps the first minimum), and Next
-/// Fit looks only at the newest bin of the tag.
+/// Fit looks only at the newest bin of the tag. Best/Worst Fit examine
+/// the whole category, Next Fit exactly one bin — the returned counts
+/// reflect that.
 pub(crate) fn rule_tagged(
     rule: FitRule,
     tag: u64,
     item: &ItemView,
     open_bins: &OpenBins,
-) -> Decision {
-    let mut candidates = open_bins.iter_tag(tag);
+) -> (Decision, usize) {
+    let candidates = open_bins.iter_tag(tag);
+    let mut scanned = 0;
     match rule {
         FitRule::First => first_fit_tagged(tag, item.size, open_bins),
-        FitRule::Best => candidates
-            .filter(|b| b.fits(item.size))
-            .max_by_key(|b| b.level())
-            .map(|b| Decision::Existing(b.id()))
-            .unwrap_or(Decision::New { tag }),
-        FitRule::Worst => candidates
-            .filter(|b| b.fits(item.size))
-            .min_by_key(|b| b.level())
-            .map(|b| Decision::Existing(b.id()))
-            .unwrap_or(Decision::New { tag }),
-        FitRule::Next => candidates
-            .next_back()
-            .filter(|b| b.fits(item.size))
-            .map(|b| Decision::Existing(b.id()))
-            .unwrap_or(Decision::New { tag }),
+        FitRule::Best => {
+            let decision = candidates
+                .inspect(|_| scanned += 1)
+                .filter(|b| b.fits(item.size))
+                .max_by_key(|b| b.level())
+                .map(|b| Decision::Existing(b.id()))
+                .unwrap_or(Decision::New { tag });
+            (decision, scanned)
+        }
+        FitRule::Worst => {
+            let decision = candidates
+                .inspect(|_| scanned += 1)
+                .filter(|b| b.fits(item.size))
+                .min_by_key(|b| b.level())
+                .map(|b| Decision::Existing(b.id()))
+                .unwrap_or(Decision::New { tag });
+            (decision, scanned)
+        }
+        FitRule::Next => {
+            let mut candidates = candidates;
+            let decision = candidates
+                .next_back()
+                .inspect(|_| scanned = 1)
+                .filter(|b| b.fits(item.size))
+                .map(|b| Decision::Existing(b.id()))
+                .unwrap_or(Decision::New { tag });
+            (decision, scanned)
+        }
     }
 }

@@ -19,13 +19,14 @@ use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 #[derive(Clone, Debug)]
 pub struct SlidingDepartureWindow {
     rho: i64,
+    scanned: usize,
 }
 
 impl SlidingDepartureWindow {
     /// Creates the packer with compatibility radius `ρ ≥ 0` ticks.
     pub fn new(rho: i64) -> Self {
         assert!(rho >= 0);
-        SlidingDepartureWindow { rho }
+        SlidingDepartureWindow { rho, scanned: 0 }
     }
 
     /// The configured radius.
@@ -43,7 +44,9 @@ impl OnlinePacker for SlidingDepartureWindow {
         let dep = item
             .departure
             .expect("SlidingDepartureWindow requires a clairvoyant engine");
+        self.scanned = 0;
         for b in open_bins {
+            self.scanned += 1;
             if !b.fits(item.size) {
                 continue;
             }
@@ -57,6 +60,10 @@ impl OnlinePacker for SlidingDepartureWindow {
             }
         }
         Decision::NEW
+    }
+
+    fn last_scanned(&self) -> Option<usize> {
+        Some(self.scanned)
     }
 }
 

@@ -67,6 +67,12 @@ pub enum CheckId {
     /// A sharded run diverged from its per-shard plain-session reference
     /// (or a single-shard run from the unsharded session).
     ShardMerge,
+    /// Telemetry work histograms differed between two replays of the
+    /// same deterministic stream.
+    TelemetryReplay,
+    /// Fleet-merged telemetry work histograms differed across worker
+    /// counts, or the histogram merge disagreed with the unsplit stream.
+    TelemetryMerge,
 }
 
 impl CheckId {
@@ -87,6 +93,8 @@ impl CheckId {
             CheckId::Resume => "resume",
             CheckId::ShardAccounting => "shard-accounting",
             CheckId::ShardMerge => "shard-merge",
+            CheckId::TelemetryReplay => "telemetry-replay",
+            CheckId::TelemetryMerge => "telemetry-merge",
         }
     }
 
@@ -107,6 +115,8 @@ impl CheckId {
             CheckId::Resume,
             CheckId::ShardAccounting,
             CheckId::ShardMerge,
+            CheckId::TelemetryReplay,
+            CheckId::TelemetryMerge,
         ]
         .into_iter()
         .find(|c| c.as_str() == s)
@@ -462,6 +472,10 @@ mod tests {
             CheckId::ChaosAccounting,
             CheckId::ChaosCapacity,
             CheckId::Resume,
+            CheckId::ShardAccounting,
+            CheckId::ShardMerge,
+            CheckId::TelemetryReplay,
+            CheckId::TelemetryMerge,
         ] {
             assert_eq!(CheckId::parse(c.as_str()), Some(c));
         }

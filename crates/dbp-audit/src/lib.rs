@@ -45,11 +45,13 @@ pub mod fuzz;
 pub mod invariants;
 pub mod shard;
 pub mod shrink;
+pub mod telemetry;
 
 pub use chaos::{run_chaos_audit, ChaosAuditConfig};
 pub use fuzz::{run_audit, AuditConfig, AuditSummary};
 pub use invariants::{CheckId, Violation};
 pub use shard::{run_shard_audit, ShardAuditConfig};
+pub use telemetry::{run_telemetry_audit, TelemetryAuditConfig};
 
 /// Silences the process-global panic hook for the guard's lifetime and
 /// restores the previous hook on drop. Expected panics are the fuzzer's

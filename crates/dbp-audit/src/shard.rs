@@ -71,7 +71,7 @@ pub fn case_router(seed: u64, case_idx: u64) -> ShardRouter {
     }
 }
 
-fn mode_for(algo: &str) -> ClairvoyanceMode {
+pub(crate) fn mode_for(algo: &str) -> ClairvoyanceMode {
     if matches!(algo, "cbdt" | "cbd" | "combined") {
         ClairvoyanceMode::Clairvoyant
     } else {
@@ -81,7 +81,7 @@ fn mode_for(algo: &str) -> ClairvoyanceMode {
 
 /// Stream-order items: the session contract wants non-decreasing
 /// arrivals, which `case_instance` families don't all guarantee.
-fn stream_order(inst: &Instance) -> Vec<Item> {
+pub(crate) fn stream_order(inst: &Instance) -> Vec<Item> {
     let mut items = inst.items().to_vec();
     items.sort_by_key(|i| (i.arrival(), i.id()));
     items

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod grid;
 pub mod measure;
 pub mod plot;
@@ -25,6 +26,7 @@ pub mod reference;
 pub mod registry;
 pub mod report;
 
+pub use check::{parse_baseline, run_check, Baseline, CheckReport};
 pub use grid::{run_grid, GridCell, GridResult};
 pub use measure::{measure_offline, measure_online, Measurement};
 pub use registry::{offline_packer, online_packer, OFFLINE_ALGOS, ONLINE_ALGOS};

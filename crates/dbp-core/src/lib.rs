@@ -70,7 +70,7 @@ pub use instance::Instance;
 pub use interval::{Interval, Time};
 pub use interval_set::IntervalSet;
 pub use item::{Item, ItemId};
-pub use observe::{EventLog, FitDecision, NoopObserver, PackEvent, PackObserver, Tee};
+pub use observe::{EventLog, FitDecision, NoopObserver, OpKind, PackEvent, PackObserver, Tee};
 pub use online::{
     ActiveItem, ClairvoyanceMode, Decision, OnlineEngine, OnlinePacker, OnlineRun, PackerState,
 };

@@ -78,9 +78,13 @@ pub enum PackEvent {
         bin: BinId,
         /// Whether an open bin was reused or a new one opened.
         fit_rule: FitDecision,
-        /// Scan-depth proxy: for a reused bin, its 1-based position in the
-        /// open-bin list (what a First Fit scan would have inspected); for
-        /// a new bin, the number of open bins that were rejected.
+        /// How many candidate bins the packer inspected while deciding,
+        /// as reported by `OnlinePacker::last_scanned` (for a reuse this
+        /// includes the chosen bin; for a new bin all candidates were
+        /// rejected). Packers that don't track their scans fall back to
+        /// the candidate-pool size — the number of bins open when the
+        /// decision was made. Deterministic for a given stream either
+        /// way, and always O(1) for the engine to produce.
         candidates_scanned: usize,
         /// Wall-clock nanoseconds the packer spent deciding (0 when the
         /// observer was attached without timing).
@@ -147,6 +151,25 @@ pub enum PackEvent {
     },
 }
 
+/// A coarse-grained session operation whose wall-clock duration an
+/// observer may receive through [`PackObserver::on_op`].
+///
+/// Unlike [`PackEvent`]s (which describe *what* the packer decided,
+/// deterministically), op timings describe *where time went* and are
+/// inherently run-specific: they belong on the wall-clock side of the
+/// determinism boundary and must never feed merged or golden state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Draining departures up to an arrival (the `close_until` sweep).
+    Departures,
+    /// A sharded session worker flushing one arrival batch.
+    BatchFlush,
+    /// Folding per-shard slices into the fleet report.
+    Merge,
+    /// The final drain in `finish` (all remaining departures).
+    Finish,
+}
+
 /// A sink for [`PackEvent`]s.
 ///
 /// Implementations are monomorphized into the engine; set
@@ -162,6 +185,25 @@ pub trait PackObserver {
     /// Receives one event. Called synchronously from the packing loop, so
     /// implementations should be cheap and must not panic.
     fn on_event(&mut self, event: &PackEvent);
+
+    /// Asked once per arrival (before any clock is read) whether this
+    /// observer wants wall-clock timing for it. Returning `false` skips
+    /// the `Instant` reads entirely — the arrival's
+    /// [`PackEvent::PlacementDecided::decide_ns`] is 0 and no
+    /// [`PackObserver::on_op`] durations are reported for it. Stateful
+    /// implementations use this as a sampling hook (e.g. time 1 in 16
+    /// arrivals) to keep observation overhead off the hot path; the
+    /// default keeps the historical behavior of timing every arrival.
+    #[inline(always)]
+    fn wants_timing(&mut self) -> bool {
+        true
+    }
+
+    /// Receives the wall-clock duration of one coarse session operation.
+    /// Only called when the surrounding arrival (or finish) was timed per
+    /// [`PackObserver::wants_timing`]. Default: ignore.
+    #[inline(always)]
+    fn on_op(&mut self, _op: OpKind, _ns: u64) {}
 }
 
 /// The default observer: sees nothing, costs nothing.
@@ -172,6 +214,10 @@ impl PackObserver for NoopObserver {
     const ENABLED: bool = false;
     #[inline(always)]
     fn on_event(&mut self, _event: &PackEvent) {}
+    #[inline(always)]
+    fn wants_timing(&mut self) -> bool {
+        false
+    }
 }
 
 impl<O: PackObserver> PackObserver for &mut O {
@@ -179,6 +225,14 @@ impl<O: PackObserver> PackObserver for &mut O {
     #[inline(always)]
     fn on_event(&mut self, event: &PackEvent) {
         (**self).on_event(event);
+    }
+    #[inline(always)]
+    fn wants_timing(&mut self) -> bool {
+        (**self).wants_timing()
+    }
+    #[inline(always)]
+    fn on_op(&mut self, op: OpKind, ns: u64) {
+        (**self).on_op(op, ns);
     }
 }
 
@@ -191,6 +245,19 @@ impl<O: PackObserver> PackObserver for Option<O> {
     fn on_event(&mut self, event: &PackEvent) {
         if let Some(o) = self {
             o.on_event(event);
+        }
+    }
+    #[inline(always)]
+    fn wants_timing(&mut self) -> bool {
+        match self {
+            Some(o) => o.wants_timing(),
+            None => false,
+        }
+    }
+    #[inline(always)]
+    fn on_op(&mut self, op: OpKind, ns: u64) {
+        if let Some(o) = self {
+            o.on_op(op, ns);
         }
     }
 }
@@ -206,6 +273,17 @@ impl<A: PackObserver, B: PackObserver> PackObserver for Tee<A, B> {
     fn on_event(&mut self, event: &PackEvent) {
         self.0.on_event(event);
         self.1.on_event(event);
+    }
+    #[inline(always)]
+    fn wants_timing(&mut self) -> bool {
+        // Both sides must be asked so stateful samplers tick in lockstep;
+        // `|` (not `||`) keeps the second call from being short-circuited.
+        self.0.wants_timing() | self.1.wants_timing()
+    }
+    #[inline(always)]
+    fn on_op(&mut self, op: OpKind, ns: u64) {
+        self.0.on_op(op, ns);
+        self.1.on_op(op, ns);
     }
 }
 
@@ -248,6 +326,50 @@ mod tests {
         assert!(enabled::<Tee<NoopObserver, EventLog>>());
         assert!(!enabled::<Tee<NoopObserver, NoopObserver>>());
         assert!(enabled::<Option<EventLog>>());
+    }
+
+    #[test]
+    fn timing_hooks_forward_and_tick_samplers() {
+        /// Times every other arrival and records op durations.
+        #[derive(Default)]
+        struct Sampler {
+            tick: u64,
+            ops: Vec<(OpKind, u64)>,
+        }
+        impl PackObserver for Sampler {
+            fn on_event(&mut self, _: &PackEvent) {}
+            fn wants_timing(&mut self) -> bool {
+                self.tick += 1;
+                self.tick % 2 == 1
+            }
+            fn on_op(&mut self, op: OpKind, ns: u64) {
+                self.ops.push((op, ns));
+            }
+        }
+
+        assert!(!NoopObserver.wants_timing());
+        assert!(
+            EventLog::new().wants_timing(),
+            "default times every arrival"
+        );
+        let mut none: Option<Sampler> = None;
+        assert!(!none.wants_timing(), "absent observer declines timing");
+
+        // Tee must tick *both* samplers even when the first already said
+        // yes, or nested samplers would drift out of lockstep.
+        let mut tee = Tee(Sampler::default(), Sampler::default());
+        assert!(tee.wants_timing());
+        assert!(!tee.wants_timing());
+        assert_eq!((tee.0.tick, tee.1.tick), (2, 2));
+        tee.on_op(OpKind::Finish, 42);
+        assert_eq!(tee.0.ops, vec![(OpKind::Finish, 42)]);
+        assert_eq!(tee.1.ops, vec![(OpKind::Finish, 42)]);
+
+        let mut s = Sampler::default();
+        let borrowed = &mut s;
+        assert!(borrowed.wants_timing());
+        borrowed.on_op(OpKind::Departures, 7);
+        assert_eq!(s.ops, vec![(OpKind::Departures, 7)]);
     }
 
     #[test]

@@ -265,6 +265,23 @@ pub trait OnlinePacker {
     /// instead of O(fleet), and [`OpenBins::get`] for O(1) lookup by id.
     fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision;
 
+    /// How many candidate bins the most recent [`OnlinePacker::place`]
+    /// call inspected (including the chosen bin), or `None` if this
+    /// packer does not track it.
+    ///
+    /// Observability hook: the engine reads this — only while an observer
+    /// is attached — to fill `candidates_scanned` in
+    /// [`crate::observe::PackEvent::PlacementDecided`]. Packers that scan
+    /// candidates anyway can report the exact count for free; when `None`
+    /// the engine falls back to the size of the open fleet (the candidate
+    /// *pool*). The count is a pure function of the decision stream, so
+    /// it is safe for replay-deterministic work metrics, and it is
+    /// transient per-call state: it does not belong in
+    /// [`OnlinePacker::save_state`].
+    fn last_scanned(&self) -> Option<usize> {
+        None
+    }
+
     /// Captures internal state for a checkpoint
     /// ([`crate::stream::StreamingSession::snapshot`]). The default
     /// (stateless) implementation returns the empty state; packers whose

@@ -128,9 +128,10 @@ impl OpenBins {
         }
     }
 
-    /// Position of the bin in opening order (0-based), if open. O(open);
-    /// exists for observability call sites that report scan depths, not
-    /// for packer hot paths.
+    /// Position of the bin in opening order (0-based), if open. O(open):
+    /// a diagnostic convenience for tests and tools — the engine itself
+    /// never calls this (per-placement scan depth is reported by the
+    /// packer via `OnlinePacker::last_scanned`, which is O(1) to read).
     pub fn position(&self, id: BinId) -> Option<usize> {
         self.iter().position(|b| b.id() == id)
     }

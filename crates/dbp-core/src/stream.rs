@@ -47,7 +47,7 @@
 use crate::error::DbpError;
 use crate::interval::Time;
 use crate::item::{Item, ItemId};
-use crate::observe::{FitDecision, NoopObserver, PackEvent, PackObserver};
+use crate::observe::{FitDecision, NoopObserver, OpKind, PackEvent, PackObserver};
 use crate::online::{
     ActiveItem, BinRecord, ClairvoyanceMode, Decision, ItemView, OnlinePacker, OnlineRun, OpenBin,
     PackerState,
@@ -374,6 +374,9 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                     what: format!("departing item {id} maps to a closed bin"),
                 })?;
             let became_empty = bin.remove_item(id)?;
+            // Captured from the borrow already in hand so the observed
+            // path pays no second id lookup per departure.
+            let level_after = bin.level();
             if became_empty {
                 self.open.remove(bin_id).expect("bin was open");
                 let rec = &mut self.records[bin_id.0 as usize];
@@ -394,12 +397,11 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                     });
                 }
             } else if O::ENABLED {
-                let level = self.open.get(bin_id).expect("bin still open").level();
                 let open_bins = self.open.len();
                 self.obs.on_event(&PackEvent::LevelChanged {
                     bin: bin_id,
                     at: dt,
-                    level,
+                    level: level_after,
                     open_bins,
                 });
             }
@@ -512,24 +514,53 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         }
     }
 
-    /// Asks the packer for a decision, timing it when observed.
-    fn decide(&mut self, item: &Item, visible_dep: Option<Time>) -> (Decision, u64) {
+    /// Drains departures due at `now`, then asks the packer for a
+    /// decision — the timed core shared by [`StreamingSession::arrive`]
+    /// and [`StreamingSession::arrive_capped`].
+    ///
+    /// Clock reads are the dominant observer cost (tens of nanoseconds
+    /// each), so the timed path is shaped to minimise them: the
+    /// sweep-end timestamp doubles as the decide-start timestamp (three
+    /// reads per timed arrival, not four), and a sweep with no
+    /// departures due is not timed at all (two reads — the common
+    /// case). Consequently [`RunMetrics::depart_ns`] samples only sweeps
+    /// that had at least one departure to process.
+    ///
+    /// [`RunMetrics::depart_ns`]: ../../dbp_telemetry/struct.RunMetrics.html
+    fn sweep_and_decide(
+        &mut self,
+        item: &Item,
+        visible_dep: Option<Time>,
+        now: Time,
+    ) -> Result<(Decision, u64), DbpError> {
         let view = ItemView {
             id: item.id(),
             size: item.size(),
             arrival: item.arrival(),
             departure: visible_dep,
         };
-        let started = if O::ENABLED {
-            Some(std::time::Instant::now())
+        if !(O::ENABLED && self.obs.wants_timing()) {
+            self.close_until(now)?;
+            return Ok((self.packer.place(&view, &self.open), 0));
+        }
+        let sweep_due = self
+            .departures
+            .peek()
+            .is_some_and(|&Reverse((dt, _))| dt <= now);
+        let decide_start = if sweep_due {
+            let sweep_start = std::time::Instant::now();
+            self.close_until(now)?;
+            let sweep_end = std::time::Instant::now();
+            self.obs.on_op(
+                OpKind::Departures,
+                sweep_end.duration_since(sweep_start).as_nanos() as u64,
+            );
+            sweep_end
         } else {
-            None
+            std::time::Instant::now()
         };
         let decision = self.packer.place(&view, &self.open);
-        (
-            decision,
-            started.map_or(0, |t| t.elapsed().as_nanos() as u64),
-        )
+        Ok((decision, decide_start.elapsed().as_nanos() as u64))
     }
 
     /// Feeds one arrival. Arrival times must be non-decreasing and item
@@ -539,11 +570,9 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         self.check_order(now)?;
         self.note_id(item.id().0)?;
         self.last_arrival = Some(now);
-        self.close_until(now)?;
-
         let visible_dep = self.visible_departure(item);
+        let (decision, decide_ns) = self.sweep_and_decide(item, visible_dep, now)?;
         self.emit_arrival(item, visible_dep);
-        let (decision, decide_ns) = self.decide(item, visible_dep);
         self.commit_decision(item, visible_dep, decision, decide_ns)
     }
 
@@ -577,10 +606,8 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
             return Err(DbpError::DuplicateItemId { id: raw_id });
         }
         self.last_arrival = Some(now);
-        self.close_until(now)?;
-
         let visible_dep = self.visible_departure(item);
-        let (decision, decide_ns) = self.decide(item, visible_dep);
+        let (decision, decide_ns) = self.sweep_and_decide(item, visible_dep, now)?;
         if matches!(decision, Decision::New { .. }) && self.open.len() >= max_open_bins {
             if O::ENABLED {
                 self.obs.on_event(&PackEvent::ArrivalShed {
@@ -623,17 +650,20 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                     })?;
                 bin.push_item(active, item.size())?;
                 if O::ENABLED {
-                    // Scan depth keeps its historical meaning — the bin's
-                    // position in opening order — and is only computed
-                    // (O(open)) when an observer is attached.
-                    let pos = self.open.position(bid).expect("bin is open");
-                    let level = self.open.get(bid).expect("bin is open").level();
+                    // The packer reports how many candidates its `place`
+                    // call actually inspected (free — it scanned them
+                    // anyway); packers that don't track it fall back to
+                    // the candidate-pool size. Both are O(1) here — the
+                    // engine must not pay an O(fleet) scan per placement
+                    // just because an observer is attached.
+                    let level = bin.level();
                     let open_bins = self.open.len();
+                    let scanned = self.packer.last_scanned().unwrap_or(open_bins);
                     self.obs.on_event(&PackEvent::PlacementDecided {
                         id: item.id(),
                         bin: bid,
                         fit_rule: FitDecision::Reused,
-                        candidates_scanned: pos + 1,
+                        candidates_scanned: scanned,
                         decide_ns,
                     });
                     self.obs.on_event(&PackEvent::LevelChanged {
@@ -648,7 +678,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
             Decision::New { tag } => {
                 let bid = BinId(self.next_bin);
                 self.next_bin += 1;
-                let rejected = self.open.len();
+                let pool = self.open.len();
                 self.open.insert(OpenBin::new(bid, now, tag, active));
                 self.records.push(BinRecord {
                     id: bid,
@@ -658,6 +688,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                     items: Vec::new(),
                 });
                 if O::ENABLED {
+                    let rejected = self.packer.last_scanned().unwrap_or(pool);
                     self.obs.on_event(&PackEvent::BinOpened {
                         bin: bid,
                         at: now,
@@ -674,7 +705,7 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                         bin: bid,
                         at: now,
                         level: item.size(),
-                        open_bins: rejected + 1,
+                        open_bins: pool + 1,
                     });
                 }
                 bid
@@ -768,7 +799,14 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
     /// `&mut obs`) can read its accumulated state — e.g. a per-shard
     /// counters/metrics bundle in `dbp-shard`.
     pub fn finish_with_observer(mut self) -> Result<(OnlineRun, O), DbpError> {
-        self.close_until(Time::MAX)?;
+        if O::ENABLED && self.obs.wants_timing() {
+            let started = std::time::Instant::now();
+            self.close_until(Time::MAX)?;
+            self.obs
+                .on_op(OpKind::Finish, started.elapsed().as_nanos() as u64);
+        } else {
+            self.close_until(Time::MAX)?;
+        }
         debug_assert!(self.open.is_empty());
         debug_assert!(self.placement.is_empty(), "placement pruned on departure");
         debug_assert!(self.cancelled.is_empty(), "stale entries all skipped");
@@ -1204,19 +1242,8 @@ mod tests {
         assert_eq!(run.bins[1].closed_at, 30);
     }
 
-    #[test]
-    fn candidates_scanned_reflects_scan_depth() {
-        // Two 0.9 items force two bins; a 0.05 item then fits bin 0 at
-        // scan depth 1; a 0.9 item must reject both bins before opening.
-        let inst =
-            Instance::from_triples(&[(0.9, 0, 100), (0.9, 1, 100), (0.05, 2, 100), (0.9, 3, 100)]);
-        let mut packer = FirstFit;
-        let mut log = EventLog::new();
-        OnlineEngine::clairvoyant()
-            .run_observed(&inst, &mut packer, &mut log)
-            .unwrap();
-        let scans: Vec<(FitDecision, usize)> = log
-            .events
+    fn placement_scans(log: &EventLog) -> Vec<(FitDecision, usize)> {
+        log.events
             .iter()
             .filter_map(|e| match e {
                 PackEvent::PlacementDecided {
@@ -1226,13 +1253,73 @@ mod tests {
                 } => Some((*fit_rule, *candidates_scanned)),
                 _ => None,
             })
-            .collect();
+            .collect()
+    }
+
+    /// Two 0.9 items force two bins; a 0.05 item then fits bin 0 after
+    /// inspecting only it; a final 0.9 item rejects both before opening.
+    fn scan_depth_instance() -> Instance {
+        Instance::from_triples(&[(0.9, 0, 100), (0.9, 1, 100), (0.05, 2, 100), (0.9, 3, 100)])
+    }
+
+    #[test]
+    fn candidates_scanned_uses_packer_reported_depth() {
+        // A first-fit packer that reports its true scan depth through
+        // `last_scanned` — the engine must pass the count through
+        // verbatim.
+        struct CountingFirstFit {
+            scanned: usize,
+        }
+        impl OnlinePacker for CountingFirstFit {
+            fn name(&self) -> String {
+                "counting-ff".into()
+            }
+            fn place(&mut self, item: &ItemView, open: &OpenBins) -> Decision {
+                self.scanned = 0;
+                for b in open {
+                    self.scanned += 1;
+                    if b.fits(item.size) {
+                        return Decision::Existing(b.id());
+                    }
+                }
+                Decision::NEW
+            }
+            fn last_scanned(&self) -> Option<usize> {
+                Some(self.scanned)
+            }
+        }
+        let mut packer = CountingFirstFit { scanned: 0 };
+        let mut log = EventLog::new();
+        OnlineEngine::clairvoyant()
+            .run_observed(&scan_depth_instance(), &mut packer, &mut log)
+            .unwrap();
         assert_eq!(
-            scans,
+            placement_scans(&log),
             vec![
                 (FitDecision::OpenedNew, 0),
                 (FitDecision::OpenedNew, 1),
                 (FitDecision::Reused, 1),
+                (FitDecision::OpenedNew, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn candidates_scanned_falls_back_to_pool_size() {
+        // The test FirstFit does not implement `last_scanned`, so every
+        // placement reports the candidate-pool size: the number of bins
+        // open when the decision was made.
+        let mut packer = FirstFit;
+        let mut log = EventLog::new();
+        OnlineEngine::clairvoyant()
+            .run_observed(&scan_depth_instance(), &mut packer, &mut log)
+            .unwrap();
+        assert_eq!(
+            placement_scans(&log),
+            vec![
+                (FitDecision::OpenedNew, 0),
+                (FitDecision::OpenedNew, 1),
+                (FitDecision::Reused, 2),
                 (FitDecision::OpenedNew, 2),
             ]
         );

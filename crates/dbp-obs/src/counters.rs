@@ -192,4 +192,74 @@ mod tests {
         assert!((s.mean_decide_ns() - 200.0).abs() < 1e-9);
         assert!((s.reuse_fraction() - 0.5).abs() < 1e-9);
     }
+
+    /// Every derived mean must be exactly 0.0 — never NaN — when no
+    /// placements happened, including on a merge of zero parts.
+    #[test]
+    fn means_are_zero_not_nan_with_no_placements() {
+        for s in [CountersSnapshot::default(), CountersSnapshot::merged(&[])] {
+            assert_eq!(s.items_packed, 0);
+            assert_eq!(s.mean_candidates(), 0.0);
+            assert_eq!(s.mean_decide_ns(), 0.0);
+            assert_eq!(s.reuse_fraction(), 0.0);
+        }
+        // Non-placement activity alone must not poison the means either.
+        let shed_only = CountersSnapshot {
+            arrivals_shed: 5,
+            bins_failed: 2,
+            ..CountersSnapshot::default()
+        };
+        assert_eq!(shed_only.mean_candidates(), 0.0);
+        assert_eq!(shed_only.mean_decide_ns(), 0.0);
+        assert_eq!(shed_only.reuse_fraction(), 0.0);
+    }
+
+    /// `merged` sums event counts but zeroes wall-clock fields: shard
+    /// timings overlap in time, and summing them would break the
+    /// deterministic-merge contract.
+    #[test]
+    fn merged_sums_counts_and_zeroes_timings() {
+        let a = CountersSnapshot {
+            items_packed: 10,
+            placements_reused: 4,
+            bins_opened: 6,
+            bins_closed: 5,
+            candidates_scanned: 30,
+            decide_ns_total: 1_000,
+            decide_ns_max: 400,
+            estimates_used: 1,
+            bins_failed: 1,
+            arrivals_shed: 2,
+        };
+        let b = CountersSnapshot {
+            items_packed: 2,
+            candidates_scanned: 6,
+            decide_ns_total: 999,
+            decide_ns_max: 999,
+            ..CountersSnapshot::default()
+        };
+        let m = CountersSnapshot::merged(&[a, b]);
+        assert_eq!(m.items_packed, 12);
+        assert_eq!(m.placements_reused, 4);
+        assert_eq!(m.bins_opened, 6);
+        assert_eq!(m.bins_closed, 5);
+        assert_eq!(m.candidates_scanned, 36);
+        assert_eq!(m.estimates_used, 1);
+        assert_eq!(m.bins_failed, 1);
+        assert_eq!(m.arrivals_shed, 2);
+        assert_eq!(m.decide_ns_total, 0, "wall-clock totals are per-run");
+        assert_eq!(m.decide_ns_max, 0, "wall-clock maxima are per-run");
+        assert!((m.mean_candidates() - 3.0).abs() < 1e-9);
+        assert_eq!(m.mean_decide_ns(), 0.0, "merged timing means read as 0");
+        // A single-part merge is the part, minus its timing fields.
+        let one = CountersSnapshot::merged(&[a]);
+        assert_eq!(
+            one,
+            CountersSnapshot {
+                decide_ns_total: 0,
+                decide_ns_max: 0,
+                ..a
+            }
+        );
+    }
 }

@@ -51,6 +51,25 @@ impl Json {
         }
     }
 
+    /// The value as a float, if it is any number. Only for fields that
+    /// are genuinely real-valued (rates, seconds) — integer ids and raw
+    /// sizes must go through [`Json::as_u64`] / [`Json::as_i64`] to keep
+    /// full 64-bit precision.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if the value is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -541,4 +541,181 @@ mod tests {
         // Full utilization lands in the last histogram bucket.
         assert_eq!(agg.report().utilization_histogram[9], 1);
     }
+
+    /// A report with one item in one bin over `[open_at, open_at + 10)`
+    /// at `level`.
+    fn one_bin_report(open_at: Time, level: f64) -> MetricsReport {
+        let mut agg = MetricsAggregator::new();
+        for ev in [
+            PackEvent::ItemArrived {
+                id: ItemId(0),
+                size: Size::from_f64(level),
+                at: open_at,
+                departure: open_at + 10,
+                visible_departure: Some(open_at + 10),
+            },
+            ev_open(0, open_at),
+            ev_placed(0, 0),
+            ev_level(0, open_at, level, 1),
+            ev_level(0, open_at + 10, 0.0, 0),
+            ev_close(0, open_at + 10, open_at, 1),
+        ] {
+            agg.on_event(&ev);
+        }
+        agg.report()
+    }
+
+    #[test]
+    fn merge_step_series_handles_empty_and_single_part() {
+        let merged = merge_step_series(&[]);
+        assert!(merged.points.is_empty());
+        assert_eq!(merged.integral(), 0);
+
+        let only = StepSeries::from_deltas(vec![(0, 2), (5, -1), (9, -1)]);
+        let merged = merge_step_series(std::slice::from_ref(&only));
+        assert_eq!(merged.points, only.points, "identity on one part");
+
+        // An empty part is a zero function: merging it in changes nothing.
+        let with_empty = merge_step_series(&[only.clone(), StepSeries::default()]);
+        assert_eq!(with_empty.points, only.points);
+    }
+
+    /// Parts with different numbers of breakpoints still sum pointwise:
+    /// the merge walks all change points, not index-aligned pairs.
+    #[test]
+    fn merge_step_series_sums_mismatched_timelines_pointwise() {
+        let long = StepSeries::from_deltas(vec![(0, 1), (2, 1), (4, -1), (6, -1)]);
+        let short = StepSeries::from_deltas(vec![(3, 5), (10, -5)]);
+        let merged = merge_step_series(&[long.clone(), short.clone()]);
+        for t in 0..=11 {
+            assert_eq!(
+                merged.value_at(t),
+                long.value_at(t) + short.value_at(t),
+                "pointwise sum at t={t}"
+            );
+        }
+        assert_eq!(merged.integral(), long.integral() + short.integral());
+    }
+
+    #[test]
+    fn merge_reports_empty_is_a_zero_report() {
+        let m = merge_reports(&[]);
+        assert!(m.active_bins.points.is_empty());
+        assert!(m.total_level.is_empty());
+        assert!(m.ceil_level.points.is_empty());
+        assert_eq!(m.utilization_histogram, [0u32; HIST_BUCKETS]);
+        assert_eq!(m.mean_utilization, 0.0, "0, never NaN, with no bins");
+        assert_eq!(m.bins_closed, 0);
+        assert_eq!(m.items_packed, 0);
+        assert_eq!(m.usage(), 0);
+        assert_eq!(m.lb3(), 0);
+        assert!(m.ratio_vs_lb3().is_empty());
+    }
+
+    #[test]
+    fn merge_reports_single_part_is_identity() {
+        let rep = one_bin_report(0, 0.5);
+        let m = merge_reports(std::slice::from_ref(&rep));
+        assert_eq!(m.active_bins.points, rep.active_bins.points);
+        assert_eq!(m.total_level, rep.total_level);
+        assert_eq!(m.ceil_level.points, rep.ceil_level.points);
+        assert_eq!(m.utilization_histogram, rep.utilization_histogram);
+        assert!((m.mean_utilization - rep.mean_utilization).abs() < 1e-12);
+        assert_eq!(m.bins_closed, rep.bins_closed);
+        assert_eq!(m.items_packed, rep.items_packed);
+    }
+
+    /// Shards whose timelines have different lengths and disjoint change
+    /// points merge into pointwise sums and weighted scalar totals.
+    #[test]
+    fn merge_reports_with_mismatched_timelines() {
+        let a = one_bin_report(0, 0.4); // changes at t=0 and t=10
+        let b = one_bin_report(5, 0.8); // changes at t=5 and t=15
+        let m = merge_reports(&[a.clone(), b.clone()]);
+        assert_eq!(m.items_packed, 2);
+        assert_eq!(m.bins_closed, 2);
+        assert_eq!(m.usage(), a.usage() + b.usage());
+        for t in [0, 4, 5, 9, 10, 14, 15] {
+            assert_eq!(
+                m.active_bins.value_at(t),
+                a.active_bins.value_at(t) + b.active_bins.value_at(t)
+            );
+            assert_eq!(
+                m.ceil_level.value_at(t),
+                a.ceil_level.value_at(t) + b.ceil_level.value_at(t)
+            );
+        }
+        // total_level on the overlap [5,10): 0.4 + 0.8.
+        let level_at = |t: Time| {
+            m.total_level
+                .iter()
+                .take_while(|&&(pt, _)| pt <= t)
+                .last()
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        // Size is 2⁻²⁴ fixed-point, so 0.4 and 0.8 round slightly: 1e-6
+        // absorbs the quantization.
+        assert!((level_at(7) - 1.2).abs() < 1e-6);
+        assert!((level_at(12) - 0.8).abs() < 1e-6);
+        // Per-shard ⌈Sᵢ⌉ sums can exceed the unsharded ceiling: 2 > ⌈1.2⌉.
+        assert_eq!(m.ceil_level.value_at(7), 2);
+        let expected_mean = (0.4 + 0.8) / 2.0;
+        assert!((m.mean_utilization - expected_mean).abs() < 1e-6);
+        let summed: Vec<u32> = a
+            .utilization_histogram
+            .iter()
+            .zip(&b.utilization_histogram)
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_eq!(m.utilization_histogram.to_vec(), summed);
+        assert_eq!(m.utilization_histogram.iter().sum::<u32>(), 2);
+    }
+
+    /// Every CSV row must reproduce the report's series values at that
+    /// timestamp, and every change point must get a row.
+    #[test]
+    fn csv_rows_round_trip_the_report() {
+        let a = one_bin_report(0, 0.4);
+        let b = one_bin_report(5, 0.8);
+        let rep = merge_reports(&[a, b]);
+        let csv = rep.to_csv();
+        let mut rows = 0usize;
+        for line in csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 5, "malformed row: {line}");
+            let t: Time = cols[0].parse().unwrap();
+            let active: i64 = cols[1].parse().unwrap();
+            let level: f64 = cols[2].parse().unwrap();
+            let ceil: i64 = cols[3].parse().unwrap();
+            assert_eq!(active, rep.active_bins.value_at(t));
+            assert_eq!(ceil, rep.ceil_level.value_at(t));
+            let expect_level = rep
+                .total_level
+                .iter()
+                .take_while(|&&(pt, _)| pt <= t)
+                .last()
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            assert!((level - expect_level).abs() < 1e-6, "level at t={t}");
+            if ceil > 0 {
+                let ratio: f64 = cols[4].parse().unwrap();
+                assert!((ratio - active as f64 / ceil as f64).abs() < 1e-6);
+            } else {
+                assert!(cols[4].is_empty(), "ratio must be blank when ⌈S⌉=0");
+            }
+            rows += 1;
+        }
+        let mut expected_times: Vec<Time> = rep
+            .active_bins
+            .points
+            .iter()
+            .map(|p| p.0)
+            .chain(rep.ceil_level.points.iter().map(|p| p.0))
+            .chain(rep.total_level.iter().map(|p| p.0))
+            .collect();
+        expected_times.sort_unstable();
+        expected_times.dedup();
+        assert_eq!(rows, expected_times.len(), "one row per change point");
+    }
 }

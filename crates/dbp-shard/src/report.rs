@@ -11,6 +11,7 @@ use dbp_core::online::BinRecord;
 use dbp_core::stats::StepSeries;
 use dbp_core::{BinId, OnlineRun, Packing};
 use dbp_obs::{merge_reports, merge_step_series, CountersSnapshot, MetricsReport};
+use dbp_telemetry::{RunMetrics, SpanRecord, TelemetrySnapshot, WorkMetrics};
 
 /// One shard's complete result: the run of its private
 /// [`dbp_core::stream::StreamingSession`] plus its observer state.
@@ -29,6 +30,10 @@ pub struct ShardSlice {
     pub metrics: Option<MetricsReport>,
     /// The raw event stream, when `collect_events` was on.
     pub events: Option<Vec<PackEvent>>,
+    /// Telemetry histograms, when `collect_telemetry` was on. The `work`
+    /// half is a pure function of this shard's sub-stream; the `run`
+    /// half is this shard's wall clock.
+    pub telemetry: Option<TelemetrySnapshot>,
     /// The shard's finished run over its sub-stream.
     pub run: OnlineRun,
 }
@@ -70,8 +75,29 @@ pub struct ShardReport {
     pub counters: CountersSnapshot,
     /// Merged metrics timelines, when every shard collected them.
     pub metrics: Option<MetricsReport>,
+    /// Fleet-wide telemetry, when the session ran with
+    /// `collect_telemetry` (the coordinator attaches it in `finish`).
+    pub telemetry: Option<FleetTelemetry>,
     /// The per-shard slices, in shard-index order.
     pub slices: Vec<ShardSlice>,
+}
+
+/// Fleet-wide telemetry assembled by [`crate::ShardedSession::finish`].
+#[derive(Clone, Debug)]
+pub struct FleetTelemetry {
+    /// Deterministic work histograms, folded over slices in shard-index
+    /// order: bit-identical for every worker count and schedule, like
+    /// the rest of the merged report.
+    pub work: WorkMetrics,
+    /// Display-only union of every shard's and worker's wall-clock
+    /// histograms plus the coordinator's merge timing
+    /// ([`RunMetrics::combined`] semantics: this run only, never compare
+    /// across runs or feed into golden state).
+    pub run_combined: RunMetrics,
+    /// The stitched span tree: coordinator `stream`/`flush`/`merge`
+    /// spans on track 0, worker `batch` spans on track `w + 1`
+    /// reparented under their flush by sequence number.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl ShardReport {
@@ -109,6 +135,9 @@ impl ShardReport {
             peak_open_bins,
             counters,
             metrics,
+            // Spans and merge timing live on the coordinator; the session
+            // attaches the assembled FleetTelemetry after merging.
+            telemetry: None,
             slices,
         }
     }

@@ -19,16 +19,21 @@
 //! results cannot depend on the worker count or the scheduler, and the
 //! merge visits shards in a fixed order.
 
-use crate::report::{ShardReport, ShardSlice};
+use crate::report::{FleetTelemetry, ShardReport, ShardSlice};
 use crate::router::ShardRouter;
-use dbp_core::observe::{EventLog, PackEvent, PackObserver};
+use dbp_core::observe::{EventLog, OpKind, PackEvent, PackObserver};
 use dbp_core::online::ClairvoyanceMode;
 use dbp_core::stream::StreamingSession;
 use dbp_core::{DbpError, Item, OnlinePacker, Time};
 use dbp_obs::{Counters, CountersSnapshot, MetricsAggregator};
+use dbp_telemetry::{
+    reparent_by_seq, stitch, RunMetrics, SpanCollector, SpanRecord, TelemetryRecorder, WorkMetrics,
+    NO_SEQ,
+};
 use std::collections::HashSet;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of a [`ShardedSession`].
 #[derive(Clone, Debug)]
@@ -48,6 +53,12 @@ pub struct ShardConfig {
     /// Keep every [`PackEvent`] per shard (for shard-tagged traces).
     /// Memory-heavy on long streams; off by default.
     pub collect_events: bool,
+    /// Attach a [`TelemetryRecorder`] per shard and record coordinator /
+    /// worker spans, assembled into a
+    /// [`crate::report::FleetTelemetry`] at finish. Adds a sampled-timing
+    /// overhead (<5%, measured in `BENCH_telemetry.json`); off by
+    /// default.
+    pub collect_telemetry: bool,
 }
 
 impl ShardConfig {
@@ -61,6 +72,7 @@ impl ShardConfig {
             batch: 8192,
             collect_metrics: true,
             collect_events: false,
+            collect_telemetry: false,
         }
     }
 
@@ -102,14 +114,16 @@ struct ShardObs {
     counters: Counters,
     metrics: Option<MetricsAggregator>,
     events: Option<EventLog>,
+    telemetry: Option<TelemetryRecorder>,
 }
 
 impl ShardObs {
-    fn new(collect_metrics: bool, collect_events: bool) -> ShardObs {
+    fn new(collect_metrics: bool, collect_events: bool, collect_telemetry: bool) -> ShardObs {
         ShardObs {
             counters: Counters::new(),
             metrics: collect_metrics.then(MetricsAggregator::new),
             events: collect_events.then(EventLog::new),
+            telemetry: collect_telemetry.then(TelemetryRecorder::new),
         }
     }
 }
@@ -125,24 +139,55 @@ impl PackObserver for ShardObs {
         if let Some(l) = &mut self.events {
             l.on_event(event);
         }
+        if let Some(t) = &mut self.telemetry {
+            t.on_event(event);
+        }
+    }
+
+    fn wants_timing(&mut self) -> bool {
+        // With telemetry attached, the recorder's 1-in-N sampler decides
+        // (its histograms are the timing consumer); without it, keep the
+        // historical always-timed behavior that feeds the counters.
+        match &mut self.telemetry {
+            Some(t) => t.wants_timing(),
+            None => true,
+        }
+    }
+
+    fn on_op(&mut self, op: OpKind, ns: u64) {
+        if let Some(t) = &mut self.telemetry {
+            t.on_op(op, ns);
+        }
     }
 }
 
-/// A batch of routed arrivals for one worker, or the end-of-stream mark.
+/// A batch of routed arrivals for one worker (tagged with the flush
+/// sequence number its spans stitch against), or the end-of-stream mark.
 enum Msg {
-    Batch(Vec<(usize, Item)>),
+    Batch(u64, Vec<(usize, Item)>),
     Finish,
 }
 
-/// What one worker hands back: the slices of its owned shards, or the
-/// failing shard and its error (`usize::MAX` marks a panic).
-type WorkerResult = Result<Vec<ShardSlice>, (usize, DbpError)>;
+/// Per-worker profiling a worker hands back alongside its slices when
+/// telemetry is on: its batch spans (recorded against the coordinator's
+/// epoch) and its batch-flush histograms.
+struct WorkerProf {
+    spans: Vec<SpanRecord>,
+    run: RunMetrics,
+}
+
+/// What one worker hands back: the slices of its owned shards plus its
+/// profiling data, or the failing shard and its error (`usize::MAX`
+/// marks a panic).
+type WorkerResult = Result<(Vec<ShardSlice>, Option<WorkerProf>), (usize, DbpError)>;
 
 struct Worker {
     tx: Option<SyncSender<Msg>>,
     handle: Option<JoinHandle<WorkerResult>>,
     /// Slices recovered by [`join_worker`], collected after all joins.
     stash: Vec<ShardSlice>,
+    /// Worker profiling recovered by [`join_worker`].
+    prof: Option<WorkerProf>,
 }
 
 /// K independent streaming fleets behind a single arrival stream.
@@ -188,6 +233,13 @@ pub struct ShardedSession {
     per_shard_routed: Vec<u64>,
     /// Set when a worker died mid-stream; `finish` reports the cause.
     failed: bool,
+    /// Coordinator span collector when `collect_telemetry` is on; its
+    /// epoch is shared with every worker.
+    spans: Option<SpanCollector>,
+    /// Id of the root `stream` span inside `spans`.
+    root_span: u64,
+    /// Sequence number of the next flush (tags batches and flush spans).
+    next_seq: u64,
 }
 
 impl ShardedSession {
@@ -215,9 +267,17 @@ impl ShardedSession {
         for (shard, packer) in packers.into_iter().enumerate() {
             per_worker[shard % workers_n].push((shard, packer));
         }
+        let (mut spans, mut root_span) = (None, 0);
+        if cfg.collect_telemetry {
+            let mut c = SpanCollector::new();
+            root_span = c.begin("stream", 0, None, NO_SEQ);
+            spans = Some(c);
+        }
+        let epoch = spans.as_ref().map(|c| c.epoch());
         let workers = per_worker
             .into_iter()
-            .map(|owned| {
+            .enumerate()
+            .map(|(widx, owned)| {
                 // Two batches of backpressure per worker: the coordinator
                 // can route ahead while a worker drains, but an unbounded
                 // queue can never form.
@@ -226,12 +286,21 @@ impl ShardedSession {
                 let collect_metrics = cfg.collect_metrics;
                 let collect_events = cfg.collect_events;
                 let handle = std::thread::spawn(move || {
-                    worker_main(mode, owned, rx, collect_metrics, collect_events)
+                    worker_main(
+                        mode,
+                        owned,
+                        rx,
+                        collect_metrics,
+                        collect_events,
+                        epoch,
+                        widx,
+                    )
                 });
                 Worker {
                     tx: Some(tx),
                     handle: Some(handle),
                     stash: Vec::new(),
+                    prof: None,
                 }
             })
             .collect();
@@ -244,6 +313,9 @@ impl ShardedSession {
             items_routed: 0,
             per_shard_routed: vec![0; cfg.shards],
             failed: false,
+            spans,
+            root_span,
+            next_seq: 0,
             cfg,
             workers,
         })
@@ -305,8 +377,25 @@ impl ShardedSession {
         Ok(())
     }
 
-    /// Fans the buffered cohorts out to their workers.
+    /// Fans the buffered cohorts out to their workers. Each flush gets a
+    /// fresh sequence number shared by every batch it sends, so worker
+    /// batch spans can be stitched under the coordinator's flush span.
     fn flush(&mut self) -> Result<(), DbpError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let root = self.root_span;
+        let flush_span = self
+            .spans
+            .as_mut()
+            .map(|c| c.begin("flush", 0, Some(root), seq));
+        let result = self.flush_inner(seq);
+        if let (Some(c), Some(id)) = (self.spans.as_mut(), flush_span) {
+            c.end(id);
+        }
+        result
+    }
+
+    fn flush_inner(&mut self, seq: u64) -> Result<(), DbpError> {
         for w in 0..self.workers.len() {
             if self.pending[w].is_empty() {
                 continue;
@@ -317,7 +406,7 @@ impl ShardedSession {
                 .tx
                 .as_ref()
                 .expect("sender live until finish")
-                .send(Msg::Batch(batch));
+                .send(Msg::Batch(seq, batch));
             if send.is_err() {
                 // The worker exited early — its packer rejected an item
                 // or a session invariant tripped. Join it for the real
@@ -365,8 +454,10 @@ impl ShardedSession {
         }
         flush_result?;
         let mut slices: Vec<ShardSlice> = Vec::with_capacity(self.cfg.shards);
+        let mut profs: Vec<WorkerProf> = Vec::new();
         for w in &mut self.workers {
             slices.append(&mut w.stash);
+            profs.extend(w.prof.take());
         }
         slices.sort_by_key(|s| s.shard);
         if slices.len() != self.cfg.shards {
@@ -378,12 +469,21 @@ impl ShardedSession {
                 ),
             });
         }
-        Ok(ShardReport::merge(
-            &self.cfg,
-            self.workers.len(),
-            self.items_routed,
-            slices,
-        ))
+        let merge_started = self.spans.as_ref().map(|c| (c.now_ns(), Instant::now()));
+        let mut report =
+            ShardReport::merge(&self.cfg, self.workers.len(), self.items_routed, slices);
+        if let (Some(mut coord), Some((start_ns, started))) = (self.spans.take(), merge_started) {
+            let merge_ns = started.elapsed().as_nanos() as u64;
+            coord.record("merge", 0, Some(self.root_span), NO_SEQ, start_ns, merge_ns);
+            coord.end(self.root_span);
+            report.telemetry = Some(assemble_fleet_telemetry(
+                coord,
+                profs,
+                &report.slices,
+                merge_ns,
+            ));
+        }
+        Ok(report)
     }
 }
 
@@ -416,8 +516,9 @@ fn join_worker(w: &mut Worker) -> Option<(usize, DbpError)> {
     w.tx = None;
     let handle = w.handle.take()?;
     match handle.join() {
-        Ok(Ok(slices)) => {
+        Ok(Ok((slices, prof))) => {
             w.stash = slices;
+            w.prof = prof;
             None
         }
         Ok(Err((shard, e))) => Some((shard, e)),
@@ -448,6 +549,8 @@ fn worker_main(
     rx: Receiver<Msg>,
     collect_metrics: bool,
     collect_events: bool,
+    epoch: Option<Instant>,
+    worker_idx: usize,
 ) -> WorkerResult {
     // slot_of[shard] = index into `sessions` (usize::MAX for foreign
     // shards — a routing bug lands on the bounds check, not silence).
@@ -456,10 +559,19 @@ fn worker_main(
     for (slot, (shard, _)) in packers.iter().enumerate() {
         slot_of[*shard] = slot;
     }
+    let collect_telemetry = epoch.is_some();
+    // Worker-level profiling: batch spans on this worker's own track
+    // (recorded against the coordinator's epoch so all spans share one
+    // timeline) plus batch-flush histograms. Batch spans carry the flush
+    // sequence and are reparented under the coordinator's flush span
+    // when the fleet report is assembled.
+    let mut spans = epoch.map(SpanCollector::with_epoch);
+    let mut batch_rec = collect_telemetry.then(TelemetryRecorder::new);
+    let track = worker_idx as u32 + 1;
     let mut sessions: Vec<(usize, StreamingSession<'_, ShardObs>, usize, u64)> = packers
         .iter_mut()
         .map(|(shard, p)| {
-            let obs = ShardObs::new(collect_metrics, collect_events);
+            let obs = ShardObs::new(collect_metrics, collect_events, collect_telemetry);
             (
                 *shard,
                 StreamingSession::with_observer(mode.clone(), p.as_mut(), obs),
@@ -470,7 +582,9 @@ fn worker_main(
         .collect();
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Batch(batch) => {
+            Msg::Batch(seq, batch) => {
+                let started = spans.as_ref().map(|c| (c.now_ns(), Instant::now()));
+                let count = batch.len() as u64;
                 for (shard, item) in batch {
                     let entry = &mut sessions[slot_of[shard]];
                     if let Err(e) = entry.1.arrive(&item) {
@@ -478,6 +592,13 @@ fn worker_main(
                     }
                     entry.2 = entry.2.max(entry.1.open_bins());
                     entry.3 += 1;
+                }
+                if let (Some(c), Some((start_ns, started))) = (spans.as_mut(), started) {
+                    let ns = started.elapsed().as_nanos() as u64;
+                    c.record("batch", track, None, seq, start_ns, ns);
+                    if let Some(r) = batch_rec.as_mut() {
+                        r.record_batch(count, ns);
+                    }
                 }
             }
             Msg::Finish => break,
@@ -493,10 +614,49 @@ fn worker_main(
             counters: obs.counters.snapshot(),
             metrics: obs.metrics.map(|m| m.report()),
             events: obs.events.map(|l| l.events),
+            telemetry: obs.telemetry.map(|t| t.into_snapshot()),
             run,
         });
     }
-    Ok(slices)
+    let prof = spans.map(|c| WorkerProf {
+        spans: c.into_spans(),
+        run: batch_rec.map(|r| r.into_snapshot().run).unwrap_or_default(),
+    });
+    Ok((slices, prof))
+}
+
+/// Stitches coordinator and worker spans into one tree and folds the
+/// telemetry histograms: work metrics merge deterministically in
+/// shard-index order, run metrics combine for display only.
+fn assemble_fleet_telemetry(
+    coord: SpanCollector,
+    profs: Vec<WorkerProf>,
+    slices: &[ShardSlice],
+    merge_ns: u64,
+) -> FleetTelemetry {
+    let work_parts: Vec<&WorkMetrics> = slices
+        .iter()
+        .filter_map(|s| s.telemetry.as_ref().map(|t| &t.work))
+        .collect();
+    let work = WorkMetrics::merged(&work_parts);
+    let mut coord_run = RunMetrics::default();
+    coord_run.merge_ns.record(merge_ns);
+    let mut run_parts: Vec<&RunMetrics> = slices
+        .iter()
+        .filter_map(|s| s.telemetry.as_ref().map(|t| &t.run))
+        .collect();
+    run_parts.extend(profs.iter().map(|p| &p.run));
+    run_parts.push(&coord_run);
+    let run_combined = RunMetrics::combined(&run_parts);
+    let mut parts = vec![coord.into_spans()];
+    parts.extend(profs.into_iter().map(|p| p.spans));
+    let mut spans = stitch(parts);
+    reparent_by_seq(&mut spans, "batch", "flush");
+    FleetTelemetry {
+        work,
+        run_combined,
+        spans,
+    }
 }
 
 /// The merged counters of a slice set, for callers that keep slices

@@ -305,3 +305,97 @@ fn dropped_session_reaps_workers_cleanly() {
     }
     drop(fleet); // must not hang or leak threads
 }
+
+/// Runs the fleet with telemetry collection on.
+fn run_telemetry(
+    inst: &Instance,
+    algo: &str,
+    k: usize,
+    threads: Option<usize>,
+    batch: usize,
+) -> ShardReport {
+    let cfg = ShardConfig {
+        threads,
+        batch,
+        collect_telemetry: true,
+        ..ShardConfig::new(k, ShardRouter::hash())
+    };
+    let mut fleet = ShardedSession::new(
+        ClairvoyanceMode::Clairvoyant,
+        make_packers(algo, inst, k),
+        cfg,
+    )
+    .expect("session construction");
+    for item in inst.items() {
+        fleet.arrive(item).expect("arrive");
+    }
+    fleet.finish().expect("finish")
+}
+
+#[test]
+fn telemetry_work_histograms_identical_across_worker_counts() {
+    let inst = instance();
+    for algo in ["ff", "cbdt"] {
+        for k in [1usize, 4] {
+            let baseline = run_telemetry(&inst, algo, k, Some(1), 1);
+            let base = baseline.telemetry.as_ref().expect("telemetry collected");
+            assert!(base.work.candidates.count() > 0, "histograms populated");
+            for threads in [Some(2), None] {
+                for batch in [1usize, 4096] {
+                    let other = run_telemetry(&inst, algo, k, threads, batch);
+                    let tel = other.telemetry.as_ref().expect("telemetry collected");
+                    let ctx = format!("{algo} k={k} threads={threads:?} batch={batch}");
+                    assert_eq!(base.work, tel.work, "{ctx}: fleet work histograms");
+                    for (sa, sb) in baseline.slices.iter().zip(&other.slices) {
+                        let (ta, tb) = (
+                            sa.telemetry.as_ref().expect("slice telemetry"),
+                            sb.telemetry.as_ref().expect("slice telemetry"),
+                        );
+                        assert_eq!(ta.work, tb.work, "{ctx}: shard {} work", sa.shard);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn telemetry_spans_form_a_stitched_tree() {
+    let inst = instance();
+    let report = run_telemetry(&inst, "ff", 4, Some(2), 256);
+    let tel = report.telemetry.as_ref().expect("telemetry collected");
+    let spans = &tel.spans;
+    let roots: Vec<_> = spans.iter().filter(|s| s.name == "stream").collect();
+    assert_eq!(roots.len(), 1, "one root span");
+    assert!(roots[0].dur_ns > 0, "root span closed");
+    let flushes = spans.iter().filter(|s| s.name == "flush").count();
+    assert!(flushes >= 1, "at least the final flush");
+    let batches: Vec<_> = spans.iter().filter(|s| s.name == "batch").collect();
+    assert!(!batches.is_empty(), "workers recorded batch spans");
+    // Every batch span must have been reparented under a flush span
+    // with the same sequence number.
+    for b in &batches {
+        let parent = b.parent.expect("batch spans reparented");
+        let p = spans
+            .iter()
+            .find(|s| s.id == parent)
+            .expect("parent exists");
+        assert_eq!(p.name, "flush");
+        assert_eq!(p.seq, b.seq, "stitched by sequence");
+    }
+    assert!(
+        spans.iter().any(|s| s.name == "merge"),
+        "merge span recorded"
+    );
+    assert!(
+        batches.iter().all(|s| s.track >= 1),
+        "worker spans on worker tracks"
+    );
+    // Run-side wall histograms exist for this run (never merged).
+    assert!(tel.run_combined.batch_items.count() > 0);
+    assert_eq!(
+        tel.run_combined.merge_ns.count(),
+        1,
+        "exactly one merge timing"
+    );
+}

@@ -1,0 +1,292 @@
+//! A fixed-size log-linear histogram for latency and work metrics.
+//!
+//! [`Histogram`] is the HDR-histogram idea shrunk to a constant 64
+//! buckets: two linear sub-buckets per power of two, so relative error is
+//! bounded by 50% of the bucket width (≤ 25% of the value) everywhere
+//! while `record` stays a handful of integer ops — one `leading_zeros`,
+//! one shift, one add. That is cheap enough to sit on the packing hot
+//! path, and the fixed layout makes two histograms comparable field by
+//! field: equality is derived, so "bit-identical across replays" is a
+//! plain `==`.
+//!
+//! The top bucket is open-ended (it absorbs everything from ~3.2·10⁹ up
+//! to `u64::MAX`), so no sample is ever dropped; `max` keeps the exact
+//! largest sample for reporting.
+
+/// Number of buckets in every [`Histogram`].
+pub const BUCKETS: usize = 64;
+
+/// The log-linear bucket index of a value: buckets 0 and 1 are exact,
+/// after that each power of two is split into two linear halves.
+#[inline(always)]
+fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let half = ((v >> (msb - 1)) & 1) as usize;
+    (2 * msb + half).min(BUCKETS - 1)
+}
+
+/// The smallest value that lands in bucket `i`.
+#[inline]
+fn bucket_lo(i: usize) -> u64 {
+    if i < 2 {
+        i as u64
+    } else {
+        (2 + (i % 2) as u64) << (i / 2 - 1)
+    }
+}
+
+/// The largest value that lands in bucket `i` (`u64::MAX` for the
+/// open-ended top bucket).
+#[inline]
+fn bucket_hi(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(i + 1) - 1
+    }
+}
+
+/// A 64-bucket log-linear histogram of `u64` samples.
+///
+/// Derives `PartialEq`/`Eq`: two histograms are equal iff every bucket
+/// count, the total count, the sum, and the min/max match — the equality
+/// the determinism self-tests assert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline(always)]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper
+    /// bound of the bucket holding the sample of that rank, clamped to the
+    /// exact observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_hi(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)` ranges.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), bucket_hi(i), c))
+    }
+
+    /// The raw bucket counts, for exposition formats that need the full
+    /// fixed layout.
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The inclusive upper bound of bucket `i` (shared layout across all
+    /// histograms; `u64::MAX` for the top bucket).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        bucket_hi(i)
+    }
+
+    /// Folds `parts` into one histogram. Pure integer sums plus min/max,
+    /// so the result is independent of part order — the property the
+    /// shard-merge audit asserts.
+    pub fn merged(parts: &[Histogram]) -> Histogram {
+        let mut out = Histogram::new();
+        for p in parts {
+            for (i, &c) in p.counts.iter().enumerate() {
+                out.counts[i] += c;
+            }
+            out.count += p.count;
+            out.sum += p.sum;
+            out.min = out.min.min(p.min);
+            out.max = out.max.max(p.max);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every bucket's lo is the previous hi + 1, and every value maps
+        // into the bucket whose range contains it.
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_lo(i), bucket_hi(i - 1) + 1, "gap at bucket {i}");
+        }
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(i)), i);
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_index(bucket_hi(i)), i);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Relative bucket width ≤ 50% of lo ⇒ worst-case quantile error
+        // is bounded, the property that makes 64 buckets enough.
+        for i in 4..BUCKETS - 1 {
+            let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+            assert!(hi - lo <= lo / 2, "bucket {i} too wide: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        // 0..=3 land in their own buckets; beyond that buckets pair up.
+        let got: Vec<(u64, u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 0, 1),
+                (1, 1, 1),
+                (2, 2, 1),
+                (3, 3, 1),
+                (4, 5, 2),
+                (6, 7, 2)
+            ]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 28);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Upper-bound estimates: within one bucket (≤ 25% relative).
+        assert!((500..=640).contains(&p50), "p50 = {p50}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 1, "clamped to observed min");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(Histogram::merged(&[]), h);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_matches_single_stream() {
+        let vals: Vec<u64> = (0..500).map(|i| (i * 2654435761u64) >> 16).collect();
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for (i, &v) in vals.iter().enumerate() {
+            whole.record(v);
+            [&mut a, &mut b, &mut c][i % 3].record(v);
+        }
+        let abc = Histogram::merged(&[a.clone(), b.clone(), c.clone()]);
+        let cba = Histogram::merged(&[c, b, a]);
+        assert_eq!(abc, cba, "merge must be order-independent");
+        assert_eq!(abc, whole, "merge must equal the unsplit stream");
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_losing_samples() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(5_000_000_000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX.clamp(h.min(), h.max()));
+    }
+}

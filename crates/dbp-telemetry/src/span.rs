@@ -1,0 +1,352 @@
+//! Structured span profiling: where wall-clock time went, as a tree.
+//!
+//! A [`SpanRecord`] is one completed operation with a start offset and
+//! duration relative to a shared epoch, an optional parent, a `track`
+//! (display lane: 0 = coordinator, `w + 1` = worker `w`), and a `seq`
+//! used to stitch concurrent collectors together: a worker records its
+//! batch spans against the batch *sequence number*, and
+//! [`reparent_by_seq`] later attaches them under the coordinator's flush
+//! span with the same sequence — no cross-thread id coordination needed
+//! while the run is hot.
+//!
+//! Two export formats cover the standard tooling:
+//! [`folded_stacks`] emits flamegraph/inferno-compatible
+//! `root;child weight` lines (weight = self time in nanoseconds), and
+//! [`chrome_trace_json`] emits a chrome://tracing / Perfetto "X"-phase
+//! event array.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Sequence value for spans that are not part of any numbered batch.
+pub const NO_SEQ: u64 = u64::MAX;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Collector-local id (stable, contiguous from 0).
+    pub id: u64,
+    /// Parent span id, if any.
+    pub parent: Option<u64>,
+    /// Operation name (static so recording never allocates).
+    pub name: &'static str,
+    /// Display lane: 0 = coordinator/session, `w + 1` = worker `w`.
+    pub track: u32,
+    /// Start offset from the collector's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Batch sequence number this span belongs to ([`NO_SEQ`] if none);
+    /// the key [`reparent_by_seq`] stitches worker spans with.
+    pub seq: u64,
+}
+
+/// Records spans against a fixed epoch. Cheap enough to sit inside a
+/// worker loop: recording is a `Vec::push`.
+#[derive(Debug)]
+pub struct SpanCollector {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanCollector {
+    /// A collector whose epoch is now.
+    pub fn new() -> Self {
+        Self::with_epoch(Instant::now())
+    }
+
+    /// A collector sharing an existing epoch — hand the same `Instant` to
+    /// every worker so all spans live on one timeline.
+    pub fn with_epoch(epoch: Instant) -> Self {
+        SpanCollector {
+            epoch,
+            spans: Vec::new(),
+        }
+    }
+
+    /// The shared epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds elapsed since the epoch — capture before an operation,
+    /// pass to [`SpanCollector::record_since`] after.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a completed span and returns its id (usable as `parent`
+    /// for children recorded later).
+    pub fn record(
+        &mut self,
+        name: &'static str,
+        track: u32,
+        parent: Option<u64>,
+        seq: u64,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> u64 {
+        let id = self.spans.len() as u64;
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            name,
+            track,
+            start_ns,
+            dur_ns,
+            seq,
+        });
+        id
+    }
+
+    /// Records a span that started at `start_ns` and ends now.
+    pub fn record_since(
+        &mut self,
+        name: &'static str,
+        track: u32,
+        parent: Option<u64>,
+        seq: u64,
+        start_ns: u64,
+    ) -> u64 {
+        let dur = self.now_ns().saturating_sub(start_ns);
+        self.record(name, track, parent, seq, start_ns, dur)
+    }
+
+    /// Opens a span starting now with zero duration; close it with
+    /// [`SpanCollector::end`]. Lets a long-lived span (the session root)
+    /// hand out its id as `parent` before it completes.
+    pub fn begin(&mut self, name: &'static str, track: u32, parent: Option<u64>, seq: u64) -> u64 {
+        let start = self.now_ns();
+        self.record(name, track, parent, seq, start, 0)
+    }
+
+    /// Closes a span opened by [`SpanCollector::begin`], setting its
+    /// duration to the time elapsed since it began.
+    pub fn end(&mut self, id: u64) {
+        let now = self.now_ns();
+        if let Some(s) = self.spans.get_mut(id as usize) {
+            s.dur_ns = now.saturating_sub(s.start_ns);
+        }
+    }
+
+    /// The spans recorded so far.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Consumes the collector, returning its spans.
+    pub fn into_spans(self) -> Vec<SpanRecord> {
+        self.spans
+    }
+}
+
+/// Concatenates per-thread span lists into one, remapping ids (and
+/// parent references) so they stay unique. Part order fixes the id
+/// assignment; pass coordinator first, then workers in index order, for
+/// deterministic output.
+pub fn stitch(parts: Vec<Vec<SpanRecord>>) -> Vec<SpanRecord> {
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    let mut offset = 0u64;
+    for part in parts {
+        let len = part.len() as u64;
+        for mut s in part {
+            s.id += offset;
+            if let Some(p) = s.parent.as_mut() {
+                *p += offset;
+            }
+            out.push(s);
+        }
+        offset += len;
+    }
+    out
+}
+
+/// Attaches every orphan span (no parent) named `child_name` to the span
+/// named `parent_name` carrying the same `seq` — the stitch step that
+/// turns per-worker batch spans into children of the coordinator's flush
+/// spans.
+pub fn reparent_by_seq(spans: &mut [SpanRecord], child_name: &str, parent_name: &str) {
+    let by_seq: HashMap<u64, u64> = spans
+        .iter()
+        .filter(|s| s.name == parent_name && s.seq != NO_SEQ)
+        .map(|s| (s.seq, s.id))
+        .collect();
+    for s in spans.iter_mut() {
+        if s.parent.is_none() && s.name == child_name && s.seq != NO_SEQ {
+            s.parent = by_seq.get(&s.seq).copied();
+        }
+    }
+}
+
+/// Renders spans as folded stacks: one `name;name;... weight` line per
+/// distinct root-to-leaf path, weight = *self* time in nanoseconds (the
+/// span's duration minus its children's, clamped at zero — the folded
+/// convention flamegraph tools expect). Lines are sorted for stable
+/// output.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let index: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_ns.entry(p).or_insert(0) += s.dur_ns;
+        }
+    }
+    let mut folded: HashMap<String, u64> = HashMap::new();
+    for s in spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let mut path = vec![s.name];
+        let mut cur = s.parent;
+        // Walk to the root; `depth` guards a (malformed) parent cycle.
+        let mut depth = 0;
+        while let Some(pid) = cur {
+            let Some(p) = index.get(&pid) else { break };
+            path.push(p.name);
+            cur = p.parent;
+            depth += 1;
+            if depth > spans.len() {
+                break;
+            }
+        }
+        path.reverse();
+        *folded.entry(path.join(";")).or_insert(0) += self_ns;
+    }
+    let mut lines: Vec<String> = folded
+        .into_iter()
+        .map(|(path, ns)| format!("{path} {ns}"))
+        .collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders spans as a chrome://tracing / Perfetto JSON array of complete
+/// ("X"-phase) events. Timestamps are microseconds with nanosecond
+/// precision kept in the fraction; `tid` is the span's track.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"name\":\"{}\",\"cat\":\"dbp\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+             \"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"id\":{}",
+            s.name,
+            s.track,
+            s.start_ns / 1_000,
+            s.start_ns % 1_000,
+            s.dur_ns / 1_000,
+            s.dur_ns % 1_000,
+            s.id,
+        ));
+        if let Some(p) = s.parent {
+            out.push_str(&format!(",\"parent\":{p}"));
+        }
+        if s.seq != NO_SEQ {
+            out.push_str(&format!(",\"seq\":{}", s.seq));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, seq: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            track: 0,
+            start_ns: id * 100,
+            dur_ns: dur,
+            seq,
+        }
+    }
+
+    #[test]
+    fn collector_records_and_parents() {
+        let mut c = SpanCollector::new();
+        let t0 = c.now_ns();
+        let root = c.record("stream", 0, None, NO_SEQ, t0, 500);
+        let child = c.record("batch", 0, Some(root), 0, t0, 200);
+        assert_eq!(c.spans()[child as usize].parent, Some(root));
+        assert_eq!(c.spans().len(), 2);
+    }
+
+    #[test]
+    fn stitch_remaps_ids_and_parents() {
+        let a = vec![
+            span(0, None, "stream", NO_SEQ, 100),
+            span(1, Some(0), "flush", 0, 40),
+        ];
+        let b = vec![span(0, None, "batch", 0, 30)];
+        let all = stitch(vec![a, b]);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].id, 2, "worker ids offset past coordinator's");
+        assert_eq!(all[1].parent, Some(0), "intra-part parents preserved");
+    }
+
+    #[test]
+    fn reparent_attaches_worker_batches_to_flushes() {
+        let mut all = stitch(vec![
+            vec![
+                span(0, None, "stream", NO_SEQ, 100),
+                span(1, Some(0), "flush", 0, 40),
+                span(2, Some(0), "flush", 1, 40),
+            ],
+            vec![span(0, None, "batch", 1, 30), span(1, None, "batch", 0, 25)],
+        ]);
+        reparent_by_seq(&mut all, "batch", "flush");
+        let batch_parents: Vec<Option<u64>> = all
+            .iter()
+            .filter(|s| s.name == "batch")
+            .map(|s| s.parent)
+            .collect();
+        assert_eq!(batch_parents, vec![Some(2), Some(1)], "matched by seq");
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time() {
+        let spans = vec![
+            span(0, None, "stream", NO_SEQ, 100),
+            span(1, Some(0), "flush", 0, 30),
+            span(2, Some(0), "flush", 1, 20),
+            span(3, Some(1), "batch", 0, 10),
+        ];
+        let folded = folded_stacks(&spans);
+        assert_eq!(
+            folded, "stream 50\nstream;flush 40\nstream;flush;batch 10\n",
+            "self time: 100-50 children, 30-10+20 merged, leaf 10"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json() {
+        let spans = vec![
+            span(0, None, "stream", NO_SEQ, 1500),
+            span(1, Some(0), "flush", 3, 250),
+        ];
+        let json = chrome_trace_json(&spans);
+        let parsed = dbp_obs::json::parse(&json).expect("trace must parse");
+        let arr = parsed.as_array().expect("top level is an array");
+        assert_eq!(arr.len(), 2);
+        let first = &arr[0];
+        assert_eq!(first.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(first.get("name").and_then(|v| v.as_str()), Some("stream"));
+    }
+}

@@ -20,7 +20,7 @@
 //! | 2 | usage error (bad subcommand, flag, or value) |
 //! | 3 | I/O or trace-format error |
 //! | 4 | runtime error (engine failure, packing validation) |
-//! | 5 | audit / chaos / shard-audit violations found |
+//! | 5 | audit / chaos / shard-audit / telemetry violations found |
 
 use clairvoyant_dbp::core::accounting::lower_bounds;
 use clairvoyant_dbp::core::stats::instance_stats;
@@ -48,12 +48,20 @@ USAGE:
   dbp report   --trace <file> --algo <name> [--offline]
   dbp compare  --trace <file>
   dbp bench    [--workload <kind>] [--n <items>] [--seeds <n>] [--threads <n>]
+               | --check <BENCH_*.json> [--tolerance <pct>] [--inject <pct>]
+               [--report <file>]
   dbp audit    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
                [--no-offline] [--fixtures-dir <dir>] [--self-test]
   dbp chaos    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
                [--fixtures-dir <dir>] [--self-test]
   dbp shard-audit [--cases <n>] [--seed <u64>] [--max-items <n>]
                [--threads <n>] [--fixtures-dir <dir>]
+  dbp telemetry-audit [--cases <n>] [--seed <u64>] [--max-items <n>]
+               [--threads <n>]
+  dbp prof     [--trace <file> | --workload <kind> --n <items> --seed <u64>]
+               [--algo <name>] [--batch <items>] [--sampled]
+               [--out-folded <file>] [--out-chrome <file>] [--out-prom <file>]
+               [--self-test [--shards <k>]]
   dbp algos
 
 Online algorithms take their Theorem 4/5 optimal parameters from the
@@ -84,10 +92,32 @@ docs/performance.md.
 the panic-isolated experiment grid (`--threads` workers; a poisoned
 cell reports in place instead of aborting the sweep).
 
+`bench --check` is the perf-regression gate: it re-runs every cell a
+checked-in `BENCH_{engine,shard,telemetry}.json` baseline recorded
+(same workload recipe, fresh timings) and exits 5 when any cell's
+throughput fell more than `--tolerance` percent (default 25) below the
+baseline. `--inject` slows the fresh runs synthetically to prove the
+gate trips; `--report` writes the per-cell comparison JSON. Run it from
+a release build — debug timings regress against any release baseline.
+
 `shard-audit` sweeps the sharded coordinator against plain-session
 references: per-shard bit-identity, exactly-once item accounting, and
 the merged run's coverage + capacity on the original instance, with
 failures shrunk and persisted like `audit`.
+
+`prof` drives one online algorithm over a trace (or generated workload)
+under full telemetry and prints a percentile table: deterministic work
+histograms (candidates scanned, open bins, bin lifetimes) and wall-clock
+latency histograms (decide, departures, finish). `--sampled` times one
+arrival in 64 instead of all — production overhead, coarser
+percentiles. `--out-folded` writes flamegraph-ready folded stacks,
+`--out-chrome` a chrome://tracing JSON, `--out-prom` a Prometheus text
+exposition. `prof --self-test` proves the determinism contract: work
+histograms bit-identical across two replays, and fleet-merged work
+histograms identical for worker counts {1, K}; exits 5 on any mismatch.
+
+`telemetry-audit` sweeps the same contract across the roster, routers,
+and seeded instances (the audit-family version of `prof --self-test`).
 
 `chaos` sweeps the roster under seeded fault injection (spot
 revocations, rack failures, crashes) with rotating recovery and
@@ -97,7 +127,8 @@ the three resilience pillars on built-in scenarios. See
 docs/resilience.md.
 
 Exit codes: 0 ok, 2 usage, 3 I/O or trace format, 4 runtime/validation,
-5 audit, chaos, or shard-audit violations.";
+5 audit, chaos, shard-audit, telemetry-audit, or prof --self-test
+violations.";
 
 /// A classified CLI failure; the variant fixes the process exit code.
 enum CliError {
@@ -163,6 +194,8 @@ fn main() -> ExitCode {
         "audit" => audit(&flags),
         "chaos" => chaos(&flags),
         "shard-audit" => shard_audit(&flags),
+        "telemetry-audit" => telemetry_audit(&flags),
+        "prof" => prof(&flags),
         "algos" => {
             println!("online:  {}", ONLINE_ALGOS.join(", "));
             println!("offline: {}", OFFLINE_ALGOS.join(", "));
@@ -584,6 +617,10 @@ fn report(flags: &HashMap<String, String>) -> Result<(), CliError> {
 fn bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use dbp_bench::grid::{run_grid_checked, GridCell};
 
+    if flags.contains_key("check") {
+        return bench_check(flags);
+    }
+
     let kind = flags
         .get("workload")
         .map(String::as_str)
@@ -661,6 +698,74 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "{} poisoned cells: {}",
             poisoned.len(),
             poisoned.join("; ")
+        )))
+    }
+}
+
+/// The perf-regression gate (`dbp bench --check BENCH_*.json`): re-run
+/// every cell a checked-in benchmark baseline recorded and exit 5 when
+/// any cell's throughput fell more than `--tolerance` percent below it.
+/// `--inject <pct>` synthetically slows the fresh runs (the gate's own
+/// self-proof); `--report <file>` writes the comparison JSON (the CI
+/// artifact).
+fn bench_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use dbp_bench::check::{parse_baseline, run_check};
+
+    let path = get(flags, "check")?;
+    if path == "true" {
+        return Err(CliError::Usage(
+            "--check needs a baseline path: dbp bench --check BENCH_shard.json".into(),
+        ));
+    }
+    let tolerance: f64 = get_num(flags, "tolerance", 25.0)?;
+    let inject: f64 = get_num(flags, "inject", 0.0)?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| io_err(format!("cannot read {path}: {e}")))?;
+    let baseline = parse_baseline(&text).map_err(|e| io_err(format!("{path}: {e}")))?;
+    println!(
+        "bench check: {} ({} mode), {} cells, tolerance {tolerance}%{}",
+        baseline.schema,
+        baseline.mode,
+        baseline.cells.len(),
+        if inject > 0.0 {
+            format!(", injected slowdown {inject}%")
+        } else {
+            String::new()
+        }
+    );
+    let report = run_check(&baseline, tolerance, inject).map_err(CliError::Usage)?;
+    if report.host_parallelism != report.baseline_host_parallelism {
+        println!(
+            "note: baseline host parallelism {} vs this host {} — treat tight margins as noise",
+            report.baseline_host_parallelism, report.host_parallelism
+        );
+    }
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>9}  verdict",
+        "cell", "baseline_ips", "fresh_ips", "delta"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>8.1}%  {}",
+            r.label,
+            r.baseline_ips,
+            r.fresh_ips,
+            r.delta_pct,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    if let Some(out) = flags.get("report") {
+        std::fs::write(out, report.to_json()).map_err(|e| io_err(format!("writing {out}: {e}")))?;
+        eprintln!("comparison report -> {out}");
+    }
+    let regressions = report.regressions().len();
+    if regressions == 0 {
+        println!("\nbench check: ok");
+        Ok(())
+    } else {
+        Err(CliError::Violations(format!(
+            "{regressions} of {} cells regressed beyond {tolerance}%",
+            report.rows.len()
         )))
     }
 }
@@ -1106,6 +1211,223 @@ fn shard_audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
         "{} shard-audit violations",
         summary.violations()
     )))
+}
+
+/// Runs the telemetry sweep (`dbp telemetry-audit`): replay bit-identity
+/// and fleet-merge order-independence of the work histograms across the
+/// roster, routers, and K ∈ {1, 3}.
+fn telemetry_audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::audit::{run_telemetry_audit, QuietPanics, TelemetryAuditConfig};
+
+    let cfg = TelemetryAuditConfig {
+        cases: get_num(flags, "cases", 100)?,
+        seed: get_num(flags, "seed", 0)?,
+        max_items: get_num(flags, "max-items", 32)?,
+        threads: get_threads(flags)?,
+    };
+    let _quiet = QuietPanics::new();
+    let summary = run_telemetry_audit(&cfg);
+    println!(
+        "telemetry-audit: {} cases x roster x K = {} cells, seed {}",
+        summary.cases, summary.cells, cfg.seed
+    );
+    if summary.ok() {
+        println!("telemetry-audit: no violations");
+        return Ok(());
+    }
+    println!(
+        "telemetry-audit: {} failing (case, algo/K) cells, {} violations",
+        summary.failures.len(),
+        summary.violations()
+    );
+    for f in &summary.failures {
+        println!("\ncase {} [{}] cell {}:", f.case, f.family, f.algo);
+        for v in &f.violations {
+            println!("  [{}] {}", v.check, v.detail);
+        }
+    }
+    Err(CliError::Violations(format!(
+        "{} telemetry-audit violations",
+        summary.violations()
+    )))
+}
+
+/// Formats one histogram row of the `prof` percentile table.
+fn prof_row(name: &str, h: &clairvoyant_dbp::telemetry::Histogram) -> String {
+    if h.is_empty() {
+        return format!("{name:<22} {:>10} {:>10}", 0, "-");
+    }
+    format!(
+        "{name:<22} {:>10} {:>10.1} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        h.count(),
+        h.mean(),
+        h.min(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99),
+        h.max()
+    )
+}
+
+/// Profiles one online algorithm over a trace or generated workload
+/// (`dbp prof`): percentile table plus optional folded-stack,
+/// chrome://tracing, and Prometheus exports.
+fn prof(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::telemetry::{
+        chrome_trace_json, folded_stacks, profile_stream, render_prometheus,
+    };
+
+    let algo = flags.get("algo").map(String::as_str).unwrap_or("cbdt");
+    known_algo(algo, ONLINE_ALGOS, "online")?;
+    let kind = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("uniform");
+    let inst = if flags.contains_key("trace") {
+        load_trace(flags)?
+    } else {
+        let n: usize = get_num(flags, "n", 10_000)?;
+        let seed: u64 = get_num(flags, "seed", 0)?;
+        make_instance(kind, n, seed)
+            .ok_or_else(|| CliError::Usage(format!("unknown workload {kind:?}")))?
+    };
+    // The streaming contract wants non-decreasing arrivals.
+    let mut items = inst.items().to_vec();
+    items.sort_by_key(|i| (i.arrival(), i.id()));
+
+    if flags.contains_key("self-test") {
+        return prof_self_test(flags, &items, algo);
+    }
+
+    let batch: usize = get_num(flags, "batch", 0)?;
+    let full_timing = !flags.contains_key("sampled");
+    let params = AlgoParams::from_instance(&inst);
+    let mut packer = online_packer(algo, params);
+    let profile = profile_stream(
+        clair_mode(algo),
+        packer.as_mut(),
+        &items,
+        batch,
+        full_timing,
+    )
+    .map_err(runtime_err)?;
+
+    println!(
+        "prof: {algo} on {} items, {} timing, usage {} ticks, {} bins",
+        items.len(),
+        if full_timing { "full" } else { "1-in-64" },
+        profile.run.usage,
+        profile.run.bins_opened()
+    );
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "histogram", "count", "mean", "min", "p50", "p90", "p99", "max"
+    );
+    let t = &profile.telemetry;
+    println!("-- work (deterministic, replay-exact) --");
+    for (name, h) in [
+        ("candidates/decision", &t.work.candidates),
+        ("open bins", &t.work.open_bins),
+        ("items/bin", &t.work.bin_items),
+        ("bin lifetime (ticks)", &t.work.bin_lifetime),
+    ] {
+        println!("{}", prof_row(name, h));
+    }
+    println!("-- wall clock (ns, this run only) --");
+    for (name, h) in [
+        ("decide", &t.run.decide_ns),
+        ("departure sweep", &t.run.depart_ns),
+        ("batch flush", &t.run.batch_flush_ns),
+        ("finish drain", &t.run.finish_ns),
+    ] {
+        println!("{}", prof_row(name, h));
+    }
+
+    for (flag, content, what) in [
+        ("out-folded", folded_stacks(&profile.spans), "folded stacks"),
+        (
+            "out-chrome",
+            chrome_trace_json(&profile.spans),
+            "chrome trace",
+        ),
+        (
+            "out-prom",
+            render_prometheus(&profile.counters, t, &[("algo", algo)]),
+            "prometheus exposition",
+        ),
+    ] {
+        if let Some(path) = flags.get(flag) {
+            std::fs::write(path, &content).map_err(|e| io_err(format!("writing {path}: {e}")))?;
+            eprintln!("{what}: {} bytes -> {path}", content.len());
+        }
+    }
+    Ok(())
+}
+
+/// Proves the telemetry determinism contract on the given stream: work
+/// histograms bit-identical across two replays, and fleet-merged work
+/// histograms identical for worker counts {1, K}.
+fn prof_self_test(
+    flags: &HashMap<String, String>,
+    items: &[Item],
+    algo: &str,
+) -> Result<(), CliError> {
+    use clairvoyant_dbp::telemetry::profile_stream;
+
+    let fail = |what: String| CliError::Violations(format!("prof self-test: {what}"));
+    let k: usize = get_num(flags, "shards", 4)?;
+    if k == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    let inst = Instance::from_items(items.to_vec()).map_err(runtime_err)?;
+    let params = AlgoParams::from_instance(&inst);
+
+    // 1. Replay bit-identity of the single-session work histograms.
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut packer = online_packer(algo, params);
+        let p = profile_stream(clair_mode(algo), packer.as_mut(), items, 0, false)
+            .map_err(runtime_err)?;
+        runs.push(p.telemetry.work);
+    }
+    if runs[0] != runs[1] {
+        return Err(fail(format!(
+            "{algo}: work histograms differ between two replays"
+        )));
+    }
+    println!(
+        "self-test: {algo} work histograms bit-identical across 2 replays ({} sampled decisions)",
+        runs[0].candidates.count()
+    );
+
+    // 2. Fleet merge independence: the same K-shard fleet on 1 worker
+    // and on K workers must fold to identical work histograms.
+    let mut fleets = Vec::new();
+    for workers in [1usize, k] {
+        let cfg = ShardConfig {
+            threads: Some(workers),
+            collect_telemetry: true,
+            ..ShardConfig::new(k, ShardRouter::hash())
+        };
+        let packers = (0..k).map(|_| online_packer(algo, params)).collect();
+        let mut fleet = ShardedSession::new(clair_mode(algo), packers, cfg).map_err(runtime_err)?;
+        for item in items {
+            fleet.arrive(item).map_err(runtime_err)?;
+        }
+        let report = fleet.finish().map_err(runtime_err)?;
+        let telemetry = report
+            .telemetry
+            .ok_or_else(|| fail(format!("{algo} workers={workers}: fleet telemetry missing")))?;
+        fleets.push(telemetry.work);
+    }
+    if fleets[0] != fleets[1] {
+        return Err(fail(format!(
+            "{algo}: fleet work histograms differ between 1 and {k} workers"
+        )));
+    }
+    println!("self-test: {algo} fleet work histograms identical for worker counts {{1, {k}}}");
+    println!("self-test: ok");
+    Ok(())
 }
 
 fn compare(flags: &HashMap<String, String>) -> Result<(), CliError> {

@@ -34,6 +34,7 @@
 //! | [`sim`] | cloud renting-cost simulator, billing models, noisy clairvoyance |
 //! | [`obs`] | packing-decision tracing, deterministic replay, time-series metrics |
 //! | [`shard`] | sharded multi-fleet streaming: routed partitioning, worker threads, deterministic merge |
+//! | [`telemetry`] | latency/work histograms, span traces, Prometheus exposition, stream profiling |
 //! | [`audit`] | invariant checker, differential fuzzer, counterexample shrinker, regression fixtures |
 //! | [`resilience`] | checkpoint/restore, fault injection, recovery policies, chaos simulation |
 //!
@@ -69,6 +70,7 @@ pub use dbp_obs as obs;
 pub use dbp_resilience as resilience;
 pub use dbp_shard as shard;
 pub use dbp_sim as sim;
+pub use dbp_telemetry as telemetry;
 pub use dbp_theory as theory;
 pub use dbp_workloads as workloads;
 

@@ -6,7 +6,7 @@
 //! departure times, so they run identically under clairvoyant and
 //! non-clairvoyant engines.
 
-use super::rule_tagged;
+use super::{rule_tagged_in, ScanMode};
 use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
 /// Which open bin an [`AnyFit`] packer prefers among those that fit.
@@ -53,13 +53,26 @@ impl FitRule {
 #[derive(Clone, Copy, Debug)]
 pub struct AnyFit {
     rule: FitRule,
+    mode: ScanMode,
     scanned: usize,
 }
 
 impl AnyFit {
     /// Creates a packer with the given preference rule.
     pub fn new(rule: FitRule) -> Self {
-        AnyFit { rule, scanned: 0 }
+        AnyFit {
+            rule,
+            mode: ScanMode::default(),
+            scanned: 0,
+        }
+    }
+
+    /// Switches to the seed's linear open-bin walk — same decisions,
+    /// O(category) per placement — for differential proofs and
+    /// scan-depth ablations.
+    pub fn with_linear_scan(mut self) -> Self {
+        self.mode = ScanMode::Linear;
+        self
     }
 
     /// First Fit — the best-known online algorithm in the non-clairvoyant
@@ -90,7 +103,7 @@ impl OnlinePacker for AnyFit {
     }
 
     fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
-        let (decision, scanned) = rule_tagged(self.rule, 0, item, open_bins);
+        let (decision, scanned) = rule_tagged_in(self.mode, self.rule, 0, item, open_bins);
         self.scanned = scanned;
         decision
     }

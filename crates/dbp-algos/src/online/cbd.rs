@@ -9,7 +9,7 @@
 //! Theorem 5: competitive ratio ≤ `α + ⌈log_α μ⌉ + 4`; with durations known,
 //! choosing `b = Δ` and `α = μ^{1/n}` gives `min_{n≥1} μ^{1/n} + n + 3`.
 
-use super::first_fit_tagged;
+use super::{first_fit_tagged_in, ScanMode};
 use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 
 /// Classify-by-duration First Fit with base duration `b` (ticks) and
@@ -40,6 +40,7 @@ pub struct ClassifyByDuration {
     /// max-duration item `μΔ` sits exactly on the `b·αⁿ` boundary and
     /// belongs in the closed last category `[b·αⁿ⁻¹, b·αⁿ]`.
     max_category: Option<i64>,
+    mode: ScanMode,
     scanned: usize,
 }
 
@@ -56,8 +57,16 @@ impl ClassifyByDuration {
             base,
             alpha,
             max_category: None,
+            mode: ScanMode::default(),
             scanned: 0,
         }
+    }
+
+    /// Switches to the seed's linear category walk — same decisions,
+    /// O(category) per placement — for differential proofs.
+    pub fn with_linear_scan(mut self) -> Self {
+        self.mode = ScanMode::Linear;
+        self
     }
 
     /// The optimal known-durations configuration of Theorem 5: `b = Δ` and
@@ -147,7 +156,7 @@ impl OnlinePacker for ClassifyByDuration {
             .duration()
             .expect("ClassifyByDuration requires a clairvoyant engine");
         let tag = self.category(dur);
-        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        let (decision, scanned) = first_fit_tagged_in(self.mode, tag, item.size, open_bins);
         self.scanned = scanned;
         decision
     }

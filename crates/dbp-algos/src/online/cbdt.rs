@@ -9,7 +9,7 @@
 //! Theorem 4: the competitive ratio is at most `ρ/Δ + μΔ/ρ + 3`; with
 //! `ρ = √μ·Δ` (durations known) this becomes `2√μ + 3`.
 
-use super::first_fit_tagged;
+use super::{first_fit_tagged_in, ScanMode};
 use dbp_core::error::DbpError;
 use dbp_core::interval::Time;
 use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins, PackerState};
@@ -40,6 +40,7 @@ use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins, PackerState};
 pub struct ClassifyByDepartureTime {
     rho: i64,
     epoch: Option<Time>,
+    mode: ScanMode,
     scanned: usize,
 }
 
@@ -53,8 +54,16 @@ impl ClassifyByDepartureTime {
         ClassifyByDepartureTime {
             rho,
             epoch: None,
+            mode: ScanMode::default(),
             scanned: 0,
         }
+    }
+
+    /// Switches to the seed's linear category walk — same decisions,
+    /// O(category) per placement — for differential proofs.
+    pub fn with_linear_scan(mut self) -> Self {
+        self.mode = ScanMode::Linear;
+        self
     }
 
     /// The optimal parameter when `Δ` and `μ` are known: `ρ = √μ·Δ`
@@ -97,7 +106,7 @@ impl OnlinePacker for ClassifyByDepartureTime {
             .departure
             .expect("ClassifyByDepartureTime requires a clairvoyant engine");
         let tag = self.category(dep);
-        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        let (decision, scanned) = first_fit_tagged_in(self.mode, tag, item.size, open_bins);
         self.scanned = scanned;
         decision
     }

@@ -11,7 +11,7 @@
 //! This module implements exactly that composition. Tags combine the two
 //! class indices into one `u64` (duration class in the high 32 bits).
 
-use super::first_fit_tagged;
+use super::{first_fit_tagged_in, ScanMode};
 use dbp_core::error::DbpError;
 use dbp_core::interval::Time;
 use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins, PackerState};
@@ -23,6 +23,7 @@ use super::cbd::ClassifyByDuration;
 pub struct CombinedClassify {
     duration: ClassifyByDuration,
     epoch: Option<Time>,
+    mode: ScanMode,
     scanned: usize,
 }
 
@@ -34,8 +35,16 @@ impl CombinedClassify {
         CombinedClassify {
             duration: ClassifyByDuration::new(base, alpha),
             epoch: None,
+            mode: ScanMode::default(),
             scanned: 0,
         }
+    }
+
+    /// Switches to the seed's linear category walk — same decisions,
+    /// O(category) per placement — for differential proofs.
+    pub fn with_linear_scan(mut self) -> Self {
+        self.mode = ScanMode::Linear;
+        self
     }
 
     /// Known-durations configuration mirroring
@@ -45,6 +54,7 @@ impl CombinedClassify {
         CombinedClassify {
             epoch: None,
             duration: inner,
+            mode: ScanMode::default(),
             scanned: 0,
         }
     }
@@ -87,7 +97,7 @@ impl OnlinePacker for CombinedClassify {
         let dep_tag = ((off + rho - 1) / rho) as u64;
         // Duration class in high 32 bits, departure class (mod 2^32) low.
         let tag = (dur_tag << 32) | (dep_tag & 0xFFFF_FFFF);
-        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        let (decision, scanned) = first_fit_tagged_in(self.mode, tag, item.size, open_bins);
         self.scanned = scanned;
         decision
     }

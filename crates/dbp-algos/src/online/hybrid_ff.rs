@@ -13,7 +13,7 @@
 //! classification, so the paper's clairvoyant classification strategies are
 //! compared against like-for-like machinery.
 
-use super::first_fit_tagged;
+use super::{first_fit_tagged_in, ScanMode};
 use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 use dbp_core::Size;
 
@@ -21,6 +21,7 @@ use dbp_core::Size;
 #[derive(Clone, Debug)]
 pub struct HybridFirstFit {
     num_classes: u32,
+    mode: ScanMode,
     scanned: usize,
 }
 
@@ -38,8 +39,16 @@ impl HybridFirstFit {
         assert!(num_classes >= 1);
         HybridFirstFit {
             num_classes,
+            mode: ScanMode::default(),
             scanned: 0,
         }
+    }
+
+    /// Switches to the seed's linear class walk — same decisions,
+    /// O(class) per placement — for differential proofs.
+    pub fn with_linear_scan(mut self) -> Self {
+        self.mode = ScanMode::Linear;
+        self
     }
 
     /// The size class of an item: the smallest `k` with
@@ -63,7 +72,7 @@ impl OnlinePacker for HybridFirstFit {
 
     fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
         let tag = self.class_of(item.size);
-        let (decision, scanned) = first_fit_tagged(tag, item.size, open_bins);
+        let (decision, scanned) = first_fit_tagged_in(self.mode, tag, item.size, open_bins);
         self.scanned = scanned;
         decision
     }

@@ -18,6 +18,27 @@ pub use sliding::SlidingDepartureWindow;
 use dbp_core::online::{Decision, ItemView, OpenBins};
 use dbp_core::Size;
 
+/// How a roster packer consults the open set.
+///
+/// Every roster packer answers placement queries through the
+/// [`OpenBins`] fit index by default — O(log category) per decision —
+/// and keeps the seed's linear walk selectable as a differential foil.
+/// The two paths are decision-identical by construction (the index keys
+/// encode the linear tie-breaks; see the `dbp-core::openbins` module
+/// docs) and that equivalence is enforced by the dbp-audit harness and
+/// the indexed-vs-linear proptests. Only the reported
+/// `last_scanned` differs: the linear walk counts bins visited, the
+/// index counts nodes probed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Indexed O(log category) fit queries (the default).
+    #[default]
+    Indexed,
+    /// The original O(category) linear scan, kept for differential
+    /// proofs and scan-depth ablations.
+    Linear,
+}
+
 /// First Fit restricted to bins carrying `tag`: place in the earliest-opened
 /// feasible bin of that tag, else open a new bin with that tag.
 ///
@@ -39,6 +60,26 @@ pub(crate) fn first_fit_tagged(tag: u64, size: Size, open_bins: &OpenBins) -> (D
         }
     }
     (Decision::New { tag }, scanned)
+}
+
+/// [`first_fit_tagged`] dispatched by [`ScanMode`]: the indexed path
+/// answers from [`OpenBins::first_fit`] in O(log category) and reports
+/// the index nodes probed; the linear path is the seed's category walk.
+/// Both choose the same bin on every input.
+pub(crate) fn first_fit_tagged_in(
+    mode: ScanMode,
+    tag: u64,
+    size: Size,
+    open_bins: &OpenBins,
+) -> (Decision, usize) {
+    match mode {
+        ScanMode::Linear => first_fit_tagged(tag, size, open_bins),
+        ScanMode::Indexed => {
+            let (hit, probes) = open_bins.first_fit(tag, size);
+            let decision = hit.map(Decision::Existing).unwrap_or(Decision::New { tag });
+            (decision, probes)
+        }
+    }
 }
 
 /// Applies a [`FitRule`] among bins carrying `tag`, returning the decision
@@ -90,4 +131,32 @@ pub(crate) fn rule_tagged(
             (decision, scanned)
         }
     }
+}
+
+/// [`rule_tagged`] dispatched by [`ScanMode`].
+///
+/// The indexed paths answer from the [`OpenBins`] fit queries, whose
+/// keys encode the same tie-breaks the linear fold applies: Best Fit
+/// takes the min-gap entry of the `(gap, opening-order)` set with level
+/// ties to the latest opened, Worst Fit its max-gap entry with ties to
+/// the earliest. Next Fit reads the tag's newest bin in O(1) either
+/// way, so the two modes share that arm.
+pub(crate) fn rule_tagged_in(
+    mode: ScanMode,
+    rule: FitRule,
+    tag: u64,
+    item: &ItemView,
+    open_bins: &OpenBins,
+) -> (Decision, usize) {
+    if mode == ScanMode::Linear || rule == FitRule::Next {
+        return rule_tagged(rule, tag, item, open_bins);
+    }
+    let (hit, probes) = match rule {
+        FitRule::First => open_bins.first_fit(tag, item.size),
+        FitRule::Best => open_bins.best_fit(tag, item.size),
+        FitRule::Worst => open_bins.worst_fit(tag, item.size),
+        FitRule::Next => unreachable!("handled by the linear arm"),
+    };
+    let decision = hit.map(Decision::Existing).unwrap_or(Decision::New { tag });
+    (decision, probes)
 }

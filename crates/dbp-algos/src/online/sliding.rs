@@ -11,6 +11,13 @@
 //! paper's analysis (bins no longer partition into clean categories), so
 //! it carries no proven competitive bound. The `exp_ablations` experiment
 //! measures whether the analyzable fixed rule costs anything in practice.
+//!
+//! This is the one packer that stays on the linear scan after the
+//! indexed fit queries landed: its feasibility predicate depends on the
+//! departure time of *every current resident* of a bin, which no
+//! residual-capacity order can answer — precisely the property that
+//! makes it resist the paper's analysis. It is an ablation, not a roster
+//! algorithm, so it is excluded from the indexed/linear differential.
 
 use dbp_core::online::{Decision, ItemView, OnlinePacker, OpenBins};
 

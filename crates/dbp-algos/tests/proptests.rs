@@ -1,12 +1,15 @@
 //! Property tests for the algorithm crate: exact solvers against brute
-//! force, classification boundary behaviour, and Dual Coloring stripe
-//! capacity.
+//! force, classification boundary behaviour, Dual Coloring stripe
+//! capacity, and the indexed-vs-linear scan differential for the whole
+//! online roster.
 
 use dbp_algos::exact::{min_bins, min_usage_packing, opt_total};
 use dbp_algos::offline::{phase1, phase2, DualColoring, DurationDescendingFirstFit};
-use dbp_algos::online::{ClassifyByDepartureTime, ClassifyByDuration};
+use dbp_algos::online::{
+    AnyFit, ClassifyByDepartureTime, ClassifyByDuration, CombinedClassify, HybridFirstFit,
+};
 use dbp_core::accounting::lower_bounds;
-use dbp_core::{Instance, Item, OfflinePacker, OnlineEngine, Size};
+use dbp_core::{Instance, Item, OfflinePacker, OnlineEngine, OnlinePacker, OnlineRun, Size};
 use proptest::prelude::*;
 
 fn arb_sizes(max: usize) -> impl Strategy<Value = Vec<Size>> {
@@ -57,6 +60,31 @@ fn brute_min_bins(sizes: &[Size]) -> usize {
     let mut best = n;
     rec(sizes, 0, &mut Vec::new(), &mut best);
     best
+}
+
+/// Bit-identity between two engine runs: same packing, same usage, same
+/// bin lifetime records (the comparison the dbp-audit harness applies).
+fn same_run(a: &OnlineRun, b: &OnlineRun) -> Result<(), String> {
+    if a.packing != b.packing {
+        return Err("packings differ".into());
+    }
+    if a.usage != b.usage {
+        return Err(format!("usage {} vs {}", a.usage, b.usage));
+    }
+    if a.bins.len() != b.bins.len() {
+        return Err(format!("{} bins vs {}", a.bins.len(), b.bins.len()));
+    }
+    for (x, y) in a.bins.iter().zip(&b.bins) {
+        if x.id != y.id
+            || x.opened_at != y.opened_at
+            || x.closed_at != y.closed_at
+            || x.tag != y.tag
+            || x.items != y.items
+        {
+            return Err(format!("bin {} lifetime record differs", x.id.0));
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -143,6 +171,63 @@ proptest! {
                 })
                 .collect();
             prop_assert_eq!(cats.len(), 1, "bin mixes departure windows");
+        }
+    }
+
+    /// Indexed-vs-linear differential, Any Fit family: on random
+    /// instances, every fit rule answered from the `OpenBins` index
+    /// produces a bit-identical run — packing, usage, and bin lifetime
+    /// records — to the seed's linear open-bin walk.
+    #[test]
+    fn any_fit_indexed_matches_linear_scan(inst in arb_instance(40)) {
+        let eng = OnlineEngine::non_clairvoyant();
+        let pairs: Vec<(AnyFit, AnyFit)> = vec![
+            (AnyFit::first_fit(), AnyFit::first_fit().with_linear_scan()),
+            (AnyFit::best_fit(), AnyFit::best_fit().with_linear_scan()),
+            (AnyFit::worst_fit(), AnyFit::worst_fit().with_linear_scan()),
+            (AnyFit::next_fit(), AnyFit::next_fit().with_linear_scan()),
+        ];
+        for (mut indexed, mut linear) in pairs {
+            let name = indexed.name();
+            let a = eng.run(&inst, &mut indexed).unwrap();
+            let b = eng.run(&inst, &mut linear).unwrap();
+            if let Err(why) = same_run(&a, &b) {
+                prop_assert!(false, "{}: {}", name, why);
+            }
+        }
+    }
+
+    /// Indexed-vs-linear differential, classification strategies: the
+    /// per-tag fit index agrees with the linear category walk for CBDT,
+    /// CBD, the combined classifier, and Hybrid First Fit.
+    #[test]
+    fn classifiers_indexed_match_linear_scan(inst in arb_instance(40), rho in 1i64..24, alpha in 1.2f64..4.0) {
+        let eng = OnlineEngine::clairvoyant();
+        let pairs: Vec<(Box<dyn OnlinePacker>, Box<dyn OnlinePacker>)> = vec![
+            (
+                Box::new(ClassifyByDepartureTime::new(rho)),
+                Box::new(ClassifyByDepartureTime::new(rho).with_linear_scan()),
+            ),
+            (
+                Box::new(ClassifyByDuration::new(1, alpha)),
+                Box::new(ClassifyByDuration::new(1, alpha).with_linear_scan()),
+            ),
+            (
+                Box::new(CombinedClassify::new(1, alpha)),
+                Box::new(CombinedClassify::new(1, alpha).with_linear_scan()),
+            ),
+            (
+                Box::new(HybridFirstFit::default()),
+                Box::new(HybridFirstFit::default().with_linear_scan()),
+            ),
+        ];
+        for (mut indexed, mut linear) in pairs {
+            let name = indexed.name();
+            let a = eng.run(&inst, indexed.as_mut()).unwrap();
+            let b = eng.run(&inst, linear.as_mut()).unwrap();
+            if let Err(why) = same_run(&a, &b) {
+                prop_assert!(false, "{}: {}", name, why);
+            }
         }
     }
 

@@ -23,7 +23,7 @@ use crate::invariants::{
     check_packing, check_run, check_theorem_ceiling, CheckId, ExactBaselines, Violation,
 };
 use dbp_bench::reference::reference_next_fit;
-use dbp_bench::registry::{offline_packer, online_packer, AlgoParams};
+use dbp_bench::registry::{offline_packer, online_packer, online_packer_linear, AlgoParams};
 use dbp_core::observe::EventLog;
 use dbp_core::stream::StreamingSession;
 use dbp_core::{ClairvoyanceMode, Instance, OnlineEngine, OnlinePacker, OnlineRun};
@@ -211,9 +211,35 @@ where
 /// Audits one online roster algorithm by name.
 pub fn audit_online_algo(inst: &Instance, algo: &str, exact: &ExactBaselines) -> Vec<Violation> {
     let params = AlgoParams::from_instance(inst);
-    audit_online_with(inst, algo, clairvoyance_for(algo), exact, || {
+    let mode = clairvoyance_for(algo);
+    let mut out = audit_online_with(inst, algo, mode.clone(), exact, || {
         online_packer(algo, params)
-    })
+    });
+
+    // Path 5: the linear-scan foil. Roster packers answer placements
+    // from the OpenBins fit index; the seed's linear walk is kept as a
+    // selectable differential witness, and every audited instance proves
+    // the two paths bit-identical — packing, usage, and bin lifetime
+    // records alike.
+    let engine = OnlineEngine::new(mode);
+    match (
+        engine.run(inst, online_packer(algo, params).as_mut()),
+        engine.run(inst, online_packer_linear(algo, params).as_mut()),
+    ) {
+        (Ok(indexed), Ok(linear)) => {
+            if let Err(why) = runs_equal(&indexed, &linear) {
+                out.push(Violation::new(
+                    CheckId::Differential,
+                    format!("{algo}: indexed vs linear scan: {why}"),
+                ));
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => out.push(Violation::new(
+            CheckId::Differential,
+            format!("{algo}: indexed-vs-linear comparison failed to run: {e}"),
+        )),
+    }
+    out
 }
 
 /// Audits one offline roster algorithm by name: packing invariants plus

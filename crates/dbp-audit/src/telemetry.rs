@@ -307,6 +307,51 @@ mod tests {
     }
 
     #[test]
+    fn indexed_scan_depths_are_probes_not_pool_size() {
+        // Regression pin for the `candidates_scanned` contract: a deep
+        // fleet of ~600 near-full bins (63/64 items, none ever shares)
+        // must leave the scan-depth histogram flat, because indexed
+        // packers report the index nodes actually probed — O(1) for
+        // best/worst/next fit, O(log B) for first fit — never the size
+        // of the pool the index covers. Before the indexed fit queries
+        // this histogram scaled with the fleet, and the engine's
+        // pool-size fallback would silently re-inflate it if a roster
+        // packer ever stopped reporting; alongside the sample-count
+        // invariant (also pinned here, the one `telemetry-audit`
+        // checks), this is what keeps the histograms honest.
+        use dbp_core::{Item, Size};
+        let items: Vec<Item> = (0..600)
+            .map(|i| {
+                Item::new(
+                    i,
+                    Size::from_ratio(63, 64).unwrap(),
+                    i as i64,
+                    10_000 + i as i64,
+                )
+            })
+            .collect();
+        let params = AlgoParams { delta: 1, mu: 1.0 };
+        for algo in ["first-fit", "best-fit", "worst-fit", "next-fit"] {
+            let profile = run_profile(&items, algo, params).unwrap();
+            let work = &profile.telemetry.work;
+            assert_eq!(
+                work.candidates.count(),
+                profile
+                    .counters
+                    .items_packed
+                    .div_ceil(dbp_telemetry::WORK_SAMPLE_INTERVAL as u64),
+                "{algo}: sample-count invariant broken"
+            );
+            assert!(
+                work.candidates.max() <= 16,
+                "{algo}: scan-depth histogram max {} on a ~600-bin fleet \
+                 looks like pool size, not probes",
+                work.candidates.max(),
+            );
+        }
+    }
+
+    #[test]
     fn replay_check_catches_a_seed_that_ran() {
         // One direct cell run: a clean roster must produce no violations
         // and the profile must exercise every histogram family.

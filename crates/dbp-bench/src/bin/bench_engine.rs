@@ -19,12 +19,12 @@
 //! The JSON is a measurement artifact: regenerate it with a release build
 //! from the repo root after engine changes (see `docs/performance.md`).
 
-use dbp_bench::registry::{online_packer, AlgoParams, ONLINE_ALGOS};
+use dbp_bench::registry::{online_packer, online_packer_linear, AlgoParams, ONLINE_ALGOS};
 use dbp_bench::report::Table;
 use dbp_bench::{run_grid, GridCell};
 use dbp_core::stream::StreamingSession;
 use dbp_core::ClairvoyanceMode;
-use dbp_workloads::random::PoissonWorkload;
+use dbp_workloads::random::{DurationDist, PoissonWorkload};
 use dbp_workloads::Workload;
 use std::time::Instant;
 
@@ -66,12 +66,26 @@ fn main() {
     let horizon = if short { 26_000 } else { 260_000 };
     let workload = PoissonWorkload::new(4.0, horizon);
     let inst = workload.generate_seeded(SEED);
-    let params = AlgoParams::from_instance(&inst);
+    // Deep-fleet variant: identical arrivals, but exponential durations
+    // with mean 1000 hold expected concurrent load ≈ rate · mean duration
+    // · mean size ≈ 1100 bins' worth, so every algorithm sustains a fleet
+    // of 1000+ open bins. This is the cell that catches scan-depth
+    // cliffs: a linear open-bin walk collapses here while the indexed
+    // fit queries stay flat.
+    let deep_workload =
+        PoissonWorkload::new(4.0, horizon).with_durations(DurationDist::Exponential {
+            mean: 1000.0,
+            min: 1,
+            max: 10_000,
+        });
+    let deep_inst = deep_workload.generate_seeded(SEED);
     let mode = if short { "short" } else { "full" };
     println!(
-        "engine benchmark ({mode}): {} items from {} seed {SEED}\n",
+        "engine benchmark ({mode}): {} items from {} seed {SEED}\n  deep-fleet cells: {} items from {}\n",
         inst.len(),
         workload.name(),
+        deep_inst.len(),
+        deep_workload.name(),
     );
     if !short {
         assert!(
@@ -80,47 +94,78 @@ fn main() {
         );
     }
 
-    let cells: Vec<GridCell<&str>> = ONLINE_ALGOS
+    // Cell input: (algo, deep workload?, linear-scan foil?). The foil
+    // cells re-run the two headline rules on the deep fleet with the
+    // seed's O(fleet) open-bin walk, so the indexed speedup is measured
+    // inside the artifact rather than against a stale baseline.
+    let mut cells: Vec<GridCell<(&str, bool, bool)>> = ONLINE_ALGOS
         .iter()
         .map(|algo| GridCell {
             label: algo.to_string(),
-            input: *algo,
+            input: (*algo, false, false),
         })
         .collect();
+    cells.extend(ONLINE_ALGOS.iter().map(|algo| GridCell {
+        label: format!("{algo}@deep"),
+        input: (*algo, true, false),
+    }));
+    cells.extend(["first-fit", "best-fit"].iter().map(|algo| GridCell {
+        label: format!("{algo}@deep/linear"),
+        input: (*algo, true, true),
+    }));
+    let n_cells = cells.len();
     let workers = if serial {
         1
     } else {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
-            .min(ONLINE_ALGOS.len())
+            .min(n_cells)
     };
     let inst_ref = &inst;
-    let results = run_grid(cells, Some(workers), move |algo: &&str| {
-        let mut packer = online_packer(algo, params);
-        let mut session = StreamingSession::new(ClairvoyanceMode::Clairvoyant, packer.as_mut());
-        let mut peak_open_bins = 0usize;
-        let mut peak_live_bytes = 0usize;
-        let started = Instant::now();
-        for (k, item) in inst_ref.items().iter().enumerate() {
-            session.arrive(item).expect("benchmark stream is valid");
-            peak_open_bins = peak_open_bins.max(session.open_bins());
-            if k % 1024 == 0 {
-                peak_live_bytes = peak_live_bytes.max(session.approx_live_bytes());
+    let deep_ref = &deep_inst;
+    let results = run_grid(
+        cells,
+        Some(workers),
+        move |&(algo, deep, linear): &(&str, bool, bool)| {
+            let inst = if deep { deep_ref } else { inst_ref };
+            let params = AlgoParams::from_instance(inst);
+            let mut packer = if linear {
+                online_packer_linear(algo, params)
+            } else {
+                online_packer(algo, params)
+            };
+            let mut session = StreamingSession::new(ClairvoyanceMode::Clairvoyant, packer.as_mut());
+            let mut peak_open_bins = 0usize;
+            let mut peak_live_bytes = 0usize;
+            let started = Instant::now();
+            for (k, item) in inst.items().iter().enumerate() {
+                session.arrive(item).expect("benchmark stream is valid");
+                peak_open_bins = peak_open_bins.max(session.open_bins());
+                if k % 1024 == 0 {
+                    peak_live_bytes = peak_live_bytes.max(session.approx_live_bytes());
+                }
             }
-        }
-        let run = session.finish().expect("stream drains cleanly");
-        let elapsed_s = started.elapsed().as_secs_f64();
-        AlgoReport {
-            items: inst_ref.len(),
-            elapsed_s,
-            items_per_sec: inst_ref.len() as f64 / elapsed_s,
-            peak_open_bins,
-            peak_live_bytes,
-            bins_opened: run.bins_opened(),
-            usage: run.usage,
-        }
-    });
+            let run = session.finish().expect("stream drains cleanly");
+            let elapsed_s = started.elapsed().as_secs_f64();
+            if deep && !short {
+                // The whole point of the cell: the fleet really is deep.
+                assert!(
+                    peak_open_bins >= 1000,
+                    "{algo}@deep peaked at only {peak_open_bins} open bins"
+                );
+            }
+            AlgoReport {
+                items: inst.len(),
+                elapsed_s,
+                items_per_sec: inst.len() as f64 / elapsed_s,
+                peak_open_bins,
+                peak_live_bytes,
+                bins_opened: run.bins_opened(),
+                usage: run.usage,
+            }
+        },
+    );
 
     let mut table = Table::new(&[
         "algo",
@@ -154,15 +199,33 @@ fn main() {
         workload.name(),
         inst.len()
     ));
+    json.push_str(&format!(
+        "  \"deep_workload\": {{ \"generator\": \"{}\", \"seed\": {SEED}, \"items\": {} }},\n",
+        deep_workload.name(),
+        deep_inst.len()
+    ));
     json.push_str(&format!("  \"parallel_workers\": {workers},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let o = &r.output;
+        // Labels are `algo`, `algo@deep`, or `algo@deep/linear`; the
+        // JSON keeps the roster name, workload, and scan machinery as
+        // separate fields so the perf gate can rebuild the right
+        // instance and packer variant per cell.
+        let (algo, rest) = match r.label.split_once('@') {
+            Some((a, w)) => (a, w),
+            None => (r.label.as_str(), "default"),
+        };
+        let (cell_workload, scan) = match rest.split_once('/') {
+            Some((w, s)) => (w, s),
+            None => (rest, "indexed"),
+        };
         json.push_str(&format!(
-            "    {{ \"algo\": \"{}\", \"items\": {}, \"elapsed_s\": {:.6}, \
+            "    {{ \"algo\": \"{algo}\", \"workload\": \"{cell_workload}\", \
+             \"scan\": \"{scan}\", \
+             \"items\": {}, \"elapsed_s\": {:.6}, \
              \"items_per_sec\": {:.0}, \"peak_open_bins\": {}, \
              \"peak_live_bytes\": {}, \"bins_opened\": {}, \"usage\": {} }}{}\n",
-            r.label,
             o.items,
             o.elapsed_s,
             o.items_per_sec,

@@ -6,8 +6,10 @@
 //! scans (long exponential durations keep a deep fleet — hundreds of
 //! open bins — and best-fit scans all of them per arrival). Sharding
 //! then wins even on one core: each shard's scan covers only its own
-//! K-times-smaller fleet. `host_parallelism` is recorded so single-core
-//! results are not mistaken for parallel speedup.
+//! K-times-smaller fleet. `host_parallelism` is recorded, and when a
+//! fleet asks for more worker threads than the host has cores the run
+//! warns on stderr and tags the JSON `"degraded_parallelism": true`, so
+//! single-core results are never mistaken for parallel speedup.
 //!
 //! Usage: `cargo run --release -p dbp-bench --bin bench_shard [-- flags]`
 //!
@@ -88,6 +90,24 @@ fn main() {
         inst.len(),
         workload.name(),
     );
+    // Provenance guard: if any fleet below asks for more workers than the
+    // host has cores, the threads time-slice one core and the speedup
+    // column measures scan-depth division, not parallelism. Say so loudly
+    // and tag the JSON so downstream readers can't mistake the numbers.
+    let max_workers = if serial {
+        1
+    } else {
+        *SHARD_COUNTS.iter().max().unwrap_or(&1)
+    };
+    let degraded_parallelism = max_workers > host_parallelism;
+    if degraded_parallelism {
+        eprintln!(
+            "WARNING: up to {max_workers} worker threads on a \
+             {host_parallelism}-core host — worker threads exceed cores, so \
+             multi-shard rows measure scan-depth division, NOT parallel \
+             speedup. The JSON report is tagged \"degraded_parallelism\": true.\n"
+        );
+    }
     if !short {
         assert!(
             inst.len() >= 1_000_000,
@@ -195,6 +215,9 @@ fn main() {
         ShardRouter::hash().name()
     ));
     json.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    json.push_str(&format!(
+        "  \"degraded_parallelism\": {degraded_parallelism},\n"
+    ));
     json.push_str("  \"speedup_8v1\": {");
     for (i, algo) in ALGOS.iter().enumerate() {
         json.push_str(&format!(

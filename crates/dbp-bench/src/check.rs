@@ -23,7 +23,7 @@
 //! job runs the gate twice: once expecting exit 0, once with an injected
 //! regression expecting exit 5).
 
-use crate::registry::{online_packer, AlgoParams};
+use crate::registry::{online_packer, online_packer_linear, AlgoParams};
 use dbp_core::stream::StreamingSession;
 use dbp_core::{ClairvoyanceMode, Instance};
 use dbp_obs::json::{self, Json};
@@ -48,6 +48,13 @@ pub struct BaselineCell {
     pub workers: usize,
     /// Telemetry variant for `telemetry-v1` cells (`"off"`/`"sampled"`).
     pub telemetry: Option<String>,
+    /// Workload variant the cell streamed (`None`/`"default"` for the
+    /// schema's standard recipe, `"deep"` for the 1000+-open-bin
+    /// deep-fleet cells the engine benchmark records).
+    pub workload: Option<String>,
+    /// Scan machinery the cell used (`None`/`"indexed"` for the fit
+    /// index, `"linear"` for the open-bin-walk foil cells).
+    pub scan: Option<String>,
     /// Recorded throughput.
     pub items_per_sec: f64,
 }
@@ -55,11 +62,29 @@ pub struct BaselineCell {
 impl BaselineCell {
     /// The display key the gate reports the cell under.
     pub fn label(&self) -> String {
-        match (&self.telemetry, self.shards) {
+        let base = match (&self.telemetry, self.shards) {
             (Some(t), _) => format!("{}/{t}", self.algo),
             (None, 1) => self.algo.clone(),
             (None, k) => format!("{}/k{k}", self.algo),
+        };
+        let base = match self.workload.as_deref() {
+            Some(w) if w != "default" => format!("{base}@{w}"),
+            _ => base,
+        };
+        match self.scan.as_deref() {
+            Some(s) if s != "indexed" => format!("{base}/{s}"),
+            _ => base,
         }
+    }
+
+    /// The workload recipe key this cell must be re-measured under.
+    fn workload_key(&self) -> &str {
+        self.workload.as_deref().unwrap_or("default")
+    }
+
+    /// Whether the cell must be re-measured with the linear-scan foil.
+    fn linear_scan(&self) -> bool {
+        self.scan.as_deref() == Some("linear")
     }
 }
 
@@ -118,6 +143,11 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
                 .get("telemetry")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            workload: cell
+                .get("workload")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            scan: cell.get("scan").and_then(Json::as_str).map(str::to_string),
             items_per_sec: field(cell, "items_per_sec")?
                 .as_f64()
                 .ok_or("items_per_sec is not a number")?,
@@ -144,20 +174,27 @@ fn horizon_for(mode: &str) -> Result<i64, String> {
     }
 }
 
-/// Regenerates the instance a baseline streamed: every schema uses
-/// Poisson(rate = 4) at seed 1; the shard benchmark additionally deepens
-/// the fleet with long exponential durations.
-pub fn baseline_instance(schema: &str, mode: &str) -> Result<Instance, String> {
+/// Regenerates the instance a baseline cell streamed: every schema uses
+/// Poisson(rate = 4) at seed 1; the shard benchmark's default recipe
+/// deepens the fleet with long exponential durations, and `"deep"` cells
+/// (the engine benchmark's 1000+-open-bin rows) use the even longer
+/// mean-1000 exponential durations their bench binary bakes in.
+pub fn baseline_instance(schema: &str, mode: &str, workload: &str) -> Result<Instance, String> {
     let horizon = horizon_for(mode)?;
-    let workload = PoissonWorkload::new(4.0, horizon);
-    let workload = if schema == "dbp-bench/shard-v1" {
-        workload.with_durations(DurationDist::Exponential {
+    let base = PoissonWorkload::new(4.0, horizon);
+    let workload = match (schema, workload) {
+        ("dbp-bench/shard-v1", "default") => base.with_durations(DurationDist::Exponential {
             mean: 500.0,
             min: 1,
             max: 5_000,
-        })
-    } else {
-        workload
+        }),
+        (_, "default") => base,
+        (_, "deep") => base.with_durations(DurationDist::Exponential {
+            mean: 1000.0,
+            min: 1,
+            max: 10_000,
+        }),
+        (_, other) => return Err(format!("unknown cell workload {other:?}")),
     };
     Ok(workload.generate_seeded(SEED))
 }
@@ -260,15 +297,23 @@ fn run_cell(schema: &str, inst: &Instance, cell: &BaselineCell) -> Result<f64, S
 fn run_cell_once(schema: &str, inst: &Instance, cell: &BaselineCell) -> Result<f64, String> {
     let params = AlgoParams::from_instance(inst);
     let err = |e: dbp_core::DbpError| format!("{}: {e}", cell.label());
+    // Foil cells are re-measured with the same linear-scan packer
+    // variant they recorded, so their (deliberately slow) baselines are
+    // compared like-for-like.
+    let make = |name: &str| {
+        if cell.linear_scan() {
+            online_packer_linear(name, params)
+        } else {
+            online_packer(name, params)
+        }
+    };
     let elapsed_s = match (schema, cell.telemetry.as_deref()) {
         ("dbp-bench/shard-v1", _) => {
             let cfg = ShardConfig {
                 threads: Some(cell.workers.max(1)),
                 ..ShardConfig::new(cell.shards.max(1), ShardRouter::hash())
             };
-            let packers = (0..cell.shards.max(1))
-                .map(|_| online_packer(&cell.algo, params))
-                .collect();
+            let packers = (0..cell.shards.max(1)).map(|_| make(&cell.algo)).collect();
             let mut fleet =
                 ShardedSession::new(ClairvoyanceMode::Clairvoyant, packers, cfg).map_err(err)?;
             let started = Instant::now();
@@ -279,7 +324,7 @@ fn run_cell_once(schema: &str, inst: &Instance, cell: &BaselineCell) -> Result<f
             started.elapsed().as_secs_f64()
         }
         (_, Some("sampled")) => {
-            let mut packer = online_packer(&cell.algo, params);
+            let mut packer = make(&cell.algo);
             let mut session = StreamingSession::with_observer(
                 ClairvoyanceMode::Clairvoyant,
                 packer.as_mut(),
@@ -294,7 +339,7 @@ fn run_cell_once(schema: &str, inst: &Instance, cell: &BaselineCell) -> Result<f
         }
         _ => {
             // Engine cells and telemetry-off cells: a bare session.
-            let mut packer = online_packer(&cell.algo, params);
+            let mut packer = make(&cell.algo);
             let mut session = StreamingSession::new(ClairvoyanceMode::Clairvoyant, packer.as_mut());
             let started = Instant::now();
             for item in inst.items() {
@@ -322,7 +367,9 @@ pub fn run_check(
     if !(0.0..100.0).contains(&inject_pct) {
         return Err(format!("inject {inject_pct}% out of range [0, 100)"));
     }
-    let inst = baseline_instance(&baseline.schema, &baseline.mode)?;
+    // Cells may stream different workload recipes (`default` vs `deep`);
+    // build each instance once and share it across its cells.
+    let mut instances: std::collections::HashMap<&str, Instance> = std::collections::HashMap::new();
     let mut rows = Vec::new();
     for cell in &baseline.cells {
         if cell.items_per_sec <= 0.0 {
@@ -331,7 +378,13 @@ pub fn run_check(
                 cell.label()
             ));
         }
-        let fresh_ips = run_cell(&baseline.schema, &inst, cell)? * (1.0 - inject_pct / 100.0);
+        let key = cell.workload_key();
+        if !instances.contains_key(key) {
+            let inst = baseline_instance(&baseline.schema, &baseline.mode, key)?;
+            instances.insert(key, inst);
+        }
+        let inst = &instances[key];
+        let fresh_ips = run_cell(&baseline.schema, inst, cell)? * (1.0 - inject_pct / 100.0);
         let delta_pct = (fresh_ips - cell.items_per_sec) / cell.items_per_sec * 100.0;
         rows.push(CheckRow {
             label: cell.label(),
@@ -392,6 +445,30 @@ mod tests {
           "results": [ { "algo": "first-fit", "telemetry": "sampled", "items_per_sec": 1000 } ] }"#;
         let b = parse_baseline(telem).unwrap();
         assert_eq!(b.cells[0].label(), "first-fit/sampled");
+
+        // Per-cell workload variants: "default" stays unsuffixed, "deep"
+        // shows up in the label and selects the deep-fleet recipe.
+        let deep = r#"{ "schema": "dbp-bench/engine-v1", "mode": "short",
+          "parallel_workers": 1,
+          "results": [
+            { "algo": "best-fit", "workload": "default", "scan": "indexed", "items_per_sec": 1000 },
+            { "algo": "best-fit", "workload": "deep", "items_per_sec": 1000 },
+            { "algo": "best-fit", "workload": "deep", "scan": "linear", "items_per_sec": 1000 }
+          ] }"#;
+        let b = parse_baseline(deep).unwrap();
+        assert_eq!(b.cells[0].label(), "best-fit");
+        assert_eq!(b.cells[1].label(), "best-fit@deep");
+        assert_eq!(b.cells[2].label(), "best-fit@deep/linear");
+        assert!(b.cells[2].linear_scan());
+        assert!(!b.cells[1].linear_scan());
+    }
+
+    #[test]
+    fn unknown_cell_workload_is_rejected() {
+        assert!(
+            baseline_instance("dbp-bench/engine-v1", "short", "shallow").is_err(),
+            "unknown workload recipes must not silently fall back"
+        );
     }
 
     #[test]
@@ -437,12 +514,14 @@ mod tests {
         // Measure once, write the measurement as the baseline, then
         // re-check with a 50% injected slowdown at 20% tolerance: the
         // gate must trip even though the machine did not change.
-        let inst = baseline_instance("dbp-bench/engine-v1", "short").unwrap();
+        let inst = baseline_instance("dbp-bench/engine-v1", "short", "default").unwrap();
         let cell = BaselineCell {
             algo: "first-fit".into(),
             shards: 1,
             workers: 1,
             telemetry: None,
+            workload: None,
+            scan: None,
             items_per_sec: 0.0,
         };
         let measured = run_cell("dbp-bench/engine-v1", &inst, &cell).unwrap();

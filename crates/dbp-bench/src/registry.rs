@@ -80,6 +80,36 @@ pub fn online_packer(name: &str, params: AlgoParams) -> Box<dyn OnlinePacker + S
     }
 }
 
+/// Builds the linear-scan variant of a roster packer: the same algorithm
+/// with the same parameters, but answering every placement by the seed's
+/// O(category) open-bin walk instead of the indexed fit queries. The two
+/// variants are decision-identical by construction; this factory exists
+/// so the audit harness (and the indexed-vs-linear CI smoke) can prove
+/// it on every run rather than trust it.
+///
+/// # Panics
+/// On an unknown name.
+pub fn online_packer_linear(name: &str, params: AlgoParams) -> Box<dyn OnlinePacker + Send> {
+    match name {
+        "first-fit" => Box::new(AnyFit::first_fit().with_linear_scan()),
+        "best-fit" => Box::new(AnyFit::best_fit().with_linear_scan()),
+        "worst-fit" => Box::new(AnyFit::worst_fit().with_linear_scan()),
+        "next-fit" => Box::new(AnyFit::next_fit().with_linear_scan()),
+        "hybrid-ff" => Box::new(HybridFirstFit::default().with_linear_scan()),
+        "cbdt" => Box::new(
+            ClassifyByDepartureTime::with_known_durations(params.delta, params.mu)
+                .with_linear_scan(),
+        ),
+        "cbd" => Box::new(
+            ClassifyByDuration::with_known_durations(params.delta, params.mu).with_linear_scan(),
+        ),
+        "combined" => Box::new(
+            CombinedClassify::with_known_durations(params.delta, params.mu).with_linear_scan(),
+        ),
+        other => panic!("unknown online algorithm {other:?}"),
+    }
+}
+
 /// Builds an offline packer by roster name.
 ///
 /// # Panics
@@ -108,6 +138,10 @@ mod tests {
         for name in ONLINE_ALGOS {
             let packer = online_packer(name, p);
             assert!(!packer.name().is_empty());
+            // The linear foil reports the same display name: it is the
+            // same algorithm, only the scan machinery differs.
+            let linear = online_packer_linear(name, p);
+            assert_eq!(linear.name(), packer.name());
         }
         for name in OFFLINE_ALGOS {
             let packer = offline_packer(name);

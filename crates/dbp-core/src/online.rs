@@ -263,21 +263,31 @@ pub trait OnlinePacker {
     /// earliest" tie-break is simply the first feasible element); use
     /// [`OpenBins::iter_tag`] to scan a single category in O(category)
     /// instead of O(fleet), and [`OpenBins::get`] for O(1) lookup by id.
+    /// For the Any-Fit rules, prefer the indexed queries
+    /// ([`OpenBins::first_fit`], [`OpenBins::best_fit`],
+    /// [`OpenBins::worst_fit`]): O(log category), decision-identical to
+    /// the linear scans, and they hand back the probe count to report
+    /// from [`OnlinePacker::last_scanned`].
     fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision;
 
-    /// How many candidate bins the most recent [`OnlinePacker::place`]
-    /// call inspected (including the chosen bin), or `None` if this
-    /// packer does not track it.
+    /// How much work the most recent [`OnlinePacker::place`] call did to
+    /// reach its decision, or `None` if this packer does not track it.
+    /// For a linear scan this is the number of candidate bins inspected
+    /// (including the chosen bin); for an indexed packer it is the number
+    /// of index nodes actually probed, as returned by the
+    /// [`OpenBins`] fit queries — *not* the size of the pool the index
+    /// covers.
     ///
     /// Observability hook: the engine reads this — only while an observer
     /// is attached — to fill `candidates_scanned` in
     /// [`crate::observe::PackEvent::PlacementDecided`]. Packers that scan
-    /// candidates anyway can report the exact count for free; when `None`
-    /// the engine falls back to the size of the open fleet (the candidate
-    /// *pool*). The count is a pure function of the decision stream, so
-    /// it is safe for replay-deterministic work metrics, and it is
-    /// transient per-call state: it does not belong in
-    /// [`OnlinePacker::save_state`].
+    /// or probe candidates anyway can report the exact count for free;
+    /// when `None` the engine falls back to the size of the open fleet
+    /// (the candidate *pool*), which deliberately over-reports — a packer
+    /// wanting faithful scan-depth histograms must implement this. The
+    /// count is a pure function of the decision stream, so it is safe for
+    /// replay-deterministic work metrics, and it is transient per-call
+    /// state: it does not belong in [`OnlinePacker::save_state`].
     fn last_scanned(&self) -> Option<usize> {
         None
     }

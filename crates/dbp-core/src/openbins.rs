@@ -14,28 +14,228 @@
 //! * a second intrusive list per tag, driving [`OpenBins::iter_tag`] so a
 //!   classification packer visits only its own category.
 //!
-//! Both iterators are double-ended (Next Fit takes the newest bin via
-//! `next_back`) and yield bins in exactly the order the seed's `Vec` did,
-//! which is what keeps indexed runs bit-identical to the seed engine —
-//! First Fit's "earliest opened" is still simply the first element, and
-//! `max_by_key`/`min_by_key` tie-breaking is unchanged.
+//! The slab is laid out struct-of-arrays: the traversal links and index
+//! keys ([`Links`]) live in one dense array, the bin payloads (levels,
+//! resident item lists) in another, so order walks and index maintenance
+//! touch small contiguous records instead of dragging every bin's item
+//! vector through the cache.
+//!
+//! ## Indexed fit queries
+//!
+//! On top of the order lists, `OpenBins` answers the three Any-Fit
+//! placement queries in O(log B) instead of O(B):
+//!
+//! * [`OpenBins::first_fit`] — earliest-opened bin of a tag with
+//!   residual ≥ size, via a max-gap tournament tree over the tag's
+//!   opening order;
+//! * [`OpenBins::best_fit`] — minimum residual ≥ size, via a residual-
+//!   ordered set keyed `(gap, opening-order)`;
+//! * [`OpenBins::worst_fit`] — maximum residual, same set.
+//!
+//! The keys are chosen so ties break *identically* to a linear
+//! `iter_tag` scan through `Iterator::max_by_key`/`min_by_key`:
+//!
+//! * First Fit takes the **earliest-opened** feasible bin (leftmost
+//!   feasible leaf in opening order).
+//! * Best Fit takes the fullest feasible bin, resolving level ties to
+//!   the **latest** opened (`max_by_key` keeps the last maximum), so the
+//!   set is ordered by `(gap, Reverse(seq))` and the query takes the
+//!   *smallest* element with `gap ≥ size`.
+//! * Worst Fit takes the emptiest bin, resolving ties to the
+//!   **earliest** opened (`min_by_key` keeps the first minimum) — the
+//!   *largest* element of the same set.
+//!
+//! `seq` is a per-tag opening sequence number, so both structures order
+//! bins exactly as the tag list iterates them. The structures are built
+//! lazily per `(tag, query kind)` on first use and maintained
+//! incrementally afterwards; a session that never issues a query (or
+//! only uses Next Fit, which reads the tag list tail in O(1)) pays
+//! nothing beyond one hash probe per level change. Each per-tag index is
+//! dropped when its tag's last bin closes. Decisions are proven
+//! bit-identical to the linear scan by the dbp-audit differential
+//! harness and the indexed-vs-linear proptest family.
 
-use crate::online::OpenBin;
+use crate::error::DbpError;
+use crate::item::ItemId;
+use crate::online::{ActiveItem, OpenBin};
 use crate::packing::BinId;
-use std::collections::HashMap;
+use crate::size::Size;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 
 /// Sentinel for "no slot" in the intrusive lists.
 const NIL: u32 = u32::MAX;
 
-#[derive(Clone, Debug)]
-struct Slot {
-    bin: OpenBin,
+/// Per-slot traversal links and index keys, kept apart from the bin
+/// payload (struct-of-arrays) so order walks stay cache-dense.
+#[derive(Clone, Copy, Debug)]
+struct Links {
     /// Opening-order list links.
     prev: u32,
     next: u32,
     /// Per-tag opening-order list links.
     tag_prev: u32,
     tag_next: u32,
+    /// Per-tag opening sequence number: the fit index's tie-break key.
+    seq: u64,
+}
+
+/// Head/tail of one tag's opening-order list plus its sequence counter.
+#[derive(Clone, Copy, Debug)]
+struct TagList {
+    head: u32,
+    tail: u32,
+    next_seq: u64,
+}
+
+/// A residual-ordered entry: `(gap, Reverse(per-tag seq), slot)`. The
+/// first two fields are unique per bin; the slot rides along for O(1)
+/// resolution of the chosen bin.
+type GapKey = (u64, Reverse<u64>, u32);
+
+/// The lazily-built fit structures of one tag.
+#[derive(Clone, Debug, Default)]
+struct FitIndex {
+    /// Max-gap tournament tree over the tag's opening order (First Fit).
+    seg: Option<GapTree>,
+    /// Residual-ordered set (Best/Worst Fit).
+    ordered: Option<BTreeSet<GapKey>>,
+}
+
+/// Interior-mutable index state: queries take `&OpenBins` (packers hold a
+/// shared borrow inside `place`) but must be able to build structures on
+/// first use.
+#[derive(Clone, Debug, Default)]
+struct FitState {
+    by_tag: HashMap<u64, FitIndex>,
+    /// slot → leaf position in its tag's [`GapTree`] (meaningful only
+    /// while that tree exists).
+    pos: Vec<u32>,
+}
+
+/// A max-gap tournament (segment) tree over one tag's opening order.
+///
+/// Leaf `p` holds the residual gap of the `p`-th-opened live bin of the
+/// tag; internal nodes hold the max of their children. Dead or
+/// unallocated leaves hold gap 0, which no valid item size (raw ≥ 1) can
+/// match, so removals are O(log) leaf kills and the leftmost-feasible
+/// descent never lands on a closed bin. When more than half the
+/// positions are dead the tree compacts, preserving relative order, so
+/// memory stays proportional to the live fleet.
+#[derive(Clone, Debug)]
+struct GapTree {
+    /// Heap layout: `node[1]` is the root, leaf `p` lives at `node[cap + p]`.
+    node: Vec<u64>,
+    cap: usize,
+    /// Leaf position → slab slot; [`NIL`] marks dead positions.
+    slot_at: Vec<u32>,
+    live: usize,
+}
+
+impl GapTree {
+    fn new() -> GapTree {
+        GapTree {
+            node: vec![0; 2],
+            cap: 1,
+            slot_at: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Appends a live leaf in opening order, returning its position.
+    /// `moved` is invoked with `(slot, new_pos)` for every relocated
+    /// leaf if the append forces a rebuild.
+    fn append(&mut self, slot: u32, gap: u64, moved: impl FnMut(u32, u32)) -> u32 {
+        if self.slot_at.len() == self.cap {
+            self.rebuild(self.cap * 2, moved);
+        }
+        let p = self.slot_at.len() as u32;
+        self.slot_at.push(slot);
+        self.live += 1;
+        self.set(p, gap);
+        p
+    }
+
+    /// Updates the gap at `pos` and restores the max property upward.
+    fn set(&mut self, pos: u32, gap: u64) {
+        let mut i = self.cap + pos as usize;
+        self.node[i] = gap;
+        while i > 1 {
+            i /= 2;
+            let m = self.node[2 * i].max(self.node[2 * i + 1]);
+            if self.node[i] == m {
+                break;
+            }
+            self.node[i] = m;
+        }
+    }
+
+    /// Kills the leaf at `pos` (bin closed).
+    fn kill(&mut self, pos: u32) {
+        self.slot_at[pos as usize] = NIL;
+        self.set(pos, 0);
+        self.live -= 1;
+    }
+
+    /// Whether dead positions outnumber live ones enough to compact.
+    /// The floor keeps tiny tags from churning.
+    fn needs_compact(&self) -> bool {
+        self.slot_at.len() >= 64 && self.live * 2 < self.slot_at.len()
+    }
+
+    /// Rebuilds with capacity ≥ `min_cap`, dropping dead positions while
+    /// preserving relative (opening) order. `moved` receives every
+    /// surviving leaf's `(slot, new_pos)`.
+    fn rebuild(&mut self, min_cap: usize, mut moved: impl FnMut(u32, u32)) {
+        let entries: Vec<(u32, u64)> = self
+            .slot_at
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s != NIL)
+            .map(|(p, &s)| (s, self.node[self.cap + p]))
+            .collect();
+        let cap = entries.len().max(min_cap).max(1).next_power_of_two();
+        self.node.clear();
+        self.node.resize(2 * cap, 0);
+        self.cap = cap;
+        self.slot_at.clear();
+        self.live = entries.len();
+        for (p, (slot, gap)) in entries.into_iter().enumerate() {
+            self.slot_at.push(slot);
+            self.node[cap + p] = gap;
+            moved(slot, p as u32);
+        }
+        for i in (1..cap).rev() {
+            self.node[i] = self.node[2 * i].max(self.node[2 * i + 1]);
+        }
+    }
+
+    /// The leftmost (earliest-opened) live leaf with gap ≥ `size`,
+    /// together with the number of tree nodes probed.
+    fn query(&self, size: u64) -> (Option<u32>, usize) {
+        if self.live == 0 {
+            return (None, 0);
+        }
+        let mut probes = 1;
+        if self.node[1] < size {
+            return (None, probes);
+        }
+        let mut i = 1;
+        while i < self.cap {
+            probes += 1;
+            i *= 2;
+            if self.node[i] < size {
+                i += 1;
+            }
+        }
+        (Some(self.slot_at[i - self.cap]), probes)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.node.capacity() * std::mem::size_of::<u64>()
+            + self.slot_at.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 /// The set of currently open bins, ordered by opening time.
@@ -43,31 +243,47 @@ struct Slot {
 /// Packers receive `&OpenBins` in [`crate::online::OnlinePacker::place`].
 /// Use [`OpenBins::iter`] (or `for bin in open_bins`) to scan the whole
 /// fleet in opening order, [`OpenBins::iter_tag`] to scan one category,
-/// and [`OpenBins::get`] for O(1) lookup by id.
-#[derive(Clone, Debug, Default)]
+/// [`OpenBins::get`] for O(1) lookup by id, and the indexed fit queries
+/// ([`OpenBins::first_fit`], [`OpenBins::best_fit`],
+/// [`OpenBins::worst_fit`]) for O(log category) placement decisions that
+/// match the linear scan bit for bit.
+#[derive(Clone, Debug)]
 pub struct OpenBins {
-    slots: Vec<Option<Slot>>,
+    /// Slab payload (struct-of-arrays: cold half).
+    bins: Vec<Option<OpenBin>>,
+    /// Slab links and index keys (struct-of-arrays: hot half). Entries
+    /// for free slots are stale and rewritten on insert.
+    links: Vec<Links>,
     free: Vec<u32>,
     index: HashMap<BinId, u32>,
     /// Head/tail of the global opening-order list.
     head: u32,
     tail: u32,
-    /// Tag → (head, tail) of that tag's opening-order list. Entries are
-    /// removed when a tag's last bin closes, so the map tracks *live*
-    /// tags only.
-    tags: HashMap<u64, (u32, u32)>,
+    /// Tag → that tag's opening-order list. Entries are removed when a
+    /// tag's last bin closes, so the map tracks *live* tags only.
+    tags: HashMap<u64, TagList>,
+    /// Lazily-built fit-query structures (see module docs).
+    fit: RefCell<FitState>,
+}
+
+impl Default for OpenBins {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OpenBins {
     /// An empty open set.
     pub fn new() -> OpenBins {
         OpenBins {
-            slots: Vec::new(),
+            bins: Vec::new(),
+            links: Vec::new(),
             free: Vec::new(),
             index: HashMap::new(),
             head: NIL,
             tail: NIL,
             tags: HashMap::new(),
+            fit: RefCell::new(FitState::default()),
         }
     }
 
@@ -81,11 +297,13 @@ impl OpenBins {
         self.index.is_empty()
     }
 
+    fn bin_at(&self, s: u32) -> &OpenBin {
+        self.bins[s as usize].as_ref().expect("linked slot")
+    }
+
     /// The bin with this id, if it is open. O(1).
     pub fn get(&self, id: BinId) -> Option<&OpenBin> {
-        self.index
-            .get(&id)
-            .map(|&s| &self.slots[s as usize].as_ref().expect("indexed slot").bin)
+        self.index.get(&id).map(|&s| self.bin_at(s))
     }
 
     /// Whether the bin with this id is open. O(1).
@@ -106,7 +324,8 @@ impl OpenBins {
     /// All open bins in opening order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
-            slots: &self.slots,
+            bins: &self.bins,
+            links: &self.links,
             front: self.head,
             back: self.tail,
             by_tag: false,
@@ -118,9 +337,14 @@ impl OpenBins {
     /// category: cost is proportional to the category's size, not the
     /// fleet's.
     pub fn iter_tag(&self, tag: u64) -> Iter<'_> {
-        let (head, tail) = self.tags.get(&tag).copied().unwrap_or((NIL, NIL));
+        let (head, tail) = self
+            .tags
+            .get(&tag)
+            .map(|t| (t.head, t.tail))
+            .unwrap_or((NIL, NIL));
         Iter {
-            slots: &self.slots,
+            bins: &self.bins,
+            links: &self.links,
             front: head,
             back: tail,
             by_tag: true,
@@ -130,130 +354,528 @@ impl OpenBins {
 
     /// Position of the bin in opening order (0-based), if open. O(open):
     /// a diagnostic convenience for tests and tools — the engine itself
-    /// never calls this (per-placement scan depth is reported by the
+    /// never calls this (per-placement probe counts are reported by the
     /// packer via `OnlinePacker::last_scanned`, which is O(1) to read).
     pub fn position(&self, id: BinId) -> Option<usize> {
         self.iter().position(|b| b.id() == id)
     }
 
-    /// Mutable access for the engine. O(1).
-    pub(crate) fn get_mut(&mut self, id: BinId) -> Option<&mut OpenBin> {
-        let s = *self.index.get(&id)?;
-        Some(&mut self.slots[s as usize].as_mut().expect("indexed slot").bin)
+    /// The slots of `tag`'s bins in opening order.
+    fn tag_slots(&self, tag: u64) -> impl Iterator<Item = u32> + '_ {
+        let head = self.tags.get(&tag).map(|t| t.head).unwrap_or(NIL);
+        std::iter::successors((head != NIL).then_some(head), move |&s| {
+            let n = self.links[s as usize].tag_next;
+            (n != NIL).then_some(n)
+        })
     }
 
-    /// Appends a newly opened bin (engine-internal). O(1).
+    // ------------------------------------------------------------------
+    // Indexed fit queries
+    // ------------------------------------------------------------------
+
+    /// Indexed First Fit within `tag`: the earliest-opened bin with
+    /// residual ≥ `size`, or `None` if no bin of the tag fits. Returns
+    /// the decision together with the number of index nodes probed
+    /// (surfaced through `OnlinePacker::last_scanned`). O(log category);
+    /// the first call on a tag builds its tree in O(category).
+    ///
+    /// `size` must be a valid (positive) item size.
+    pub fn first_fit(&self, tag: u64, size: Size) -> (Option<BinId>, usize) {
+        debug_assert!(size.raw() >= 1, "fit queries require a positive size");
+        let mut st = self.fit.borrow_mut();
+        let FitState { by_tag, pos } = &mut *st;
+        let entry = by_tag.entry(tag).or_default();
+        if entry.seg.is_none() {
+            let mut tree = GapTree::new();
+            for s in self.tag_slots(tag) {
+                let p = tree.append(s, self.bin_at(s).gap().raw(), |sl, pp| {
+                    pos[sl as usize] = pp
+                });
+                pos[s as usize] = p;
+            }
+            entry.seg = Some(tree);
+        }
+        let (slot, probes) = entry
+            .seg
+            .as_ref()
+            .expect("just built")
+            .query(size.raw().max(1));
+        (slot.map(|s| self.bin_at(s).id()), probes)
+    }
+
+    /// Indexed Best Fit within `tag`: the fullest bin with residual ≥
+    /// `size`, level ties resolved to the **latest** opened — exactly the
+    /// bin a linear opening-order scan through `max_by_key(level)` keeps.
+    /// Returns the decision and the probe count. O(log category) after a
+    /// first-use O(category·log) build.
+    pub fn best_fit(&self, tag: u64, size: Size) -> (Option<BinId>, usize) {
+        debug_assert!(size.raw() >= 1, "fit queries require a positive size");
+        let mut st = self.fit.borrow_mut();
+        let set = self.ordered_set(&mut st, tag);
+        let probes = usize::from(!set.is_empty());
+        match set.range((size.raw(), Reverse(u64::MAX), 0u32)..).next() {
+            Some(&(_, _, slot)) => (Some(self.bin_at(slot).id()), probes),
+            None => (None, probes),
+        }
+    }
+
+    /// Indexed Worst Fit within `tag`: the emptiest bin if it fits,
+    /// level ties resolved to the **earliest** opened — exactly the bin
+    /// a linear scan through `min_by_key(level)` keeps. (If the
+    /// emptiest bin cannot take `size`, no bin can.) Returns the
+    /// decision and the probe count.
+    pub fn worst_fit(&self, tag: u64, size: Size) -> (Option<BinId>, usize) {
+        debug_assert!(size.raw() >= 1, "fit queries require a positive size");
+        let mut st = self.fit.borrow_mut();
+        let set = self.ordered_set(&mut st, tag);
+        let probes = usize::from(!set.is_empty());
+        match set.iter().next_back() {
+            Some(&(gap, _, slot)) if gap >= size.raw() => (Some(self.bin_at(slot).id()), probes),
+            _ => (None, probes),
+        }
+    }
+
+    /// The residual-ordered set of `tag`, built on first use.
+    fn ordered_set<'a>(&self, st: &'a mut FitState, tag: u64) -> &'a BTreeSet<GapKey> {
+        let entry = st.by_tag.entry(tag).or_default();
+        if entry.ordered.is_none() {
+            entry.ordered = Some(
+                self.tag_slots(tag)
+                    .map(|s| {
+                        let b = self.bin_at(s);
+                        (b.gap().raw(), Reverse(self.links[s as usize].seq), s)
+                    })
+                    .collect(),
+            );
+        }
+        entry.ordered.as_ref().expect("just built")
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-internal mutation (every level change flows through here so
+    // the fit structures can never drift from the bins)
+    // ------------------------------------------------------------------
+
+    /// Adds an item to an open bin, enforcing capacity. Returns `None`
+    /// if the bin is not open; otherwise the bin's level after the push.
+    pub(crate) fn push_to(
+        &mut self,
+        id: BinId,
+        active: ActiveItem,
+        size: Size,
+    ) -> Option<Result<Size, DbpError>> {
+        let s = *self.index.get(&id)?;
+        let bin = self.bins[s as usize].as_mut().expect("indexed slot");
+        let old_gap = bin.gap().raw();
+        if let Err(e) = bin.push_item(active, size) {
+            return Some(Err(e));
+        }
+        let (level, new_gap, tag) = (bin.level(), bin.gap().raw(), bin.tag());
+        let seq = self.links[s as usize].seq;
+        self.fit_level_changed(tag, s, seq, old_gap, new_gap);
+        Some(Ok(level))
+    }
+
+    /// Removes a departing item from an open bin. Returns `None` if the
+    /// bin is not open; otherwise `(became_empty, level_after)`. The
+    /// caller still owns closing the bin (via [`OpenBins::remove`]) when
+    /// it emptied.
+    pub(crate) fn remove_from(
+        &mut self,
+        id: BinId,
+        item: ItemId,
+    ) -> Option<Result<(bool, Size), DbpError>> {
+        let s = *self.index.get(&id)?;
+        let bin = self.bins[s as usize].as_mut().expect("indexed slot");
+        let old_gap = bin.gap().raw();
+        let became_empty = match bin.remove_item(item) {
+            Ok(e) => e,
+            Err(e) => return Some(Err(e)),
+        };
+        let (level, new_gap, tag) = (bin.level(), bin.gap().raw(), bin.tag());
+        let seq = self.links[s as usize].seq;
+        self.fit_level_changed(tag, s, seq, old_gap, new_gap);
+        Some(Ok((became_empty, level)))
+    }
+
+    /// Propagates a level change into the tag's active fit structures.
+    fn fit_level_changed(&mut self, tag: u64, slot: u32, seq: u64, old_gap: u64, new_gap: u64) {
+        let FitState { by_tag, pos } = self.fit.get_mut();
+        if by_tag.is_empty() {
+            return;
+        }
+        let Some(entry) = by_tag.get_mut(&tag) else {
+            return;
+        };
+        if let Some(tree) = entry.seg.as_mut() {
+            tree.set(pos[slot as usize], new_gap);
+        }
+        if let Some(set) = entry.ordered.as_mut() {
+            set.remove(&(old_gap, Reverse(seq), slot));
+            set.insert((new_gap, Reverse(seq), slot));
+        }
+    }
+
+    /// Appends a newly opened bin (engine-internal). O(1) plus O(log)
+    /// per active fit structure of the tag.
     pub(crate) fn insert(&mut self, bin: OpenBin) {
         let id = bin.id();
         let tag = bin.tag();
+        let gap = bin.gap().raw();
         debug_assert!(!self.index.contains_key(&id), "bin {id:?} already open");
 
         let s = match self.free.pop() {
             Some(s) => s,
             None => {
-                self.slots.push(None);
-                (self.slots.len() - 1) as u32
+                self.bins.push(None);
+                self.links.push(Links {
+                    prev: NIL,
+                    next: NIL,
+                    tag_prev: NIL,
+                    tag_next: NIL,
+                    seq: 0,
+                });
+                self.fit.get_mut().pos.push(NIL);
+                (self.bins.len() - 1) as u32
             }
         };
 
-        let (tag_prev, _) = match self.tags.get_mut(&tag) {
+        let (tag_prev, seq) = match self.tags.get_mut(&tag) {
             Some(entry) => {
-                let old_tail = entry.1;
-                entry.1 = s;
-                (old_tail, ())
+                let old_tail = entry.tail;
+                entry.tail = s;
+                let seq = entry.next_seq;
+                entry.next_seq += 1;
+                (old_tail, seq)
             }
             None => {
-                self.tags.insert(tag, (s, s));
-                (NIL, ())
+                self.tags.insert(
+                    tag,
+                    TagList {
+                        head: s,
+                        tail: s,
+                        next_seq: 1,
+                    },
+                );
+                (NIL, 0)
             }
         };
         if tag_prev != NIL {
-            self.slots[tag_prev as usize]
-                .as_mut()
-                .expect("tag tail slot")
-                .tag_next = s;
+            self.links[tag_prev as usize].tag_next = s;
         }
 
         let prev = self.tail;
         if prev != NIL {
-            self.slots[prev as usize].as_mut().expect("tail slot").next = s;
+            self.links[prev as usize].next = s;
         } else {
             self.head = s;
         }
         self.tail = s;
 
-        self.slots[s as usize] = Some(Slot {
-            bin,
+        self.links[s as usize] = Links {
             prev,
             next: NIL,
             tag_prev,
             tag_next: NIL,
-        });
+            seq,
+        };
+        self.bins[s as usize] = Some(bin);
         self.index.insert(id, s);
+        self.fit_on_insert(tag, s, gap, seq);
     }
 
-    /// Removes a closed bin and returns it (engine-internal). O(1).
+    fn fit_on_insert(&mut self, tag: u64, slot: u32, gap: u64, seq: u64) {
+        let FitState { by_tag, pos } = self.fit.get_mut();
+        if by_tag.is_empty() {
+            return;
+        }
+        let Some(entry) = by_tag.get_mut(&tag) else {
+            return;
+        };
+        if let Some(tree) = entry.seg.as_mut() {
+            let p = tree.append(slot, gap, |sl, pp| pos[sl as usize] = pp);
+            pos[slot as usize] = p;
+        }
+        if let Some(set) = entry.ordered.as_mut() {
+            set.insert((gap, Reverse(seq), slot));
+        }
+    }
+
+    /// Removes a closed bin and returns it (engine-internal). O(1) plus
+    /// amortized O(log) per active fit structure of the tag.
     pub(crate) fn remove(&mut self, id: BinId) -> Option<OpenBin> {
         let s = self.index.remove(&id)?;
-        let slot = self.slots[s as usize].take().expect("indexed slot");
+        let bin = self.bins[s as usize].take().expect("indexed slot");
+        let links = self.links[s as usize];
 
         // Unlink from the global opening-order list.
-        if slot.prev != NIL {
-            self.slots[slot.prev as usize]
-                .as_mut()
-                .expect("prev slot")
-                .next = slot.next;
+        if links.prev != NIL {
+            self.links[links.prev as usize].next = links.next;
         } else {
-            self.head = slot.next;
+            self.head = links.next;
         }
-        if slot.next != NIL {
-            self.slots[slot.next as usize]
-                .as_mut()
-                .expect("next slot")
-                .prev = slot.prev;
+        if links.next != NIL {
+            self.links[links.next as usize].prev = links.prev;
         } else {
-            self.tail = slot.prev;
+            self.tail = links.prev;
         }
 
         // Unlink from the tag list, dropping the tag entry when it empties.
-        let tag = slot.bin.tag();
-        if slot.tag_prev != NIL {
-            self.slots[slot.tag_prev as usize]
-                .as_mut()
-                .expect("tag prev slot")
-                .tag_next = slot.tag_next;
+        let tag = bin.tag();
+        if links.tag_prev != NIL {
+            self.links[links.tag_prev as usize].tag_next = links.tag_next;
         }
-        if slot.tag_next != NIL {
-            self.slots[slot.tag_next as usize]
-                .as_mut()
-                .expect("tag next slot")
-                .tag_prev = slot.tag_prev;
+        if links.tag_next != NIL {
+            self.links[links.tag_next as usize].tag_prev = links.tag_prev;
         }
         let entry = self.tags.get_mut(&tag).expect("open tag entry");
-        if entry.0 == s && entry.1 == s {
+        let mut tag_died = false;
+        if entry.head == s && entry.tail == s {
             self.tags.remove(&tag);
-        } else if entry.0 == s {
-            entry.0 = slot.tag_next;
-        } else if entry.1 == s {
-            entry.1 = slot.tag_prev;
+            tag_died = true;
+        } else if entry.head == s {
+            entry.head = links.tag_next;
+        } else if entry.tail == s {
+            entry.tail = links.tag_prev;
         }
 
         self.free.push(s);
-        Some(slot.bin)
+        self.fit_on_remove(tag, s, bin.gap().raw(), links.seq, tag_died);
+        Some(bin)
+    }
+
+    fn fit_on_remove(&mut self, tag: u64, slot: u32, gap: u64, seq: u64, tag_died: bool) {
+        let FitState { by_tag, pos } = self.fit.get_mut();
+        if by_tag.is_empty() {
+            return;
+        }
+        if tag_died {
+            // The tag's structures die with it: memory stays bounded by
+            // the live fleet (CBDT retires categories forever), and a
+            // revived tag rebuilds from its then-live bins.
+            by_tag.remove(&tag);
+            return;
+        }
+        let Some(entry) = by_tag.get_mut(&tag) else {
+            return;
+        };
+        if let Some(tree) = entry.seg.as_mut() {
+            tree.kill(pos[slot as usize]);
+            if tree.needs_compact() {
+                tree.rebuild(0, |sl, pp| pos[sl as usize] = pp);
+            }
+        }
+        if let Some(set) = entry.ordered.as_mut() {
+            set.remove(&(gap, Reverse(seq), slot));
+        }
     }
 
     /// Bytes of heap-adjacent state held per open slot — a cheap live-state
     /// proxy used by the benchmark's RSS estimate.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.slots.capacity() * size_of::<Option<Slot>>()
+        let fit = self.fit.borrow();
+        let fit_bytes: usize = fit.pos.capacity() * size_of::<u32>()
+            + fit
+                .by_tag
+                .values()
+                .map(|e| {
+                    e.seg.as_ref().map(GapTree::approx_bytes).unwrap_or(0)
+                        + e.ordered
+                            .as_ref()
+                            .map(|s| s.len() * size_of::<GapKey>())
+                            .unwrap_or(0)
+                })
+                .sum::<usize>();
+        self.bins.capacity() * size_of::<Option<OpenBin>>()
+            + self.links.capacity() * size_of::<Links>()
             + self.free.capacity() * size_of::<u32>()
             + self.index.capacity() * (size_of::<BinId>() + size_of::<u32>())
-            + self.tags.capacity() * (size_of::<u64>() + 2 * size_of::<u32>())
+            + self.tags.capacity() * (size_of::<u64>() + size_of::<TagList>())
+            + fit_bytes
             + self
                 .iter()
                 .map(|b| std::mem::size_of_val(b.items()))
                 .sum::<usize>()
+    }
+
+    /// Exhaustively checks every internal invariant: slab/index/free-list
+    /// agreement, both intrusive lists, per-tag sequence monotonicity,
+    /// and — for every active fit structure — exact agreement with the
+    /// bins it indexes. O(everything); meant for tests and the
+    /// index-consistency proptests, never the hot path.
+    #[doc(hidden)]
+    pub fn validate(&self) -> Result<(), String> {
+        let err = |what: String| Err(what);
+        if self.bins.len() != self.links.len() {
+            return err(format!(
+                "SoA skew: {} bins vs {} links",
+                self.bins.len(),
+                self.links.len()
+            ));
+        }
+        let live: Vec<u32> = (0..self.bins.len() as u32)
+            .filter(|&s| self.bins[s as usize].is_some())
+            .collect();
+        if live.len() != self.index.len() {
+            return err(format!(
+                "{} live slots but {} index entries",
+                live.len(),
+                self.index.len()
+            ));
+        }
+        for (&id, &s) in &self.index {
+            match self.bins.get(s as usize).and_then(Option::as_ref) {
+                Some(b) if b.id() == id => {}
+                _ => return err(format!("index maps {id:?} to a bad slot {s}")),
+            }
+        }
+        // Free list covers exactly the dead slots, once each.
+        let mut free_set = std::collections::HashSet::new();
+        for &f in &self.free {
+            if !free_set.insert(f) {
+                return err(format!("slot {f} on the free list twice"));
+            }
+            if self.bins.get(f as usize).map(Option::is_some) != Some(false) {
+                return err(format!("free slot {f} is live or out of range"));
+            }
+        }
+        if free_set.len() + live.len() != self.bins.len() {
+            return err("free list and live slots do not partition the slab".into());
+        }
+        // Global list: a consistent double-linked walk over all live slots.
+        let mut order = Vec::new();
+        let mut cur = self.head;
+        let mut prev = NIL;
+        while cur != NIL {
+            if self.bins[cur as usize].is_none() {
+                return err(format!("global list visits dead slot {cur}"));
+            }
+            if self.links[cur as usize].prev != prev {
+                return err(format!("slot {cur} has a bad prev link"));
+            }
+            order.push(cur);
+            prev = cur;
+            cur = self.links[cur as usize].next;
+            if order.len() > self.bins.len() {
+                return err("global list cycles".into());
+            }
+        }
+        if self.tail != prev {
+            return err("tail does not end the global list".into());
+        }
+        if order.len() != live.len() {
+            return err(format!(
+                "global list visits {} of {} live bins",
+                order.len(),
+                live.len()
+            ));
+        }
+        let rank: HashMap<u32, usize> = order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        // Tag lists: partition the fleet, preserve global order, and
+        // carry strictly increasing sequence numbers.
+        let mut tagged = 0usize;
+        for (&tag, list) in &self.tags {
+            let mut cur = list.head;
+            let mut prev = NIL;
+            let mut last_rank = None;
+            let mut last_seq = None;
+            while cur != NIL {
+                let b = self
+                    .bins
+                    .get(cur as usize)
+                    .and_then(Option::as_ref)
+                    .ok_or_else(|| format!("tag {tag} list visits dead slot {cur}"))?;
+                if b.tag() != tag {
+                    return err(format!("tag {tag} list holds a bin tagged {}", b.tag()));
+                }
+                if self.links[cur as usize].tag_prev != prev {
+                    return err(format!("slot {cur} has a bad tag_prev link"));
+                }
+                let r = rank[&cur];
+                if last_rank.is_some_and(|lr| lr >= r) {
+                    return err(format!("tag {tag} list breaks opening order"));
+                }
+                let seq = self.links[cur as usize].seq;
+                if last_seq.is_some_and(|ls| ls >= seq) {
+                    return err(format!("tag {tag} sequence numbers not increasing"));
+                }
+                if seq >= list.next_seq {
+                    return err(format!("tag {tag} holds seq {seq} >= next_seq"));
+                }
+                last_rank = Some(r);
+                last_seq = Some(seq);
+                tagged += 1;
+                prev = cur;
+                cur = self.links[cur as usize].tag_next;
+                if tagged > live.len() {
+                    return err("tag lists cycle".into());
+                }
+            }
+            if list.tail != prev {
+                return err(format!("tag {tag} tail does not end its list"));
+            }
+            if list.head == NIL {
+                return err(format!("tag {tag} entry is empty but retained"));
+            }
+        }
+        if tagged != live.len() {
+            return err(format!(
+                "tag lists cover {tagged} of {} live bins",
+                live.len()
+            ));
+        }
+        // Fit structures: exact agreement with the bins they index.
+        let fit = self.fit.borrow();
+        for (&tag, entry) in &fit.by_tag {
+            let slots: Vec<u32> = self.tag_slots(tag).collect();
+            if let Some(tree) = entry.seg.as_ref() {
+                if tree.live != slots.len() {
+                    return err(format!(
+                        "tag {tag} tree tracks {} of {} bins",
+                        tree.live,
+                        slots.len()
+                    ));
+                }
+                let mut last_pos = None;
+                for &s in &slots {
+                    let p = fit.pos[s as usize];
+                    if tree.slot_at.get(p as usize) != Some(&s) {
+                        return err(format!("tag {tag} slot {s} lost its tree leaf"));
+                    }
+                    if tree.node[tree.cap + p as usize] != self.bin_at(s).gap().raw() {
+                        return err(format!("tag {tag} slot {s} leaf gap is stale"));
+                    }
+                    if last_pos.is_some_and(|lp| lp >= p) {
+                        return err(format!("tag {tag} tree breaks opening order"));
+                    }
+                    last_pos = Some(p);
+                }
+                for (p, &s) in tree.slot_at.iter().enumerate() {
+                    if s != NIL && !slots.contains(&s) {
+                        return err(format!("tag {tag} tree leaf {p} points at a foreign slot"));
+                    }
+                }
+                for i in 1..tree.cap {
+                    if tree.node[i] != tree.node[2 * i].max(tree.node[2 * i + 1]) {
+                        return err(format!("tag {tag} tree node {i} violates max property"));
+                    }
+                }
+            }
+            if let Some(set) = entry.ordered.as_ref() {
+                let expect: BTreeSet<GapKey> = slots
+                    .iter()
+                    .map(|&s| {
+                        let b = self.bin_at(s);
+                        (b.gap().raw(), Reverse(self.links[s as usize].seq), s)
+                    })
+                    .collect();
+                if *set != expect {
+                    return err(format!("tag {tag} residual-ordered set is stale"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -272,7 +894,8 @@ impl<'a> IntoIterator for &'a OpenBins {
 /// (one category).
 #[derive(Clone, Debug)]
 pub struct Iter<'a> {
-    slots: &'a [Option<Slot>],
+    bins: &'a [Option<OpenBin>],
+    links: &'a [Links],
     front: u32,
     back: u32,
     by_tag: bool,
@@ -280,8 +903,8 @@ pub struct Iter<'a> {
 }
 
 impl<'a> Iter<'a> {
-    fn slot(&self, s: u32) -> &'a Slot {
-        self.slots[s as usize].as_ref().expect("linked slot")
+    fn bin(&self, s: u32) -> &'a OpenBin {
+        self.bins[s as usize].as_ref().expect("linked slot")
     }
 }
 
@@ -293,17 +916,17 @@ impl<'a> Iterator for Iter<'a> {
             return None;
         }
         let cur = self.front;
-        let slot = self.slot(cur);
         if cur == self.back {
             self.done = true;
         } else {
+            let links = &self.links[cur as usize];
             self.front = if self.by_tag {
-                slot.tag_next
+                links.tag_next
             } else {
-                slot.next
+                links.next
             };
         }
-        Some(&slot.bin)
+        Some(self.bin(cur))
     }
 }
 
@@ -313,17 +936,17 @@ impl<'a> DoubleEndedIterator for Iter<'a> {
             return None;
         }
         let cur = self.back;
-        let slot = self.slot(cur);
         if cur == self.front {
             self.done = true;
         } else {
+            let links = &self.links[cur as usize];
             self.back = if self.by_tag {
-                slot.tag_prev
+                links.tag_prev
             } else {
-                slot.prev
+                links.prev
             };
         }
-        Some(&slot.bin)
+        Some(self.bin(cur))
     }
 }
 
@@ -344,6 +967,19 @@ mod tests {
             ActiveItem {
                 id: ItemId(id),
                 size: Size::from_f64(0.25),
+                departure: None,
+            },
+        )
+    }
+
+    fn bin_sized(id: u32, tag: u64, size: f64) -> OpenBin {
+        OpenBin::new(
+            BinId(id),
+            id as i64,
+            tag,
+            ActiveItem {
+                id: ItemId(id),
+                size: Size::from_f64(size),
                 departure: None,
             },
         )
@@ -374,6 +1010,7 @@ mod tests {
         assert_eq!(ids(open.iter().map(|b| b.id().0)), vec![1, 2, 4, 6]);
         assert_eq!(open.position(BinId(4)), Some(2));
         assert_eq!(open.position(BinId(0)), None);
+        open.validate().unwrap();
     }
 
     #[test]
@@ -394,6 +1031,7 @@ mod tests {
 
         open.insert(bin(7, 0));
         assert_eq!(ids(open.iter_tag(0).map(|b| b.id().0)), vec![7]);
+        open.validate().unwrap();
     }
 
     #[test]
@@ -428,5 +1066,176 @@ mod tests {
         assert_eq!(removed.id(), BinId(10));
         assert!(open.remove(BinId(10)).is_none());
         assert_eq!(open.len(), 1);
+    }
+
+    /// The linear scans the indexed queries must reproduce bit for bit.
+    fn linear_first(open: &OpenBins, tag: u64, size: Size) -> Option<BinId> {
+        open.iter_tag(tag).find(|b| b.fits(size)).map(|b| b.id())
+    }
+    fn linear_best(open: &OpenBins, tag: u64, size: Size) -> Option<BinId> {
+        open.iter_tag(tag)
+            .filter(|b| b.fits(size))
+            .max_by_key(|b| b.level())
+            .map(|b| b.id())
+    }
+    fn linear_worst(open: &OpenBins, tag: u64, size: Size) -> Option<BinId> {
+        open.iter_tag(tag)
+            .filter(|b| b.fits(size))
+            .min_by_key(|b| b.level())
+            .map(|b| b.id())
+    }
+
+    #[test]
+    fn fit_queries_match_linear_scans() {
+        let mut open = OpenBins::new();
+        // Levels: 0.25, 0.5, 0.25, 0.75, 0.5 — duplicate levels force the
+        // tie-break rules to matter.
+        for (i, lvl) in [0.25, 0.5, 0.25, 0.75, 0.5].iter().enumerate() {
+            open.insert(bin_sized(i as u32, 0, *lvl));
+        }
+        for size in [0.1, 0.26, 0.5, 0.74, 0.76, 1.0] {
+            let s = Size::from_f64(size);
+            assert_eq!(
+                open.first_fit(0, s).0,
+                linear_first(&open, 0, s),
+                "ff {size}"
+            );
+            assert_eq!(open.best_fit(0, s).0, linear_best(&open, 0, s), "bf {size}");
+            assert_eq!(
+                open.worst_fit(0, s).0,
+                linear_worst(&open, 0, s),
+                "wf {size}"
+            );
+        }
+        // Best fit level ties resolve to the LATEST opened (ids 1 and 4
+        // both at 0.5): max_by_key keeps the last maximum.
+        let s = Size::from_f64(0.4);
+        assert_eq!(open.best_fit(0, s).0, Some(BinId(4)));
+        // Worst fit level ties resolve to the EARLIEST opened (ids 0 and
+        // 2 both at 0.25): min_by_key keeps the first minimum.
+        assert_eq!(open.worst_fit(0, s).0, Some(BinId(0)));
+        open.validate().unwrap();
+    }
+
+    #[test]
+    fn fit_queries_track_mutation_and_slot_reuse() {
+        let mut open = OpenBins::new();
+        for i in 0..8 {
+            open.insert(bin_sized(i, 7, 0.3));
+        }
+        // Activate both structures, then mutate through every path.
+        let s = Size::from_f64(0.5);
+        assert_eq!(open.first_fit(7, s).0, Some(BinId(0)));
+        assert_eq!(open.best_fit(7, s).0, Some(BinId(7)));
+        // Push an item into bin 2: its level rises, gap falls.
+        open.push_to(
+            BinId(2),
+            ActiveItem {
+                id: ItemId(100),
+                size: Size::from_f64(0.4),
+                departure: None,
+            },
+            Size::from_f64(0.4),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(open.best_fit(7, Size::from_f64(0.3)).0, Some(BinId(2)));
+        open.validate().unwrap();
+        // Remove bins, reuse slots, re-query.
+        open.remove(BinId(0)).unwrap();
+        open.remove(BinId(2)).unwrap();
+        open.insert(bin_sized(20, 7, 0.9));
+        assert_eq!(open.first_fit(7, Size::from_f64(0.65)).0, Some(BinId(1)));
+        assert_eq!(open.best_fit(7, Size::from_f64(0.05)).0, Some(BinId(20)));
+        assert_eq!(open.worst_fit(7, Size::from_f64(0.05)).0, Some(BinId(1)));
+        // Departure shrinks a level back down.
+        open.remove_from(BinId(20), ItemId(20)).unwrap().unwrap();
+        assert_eq!(
+            open.best_fit(7, Size::from_f64(0.05)).0,
+            linear_best(&open, 7, Size::from_f64(0.05))
+        );
+        open.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_and_missing_tags_report_zero_probes() {
+        let open = OpenBins::new();
+        let s = Size::from_f64(0.5);
+        assert_eq!(open.first_fit(3, s), (None, 0));
+        assert_eq!(open.best_fit(3, s), (None, 0));
+        assert_eq!(open.worst_fit(3, s), (None, 0));
+        open.validate().unwrap();
+    }
+
+    #[test]
+    fn probe_counts_stay_logarithmic() {
+        let mut open = OpenBins::new();
+        for i in 0..1000 {
+            open.insert(bin_sized(i, 0, 0.999));
+        }
+        // Nothing fits 0.5: first-fit still answers in one root probe,
+        // best/worst in one ordered probe.
+        let s = Size::from_f64(0.5);
+        let (hit, probes) = open.first_fit(0, s);
+        assert_eq!(hit, None);
+        assert_eq!(probes, 1);
+        assert_eq!(open.best_fit(0, s), (None, 1));
+        // A feasible query walks one root-to-leaf path: ~log2(1000).
+        open.insert(bin_sized(2000, 0, 0.25));
+        let (hit, probes) = open.first_fit(0, s);
+        assert_eq!(hit, Some(BinId(2000)));
+        assert!(probes <= 12, "{probes} probes for 1001 bins");
+        open.validate().unwrap();
+    }
+
+    #[test]
+    fn tree_compaction_preserves_order() {
+        let mut open = OpenBins::new();
+        for i in 0..256 {
+            open.insert(bin_sized(i, 0, 0.6));
+        }
+        let s = Size::from_f64(0.3);
+        assert_eq!(open.first_fit(0, s).0, Some(BinId(0)));
+        // Close most of the fleet to force compaction, in a scattered order.
+        for i in (0..256).filter(|i| i % 3 != 1) {
+            open.remove(BinId(i)).unwrap();
+        }
+        open.validate().unwrap();
+        assert_eq!(open.first_fit(0, s).0, linear_first(&open, 0, s));
+        assert_eq!(open.first_fit(0, s).0, Some(BinId(1)));
+        // Inserts after compaction still land behind the survivors.
+        open.insert(bin_sized(999, 0, 0.6));
+        assert_eq!(open.first_fit(0, s).0, Some(BinId(1)));
+        open.validate().unwrap();
+    }
+
+    #[test]
+    fn push_and_remove_report_missing_bins() {
+        let mut open = OpenBins::new();
+        open.insert(bin(1, 0));
+        assert!(open
+            .push_to(
+                BinId(9),
+                ActiveItem {
+                    id: ItemId(5),
+                    size: Size::HALF,
+                    departure: None
+                },
+                Size::HALF
+            )
+            .is_none());
+        assert!(open.remove_from(BinId(9), ItemId(5)).is_none());
+        // Capacity violations surface as the engine's BadDecision.
+        let over = open.push_to(
+            BinId(1),
+            ActiveItem {
+                id: ItemId(6),
+                size: Size::CAPACITY,
+                departure: None,
+            },
+            Size::CAPACITY,
+        );
+        assert!(matches!(over, Some(Err(_))));
+        open.validate().unwrap();
     }
 }

@@ -367,16 +367,15 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
                 .ok_or_else(|| DbpError::Internal {
                     what: format!("departing item {id} has no live placement"),
                 })?;
-            let bin = self
-                .open
-                .get_mut(bin_id)
-                .ok_or_else(|| DbpError::Internal {
-                    what: format!("departing item {id} maps to a closed bin"),
-                })?;
-            let became_empty = bin.remove_item(id)?;
-            // Captured from the borrow already in hand so the observed
-            // path pays no second id lookup per departure.
-            let level_after = bin.level();
+            // Routed through OpenBins so its fit indexes see the level
+            // change; the level comes back from the same call, so the
+            // observed path pays no second id lookup per departure.
+            let (became_empty, level_after) =
+                self.open
+                    .remove_from(bin_id, id)
+                    .ok_or_else(|| DbpError::Internal {
+                        what: format!("departing item {id} maps to a closed bin"),
+                    })??;
             if became_empty {
                 self.open.remove(bin_id).expect("bin was open");
                 let rec = &mut self.records[bin_id.0 as usize];
@@ -642,21 +641,24 @@ impl<'p, O: PackObserver> StreamingSession<'p, O> {
         };
         let bin_id = match decision {
             Decision::Existing(bid) => {
-                let bin = self
+                let level = self
                     .open
-                    .get_mut(bid)
+                    .push_to(bid, active, item.size())
                     .ok_or_else(|| DbpError::BadDecision {
                         what: format!("bin {bid:?} is not open (item {})", item.id()),
-                    })?;
-                bin.push_item(active, item.size())?;
+                    })??;
                 if O::ENABLED {
                     // The packer reports how many candidates its `place`
-                    // call actually inspected (free — it scanned them
-                    // anyway); packers that don't track it fall back to
-                    // the candidate-pool size. Both are O(1) here — the
-                    // engine must not pay an O(fleet) scan per placement
-                    // just because an observer is attached.
-                    let level = bin.level();
+                    // call actually probed — linear scans count bins
+                    // visited, indexed packers count index nodes
+                    // descended. Only packers that track neither fall
+                    // back to the candidate-pool size; that fallback is
+                    // out of the roster on purpose, because it would
+                    // silently inflate scan-depth histograms the moment
+                    // a packer answers from an index instead of a walk.
+                    // Both reads are O(1) here — the engine must not pay
+                    // an O(fleet) scan per placement just because an
+                    // observer is attached.
                     let open_bins = self.open.len();
                     let scanned = self.packer.last_scanned().unwrap_or(open_bins);
                     self.obs.on_event(&PackEvent::PlacementDecided {

@@ -3,8 +3,10 @@
 
 use dbp_core::events::load_segments;
 use dbp_core::interval::{span_of, union_components, Interval};
+use dbp_core::online::{ClairvoyanceMode, Decision, ItemView, OnlinePacker, OpenBins};
 use dbp_core::profile::{BTreeProfile, LevelProfile, SegTreeProfile};
 use dbp_core::stats::StepSeries;
+use dbp_core::stream::StreamingSession;
 use dbp_core::{Instance, Item, Packing, Size};
 use proptest::prelude::*;
 
@@ -157,5 +159,140 @@ proptest! {
             let want: i64 = deltas.iter().filter(|(dt, _)| *dt <= t).map(|(_, d)| d).sum();
             prop_assert_eq!(series.value_at(t), want, "at t={}", t);
         }
+    }
+}
+
+/// One step of the open-fleet interleaving driven below: an arrival, a
+/// clock advance (departure pruning), or a server failure. The raw
+/// discriminant is mapped so roughly 3/5 of the steps are arrivals —
+/// deep enough fleets to matter, with churn on top.
+#[derive(Clone, Debug)]
+enum FleetOp {
+    Arrive { size_64ths: u64, dur: i64 },
+    Advance { dt: i64 },
+    Fail { pick: usize },
+}
+
+fn arb_fleet_ops() -> impl Strategy<Value = Vec<FleetOp>> {
+    proptest::collection::vec(
+        (0u8..5, 1u64..=64, 1i64..=12, 0usize..32).prop_map(|(kind, size_64ths, dur, pick)| {
+            match kind {
+                0..=2 => FleetOp::Arrive { size_64ths, dur },
+                3 => FleetOp::Advance { dt: dur / 2 },
+                _ => FleetOp::Fail { pick },
+            }
+        }),
+        0..80,
+    )
+}
+
+/// A deliberately adversarial packer for the index-consistency property:
+/// it round-robins across three tags and four query kinds, so every fit
+/// structure (per-tag gap tree, per-tag residual-ordered set) is active
+/// on a fleet that is concurrently mutated by the engine's arrivals,
+/// departures, and failures.
+struct MixedFit {
+    n: u64,
+}
+
+impl OnlinePacker for MixedFit {
+    fn name(&self) -> String {
+        "mixed-fit".into()
+    }
+
+    fn place(&mut self, item: &ItemView, open_bins: &OpenBins) -> Decision {
+        self.n += 1;
+        let tag = self.n % 3;
+        let hit = match self.n % 4 {
+            0 => open_bins.first_fit(tag, item.size).0,
+            1 => open_bins.best_fit(tag, item.size).0,
+            2 => open_bins.worst_fit(tag, item.size).0,
+            _ => open_bins
+                .iter_tag(tag)
+                .find(|b| b.fits(item.size))
+                .map(|b| b.id()),
+        };
+        hit.map(Decision::Existing).unwrap_or(Decision::New { tag })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Satellite invariant for the indexed fit queries: interleaving
+    /// open/close/`fail_bin`/departure-prune, the `OpenBins` internals
+    /// (residual-order index, gap trees, free list, intrusive tag lists
+    /// — all via `validate()`) never disagree with each other, and the
+    /// indexed queries never disagree with the linear scan over the
+    /// intrusive lists — including after slab slots are recycled
+    /// through the free list.
+    #[test]
+    fn open_bins_index_never_disagrees_with_the_linear_model(ops in arb_fleet_ops()) {
+        let mut packer = MixedFit { n: 0 };
+        let mut session =
+            StreamingSession::new(ClairvoyanceMode::NonClairvoyant, &mut packer);
+        let mut now = 0i64;
+        let mut next_id = 0u32;
+        for op in &ops {
+            match op {
+                FleetOp::Arrive { size_64ths, dur } => {
+                    let size = Size::from_ratio(*size_64ths, 64).unwrap();
+                    session.advance_to(now).unwrap();
+                    session.arrive(&Item::new(next_id, size, now, now + dur)).unwrap();
+                    next_id += 1;
+                }
+                FleetOp::Advance { dt } => {
+                    now += dt;
+                    session.advance_to(now).unwrap();
+                }
+                FleetOp::Fail { pick } => {
+                    let victim = {
+                        let open = session.open_set();
+                        if open.is_empty() {
+                            continue;
+                        }
+                        open.iter().nth(pick % open.len()).unwrap().id()
+                    };
+                    session.fail_bin(victim, now).unwrap();
+                }
+            }
+
+            let open = session.open_set();
+            if let Err(why) = open.validate() {
+                prop_assert!(false, "index invariants broken after {:?}: {}", op, why);
+            }
+            // The linear reference model is the walk over the intrusive
+            // tag lists — an independent code path from the fit index.
+            for tag in 0..3u64 {
+                for s in [1u64, 16, 33, 64] {
+                    let size = Size::from_ratio(s, 64).unwrap();
+                    let lin_first =
+                        open.iter_tag(tag).find(|b| b.fits(size)).map(|b| b.id());
+                    let lin_best = open
+                        .iter_tag(tag)
+                        .filter(|b| b.fits(size))
+                        .max_by_key(|b| b.level())
+                        .map(|b| b.id());
+                    let lin_worst = open
+                        .iter_tag(tag)
+                        .filter(|b| b.fits(size))
+                        .min_by_key(|b| b.level())
+                        .map(|b| b.id());
+                    prop_assert_eq!(
+                        open.first_fit(tag, size).0, lin_first,
+                        "first-fit tag {} size {}/64", tag, s
+                    );
+                    prop_assert_eq!(
+                        open.best_fit(tag, size).0, lin_best,
+                        "best-fit tag {} size {}/64", tag, s
+                    );
+                    prop_assert_eq!(
+                        open.worst_fit(tag, size).0, lin_worst,
+                        "worst-fit tag {} size {}/64", tag, s
+                    );
+                }
+            }
+        }
+        session.finish().unwrap();
     }
 }

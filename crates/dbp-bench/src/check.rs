@@ -18,7 +18,12 @@
 //! than absolute times, and defaults to a generous tolerance; a baseline
 //! produced on different hardware is still useful for catching
 //! order-of-magnitude regressions, and `host_parallelism` in the report
-//! says when to distrust a tight margin. `--inject <pct>` synthetically
+//! says when to distrust a tight margin. Baselines recorded with
+//! `degraded_parallelism: true` (multi-worker cells timed on a host with
+//! fewer cores than workers) are not trustworthy for their multi-worker
+//! cells at all — those cells are skipped with a warning instead of
+//! gated, while their single-worker cells still gate normally.
+//! `--inject <pct>` synthetically
 //! slows the fresh measurements to prove the gate trips (the CI smoke
 //! job runs the gate twice: once expecting exit 0, once with an injected
 //! regression expecting exit 5).
@@ -97,8 +102,22 @@ pub struct Baseline {
     pub mode: String,
     /// `host_parallelism` / `parallel_workers` the baseline recorded.
     pub host_parallelism: usize,
+    /// Whether the recording host had fewer cores than the widest cell's
+    /// worker count (the bench binaries tag such runs): multi-worker
+    /// timings in the file are time-sliced, not parallel, and must not
+    /// be used as regression baselines.
+    pub degraded_parallelism: bool,
     /// The measurements, in file order.
     pub cells: Vec<BaselineCell>,
+}
+
+impl Baseline {
+    /// Whether a cell's recorded timing is untrustworthy (see
+    /// [`Baseline::degraded_parallelism`]): in a degraded file, every
+    /// multi-worker cell was time-sliced on too few cores.
+    pub fn cell_degraded(&self, cell: &BaselineCell) -> bool {
+        self.degraded_parallelism && cell.workers > 1
+    }
 }
 
 fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
@@ -127,6 +146,7 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
         .or_else(|| root.get("parallel_workers"))
         .and_then(Json::as_u64)
         .unwrap_or(1) as usize;
+    let degraded_parallelism = matches!(root.get("degraded_parallelism"), Some(Json::Bool(true)));
     let mut cells = Vec::new();
     for cell in field(&root, "results")?
         .as_array()
@@ -160,6 +180,7 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
         schema,
         mode,
         host_parallelism,
+        degraded_parallelism,
         cells,
     })
 }
@@ -212,6 +233,9 @@ pub struct CheckRow {
     pub delta_pct: f64,
     /// Whether the cell fell below the tolerance.
     pub regressed: bool,
+    /// Whether the cell was skipped (degraded baseline): not
+    /// re-measured, never regressed, `fresh_ips`/`delta_pct` are zero.
+    pub skipped: bool,
 }
 
 /// The gate's verdict over every baseline cell.
@@ -245,6 +269,12 @@ impl CheckReport {
         self.rows.iter().filter(|r| r.regressed).collect()
     }
 
+    /// The cells skipped because the baseline recorded them under
+    /// degraded parallelism.
+    pub fn skipped(&self) -> Vec<&CheckRow> {
+        self.rows.iter().filter(|r| r.skipped).collect()
+    }
+
     /// Serializes the comparison (the CI artifact).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -261,17 +291,19 @@ impl CheckReport {
         );
         let _ = writeln!(out, "  \"host_parallelism\": {},", self.host_parallelism);
         let _ = writeln!(out, "  \"ok\": {},", self.ok());
+        let _ = writeln!(out, "  \"skipped_cells\": {},", self.skipped().len());
         out.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = writeln!(
                 out,
                 "    {{ \"cell\": \"{}\", \"baseline_ips\": {:.0}, \"fresh_ips\": {:.0}, \
-                 \"delta_pct\": {:.2}, \"regressed\": {} }}{}",
+                 \"delta_pct\": {:.2}, \"regressed\": {}, \"skipped\": {} }}{}",
                 json::escape(&r.label),
                 r.baseline_ips,
                 r.fresh_ips,
                 r.delta_pct,
                 r.regressed,
+                r.skipped,
                 if i + 1 < self.rows.len() { "," } else { "" }
             );
         }
@@ -378,6 +410,20 @@ pub fn run_check(
                 cell.label()
             ));
         }
+        if baseline.cell_degraded(cell) {
+            // A multi-worker timing from a degraded recording is not a
+            // baseline at all; skip it (the caller warns) rather than
+            // gate against time-sliced numbers.
+            rows.push(CheckRow {
+                label: cell.label(),
+                baseline_ips: cell.items_per_sec,
+                fresh_ips: 0.0,
+                delta_pct: 0.0,
+                regressed: false,
+                skipped: true,
+            });
+            continue;
+        }
         let key = cell.workload_key();
         if !instances.contains_key(key) {
             let inst = baseline_instance(&baseline.schema, &baseline.mode, key)?;
@@ -392,6 +438,7 @@ pub fn run_check(
             fresh_ips,
             delta_pct,
             regressed: delta_pct < -tolerance_pct,
+            skipped: false,
         });
     }
     Ok(CheckReport {
@@ -529,6 +576,7 @@ mod tests {
             schema: "dbp-bench/engine-v1".into(),
             mode: "short".into(),
             host_parallelism: 1,
+            degraded_parallelism: false,
             cells: vec![BaselineCell {
                 items_per_sec: measured,
                 ..cell
@@ -540,6 +588,51 @@ mod tests {
             "a 50% injected slowdown must trip 20% tolerance"
         );
         assert_eq!(report.injected_pct, 50.0);
+    }
+
+    /// Regression: the gate used to treat `degraded_parallelism`-tagged
+    /// baselines (multi-worker cells recorded on a 1-core host) as
+    /// trustworthy and gated against their time-sliced numbers. Skip
+    /// path: in a degraded file, a multi-worker cell claiming impossible
+    /// throughput must be skipped, not regressed — while its
+    /// single-worker cells still gate. Non-skip path: the identical
+    /// multi-worker cell in an untagged file must still trip the gate.
+    #[test]
+    fn degraded_baseline_cells_are_skipped_but_untagged_ones_gate() {
+        let degraded = r#"{ "schema": "dbp-bench/shard-v1", "mode": "short",
+          "host_parallelism": 1, "degraded_parallelism": true,
+          "results": [
+            { "algo": "first-fit", "shards": 2, "workers": 2, "items_per_sec": 1e15 },
+            { "algo": "first-fit", "shards": 1, "workers": 1, "items_per_sec": 0.001 }
+          ] }"#;
+        let b = parse_baseline(degraded).unwrap();
+        assert!(b.degraded_parallelism);
+        let report = run_check(&b, 20.0, 0.0).unwrap();
+        assert!(
+            report.ok(),
+            "an impossible degraded multi-worker cell must be skipped, not gated"
+        );
+        assert_eq!(report.skipped().len(), 1);
+        assert_eq!(report.skipped()[0].label, "first-fit/k2");
+        assert!(
+            !report.rows[1].skipped,
+            "single-worker cells in a degraded file still gate"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"skipped_cells\": 1"));
+        assert!(json.contains("\"skipped\": true"));
+
+        // Same multi-worker cell, file not tagged: gates and trips.
+        let untagged = r#"{ "schema": "dbp-bench/shard-v1", "mode": "short",
+          "host_parallelism": 1,
+          "results": [
+            { "algo": "first-fit", "shards": 2, "workers": 2, "items_per_sec": 1e15 }
+          ] }"#;
+        let b = parse_baseline(untagged).unwrap();
+        assert!(!b.degraded_parallelism);
+        let report = run_check(&b, 20.0, 0.0).unwrap();
+        assert!(!report.ok(), "untagged impossible cell must regress");
+        assert!(report.skipped().is_empty());
     }
 
     #[test]

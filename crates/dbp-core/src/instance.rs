@@ -37,12 +37,34 @@ impl Instance {
     /// data — intended for tests and examples.
     #[track_caller]
     pub fn from_triples(triples: &[(f64, Time, Time)]) -> Instance {
-        let items = triples
-            .iter()
-            .enumerate()
-            .map(|(i, &(s, a, d))| Item::new(i as u32, Size::from_f64(s), a, d))
-            .collect();
-        Instance::from_items(items).expect("invalid triples")
+        Instance::try_from_triples(triples).expect("invalid triples")
+    }
+
+    /// Fallible [`Instance::from_triples`]: the same dense id
+    /// assignment, but index overflow and construction failures come
+    /// back as typed errors instead of a panic or — worse — a silent
+    /// `as u32` wrap into already-used ids.
+    pub fn try_from_triples(triples: &[(f64, Time, Time)]) -> Result<Instance, DbpError> {
+        let mut items = Vec::with_capacity(triples.len());
+        for (i, &(s, a, d)) in triples.iter().enumerate() {
+            items.push(Item::try_new(
+                Instance::id_for_index(i)?,
+                Size::from_f64(s),
+                a,
+                d,
+            )?);
+        }
+        Instance::from_items(items)
+    }
+
+    /// Checked dense-index → item-id conversion: index `i` becomes id
+    /// `i`, and indexes past `u32::MAX` are a typed error rather than a
+    /// truncating cast (which would collide with id `i mod 2³²` and be
+    /// dropped by the id-watermark dedupe downstream).
+    pub fn id_for_index(i: usize) -> Result<u32, DbpError> {
+        u32::try_from(i).map_err(|_| DbpError::InvalidParameter {
+            what: format!("item index {i} exceeds the u32 id space"),
+        })
     }
 
     /// The items, sorted by `(arrival, id)`.
@@ -133,13 +155,15 @@ impl Instance {
         Instance { items }
     }
 
-    /// Merges instances, reassigning ids to keep them unique.
+    /// Merges instances, reassigning ids to keep them unique. Panics if
+    /// the combined item count exceeds the `u32` id space.
     pub fn concat(parts: &[Instance]) -> Instance {
         let mut items = Vec::new();
-        let mut next = 0u32;
+        let mut next = 0usize;
         for p in parts {
             for r in &p.items {
-                items.push(r.with_id(next));
+                let id = Instance::id_for_index(next).expect("concat exceeds the u32 id space");
+                items.push(r.with_id(id));
                 next += 1;
             }
         }
@@ -205,6 +229,27 @@ mod tests {
         assert_eq!(small.len(), 2); // 0.5 and 0.25 are small (≤ 1/2)
         assert_eq!(large.len(), 1);
         assert_eq!(large[0].size(), Size::from_f64(0.75));
+    }
+
+    #[test]
+    fn index_to_id_conversion_is_checked_at_the_boundary() {
+        // Regression: `from_triples` used `i as u32`, so item 2³² would
+        // silently wrap to id 0 and collide. The checked helper accepts
+        // exactly the u32 id space and errors one past it.
+        assert_eq!(Instance::id_for_index(0), Ok(0));
+        assert_eq!(Instance::id_for_index(u32::MAX as usize), Ok(u32::MAX));
+        assert!(matches!(
+            Instance::id_for_index(u32::MAX as usize + 1),
+            Err(DbpError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn try_from_triples_matches_the_panicking_builder() {
+        let triples = [(0.5, 0, 10), (0.25, 5, 8), (0.75, 20, 24)];
+        assert_eq!(Instance::try_from_triples(&triples).unwrap(), sample());
+        // Invalid data surfaces as a typed error, not a panic.
+        assert!(Instance::try_from_triples(&[(0.5, 9, 3)]).is_err());
     }
 
     #[test]

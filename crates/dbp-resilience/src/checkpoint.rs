@@ -342,6 +342,40 @@ mod tests {
         assert!(snapshot_from_json(&text).is_err());
     }
 
+    /// A torn write (process killed mid-checkpoint) leaves a prefix of
+    /// the document on disk. Reading it back at any cut point must be a
+    /// typed error — never a panic — so a restart can fall back to the
+    /// previous good snapshot (the serve layer's restore path does
+    /// exactly that).
+    #[test]
+    fn torn_checkpoint_files_are_typed_errors() {
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join("dbp-resilience-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.ckpt.json");
+        write_checkpoint(&path, &snap).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let n = full.len();
+        // Cut at the empty file, inside the header, at several interior
+        // offsets, and just short of completion (losing the closing
+        // brace and/or newline).
+        for cut in [0, 1, 8, n / 8, n / 4, n / 2, 3 * n / 4, n - 2] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match read_checkpoint(&path) {
+                Err(DbpError::Trace { .. }) => {}
+                Err(e) => panic!("cut at {cut}/{n}: expected Trace error, got {e}"),
+                Ok(_) => panic!("cut at {cut}/{n}: truncated checkpoint decoded successfully"),
+            }
+        }
+        // Losing only the trailing newline keeps the document complete.
+        std::fs::write(&path, &full[..n - 1]).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), snap);
+        // The untruncated file still reads back bit-identically.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), snap);
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn version_survives_even_if_unsupported() {
         // The decoder preserves the version; restore() is what refuses

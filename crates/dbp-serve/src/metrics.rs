@@ -1,0 +1,131 @@
+//! Prometheus exposition for the serving layer.
+//!
+//! Rendered on demand for `GET /metrics` (and the in-band `metrics`
+//! request). Per-tenant job outcomes share one `dbp_serve_jobs_total`
+//! counter family with `tenant` and `outcome` labels; fleet totals,
+//! per-shard open-bin gauges, the checkpoint cursor, and the placement
+//! latency histogram ride along. Histogram buckets come from
+//! [`dbp_telemetry::prom::render_histogram`], so the serving layer's
+//! latency series has the exact same bucket layout as the bench
+//! harness's — dashboards can overlay them directly.
+
+use crate::state::TenantCounters;
+use dbp_obs::json::escape;
+use dbp_telemetry::prom::{render_counter, render_histogram};
+use dbp_telemetry::Histogram;
+use std::fmt::Write as _;
+
+/// Renders the full exposition text.
+#[allow(clippy::too_many_arguments)]
+pub fn render_metrics(
+    algo: &str,
+    tenants: &[TenantCounters],
+    placed: u64,
+    shed: u64,
+    rejected: u64,
+    open_bins: &[usize],
+    checkpoint_seq: u64,
+    place_ns: &Histogram,
+) -> String {
+    let mut out = String::with_capacity(1024);
+    let algo_label = format!("{{algo=\"{}\"}}", escape(algo));
+
+    let _ = writeln!(
+        out,
+        "# HELP dbp_serve_jobs_total Job submissions by tenant and outcome"
+    );
+    let _ = writeln!(out, "# TYPE dbp_serve_jobs_total counter");
+    for t in tenants {
+        let tenant = escape(&t.tenant);
+        for (outcome, value) in [
+            ("submitted", t.submitted),
+            ("placed", t.placed),
+            ("shed", t.shed),
+            ("rejected", t.rejected),
+        ] {
+            let _ = writeln!(
+                out,
+                "dbp_serve_jobs_total{{tenant=\"{tenant}\",outcome=\"{outcome}\"}} {value}"
+            );
+        }
+    }
+
+    for (name, help, value) in [
+        ("dbp_serve_placed_total", "Jobs placed", placed),
+        ("dbp_serve_shed_total", "Jobs shed by the fleet cap", shed),
+        (
+            "dbp_serve_rejected_total",
+            "Jobs rejected (duplicate / out-of-order / invalid)",
+            rejected,
+        ),
+        (
+            "dbp_serve_checkpoint_seq",
+            "Sequence number of the newest checkpoint written",
+            checkpoint_seq,
+        ),
+    ] {
+        render_counter(&mut out, name, help, &algo_label, value);
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP dbp_serve_open_bins Open bins per shard, as of its last placement"
+    );
+    let _ = writeln!(out, "# TYPE dbp_serve_open_bins gauge");
+    for (shard, n) in open_bins.iter().enumerate() {
+        let _ = writeln!(out, "dbp_serve_open_bins{{shard=\"{shard}\"}} {n}");
+    }
+
+    render_histogram(
+        &mut out,
+        "dbp_serve_place_ns",
+        "Wall-clock nanoseconds per placement decision",
+        &[("algo", algo)],
+        place_ns,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_covers_tenants_totals_and_latency() {
+        let tenants = vec![
+            TenantCounters {
+                tenant: "a".into(),
+                submitted: 3,
+                placed: 2,
+                shed: 1,
+                rejected: 0,
+            },
+            TenantCounters {
+                tenant: "b".into(),
+                submitted: 1,
+                placed: 1,
+                shed: 0,
+                rejected: 0,
+            },
+        ];
+        let mut h = Histogram::new();
+        h.record(1_000);
+        h.record(2_000);
+        let text = render_metrics("first-fit", &tenants, 3, 1, 0, &[2, 1], 4, &h);
+        assert!(text.contains("# TYPE dbp_serve_jobs_total counter"));
+        assert!(text.contains("dbp_serve_jobs_total{tenant=\"a\",outcome=\"placed\"} 2"));
+        assert!(text.contains("dbp_serve_jobs_total{tenant=\"b\",outcome=\"submitted\"} 1"));
+        assert!(text.contains("dbp_serve_placed_total{algo=\"first-fit\"} 3"));
+        assert!(text.contains("dbp_serve_open_bins{shard=\"0\"} 2"));
+        assert!(text.contains("dbp_serve_open_bins{shard=\"1\"} 1"));
+        assert!(text.contains("dbp_serve_checkpoint_seq{algo=\"first-fit\"} 4"));
+        assert!(text.contains("dbp_serve_place_ns_count{algo=\"first-fit\"} 2"));
+        assert!(text.contains("le=\"+Inf\""));
+        // Exactly one TYPE header per metric family.
+        let headers = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE dbp_serve_jobs_total"))
+            .count();
+        assert_eq!(headers, 1);
+    }
+}

@@ -1,0 +1,493 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order. The
+//! module is transport-agnostic — it maps text lines to [`Request`] and
+//! [`Response`] values and back, and knows nothing about sockets — so an
+//! async front-end can be swapped in later without touching the
+//! scheduling semantics.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"op":"submit","tenant":"t1","job":42,"size":0.5,"arrival":100,"departure":220}
+//! {"op":"status"}
+//! {"op":"checkpoint"}
+//! {"op":"metrics"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `submit` carries the job's size as either `size` (a fraction of
+//! server capacity in `(0, 1]`) or `size_raw` (the exact fixed-point
+//! value, `raw / 2^24`; takes precedence when both are present — the
+//! load generator uses it so request content round-trips bit-exactly).
+//! `departure` is the tenant's departure *estimate*: the clairvoyant
+//! input the paper's setting is built on.
+//!
+//! # Responses
+//!
+//! Every response carries `"ok"`. Placement decisions are **not**
+//! errors either way — a shed or invalid job is a typed reject:
+//!
+//! ```json
+//! {"ok":true,"op":"submit","tenant":"t1","job":42,"placed":true,"shard":1,"bin":7,"bin_id":4294967303}
+//! {"ok":true,"op":"submit","tenant":"t1","job":43,"placed":false,"reject":"fleet_capacity","detail":"..."}
+//! {"ok":false,"error":"..."}
+//! ```
+//!
+//! `bin_id` is the fleet-global bin identity `shard << 32 | bin`, so
+//! tenants can correlate placements without knowing the shard layout.
+//! Protocol errors (`"ok":false`) are reserved for malformed requests
+//! and internal failures.
+
+use dbp_core::Time;
+use dbp_obs::json::{escape, parse, Json};
+use std::fmt::Write as _;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit one job for placement.
+    Submit(Submit),
+    /// Service counters and restart cursor.
+    Status,
+    /// Write a checkpoint now.
+    Checkpoint,
+    /// The Prometheus exposition, JSON-wrapped.
+    Metrics,
+    /// Stop accepting connections (a final checkpoint is written first).
+    Shutdown,
+}
+
+/// One job submission: the clairvoyant arrival the paper's model feeds
+/// an online packer, tagged with the tenant it belongs to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Submit {
+    /// Accounting dimension; free-form non-empty label.
+    pub tenant: String,
+    /// Globally unique job id (the client owns the id space; the
+    /// service enforces uniqueness via its id watermark).
+    pub job: u32,
+    /// Size as a fraction of server capacity; `None` when the request
+    /// carried the exact `size_raw` instead.
+    pub size: Option<f64>,
+    /// Exact fixed-point size (`raw / 2^24`); takes precedence.
+    pub size_raw: Option<u64>,
+    /// Arrival tick; must be non-decreasing across all submissions.
+    pub arrival: Time,
+    /// Departure-estimate tick; must exceed `arrival`.
+    pub departure: Time,
+}
+
+/// Why a submission was turned away (a decision, not an error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Placing the job would have opened a server beyond the fleet cap;
+    /// the job was shed by admission control.
+    FleetCapacity,
+    /// The job id was already decided (placed or shed) earlier.
+    DuplicateJob,
+    /// The arrival tick is older than the stream clock.
+    ArrivalOutOfOrder,
+    /// Size or interval outside the model's domain.
+    InvalidJob,
+}
+
+impl RejectReason {
+    /// The stable wire code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RejectReason::FleetCapacity => "fleet_capacity",
+            RejectReason::DuplicateJob => "duplicate_job",
+            RejectReason::ArrivalOutOfOrder => "arrival_out_of_order",
+            RejectReason::InvalidJob => "invalid_job",
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: &str) -> Option<RejectReason> {
+        Some(match code {
+            "fleet_capacity" => RejectReason::FleetCapacity,
+            "duplicate_job" => RejectReason::DuplicateJob,
+            "arrival_out_of_order" => RejectReason::ArrivalOutOfOrder,
+            "invalid_job" => RejectReason::InvalidJob,
+            _ => return None,
+        })
+    }
+}
+
+/// The `status` response body.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatusBody {
+    /// Packer roster name the service runs.
+    pub algo: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Id watermark: every job id below it has been decided. A resuming
+    /// load generator continues from here.
+    pub watermark: u32,
+    /// Jobs placed since the state the service booted from.
+    pub placed: u64,
+    /// Jobs shed by the fleet cap.
+    pub shed: u64,
+    /// Jobs rejected (duplicate / out-of-order / invalid).
+    pub rejected: u64,
+    /// Open bins across the fleet, as of the last placement per shard.
+    pub open_bins: usize,
+    /// Sequence number of the newest checkpoint written (0 = none).
+    pub checkpoint_seq: u64,
+}
+
+/// A response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The job was admitted and placed.
+    Placed {
+        /// Echoed tenant.
+        tenant: String,
+        /// Echoed job id.
+        job: u32,
+        /// Shard that owns the placement.
+        shard: usize,
+        /// Bin id within the shard.
+        bin: u32,
+    },
+    /// The job was turned away with a typed reason.
+    Rejected {
+        /// Echoed tenant.
+        tenant: String,
+        /// Echoed job id.
+        job: u32,
+        /// The typed reason.
+        reason: RejectReason,
+        /// Human-readable specifics.
+        detail: String,
+    },
+    /// `status` body.
+    Status(StatusBody),
+    /// A checkpoint was written with this sequence number.
+    Checkpointed {
+        /// The checkpoint's sequence number.
+        seq: u64,
+    },
+    /// The Prometheus exposition text.
+    Metrics {
+        /// The exposition body (newline-separated inside one JSON string).
+        text: String,
+    },
+    /// The service acknowledged shutdown.
+    ShuttingDown,
+    /// A protocol or internal error (`"ok":false`).
+    Error {
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl Response {
+    /// The fleet-global bin identity `shard << 32 | bin` for placements.
+    pub fn global_bin_id(shard: usize, bin: u32) -> u64 {
+        ((shard as u64) << 32) | u64::from(bin)
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn time_field(v: &Json, key: &str) -> Result<Time, String> {
+    v.get(key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse(line)?;
+    let op = str_field(&doc, "op")?;
+    match op.as_str() {
+        "submit" => {
+            let tenant = str_field(&doc, "tenant")?;
+            if tenant.is_empty() {
+                return Err("tenant must be non-empty".into());
+            }
+            let job = u64_field(&doc, "job")?;
+            let job = u32::try_from(job).map_err(|_| format!("job id {job} overflows u32"))?;
+            let size_raw = doc.get("size_raw").and_then(Json::as_u64);
+            let size = doc.get("size").and_then(Json::as_f64);
+            if size.is_none() && size_raw.is_none() {
+                return Err("submit needs \"size\" or \"size_raw\"".into());
+            }
+            Ok(Request::Submit(Submit {
+                tenant,
+                job,
+                size,
+                size_raw,
+                arrival: time_field(&doc, "arrival")?,
+                departure: time_field(&doc, "departure")?,
+            }))
+        }
+        "status" => Ok(Request::Status),
+        "checkpoint" => Ok(Request::Checkpoint),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Renders one request as its wire line (without the newline).
+pub fn render_request(req: &Request) -> String {
+    match req {
+        Request::Submit(s) => {
+            let mut out = format!(
+                "{{\"op\":\"submit\",\"tenant\":\"{}\",\"job\":{}",
+                escape(&s.tenant),
+                s.job
+            );
+            if let Some(raw) = s.size_raw {
+                let _ = write!(out, ",\"size_raw\":{raw}");
+            } else if let Some(f) = s.size {
+                let _ = write!(out, ",\"size\":{f}");
+            }
+            let _ = write!(
+                out,
+                ",\"arrival\":{},\"departure\":{}}}",
+                s.arrival, s.departure
+            );
+            out
+        }
+        Request::Status => "{\"op\":\"status\"}".into(),
+        Request::Checkpoint => "{\"op\":\"checkpoint\"}".into(),
+        Request::Metrics => "{\"op\":\"metrics\"}".into(),
+        Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
+    }
+}
+
+/// Renders one response as its wire line (without the newline).
+pub fn render_response(resp: &Response) -> String {
+    match resp {
+        Response::Placed {
+            tenant,
+            job,
+            shard,
+            bin,
+        } => format!(
+            "{{\"ok\":true,\"op\":\"submit\",\"tenant\":\"{}\",\"job\":{job},\"placed\":true,\
+             \"shard\":{shard},\"bin\":{bin},\"bin_id\":{}}}",
+            escape(tenant),
+            Response::global_bin_id(*shard, *bin)
+        ),
+        Response::Rejected {
+            tenant,
+            job,
+            reason,
+            detail,
+        } => format!(
+            "{{\"ok\":true,\"op\":\"submit\",\"tenant\":\"{}\",\"job\":{job},\"placed\":false,\
+             \"reject\":\"{}\",\"detail\":\"{}\"}}",
+            escape(tenant),
+            reason.code(),
+            escape(detail)
+        ),
+        Response::Status(s) => format!(
+            "{{\"ok\":true,\"op\":\"status\",\"algo\":\"{}\",\"shards\":{},\"watermark\":{},\
+             \"placed\":{},\"shed\":{},\"rejected\":{},\"open_bins\":{},\"checkpoint_seq\":{}}}",
+            escape(&s.algo),
+            s.shards,
+            s.watermark,
+            s.placed,
+            s.shed,
+            s.rejected,
+            s.open_bins,
+            s.checkpoint_seq
+        ),
+        Response::Checkpointed { seq } => {
+            format!("{{\"ok\":true,\"op\":\"checkpoint\",\"seq\":{seq}}}")
+        }
+        Response::Metrics { text } => format!(
+            "{{\"ok\":true,\"op\":\"metrics\",\"text\":\"{}\"}}",
+            escape(text)
+        ),
+        Response::ShuttingDown => "{\"ok\":true,\"op\":\"shutdown\"}".into(),
+        Response::Error { what } => format!("{{\"ok\":false,\"error\":\"{}\"}}", escape(what)),
+    }
+}
+
+/// Parses one response line (the client half of the protocol; the load
+/// generator and the differential tests live on this).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let doc = parse(line)?;
+    let ok = match doc.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("missing boolean field \"ok\"".into()),
+    };
+    if !ok {
+        return Ok(Response::Error {
+            what: str_field(&doc, "error")?,
+        });
+    }
+    let op = str_field(&doc, "op")?;
+    match op.as_str() {
+        "submit" => {
+            let tenant = str_field(&doc, "tenant")?;
+            let job = u64_field(&doc, "job")?;
+            let job = u32::try_from(job).map_err(|_| "job id overflows u32".to_string())?;
+            let placed = matches!(doc.get("placed"), Some(Json::Bool(true)));
+            if placed {
+                Ok(Response::Placed {
+                    tenant,
+                    job,
+                    shard: u64_field(&doc, "shard")? as usize,
+                    bin: u64_field(&doc, "bin")?
+                        .try_into()
+                        .map_err(|_| "bin overflows u32".to_string())?,
+                })
+            } else {
+                let code = str_field(&doc, "reject")?;
+                Ok(Response::Rejected {
+                    tenant,
+                    job,
+                    reason: RejectReason::from_code(&code)
+                        .ok_or_else(|| format!("unknown reject code {code:?}"))?,
+                    detail: str_field(&doc, "detail").unwrap_or_default(),
+                })
+            }
+        }
+        "status" => Ok(Response::Status(StatusBody {
+            algo: str_field(&doc, "algo")?,
+            shards: u64_field(&doc, "shards")? as usize,
+            watermark: u64_field(&doc, "watermark")?
+                .try_into()
+                .map_err(|_| "watermark overflows u32".to_string())?,
+            placed: u64_field(&doc, "placed")?,
+            shed: u64_field(&doc, "shed")?,
+            rejected: u64_field(&doc, "rejected")?,
+            open_bins: u64_field(&doc, "open_bins")? as usize,
+            checkpoint_seq: u64_field(&doc, "checkpoint_seq")?,
+        })),
+        "checkpoint" => Ok(Response::Checkpointed {
+            seq: u64_field(&doc, "seq")?,
+        }),
+        "metrics" => Ok(Response::Metrics {
+            text: str_field(&doc, "text")?,
+        }),
+        "shutdown" => Ok(Response::ShuttingDown),
+        other => Err(format!("unknown response op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let reqs = [
+            Request::Submit(Submit {
+                tenant: "t1".into(),
+                job: 42,
+                size: None,
+                size_raw: Some(8_388_608),
+                arrival: 100,
+                departure: 220,
+            }),
+            Request::Status,
+            Request::Checkpoint,
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = render_request(&r);
+            assert_eq!(parse_request(&line).unwrap(), r, "{line}");
+        }
+        // Fractional size also round-trips.
+        let r = parse_request(
+            r#"{"op":"submit","tenant":"a","job":1,"size":0.5,"arrival":0,"departure":9}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit(s) => {
+                assert_eq!(s.size, Some(0.5));
+                assert_eq!(s.size_raw, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let resps = [
+            Response::Placed {
+                tenant: "t1".into(),
+                job: 7,
+                shard: 1,
+                bin: 7,
+            },
+            Response::Rejected {
+                tenant: "t1".into(),
+                job: 8,
+                reason: RejectReason::FleetCapacity,
+                detail: "fleet cap 4 reached".into(),
+            },
+            Response::Status(StatusBody {
+                algo: "first-fit".into(),
+                shards: 2,
+                watermark: 9,
+                placed: 7,
+                shed: 1,
+                rejected: 1,
+                open_bins: 3,
+                checkpoint_seq: 2,
+            }),
+            Response::Checkpointed { seq: 3 },
+            Response::Metrics {
+                text: "dbp_serve_jobs_total 1\n".into(),
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                what: "bad line".into(),
+            },
+        ];
+        for r in resps {
+            let line = render_response(&r);
+            assert_eq!(parse_response(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request(r#"{"op":"teleport"}"#).is_err());
+        // submit with a missing size
+        assert!(
+            parse_request(r#"{"op":"submit","tenant":"a","job":1,"arrival":0,"departure":9}"#)
+                .is_err()
+        );
+        // empty tenant
+        assert!(parse_request(
+            r#"{"op":"submit","tenant":"","job":1,"size":0.5,"arrival":0,"departure":9}"#
+        )
+        .is_err());
+        // job id past u32
+        assert!(parse_request(
+            r#"{"op":"submit","tenant":"a","job":4294967296,"size":0.5,"arrival":0,"departure":9}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn global_bin_ids_are_injective_across_shards() {
+        assert_eq!(Response::global_bin_id(0, 7), 7);
+        assert_eq!(Response::global_bin_id(1, 7), (1 << 32) | 7);
+        assert_ne!(Response::global_bin_id(1, 0), Response::global_bin_id(0, 1));
+    }
+}

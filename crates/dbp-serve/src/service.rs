@@ -1,0 +1,640 @@
+//! The scheduling service: shard engines, admission, checkpoints.
+//!
+//! A [`Service`] owns one engine thread per shard. Each engine holds a
+//! packer from the bench roster and a [`StreamingSession`] built on its
+//! own stack (the session *borrows* the packer, so neither can live in a
+//! shared struct), and answers `Place`/`Snapshot` commands over a
+//! channel. A single coordinator lock serialises submissions, which
+//! keeps the global invariants trivial to state:
+//!
+//! - **Exactly-once ids.** A dense id watermark plus an overflow set
+//!   records every decided job — placed *or* shed, because a shed is a
+//!   final admission-control decision. Clients resume after a crash by
+//!   reading the watermark from `status` and resubmitting from there.
+//! - **Global fleet cap.** The cap a shard sees on each placement is its
+//!   own open-bin count plus whatever headroom the whole fleet has left,
+//!   so the *sum* of open bins never exceeds the configured cap while
+//!   reuse of already-open bins is never refused.
+//! - **Deterministic restarts.** All coordinator state lives in the
+//!   checkpoint next to the per-shard session snapshots; replaying the
+//!   same submissions after a restore reproduces the same responses
+//!   bit for bit (the kill-and-resume differential test proves it).
+
+use crate::protocol::{RejectReason, Request, Response, StatusBody, Submit};
+use crate::state::{
+    latest_good_checkpoint, write_serve_checkpoint, ServeCheckpoint, TenantCounters,
+};
+use dbp_bench::registry::{online_packer, AlgoParams, ONLINE_ALGOS};
+use dbp_core::stream::{Admission, SessionSnapshot, StreamingSession};
+use dbp_core::{ClairvoyanceMode, DbpError, Item, Size, Time};
+use dbp_shard::ShardRouter;
+use dbp_telemetry::Histogram;
+use std::collections::{BTreeMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender, SyncSender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Shard (engine thread) count.
+    pub shards: usize,
+    /// Packer roster name ([`ONLINE_ALGOS`]).
+    pub algo: String,
+    /// Item-to-shard router.
+    pub router: ShardRouter,
+    /// Max open bins across the whole fleet; `None` = uncapped.
+    pub fleet_cap: Option<usize>,
+    /// Where checkpoints live; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Auto-checkpoint after this many placement decisions.
+    pub checkpoint_every: u64,
+    /// Minimum item duration `Δ` (cbdt/cbd classification).
+    pub delta: i64,
+    /// Max/min duration ratio `μ` (cbdt/cbd classification).
+    pub mu: f64,
+}
+
+impl ServeConfig {
+    /// A config with the roster defaults (`Δ = 1`, `μ = 1`), hash
+    /// routing, no cap, and no checkpointing.
+    pub fn new(shards: usize, algo: &str) -> ServeConfig {
+        ServeConfig {
+            shards,
+            algo: algo.to_string(),
+            router: ShardRouter::hash(),
+            fleet_cap: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1_000,
+            delta: 1,
+            mu: 1.0,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), DbpError> {
+        let bad = |what: String| DbpError::InvalidParameter { what };
+        if self.shards == 0 {
+            return Err(bad("shards must be >= 1".into()));
+        }
+        if !ONLINE_ALGOS.contains(&self.algo.as_str()) {
+            return Err(bad(format!(
+                "unknown algo {:?} (roster: {})",
+                self.algo,
+                ONLINE_ALGOS.join(", ")
+            )));
+        }
+        self.router.validate()?;
+        if self.fleet_cap == Some(0) {
+            return Err(bad("fleet cap must be >= 1 (use no cap to disable)".into()));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(bad("checkpoint interval must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Commands the coordinator sends a shard engine.
+enum ShardCmd {
+    /// Place one item under an open-bin cap; reply with the admission
+    /// and the shard's open-bin count after the arrival sweep.
+    Place {
+        item: Item,
+        cap: usize,
+        resp: SyncSender<Result<(Admission, usize), DbpError>>,
+    },
+    /// Reply with a session snapshot.
+    Snapshot { resp: SyncSender<SessionSnapshot> },
+    /// Exit the engine loop.
+    Shutdown,
+}
+
+struct Engine {
+    tx: Sender<ShardCmd>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Engine {
+    fn spawn(
+        shard: usize,
+        algo: &str,
+        params: AlgoParams,
+        snap: Option<SessionSnapshot>,
+    ) -> Result<Engine, DbpError> {
+        let (tx, rx) = mpsc::channel::<ShardCmd>();
+        let (ready_tx, ready_rx) = mpsc::sync_channel::<Result<(), DbpError>>(1);
+        let algo = algo.to_string();
+        let handle = std::thread::Builder::new()
+            .name(format!("dbp-serve-{shard}"))
+            .spawn(move || {
+                let mut packer = online_packer(&algo, params);
+                let mut session = match snap {
+                    Some(s) => {
+                        match StreamingSession::restore(
+                            ClairvoyanceMode::Clairvoyant,
+                            packer.as_mut(),
+                            &s,
+                        ) {
+                            Ok(sess) => {
+                                let _ = ready_tx.send(Ok(()));
+                                sess
+                            }
+                            Err(e) => {
+                                let _ = ready_tx.send(Err(e));
+                                return;
+                            }
+                        }
+                    }
+                    None => {
+                        let _ = ready_tx.send(Ok(()));
+                        StreamingSession::new(ClairvoyanceMode::Clairvoyant, packer.as_mut())
+                    }
+                };
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        ShardCmd::Place { item, cap, resp } => {
+                            let out = session
+                                .arrive_capped(&item, cap)
+                                .map(|adm| (adm, session.open_bins()));
+                            let failed = out.is_err();
+                            let _ = resp.send(out);
+                            if failed {
+                                // The session may be inconsistent after a
+                                // packer error; stop rather than serve
+                                // wrong placements.
+                                return;
+                            }
+                        }
+                        ShardCmd::Snapshot { resp } => {
+                            let _ = resp.send(session.snapshot());
+                        }
+                        ShardCmd::Shutdown => return,
+                    }
+                }
+            })
+            .map_err(|e| DbpError::Internal {
+                what: format!("cannot spawn shard engine {shard}: {e}"),
+            })?;
+        let mut engine = Engine {
+            tx,
+            handle: Some(handle),
+        };
+        match ready_rx.recv() {
+            Ok(Ok(())) => Ok(engine),
+            Ok(Err(e)) => {
+                engine.join();
+                Err(e)
+            }
+            Err(_) => {
+                engine.join();
+                Err(DbpError::Internal {
+                    what: format!("shard engine {shard} died before reporting ready"),
+                })
+            }
+        }
+    }
+
+    fn join(&mut self) {
+        let _ = self.tx.send(ShardCmd::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Totals {
+    submitted: u64,
+    placed: u64,
+    shed: u64,
+    rejected: u64,
+}
+
+struct Core {
+    engines: Vec<Engine>,
+    /// Open bins per shard, as of that shard's last placement reply.
+    open_bins: Vec<usize>,
+    last_arrival: Option<Time>,
+    /// Every id below this was decided (placed or shed).
+    watermark: u32,
+    /// Decided ids at or above the watermark.
+    above: HashSet<u32>,
+    placed: u64,
+    shed: u64,
+    rejected: u64,
+    tenants: BTreeMap<String, Totals>,
+    decided_since_ckpt: u64,
+    ckpt_seq: u64,
+    /// Wall-clock placement latency; observability only — never
+    /// checkpointed, so it cannot perturb deterministic restarts.
+    place_ns: Histogram,
+    /// A shard engine failure poisons the whole service.
+    failed: Option<DbpError>,
+}
+
+impl Core {
+    fn is_decided(&self, id: u32) -> bool {
+        id < self.watermark || self.above.contains(&id)
+    }
+
+    /// Records a decided id and advances the dense watermark.
+    fn note_id(&mut self, id: u32) {
+        self.above.insert(id);
+        while self.above.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+    }
+
+    fn tenant_counters(&self) -> Vec<TenantCounters> {
+        self.tenants
+            .iter()
+            .map(|(tenant, t)| TenantCounters {
+                tenant: tenant.clone(),
+                submitted: t.submitted,
+                placed: t.placed,
+                shed: t.shed,
+                rejected: t.rejected,
+            })
+            .collect()
+    }
+}
+
+/// A running multi-tenant scheduling service. See the module docs.
+pub struct Service {
+    cfg: ServeConfig,
+    core: Mutex<Core>,
+    shutdown: AtomicBool,
+    restored_seq: Option<u64>,
+    skipped_checkpoints: Vec<PathBuf>,
+}
+
+impl Service {
+    /// Boots the service: validates `cfg`, restores the newest good
+    /// checkpoint when a checkpoint directory is configured (walking
+    /// past torn files), and spawns one engine per shard.
+    pub fn start(cfg: ServeConfig) -> Result<Service, DbpError> {
+        cfg.validate()?;
+        let (restored, skipped) = match &cfg.checkpoint_dir {
+            Some(dir) => match latest_good_checkpoint(dir)? {
+                Some((ck, skipped)) => (Some(ck), skipped),
+                None => (None, Vec::new()),
+            },
+            None => (None, Vec::new()),
+        };
+        if let Some(ck) = &restored {
+            let bad = |what: String| DbpError::InvalidParameter { what };
+            if ck.algo != cfg.algo {
+                return Err(bad(format!(
+                    "checkpoint was written by algo {:?}, service runs {:?}",
+                    ck.algo, cfg.algo
+                )));
+            }
+            if ck.router != cfg.router.name() {
+                return Err(bad(format!(
+                    "checkpoint was written with router {:?}, service runs {:?}",
+                    ck.router,
+                    cfg.router.name()
+                )));
+            }
+            if ck.sessions.len() != cfg.shards {
+                return Err(bad(format!(
+                    "checkpoint has {} shards, service runs {}",
+                    ck.sessions.len(),
+                    cfg.shards
+                )));
+            }
+            if ck.fleet_cap != cfg.fleet_cap.map(|c| c as u64) {
+                return Err(bad(format!(
+                    "checkpoint was written with fleet cap {:?}, service runs {:?}",
+                    ck.fleet_cap, cfg.fleet_cap
+                )));
+            }
+        }
+        let params = AlgoParams {
+            delta: cfg.delta,
+            mu: cfg.mu,
+        };
+        let mut engines = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let snap = restored.as_ref().map(|ck| ck.sessions[shard].clone());
+            match Engine::spawn(shard, &cfg.algo, params, snap) {
+                Ok(e) => engines.push(e),
+                Err(e) => {
+                    for mut eng in engines {
+                        eng.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let core = match &restored {
+            Some(ck) => Core {
+                open_bins: ck.sessions.iter().map(|s| s.open_bins.len()).collect(),
+                engines,
+                last_arrival: ck.last_arrival,
+                watermark: ck.watermark,
+                above: ck.above.iter().copied().collect(),
+                placed: ck.placed,
+                shed: ck.shed,
+                rejected: ck.rejected,
+                tenants: ck
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        (
+                            t.tenant.clone(),
+                            Totals {
+                                submitted: t.submitted,
+                                placed: t.placed,
+                                shed: t.shed,
+                                rejected: t.rejected,
+                            },
+                        )
+                    })
+                    .collect(),
+                decided_since_ckpt: 0,
+                ckpt_seq: ck.seq,
+                place_ns: Histogram::new(),
+                failed: None,
+            },
+            None => Core {
+                open_bins: vec![0; cfg.shards],
+                engines,
+                last_arrival: None,
+                watermark: 0,
+                above: HashSet::new(),
+                placed: 0,
+                shed: 0,
+                rejected: 0,
+                tenants: BTreeMap::new(),
+                decided_since_ckpt: 0,
+                ckpt_seq: 0,
+                place_ns: Histogram::new(),
+                failed: None,
+            },
+        };
+        Ok(Service {
+            cfg,
+            core: Mutex::new(core),
+            shutdown: AtomicBool::new(false),
+            restored_seq: restored.as_ref().map(|ck| ck.seq),
+            skipped_checkpoints: skipped,
+        })
+    }
+
+    /// The configuration the service runs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The checkpoint sequence the service restored from, if any.
+    pub fn restored_seq(&self) -> Option<u64> {
+        self.restored_seq
+    }
+
+    /// Corrupt (torn) checkpoint files skipped during restore, newest
+    /// first.
+    pub fn skipped_checkpoints(&self) -> &[PathBuf] {
+        &self.skipped_checkpoints
+    }
+
+    /// True once a `shutdown` request was acknowledged.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request. Never panics; internal failures surface as
+    /// [`Response::Error`].
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Submit(s) => self.handle_submit(s),
+            Request::Status => {
+                let core = self.core.lock().unwrap();
+                Response::Status(StatusBody {
+                    algo: self.cfg.algo.clone(),
+                    shards: self.cfg.shards,
+                    watermark: core.watermark,
+                    placed: core.placed,
+                    shed: core.shed,
+                    rejected: core.rejected,
+                    open_bins: core.open_bins.iter().sum(),
+                    checkpoint_seq: core.ckpt_seq,
+                })
+            }
+            Request::Checkpoint => {
+                let mut core = self.core.lock().unwrap();
+                match self.checkpoint_locked(&mut core) {
+                    Ok(seq) => Response::Checkpointed { seq },
+                    Err(e) => Response::Error {
+                        what: format!("checkpoint failed: {e}"),
+                    },
+                }
+            }
+            Request::Metrics => {
+                let core = self.core.lock().unwrap();
+                Response::Metrics {
+                    text: crate::metrics::render_metrics(
+                        &self.cfg.algo,
+                        &core.tenant_counters(),
+                        core.placed,
+                        core.shed,
+                        core.rejected,
+                        &core.open_bins,
+                        core.ckpt_seq,
+                        &core.place_ns,
+                    ),
+                }
+            }
+            Request::Shutdown => {
+                let mut core = self.core.lock().unwrap();
+                if self.cfg.checkpoint_dir.is_some() && core.failed.is_none() {
+                    // Best-effort final checkpoint; shutdown proceeds
+                    // regardless (the previous good one still restores).
+                    if let Err(e) = self.checkpoint_locked(&mut core) {
+                        eprintln!("dbp-serve: final checkpoint failed: {e}");
+                    }
+                }
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn handle_submit(&self, s: &Submit) -> Response {
+        let start = Instant::now();
+        let mut core = self.core.lock().unwrap();
+        if let Some(e) = &core.failed {
+            return Response::Error {
+                what: format!("service is failed: {e}"),
+            };
+        }
+        core.tenants.entry(s.tenant.clone()).or_default().submitted += 1;
+        let reject = |core: &mut Core, reason: RejectReason, detail: String| {
+            core.rejected += 1;
+            core.tenants.entry(s.tenant.clone()).or_default().rejected += 1;
+            Response::Rejected {
+                tenant: s.tenant.clone(),
+                job: s.job,
+                reason,
+                detail,
+            }
+        };
+        if core.is_decided(s.job) {
+            return reject(
+                &mut core,
+                RejectReason::DuplicateJob,
+                format!("job {} was already decided", s.job),
+            );
+        }
+        let size = match s.size_raw {
+            Some(raw) => Size::from_raw(raw),
+            None => Size::from_f64(s.size.unwrap_or(0.0)),
+        };
+        let item = match Item::try_new(s.job, size, s.arrival, s.departure) {
+            Ok(item) => item,
+            Err(e) => return reject(&mut core, RejectReason::InvalidJob, e.to_string()),
+        };
+        if let Some(last) = core.last_arrival {
+            if s.arrival < last {
+                return reject(
+                    &mut core,
+                    RejectReason::ArrivalOutOfOrder,
+                    format!("arrival {} is behind the stream clock {last}", s.arrival),
+                );
+            }
+        }
+        let shard = self.cfg.router.route(&item, self.cfg.shards);
+        let cap = match self.cfg.fleet_cap {
+            None => usize::MAX,
+            Some(fleet) => {
+                // This shard may keep its open bins and claim whatever
+                // headroom the fleet as a whole has left.
+                let total: usize = core.open_bins.iter().sum();
+                core.open_bins[shard] + fleet.saturating_sub(total)
+            }
+        };
+        let (resp_tx, resp_rx) = mpsc::sync_channel(1);
+        let sent = core.engines[shard].tx.send(ShardCmd::Place {
+            item,
+            cap,
+            resp: resp_tx,
+        });
+        let reply = match sent {
+            Ok(()) => resp_rx.recv().map_err(|_| DbpError::Internal {
+                what: format!("shard engine {shard} died mid-placement"),
+            }),
+            Err(_) => Err(DbpError::Internal {
+                what: format!("shard engine {shard} is gone"),
+            }),
+        };
+        let (admission, open_now) = match reply.and_then(|r| r) {
+            Ok(out) => out,
+            Err(e) => {
+                core.failed = Some(e.clone());
+                return Response::Error {
+                    what: format!("shard {shard}: {e}"),
+                };
+            }
+        };
+        core.open_bins[shard] = open_now;
+        core.last_arrival = Some(s.arrival);
+        // Both outcomes are final decisions: record the id either way so
+        // a resumed client never replays them.
+        core.note_id(s.job);
+        core.decided_since_ckpt += 1;
+        let out = match admission {
+            Admission::Placed(bin) => {
+                core.placed += 1;
+                core.tenants.entry(s.tenant.clone()).or_default().placed += 1;
+                Response::Placed {
+                    tenant: s.tenant.clone(),
+                    job: s.job,
+                    shard,
+                    bin: bin.0,
+                }
+            }
+            Admission::Shed => {
+                core.shed += 1;
+                core.tenants.entry(s.tenant.clone()).or_default().shed += 1;
+                Response::Rejected {
+                    tenant: s.tenant.clone(),
+                    job: s.job,
+                    reason: RejectReason::FleetCapacity,
+                    detail: match self.cfg.fleet_cap {
+                        Some(c) => format!("fleet cap {c} reached"),
+                        None => "fleet cap reached".to_string(),
+                    },
+                }
+            }
+        };
+        if self.cfg.checkpoint_dir.is_some() && core.decided_since_ckpt >= self.cfg.checkpoint_every
+        {
+            // Auto-checkpoint failures must not fail the placement that
+            // triggered them: the decision already happened.
+            if let Err(e) = self.checkpoint_locked(&mut core) {
+                eprintln!("dbp-serve: auto-checkpoint failed: {e}");
+            }
+        }
+        core.place_ns
+            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        out
+    }
+
+    /// Snapshots every shard and writes checkpoint `ckpt_seq + 1`.
+    fn checkpoint_locked(&self, core: &mut Core) -> Result<u64, DbpError> {
+        let dir = self
+            .cfg
+            .checkpoint_dir
+            .as_ref()
+            .ok_or_else(|| DbpError::InvalidParameter {
+                what: "no checkpoint directory configured".into(),
+            })?;
+        let mut sessions = Vec::with_capacity(core.engines.len());
+        for (shard, engine) in core.engines.iter().enumerate() {
+            let (resp_tx, resp_rx) = mpsc::sync_channel(1);
+            let gone = || DbpError::Internal {
+                what: format!("shard engine {shard} is gone"),
+            };
+            engine
+                .tx
+                .send(ShardCmd::Snapshot { resp: resp_tx })
+                .map_err(|_| gone())?;
+            sessions.push(resp_rx.recv().map_err(|_| gone())?);
+        }
+        let mut above: Vec<u32> = core.above.iter().copied().collect();
+        above.sort_unstable();
+        let seq = core.ckpt_seq + 1;
+        let ck = ServeCheckpoint {
+            seq,
+            algo: self.cfg.algo.clone(),
+            router: self.cfg.router.name(),
+            fleet_cap: self.cfg.fleet_cap.map(|c| c as u64),
+            last_arrival: core.last_arrival,
+            watermark: core.watermark,
+            above,
+            placed: core.placed,
+            shed: core.shed,
+            rejected: core.rejected,
+            tenants: core.tenant_counters(),
+            sessions,
+        };
+        write_serve_checkpoint(dir, &ck)?;
+        core.ckpt_seq = seq;
+        core.decided_since_ckpt = 0;
+        Ok(seq)
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if let Ok(mut core) = self.core.lock() {
+            for engine in &mut core.engines {
+                engine.join();
+            }
+        }
+    }
+}

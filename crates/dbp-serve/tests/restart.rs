@@ -1,0 +1,194 @@
+//! Restart semantics: kill-and-resume bit-identity, torn-checkpoint
+//! fallback, and config-fingerprint validation.
+
+use dbp_core::Size;
+use dbp_serve::protocol::{render_response, Request, Response, Submit};
+use dbp_serve::{ServeConfig, Service};
+use std::path::{Path, PathBuf};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbp-serve-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic 200-job stream that exercises placements *and*
+/// fleet-cap sheds.
+fn stream() -> Vec<Request> {
+    (0..200u32)
+        .map(|i| {
+            let size = 0.15 + 0.6 * f64::from(i.wrapping_mul(2_654_435_761) % 997) / 997.0;
+            let arrival = i64::from(i / 2);
+            Request::Submit(Submit {
+                tenant: format!("tenant-{}", i % 3),
+                job: i,
+                size: None,
+                size_raw: Some(Size::from_f64(size).raw()),
+                arrival,
+                departure: arrival + 4 + i64::from(i % 23),
+            })
+        })
+        .collect()
+}
+
+fn cfg_with_dir(dir: &Path) -> ServeConfig {
+    let mut cfg = ServeConfig::new(2, "first-fit");
+    cfg.fleet_cap = Some(6);
+    cfg.checkpoint_dir = Some(dir.to_path_buf());
+    cfg.checkpoint_every = 25;
+    cfg
+}
+
+#[test]
+fn kill_and_restore_replays_bit_identically() {
+    let jobs = stream();
+
+    // Reference: one uninterrupted service over the whole stream.
+    let full_dir = fresh_dir("restart-full");
+    let reference: Vec<String> = {
+        let service = Service::start(cfg_with_dir(&full_dir)).unwrap();
+        assert_eq!(service.restored_seq(), None);
+        jobs.iter()
+            .map(|req| render_response(&service.handle(req)))
+            .collect()
+    };
+    assert!(
+        reference.iter().any(|r| r.contains("\"placed\":true"))
+            && reference.iter().any(|r| r.contains("fleet_capacity")),
+        "the stream must exercise both placements and sheds"
+    );
+
+    // Interrupted run: submit 137 jobs, then die without a graceful
+    // shutdown — the newest auto-checkpoint (125 decisions) survives.
+    let kill_dir = fresh_dir("restart-kill");
+    let part1: Vec<String> = {
+        let service = Service::start(cfg_with_dir(&kill_dir)).unwrap();
+        jobs[..137]
+            .iter()
+            .map(|req| render_response(&service.handle(req)))
+            .collect()
+    };
+    assert_eq!(&part1[..], &reference[..137]);
+
+    // Restart from the surviving checkpoint and resume from the
+    // watermark, replaying the tail of the same stream.
+    let service = Service::start(cfg_with_dir(&kill_dir)).unwrap();
+    assert_eq!(service.restored_seq(), Some(5), "5 × 25 decisions survived");
+    let watermark = match service.handle(&Request::Status) {
+        Response::Status(s) => s.watermark as usize,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(watermark, 125, "the watermark is the last checkpoint's");
+    let part2: Vec<String> = jobs[watermark..]
+        .iter()
+        .map(|req| render_response(&service.handle(req)))
+        .collect();
+
+    // Jobs 125..137 were decided twice (before the kill and after the
+    // restore); both runs — and the uninterrupted reference — agree bit
+    // for bit, and the union covers every job exactly once.
+    assert_eq!(&part2[..], &reference[watermark..]);
+    assert_eq!(&part1[watermark..], &part2[..137 - watermark]);
+    match service.handle(&Request::Status) {
+        Response::Status(s) => assert_eq!(s.watermark, 200),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn torn_newest_checkpoint_falls_back_to_the_previous_good_one() {
+    let dir = fresh_dir("restart-torn");
+    let jobs = stream();
+    // Explicit checkpoints only, so exactly two files exist.
+    let mut cfg = cfg_with_dir(&dir);
+    cfg.checkpoint_every = 1_000_000;
+    let (first_seq, watermark_at_first) = {
+        let service = Service::start(cfg.clone()).unwrap();
+        for req in &jobs[..40] {
+            service.handle(req);
+        }
+        let seq = match service.handle(&Request::Checkpoint) {
+            Response::Checkpointed { seq } => seq,
+            other => panic!("{other:?}"),
+        };
+        let watermark = match service.handle(&Request::Status) {
+            Response::Status(s) => s.watermark,
+            other => panic!("{other:?}"),
+        };
+        for req in &jobs[40..80] {
+            service.handle(req);
+        }
+        match service.handle(&Request::Checkpoint) {
+            Response::Checkpointed { seq: s2 } => assert!(s2 > seq),
+            other => panic!("{other:?}"),
+        }
+        (seq, watermark)
+    };
+
+    // Tear the newest checkpoint mid-file, as a crash mid-write would.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .max()
+        .unwrap();
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let service = Service::start(cfg).unwrap();
+    assert_eq!(service.restored_seq(), Some(first_seq));
+    assert_eq!(service.skipped_checkpoints(), &[newest]);
+    match service.handle(&Request::Status) {
+        Response::Status(s) => assert_eq!(s.watermark, watermark_at_first),
+        other => panic!("{other:?}"),
+    }
+    // The restored service keeps serving from that point.
+    for req in &jobs[watermark_at_first as usize..] {
+        assert!(
+            !matches!(service.handle(req), Response::Error { .. }),
+            "restored service must keep serving"
+        );
+    }
+}
+
+#[test]
+fn restore_refuses_a_mismatched_config_fingerprint() {
+    let dir = fresh_dir("restart-mismatch");
+    {
+        let service = Service::start(cfg_with_dir(&dir)).unwrap();
+        for req in &stream()[..30] {
+            service.handle(req);
+        }
+        assert!(matches!(
+            service.handle(&Request::Checkpoint),
+            Response::Checkpointed { .. }
+        ));
+    }
+    let mut other_algo = cfg_with_dir(&dir);
+    other_algo.algo = "best-fit".into();
+    assert!(Service::start(other_algo).is_err());
+    let mut other_shards = cfg_with_dir(&dir);
+    other_shards.shards = 3;
+    assert!(Service::start(other_shards).is_err());
+    let mut other_cap = cfg_with_dir(&dir);
+    other_cap.fleet_cap = None;
+    assert!(Service::start(other_cap).is_err());
+    // The matching config still restores.
+    assert!(Service::start(cfg_with_dir(&dir))
+        .unwrap()
+        .restored_seq()
+        .is_some());
+}
+
+#[test]
+fn boot_without_checkpoints_is_fresh_and_checkpoint_requests_fail_typed() {
+    let service = Service::start(ServeConfig::new(1, "first-fit")).unwrap();
+    assert_eq!(service.restored_seq(), None);
+    // No checkpoint dir configured: an explicit checkpoint request is a
+    // protocol-level error, not a panic.
+    assert!(matches!(
+        service.handle(&Request::Checkpoint),
+        Response::Error { .. }
+    ));
+}

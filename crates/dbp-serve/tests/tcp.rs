@@ -1,0 +1,97 @@
+//! End-to-end over a real socket: line protocol, the HTTP metrics
+//! shim, malformed-input handling, and graceful shutdown.
+
+use dbp_serve::protocol::{parse_response, render_request, Request, Response, Submit};
+use dbp_serve::{server, ServeConfig, Service};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn submit_line(job: u32, arrival: i64) -> String {
+    render_request(&Request::Submit(Submit {
+        tenant: "t".into(),
+        job,
+        size: Some(0.5),
+        size_raw: None,
+        arrival,
+        departure: arrival + 10,
+    }))
+}
+
+#[test]
+fn tcp_round_trip_metrics_scrape_and_graceful_shutdown() {
+    let service = Arc::new(Service::start(ServeConfig::new(2, "first-fit")).unwrap());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || server::run(service, listener, 2))
+    };
+
+    // Line protocol: two placements, a blank line (ignored), a
+    // malformed line (typed protocol error), then status.
+    {
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        let mut exchange = |req: &str| {
+            writer.write_all(format!("{req}\n").as_bytes()).unwrap();
+            writer.flush().unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        };
+        let resp = parse_response(&exchange(&submit_line(0, 0))).unwrap();
+        assert!(matches!(resp, Response::Placed { .. }), "{resp:?}");
+        // A blank line is skipped, so the next real request still gets
+        // exactly one response.
+        let resp = parse_response(&exchange(&format!("\n{}", submit_line(1, 1)))).unwrap();
+        assert!(matches!(resp, Response::Placed { .. }), "{resp:?}");
+        let resp = parse_response(&exchange("this is not json")).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        match parse_response(&exchange("{\"op\":\"status\"}")).unwrap() {
+            Response::Status(s) => {
+                assert_eq!(s.placed, 2);
+                assert_eq!(s.watermark, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // HTTP shim: a plain GET scrapes the Prometheus exposition.
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK\r\n"), "{body}");
+        assert!(body.contains("dbp_serve_jobs_total{tenant=\"t\",outcome=\"placed\"} 2"));
+        assert!(body.contains("# TYPE dbp_serve_place_ns histogram"));
+    }
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 404"), "{body}");
+    }
+
+    // Graceful shutdown: ack, then the accept loop drains and joins.
+    {
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(matches!(
+            parse_response(line.trim_end()).unwrap(),
+            Response::ShuttingDown
+        ));
+    }
+    server_thread.join().unwrap().unwrap();
+    assert!(service.is_shutting_down());
+}

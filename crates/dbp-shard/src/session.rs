@@ -231,8 +231,10 @@ pub struct ShardedSession {
     above: HashSet<u32>,
     items_routed: u64,
     per_shard_routed: Vec<u64>,
-    /// Set when a worker died mid-stream; `finish` reports the cause.
-    failed: bool,
+    /// Set when a worker died mid-stream: the shard-annotated cause.
+    /// Every later `arrive`/`flush` — and `finish` — reports it instead
+    /// of touching the torn-down worker again.
+    failure: Option<DbpError>,
     /// Coordinator span collector when `collect_telemetry` is on; its
     /// epoch is shared with every worker.
     spans: Option<SpanCollector>,
@@ -312,7 +314,7 @@ impl ShardedSession {
             above: HashSet::new(),
             items_routed: 0,
             per_shard_routed: vec![0; cfg.shards],
-            failed: false,
+            failure: None,
             spans,
             root_span,
             next_seq: 0,
@@ -328,9 +330,14 @@ impl ShardedSession {
     /// combination. Returns the shard the item was routed to.
     ///
     /// Packer errors inside a shard are asynchronous: they tear down
-    /// that worker, and the next `arrive` that flushes to it — or
-    /// [`ShardedSession::finish`] — reports the underlying error.
+    /// that worker, and the next `arrive` — or
+    /// [`ShardedSession::finish`] — reports the underlying error. After
+    /// the first such failure the stream is dead: every subsequent
+    /// `arrive` returns the same shard-annotated error.
     pub fn arrive(&mut self, item: &Item) -> Result<usize, DbpError> {
+        if let Some(e) = &self.failure {
+            return Err(e.clone());
+        }
         let now = item.arrival();
         if let Some(last) = self.last_arrival {
             if now < last {
@@ -402,23 +409,28 @@ impl ShardedSession {
             }
             let batch = std::mem::take(&mut self.pending[w]);
             self.pending_items -= batch.len();
-            let send = self.workers[w]
-                .tx
-                .as_ref()
-                .expect("sender live until finish")
-                .send(Msg::Batch(seq, batch));
-            if send.is_err() {
+            let Some(tx) = self.workers[w].tx.as_ref() else {
+                // This worker was already joined by an earlier failed
+                // flush. Re-surface the recorded failure instead of
+                // panicking at the missing sender.
+                let e = self.failure.clone().unwrap_or_else(|| DbpError::Internal {
+                    what: "shard worker unavailable with no recorded failure".into(),
+                });
+                return Err(e);
+            };
+            if tx.send(Msg::Batch(seq, batch)).is_err() {
                 // The worker exited early — its packer rejected an item
                 // or a session invariant tripped. Join it for the real
                 // error.
-                self.failed = true;
-                return Err(match join_worker(&mut self.workers[w]) {
+                let e = match join_worker(&mut self.workers[w]) {
                     Some((usize::MAX, e)) => e,
                     Some((shard, e)) => annotate(shard, e),
                     None => DbpError::Internal {
                         what: "shard worker exited without reporting an error".into(),
                     },
-                });
+                };
+                self.failure = Some(e.clone());
+                return Err(e);
             }
         }
         Ok(())
@@ -429,7 +441,11 @@ impl ShardedSession {
     /// merged report is bit-identical for every worker count and
     /// schedule.
     pub fn finish(mut self) -> Result<ShardReport, DbpError> {
-        let flush_result = if self.failed { Ok(()) } else { self.flush() };
+        let flush_result = if self.failure.is_some() {
+            Ok(())
+        } else {
+            self.flush()
+        };
         for w in &self.workers {
             if let Some(tx) = &w.tx {
                 // A dead worker's channel just errors; its join result
@@ -451,6 +467,12 @@ impl ShardedSession {
         }
         if let Some((shard, e)) = first_error {
             return Err(annotate(shard, e));
+        }
+        if let Some(e) = self.failure.take() {
+            // The failing worker was already joined mid-stream, so the
+            // loop above saw nothing; report the recorded cause rather
+            // than a confusing missing-slices count.
+            return Err(e);
         }
         flush_result?;
         let mut slices: Vec<ShardSlice> = Vec::with_capacity(self.cfg.shards);

@@ -292,6 +292,65 @@ fn shard_errors_propagate_with_shard_context() {
 }
 
 #[test]
+fn arrive_after_worker_failure_errors_instead_of_panicking() {
+    // Regression: `flush_inner` used to `.expect("sender live until
+    // finish")` on the worker sender. After a failed flush joined the
+    // worker (nulling its sender), the next flush-triggering `arrive`
+    // panicked the coordinator instead of returning the recorded
+    // shard-annotated error.
+    struct Rogue;
+    impl OnlinePacker for Rogue {
+        fn name(&self) -> String {
+            "rogue".into()
+        }
+        fn place(
+            &mut self,
+            _: &dbp_core::online::ItemView,
+            _: &dbp_core::OpenBins,
+        ) -> dbp_core::online::Decision {
+            dbp_core::online::Decision::Existing(dbp_core::BinId(9_999))
+        }
+    }
+    let mk = |id: u32, at: i64| Item::new(id, Size::from_f64(0.5), at, at + 10);
+    let cfg = ShardConfig {
+        threads: Some(1),
+        batch: 1,
+        ..ShardConfig::new(1, ShardRouter::hash())
+    };
+    let packers: Vec<Box<dyn OnlinePacker + Send>> = vec![Box::new(Rogue)];
+    let mut fleet = ShardedSession::new(ClairvoyanceMode::Clairvoyant, packers, cfg).unwrap();
+    // Strictly increasing arrivals with batch = 1: every arrive past the
+    // first flushes the previous cohort, so the dead worker is hit soon
+    // after it tears down.
+    let mut first = None;
+    for id in 0..200u32 {
+        if let Err(e) = fleet.arrive(&mk(id, i64::from(id))) {
+            first = Some((id, e));
+            break;
+        }
+    }
+    let (at, first_err) = first.expect("worker failure must surface through arrive");
+    let msg = first_err.to_string();
+    assert!(
+        msg.contains("shard 0"),
+        "error must name the failing shard: {msg}"
+    );
+    // Two more arrivals: pre-fix, the first buffers and the second
+    // panics in `flush_inner`. Post-fix, both report the recorded error.
+    for step in 1..=2u32 {
+        let id = at + step;
+        assert_eq!(
+            fleet.arrive(&mk(id, i64::from(id))),
+            Err(first_err.clone()),
+            "arrive after a worker failure must keep returning the cause"
+        );
+    }
+    // And finish() reports the cause too, not a missing-slices count.
+    let fin = fleet.finish().expect_err("finish after a worker failure");
+    assert_eq!(fin, first_err);
+}
+
+#[test]
 fn dropped_session_reaps_workers_cleanly() {
     let inst = instance();
     let mut fleet = ShardedSession::new(

@@ -38,13 +38,21 @@ fn bucket_labels(labels: &[(&str, &str)], le: &str) -> String {
     format!("{{{}}}", pairs.join(","))
 }
 
-fn render_counter(out: &mut String, name: &str, help: &str, labels: &str, value: u64) {
+/// Appends one `counter`-typed series (`# HELP`/`# TYPE` headers plus a
+/// single sample). `labels` is a pre-rendered `{k="v",…}` block from the
+/// caller, or `""`.
+pub fn render_counter(out: &mut String, name: &str, help: &str, labels: &str, value: u64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
     let _ = writeln!(out, "{name}{labels} {value}");
 }
 
-fn render_histogram(
+/// Appends one `histogram`-typed series for a [`Histogram`]: cumulative
+/// `_bucket{le="…"}` samples up to the last non-empty bucket (then
+/// `+Inf`), plus `_sum` and `_count`. Public so other exposition
+/// surfaces (e.g. the serving layer's per-service metrics endpoint) emit
+/// the exact same bucket layout as [`render_prometheus`].
+pub fn render_histogram(
     out: &mut String,
     name: &str,
     help: &str,

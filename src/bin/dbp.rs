@@ -62,6 +62,11 @@ USAGE:
                [--algo <name>] [--batch <items>] [--sampled]
                [--out-folded <file>] [--out-chrome <file>] [--out-prom <file>]
                [--self-test [--shards <k>]]
+  dbp serve    [--addr <host:port>] [--port-file <file>] [--shards <k>]
+               [--algo <name>] [--router <hash[:seed]|size|tag[:rho]>]
+               [--fleet-cap <bins>] [--checkpoint-dir <dir>]
+               [--checkpoint-every <decisions>] [--conn-workers <n>]
+               [--delta <ticks>] [--mu <ratio>]
   dbp algos
 
 Online algorithms take their Theorem 4/5 optimal parameters from the
@@ -118,6 +123,15 @@ histograms identical for worker counts {1, K}; exits 5 on any mismatch.
 
 `telemetry-audit` sweeps the same contract across the roster, routers,
 and seeded instances (the audit-family version of `prof --self-test`).
+
+`serve` boots the long-running multi-tenant scheduling service
+(dbp-serve): line-delimited JSON over TCP, per-tenant accounting, a
+global `--fleet-cap` that sheds (typed rejects) instead of erroring,
+periodic checkpoints under `--checkpoint-dir`, and bit-identical
+restore after a crash. `--addr host:0` picks a free port; with
+`--port-file` the bound address is also written to a file for scripts.
+`GET /metrics` on the same port scrapes the Prometheus exposition.
+Drive it with the `load_serve` generator; see docs/serving.md.
 
 `chaos` sweeps the roster under seeded fault injection (spot
 revocations, rack failures, crashes) with rotating recovery and
@@ -196,6 +210,7 @@ fn main() -> ExitCode {
         "shard-audit" => shard_audit(&flags),
         "telemetry-audit" => telemetry_audit(&flags),
         "prof" => prof(&flags),
+        "serve" => serve(&flags),
         "algos" => {
             println!("online:  {}", ONLINE_ALGOS.join(", "));
             println!("offline: {}", OFFLINE_ALGOS.join(", "));
@@ -745,6 +760,13 @@ fn bench_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
         "cell", "baseline_ips", "fresh_ips", "delta"
     );
     for r in &report.rows {
+        if r.skipped {
+            println!(
+                "{:<22} {:>14.0} {:>14} {:>9}  SKIPPED (degraded baseline)",
+                r.label, r.baseline_ips, "-", "-"
+            );
+            continue;
+        }
         println!(
             "{:<22} {:>14.0} {:>14.0} {:>8.1}%  {}",
             r.label,
@@ -752,6 +774,15 @@ fn bench_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
             r.fresh_ips,
             r.delta_pct,
             if r.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    let skipped = report.skipped().len();
+    if skipped > 0 {
+        println!(
+            "warning: {skipped} multi-worker cell(s) skipped — the baseline was recorded with \
+             degraded_parallelism (host_parallelism {}); re-record it on a host with enough cores \
+             to gate them",
+            report.baseline_host_parallelism
         );
     }
     if let Some(out) = flags.get("report") {
@@ -1466,4 +1497,63 @@ fn compare(flags: &HashMap<String, String>) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// `dbp serve` — boot the long-running scheduling service and block
+/// until a client sends `shutdown`.
+fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::serve::{server, ServeConfig, Service};
+
+    let algo = flags.get("algo").map(|s| s.as_str()).unwrap_or("first-fit");
+    known_algo(algo, ONLINE_ALGOS, "online")?;
+    let mut cfg = ServeConfig::new(get_num(flags, "shards", 1usize)?, algo);
+    let router_spec = flags.get("router").map(|s| s.as_str()).unwrap_or("hash");
+    cfg.router = ShardRouter::parse(router_spec).map_err(|e| CliError::Usage(e.to_string()))?;
+    if let Some(v) = flags.get("fleet-cap") {
+        cfg.fleet_cap = Some(
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad --fleet-cap value {v:?}")))?,
+        );
+    }
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        cfg.checkpoint_dir = Some(dir.into());
+    }
+    cfg.checkpoint_every = get_num(flags, "checkpoint-every", 1_000u64)?;
+    cfg.delta = get_num(flags, "delta", 1i64)?;
+    cfg.mu = get_num(flags, "mu", 1.0f64)?;
+    let conn_workers = get_num(flags, "conn-workers", 4usize)?;
+    let shards = cfg.shards;
+
+    let service = Service::start(cfg).map_err(|e| match e {
+        clairvoyant_dbp::core::DbpError::InvalidParameter { .. } => CliError::Usage(e.to_string()),
+        other => CliError::Runtime(other.to_string()),
+    })?;
+    for torn in service.skipped_checkpoints() {
+        eprintln!(
+            "warning: skipped torn checkpoint {} (fell back to an older one)",
+            torn.display()
+        );
+    }
+    if let Some(seq) = service.restored_seq() {
+        println!("restored from checkpoint {seq}");
+    }
+
+    let addr = flags
+        .get("addr")
+        .map(|s| s.as_str())
+        .unwrap_or("127.0.0.1:4150");
+    let listener = std::net::TcpListener::bind(addr).map_err(io_err)?;
+    let local = listener.local_addr().map_err(io_err)?;
+    println!(
+        "dbp-serve listening on {local} (algo {algo}, {shards} shard{}, {conn_workers} \
+         connection worker{})",
+        if shards == 1 { "" } else { "s" },
+        if conn_workers == 1 { "" } else { "s" },
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(io_err)?;
+    if let Some(port_file) = flags.get("port-file") {
+        std::fs::write(port_file, format!("{local}\n")).map_err(io_err)?;
+    }
+    server::run(std::sync::Arc::new(service), listener, conn_workers).map_err(io_err)
 }

@@ -37,6 +37,7 @@
 //! | [`telemetry`] | latency/work histograms, span traces, Prometheus exposition, stream profiling |
 //! | [`audit`] | invariant checker, differential fuzzer, counterexample shrinker, regression fixtures |
 //! | [`resilience`] | checkpoint/restore, fault injection, recovery policies, chaos simulation |
+//! | [`serve`] | long-running multi-tenant scheduling service: JSON-over-TCP protocol, checkpointed restarts, load shedding |
 //!
 //! ## Quickstart
 //!
@@ -68,6 +69,7 @@ pub use dbp_interval as interval;
 pub use dbp_multidim as multidim;
 pub use dbp_obs as obs;
 pub use dbp_resilience as resilience;
+pub use dbp_serve as serve;
 pub use dbp_shard as shard;
 pub use dbp_sim as sim;
 pub use dbp_telemetry as telemetry;

@@ -272,11 +272,53 @@ pub fn snapshot_from_json(text: &str) -> Result<SessionSnapshot, DbpError> {
     })
 }
 
-/// Writes a checkpoint document to `path` (trailing newline included).
+/// Fsyncs a directory, making previously renamed entries durable. Every
+/// rename-based commit needs this: the rename itself may sit in the
+/// directory's page cache until the metadata is flushed.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    crate::failpoint::io_op("dir_fsync")?;
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Durably writes `bytes` to `path`: temp file in the same directory,
+/// `sync_all`, rename over the canonical name, then parent-directory
+/// fsync. A crash at any point leaves either the old content or the new
+/// content under `path`, never a torn file. Every step runs through a
+/// [`crate::failpoint`] hook so the torture harness can crash it.
+pub fn durable_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = match path.file_name().and_then(|n| n.to_str()) {
+        Some(name) => path.with_file_name(format!("{name}.tmp")),
+        None => {
+            return Err(std::io::Error::other(format!(
+                "durable_write: {} has no file name",
+                path.display()
+            )))
+        }
+    };
+    {
+        crate::failpoint::io_op("ckpt_write")?;
+        let mut f = std::fs::File::create(&tmp)?;
+        use std::io::Write as _;
+        f.write_all(bytes)?;
+        crate::failpoint::io_op("ckpt_sync")?;
+        f.sync_all()?;
+    }
+    crate::failpoint::io_op("ckpt_rename")?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fsync_dir(dir)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a checkpoint document to `path` (trailing newline included),
+/// durably: temp file + `sync_all` + rename + parent-directory fsync.
 pub fn write_checkpoint(path: &Path, snap: &SessionSnapshot) -> std::io::Result<()> {
     let mut text = snapshot_to_json(snap);
     text.push('\n');
-    std::fs::write(path, text)
+    durable_write(path, text.as_bytes())
 }
 
 /// Reads a checkpoint document from `path`. I/O failures surface as

@@ -1,0 +1,159 @@
+//! Injectable IO failpoints for durability torture tests.
+//!
+//! Every durability-critical IO operation in the tree (WAL appends and
+//! fsyncs, checkpoint writes, renames, directory syncs, prunes) calls
+//! [`io_op`] with a static point name *before* touching the filesystem.
+//! Two independent arming mechanisms ride on that hook:
+//!
+//! * **Thread-local error injection** — [`fail_from`] arms the calling
+//!   thread so that its `n`-th and every later IO op returns an injected
+//!   [`std::io::Error`] instead of running. This is how the in-process
+//!   crash-point sweep walks a service through "the disk died at op
+//!   *k*" for every *k*: the driver thread owns both the service calls
+//!   and the armed state, so parallel tests never interfere.
+//! * **Process-global abort** — setting the `DBP_CRASH_AT_IO`
+//!   environment variable to `n` before the process starts makes the
+//!   `n`-th IO op (counted across *all* threads) call
+//!   [`std::process::abort`]. This is the subprocess kill-at-nth-io
+//!   mode: a real SIGABRT mid-write, with no destructors and no flush,
+//!   which is as close to `kill -9` as a test can schedule
+//!   deterministically.
+//!
+//! When neither mechanism is armed the hook is two relaxed counter
+//! bumps — cheap enough to leave compiled into release builds, which is
+//! the point: the torture harness exercises the *same* binary the
+//! benchmarks measure.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// IO ops counted process-wide (all threads), for the abort mode.
+static GLOBAL_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Parsed `DBP_CRASH_AT_IO` value, read once.
+static CRASH_AT: OnceLock<Option<u64>> = OnceLock::new();
+
+thread_local! {
+    /// IO ops performed by this thread since the last [`reset_thread`].
+    static THREAD_OPS: Cell<u64> = const { Cell::new(0) };
+    /// When set, thread ops numbered `>= n` (1-based) fail.
+    static FAIL_FROM: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn crash_at() -> Option<u64> {
+    *CRASH_AT.get_or_init(|| {
+        std::env::var("DBP_CRASH_AT_IO")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|n| *n > 0)
+    })
+}
+
+/// The failpoint hook. Call with a static point name immediately before
+/// a durability-critical filesystem operation; propagate the error as if
+/// the operation itself had failed.
+pub fn io_op(point: &'static str) -> std::io::Result<()> {
+    let global = GLOBAL_OPS.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some(n) = crash_at() {
+        if global >= n {
+            eprintln!("dbp-failpoint: aborting at io op {global} (point {point:?})");
+            std::process::abort();
+        }
+    }
+    let op = THREAD_OPS.with(|c| {
+        let v = c.get() + 1;
+        c.set(v);
+        v
+    });
+    if let Some(n) = FAIL_FROM.with(Cell::get) {
+        if op >= n {
+            return Err(std::io::Error::other(format!(
+                "injected failpoint {point:?} at io op {op}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Arms the calling thread: its `n`-th (1-based) and every later IO op
+/// fails until [`reset_thread`]. `n = 1` fails everything.
+pub fn fail_from(n: u64) {
+    FAIL_FROM.with(|c| c.set(Some(n.max(1))));
+}
+
+/// Disarms injection on the calling thread and restarts its op counter.
+pub fn reset_thread() {
+    FAIL_FROM.with(|c| c.set(None));
+    THREAD_OPS.with(|c| c.set(0));
+}
+
+/// IO ops performed by the calling thread since the last reset — the
+/// torture sweep's crash-point space.
+pub fn thread_ops() -> u64 {
+    THREAD_OPS.with(Cell::get)
+}
+
+/// IO ops performed process-wide since start; mirrors what the
+/// `DBP_CRASH_AT_IO` abort mode counts against.
+pub fn global_ops() -> u64 {
+    GLOBAL_OPS.load(Ordering::Relaxed)
+}
+
+/// Disarms the calling thread on drop — keeps a panicking torture case
+/// from leaking an armed failpoint into the next test on the thread.
+pub struct FailGuard;
+
+impl FailGuard {
+    /// Resets the thread counter and arms failure from op `n`.
+    pub fn fail_from(n: u64) -> FailGuard {
+        reset_thread();
+        fail_from(n);
+        FailGuard
+    }
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        reset_thread();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_ops_succeed_and_count() {
+        reset_thread();
+        assert!(io_op("a").is_ok());
+        assert!(io_op("b").is_ok());
+        assert_eq!(thread_ops(), 2);
+        assert!(global_ops() >= 2);
+    }
+
+    #[test]
+    fn armed_thread_fails_from_n_onward() {
+        let _g = FailGuard::fail_from(3);
+        assert!(io_op("one").is_ok());
+        assert!(io_op("two").is_ok());
+        let err = io_op("three").unwrap_err();
+        assert!(err.to_string().contains("injected failpoint"));
+        assert!(err.to_string().contains("three"));
+        assert!(io_op("four").is_err(), "stays failed until reset");
+        drop(_g);
+        reset_thread();
+        assert!(io_op("five").is_ok(), "guard drop disarms");
+        reset_thread();
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _g = FailGuard::fail_from(1);
+            assert!(io_op("x").is_err());
+        }
+        assert!(io_op("y").is_ok());
+        reset_thread();
+    }
+}

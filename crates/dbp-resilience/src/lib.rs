@@ -14,6 +14,10 @@
 //!   revocations, whole-fleet crashes, correlated rack failures) plus
 //!   the [`fault::RecoveryPolicy`] and [`fault::AdmissionPolicy`] knobs
 //!   that decide what happens to displaced and shed jobs.
+//! * [`failpoint`] — injectable IO failpoints (thread-local error
+//!   injection plus a `DBP_CRASH_AT_IO` process-abort mode) that the
+//!   durability torture harness uses to crash WAL and checkpoint IO at
+//!   every boundary in turn.
 //! * [`chaos`] — the runner that drives a live session through a fault
 //!   plan, re-packs displaced jobs under the recovery policy, applies
 //!   admission control at a fleet cap, and accounts for every job
@@ -29,12 +33,14 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod failpoint;
 pub mod fault;
 
 pub use chaos::{
     simulate_chaos, ChaosConfig, ChaosReport, JobOutcome, SubmissionFate, SubmissionRecord,
 };
 pub use checkpoint::{
-    read_checkpoint, snapshot_from_json, snapshot_to_json, write_checkpoint, CHECKPOINT_FORMAT,
+    durable_write, fsync_dir, read_checkpoint, snapshot_from_json, snapshot_to_json,
+    write_checkpoint, CHECKPOINT_FORMAT,
 };
 pub use fault::{AdmissionPolicy, FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};

@@ -1,0 +1,397 @@
+//! Serving-path benchmark cells: what does durability cost?
+//!
+//! The engine benchmarks (`dbp-bench`) measure raw packing throughput;
+//! this module measures the *serving* path — protocol structs in,
+//! decisions out, with the WAL in the loop — across fsync policies, so
+//! `BENCH_serve.json` answers "what does `--fsync always` cost over
+//! `interval` / `never` / no WAL at all" with numbers the perf gate
+//! re-checks.
+//!
+//! The baseline schema is `dbp-serve/bench-v2`:
+//!
+//! ```json
+//! { "schema": "dbp-serve/bench-v2", "mode": "short",
+//!   "host_parallelism": 4,
+//!   "results": [
+//!     { "algo": "first-fit", "fsync": "always", "jobs": 800,
+//!       "items_per_sec": 41000.0, "p50_us": 19.0, "p99_us": 130.0 }
+//!   ] }
+//! ```
+//!
+//! `dbp serve-bench --out BENCH_serve.json` records it and `dbp bench
+//! --check BENCH_serve.json` re-measures every cell (best-of-3, same
+//! job count, fresh scratch directories) and gates on `items_per_sec`
+//! exactly like the engine baselines, reusing `dbp-bench`'s
+//! [`CheckReport`] so the CI artifact format is shared. Latency
+//! percentiles are recorded for the docs but not gated — they are far
+//! noisier than throughput on shared runners.
+
+use crate::protocol::{Request, Response};
+use crate::service::{ServeConfig, Service};
+use crate::torture::torture_stream;
+use crate::wal::FsyncPolicy;
+use dbp_bench::check::{CheckReport, CheckRow};
+use dbp_core::DbpError;
+use dbp_obs::json::{self, Json};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The serve-bench baseline schema tag.
+pub const SERVE_SCHEMA: &str = "dbp-serve/bench-v2";
+
+/// The fsync policies a recording sweeps. `"off"` means no WAL at all
+/// (the pre-durability serving path), the rest are WAL policies.
+pub const FSYNC_VARIANTS: &[&str] = &["off", "always", "interval:20", "never"];
+
+/// One recorded serving-path measurement.
+#[derive(Clone, Debug)]
+pub struct ServeCell {
+    /// Packer roster name.
+    pub algo: String,
+    /// Fsync variant (see [`FSYNC_VARIANTS`]).
+    pub fsync: String,
+    /// Jobs the cell streamed (the check re-runs the same count).
+    pub jobs: u32,
+    /// Recorded throughput.
+    pub items_per_sec: f64,
+    /// Median per-decision latency, microseconds (informative).
+    pub p50_us: f64,
+    /// Tail per-decision latency, microseconds (informative).
+    pub p99_us: f64,
+}
+
+impl ServeCell {
+    /// The display key the gate reports the cell under.
+    pub fn label(&self) -> String {
+        format!("{}/fsync={}", self.algo, self.fsync)
+    }
+}
+
+/// A parsed `dbp-serve/bench-v2` baseline.
+#[derive(Clone, Debug)]
+pub struct ServeBaseline {
+    /// `"short"` (CI smoke) or `"full"`.
+    pub mode: String,
+    /// Parallelism of the recording host.
+    pub host_parallelism: usize,
+    /// The measurements, in file order.
+    pub cells: Vec<ServeCell>,
+}
+
+/// Parses a serve-bench baseline.
+pub fn parse_serve_baseline(text: &str) -> Result<ServeBaseline, String> {
+    let root = json::parse(text)?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema")?;
+    if schema != SERVE_SCHEMA {
+        return Err(format!("unsupported serve baseline schema {schema:?}"));
+    }
+    let mode = root
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing mode")?
+        .to_string();
+    let host_parallelism = root
+        .get("host_parallelism")
+        .and_then(Json::as_u64)
+        .unwrap_or(1) as usize;
+    let mut cells = Vec::new();
+    for cell in root
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("results is not an array")?
+    {
+        let fsync = cell
+            .get("fsync")
+            .and_then(Json::as_str)
+            .ok_or("cell missing fsync")?;
+        if fsync != "off" {
+            FsyncPolicy::parse(fsync).map_err(|e| format!("cell fsync: {e}"))?;
+        }
+        cells.push(ServeCell {
+            algo: cell
+                .get("algo")
+                .and_then(Json::as_str)
+                .ok_or("cell missing algo")?
+                .to_string(),
+            fsync: fsync.to_string(),
+            jobs: u32::try_from(
+                cell.get("jobs")
+                    .and_then(Json::as_u64)
+                    .ok_or("cell missing jobs")?,
+            )
+            .map_err(|_| "jobs overflows u32".to_string())?,
+            items_per_sec: cell
+                .get("items_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or("cell missing items_per_sec")?,
+            p50_us: cell.get("p50_us").and_then(Json::as_f64).unwrap_or(0.0),
+            p99_us: cell.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0),
+        });
+    }
+    if cells.is_empty() {
+        return Err("serve baseline has no result cells".into());
+    }
+    Ok(ServeBaseline {
+        mode,
+        host_parallelism,
+        cells,
+    })
+}
+
+/// Serializes a baseline as the checked-in `BENCH_serve.json`.
+pub fn render_baseline(b: &ServeBaseline) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SERVE_SCHEMA}\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", b.mode);
+    let _ = writeln!(out, "  \"host_parallelism\": {},", b.host_parallelism);
+    out.push_str("  \"results\": [\n");
+    for (i, c) in b.cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"algo\": \"{}\", \"fsync\": \"{}\", \"jobs\": {}, \
+             \"items_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{}",
+            json::escape(&c.algo),
+            json::escape(&c.fsync),
+            c.jobs,
+            c.items_per_sec,
+            c.p50_us,
+            c.p99_us,
+            if i + 1 < b.cells.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dbp-serve-bench-{}-{tag}", std::process::id()))
+}
+
+fn cell_cfg(algo: &str, fsync: &str, dir: &Path) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::new(2, algo);
+    cfg.checkpoint_dir = Some(dir.join("ckpt"));
+    cfg.checkpoint_every = 256;
+    if fsync != "off" {
+        cfg.wal_dir = Some(dir.join("wal"));
+        cfg.fsync = FsyncPolicy::parse(fsync).map_err(|e| e.to_string())?;
+    }
+    Ok(cfg)
+}
+
+/// One timed run of a cell; returns (elapsed seconds, per-decision
+/// latencies in nanoseconds).
+fn run_cell_once(algo: &str, fsync: &str, jobs: u32) -> Result<(f64, Vec<u64>), String> {
+    let dir = scratch_dir(&format!("{algo}-{}", fsync.replace(':', "-")));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("scratch: {e}"))?;
+    let cfg = cell_cfg(algo, fsync, &dir)?;
+    let service = Service::start(cfg).map_err(|e| e.to_string())?;
+    let stream = torture_stream(jobs);
+    let mut lat = Vec::with_capacity(stream.len());
+    let started = Instant::now();
+    for s in &stream {
+        let t0 = Instant::now();
+        let resp = service.handle(&Request::Submit(s.clone()));
+        lat.push(t0.elapsed().as_nanos() as u64);
+        if let Response::Error { what } = resp {
+            return Err(format!("serving failed mid-bench: {what}"));
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((elapsed, lat))
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1_000.0
+}
+
+/// Measures one cell best-of-3 (minimum elapsed of three runs; latency
+/// percentiles from the fastest run).
+fn measure_cell(algo: &str, fsync: &str, jobs: u32) -> Result<ServeCell, String> {
+    let mut best: Option<(f64, Vec<u64>)> = None;
+    for _ in 0..3 {
+        let (elapsed, lat) = run_cell_once(algo, fsync, jobs)?;
+        if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+            best = Some((elapsed, lat));
+        }
+    }
+    let (elapsed, mut lat) = best.expect("three runs happened");
+    lat.sort_unstable();
+    Ok(ServeCell {
+        algo: algo.to_string(),
+        fsync: fsync.to_string(),
+        jobs,
+        items_per_sec: f64::from(jobs) / elapsed.max(f64::MIN_POSITIVE),
+        p50_us: percentile_us(&lat, 0.50),
+        p99_us: percentile_us(&lat, 0.99),
+    })
+}
+
+/// Job count for a (mode, fsync) cell. `always` cells stream fewer
+/// jobs: every decision pays a real fsync, and the gate re-runs each
+/// cell three times.
+fn jobs_for(mode: &str, fsync: &str) -> Result<u32, String> {
+    match (mode, fsync) {
+        ("short", "always") => Ok(800),
+        ("short", _) => Ok(5_000),
+        ("full", "always") => Ok(3_000),
+        ("full", _) => Ok(20_000),
+        (other, _) => Err(format!("unknown serve bench mode {other:?}")),
+    }
+}
+
+/// Records a fresh baseline: one cell per fsync variant.
+pub fn record(mode: &str) -> Result<ServeBaseline, DbpError> {
+    let mut cells = Vec::new();
+    for fsync in FSYNC_VARIANTS {
+        let jobs = jobs_for(mode, fsync).map_err(|what| DbpError::Internal { what })?;
+        cells.push(
+            measure_cell("first-fit", fsync, jobs).map_err(|what| DbpError::Internal { what })?,
+        );
+    }
+    Ok(ServeBaseline {
+        mode: mode.to_string(),
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        cells,
+    })
+}
+
+/// Runs the perf gate over a serve baseline: every cell re-measured
+/// with the same job count and compared at `tolerance_pct`, with
+/// `inject_pct` available as the self-proof that the gate trips.
+pub fn run_serve_check(
+    baseline: &ServeBaseline,
+    tolerance_pct: f64,
+    inject_pct: f64,
+) -> Result<CheckReport, String> {
+    if !(0.0..100.0).contains(&tolerance_pct) {
+        return Err(format!("tolerance {tolerance_pct}% out of range [0, 100)"));
+    }
+    if !(0.0..100.0).contains(&inject_pct) {
+        return Err(format!("inject {inject_pct}% out of range [0, 100)"));
+    }
+    let mut rows = Vec::new();
+    for cell in &baseline.cells {
+        if cell.items_per_sec <= 0.0 {
+            return Err(format!(
+                "{}: non-positive baseline throughput",
+                cell.label()
+            ));
+        }
+        let fresh = measure_cell(&cell.algo, &cell.fsync, cell.jobs)?;
+        let fresh_ips = fresh.items_per_sec * (1.0 - inject_pct / 100.0);
+        let delta_pct = (fresh_ips - cell.items_per_sec) / cell.items_per_sec * 100.0;
+        rows.push(CheckRow {
+            label: cell.label(),
+            baseline_ips: cell.items_per_sec,
+            fresh_ips,
+            delta_pct,
+            regressed: delta_pct < -tolerance_pct,
+            skipped: false,
+        });
+    }
+    Ok(CheckReport {
+        schema: SERVE_SCHEMA.to_string(),
+        mode: baseline.mode.clone(),
+        tolerance_pct,
+        injected_pct: inject_pct,
+        baseline_host_parallelism: baseline.host_parallelism,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"{
+      "schema": "dbp-serve/bench-v2",
+      "mode": "short",
+      "host_parallelism": 2,
+      "results": [
+        { "algo": "first-fit", "fsync": "off", "jobs": 50, "items_per_sec": 0.001,
+          "p50_us": 10.0, "p99_us": 20.0 },
+        { "algo": "first-fit", "fsync": "never", "jobs": 50, "items_per_sec": 0.001 }
+      ]
+    }"#;
+
+    #[test]
+    fn baseline_round_trips() {
+        let b = parse_serve_baseline(TINY).unwrap();
+        assert_eq!(b.mode, "short");
+        assert_eq!(b.cells.len(), 2);
+        assert_eq!(b.cells[0].label(), "first-fit/fsync=off");
+        assert_eq!(b.cells[1].fsync, "never");
+        let again = parse_serve_baseline(&render_baseline(&b)).unwrap();
+        assert_eq!(again.cells.len(), 2);
+        assert_eq!(again.cells[0].jobs, 50);
+    }
+
+    #[test]
+    fn bad_baselines_are_rejected() {
+        assert!(parse_serve_baseline("{}").is_err());
+        assert!(
+            parse_serve_baseline(
+                r#"{ "schema": "dbp-serve/bench-v1", "mode": "short", "results": [] }"#
+            )
+            .is_err(),
+            "the v1 load_serve report is not a gateable baseline"
+        );
+        assert!(
+            parse_serve_baseline(
+                r#"{ "schema": "dbp-serve/bench-v2", "mode": "short", "results": [
+                  { "algo": "first-fit", "fsync": "sometimes", "jobs": 10, "items_per_sec": 1.0 }
+                ] }"#
+            )
+            .is_err(),
+            "unknown fsync variants must not parse"
+        );
+    }
+
+    #[test]
+    fn gate_passes_slow_baseline_and_injection_trips() {
+        // ~zero recorded throughput: any real machine beats it.
+        let b = parse_serve_baseline(TINY).unwrap();
+        let report = run_serve_check(&b, 20.0, 0.0).unwrap();
+        assert!(report.ok());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows[0].fresh_ips > 0.0);
+
+        // Measure-then-recheck with an injected 60% slowdown: trips.
+        let measured = measure_cell("first-fit", "never", 50).unwrap();
+        let self_baseline = ServeBaseline {
+            mode: "short".into(),
+            host_parallelism: 1,
+            cells: vec![measured],
+        };
+        let report = run_serve_check(&self_baseline, 20.0, 60.0).unwrap();
+        assert!(
+            !report.ok(),
+            "a 60% injected slowdown must trip 20% tolerance"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_sane() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert!((percentile_us(&ns, 0.50) - 50.0).abs() <= 1.0);
+        assert!((percentile_us(&ns, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+    }
+}

@@ -54,6 +54,8 @@ OPTIONS (run mode):
                        of job 0 (same seed ⇒ same stream)
   --out FILE           write one JSON line per decision
   --bench-out FILE     write throughput/latency summary JSON
+  --status-out FILE    write the service's final status response JSON
+                       (watermark + totals, for CI accounting checks)
   --checkpoint         request a checkpoint after the last job
   --shutdown           request service shutdown after the last job
 
@@ -241,6 +243,7 @@ struct RunOpts {
     resume: bool,
     out: Option<String>,
     bench_out: Option<String>,
+    status_out: Option<String>,
     checkpoint: bool,
     shutdown: bool,
 }
@@ -405,6 +408,18 @@ fn run(opts: &RunOpts) -> Result<(), Fail> {
         stats.latency_ns.quantile(0.99) / 1_000,
     );
 
+    if let Some(path) = &opts.status_out {
+        match one_shot(&opts.addr, &Request::Status)? {
+            resp @ Response::Status(_) => {
+                std::fs::write(
+                    path,
+                    format!("{}\n", dbp_serve::protocol::render_response(&resp)),
+                )
+                .map_err(|e| io_err(e, path))?;
+            }
+            other => return Err(Fail::Runtime(format!("bad status response: {other:?}"))),
+        }
+    }
     if opts.checkpoint {
         match one_shot(&opts.addr, &Request::Checkpoint)? {
             Response::Checkpointed { seq } => eprintln!("load_serve: checkpoint {seq} written"),
@@ -546,6 +561,7 @@ fn parse_args(args: &[String]) -> Result<Mode, Fail> {
         resume: false,
         out: None,
         bench_out: None,
+        status_out: None,
         checkpoint: false,
         shutdown: false,
     };
@@ -601,6 +617,14 @@ fn parse_args(args: &[String]) -> Result<Mode, Fail> {
                 opts.bench_out = Some(
                     args.get(i)
                         .ok_or_else(|| usage("--bench-out needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--status-out" => {
+                i += 1;
+                opts.status_out = Some(
+                    args.get(i)
+                        .ok_or_else(|| usage("--status-out needs a path".into()))?
                         .clone(),
                 );
             }

@@ -3,39 +3,67 @@
 //! Rendered on demand for `GET /metrics` (and the in-band `metrics`
 //! request). Per-tenant job outcomes share one `dbp_serve_jobs_total`
 //! counter family with `tenant` and `outcome` labels; fleet totals,
-//! per-shard open-bin gauges, the checkpoint cursor, and the placement
-//! latency histogram ride along. Histogram buckets come from
+//! per-shard open-bin gauges, the checkpoint and decision cursors, the
+//! placement and WAL-append latency histograms, and the boot-recovery
+//! scalars ride along. Histogram buckets come from
 //! [`dbp_telemetry::prom::render_histogram`], so the serving layer's
 //! latency series has the exact same bucket layout as the bench
 //! harness's — dashboards can overlay them directly.
 
+use crate::service::RecoveryStats;
 use crate::state::TenantCounters;
 use dbp_obs::json::escape;
 use dbp_telemetry::prom::{render_counter, render_histogram};
 use dbp_telemetry::Histogram;
 use std::fmt::Write as _;
 
+/// The write-ahead-log slice of the exposition.
+pub struct WalView<'a> {
+    /// Frames appended since boot.
+    pub frames: u64,
+    /// Bytes appended since boot (segment headers included).
+    pub bytes: u64,
+    /// Append latency (encode + write + policy sync).
+    pub append_ns: &'a Histogram,
+}
+
+/// Everything [`render_metrics`] reads, borrowed from the coordinator.
+pub struct MetricsView<'a> {
+    /// Packer roster name.
+    pub algo: &'a str,
+    /// Per-tenant counters.
+    pub tenants: &'a [TenantCounters],
+    /// Jobs placed.
+    pub placed: u64,
+    /// Jobs shed by the fleet cap.
+    pub shed: u64,
+    /// Jobs rejected.
+    pub rejected: u64,
+    /// Open bins per shard.
+    pub open_bins: &'a [usize],
+    /// Newest checkpoint sequence.
+    pub checkpoint_seq: u64,
+    /// Global decision sequence.
+    pub decision_seq: u64,
+    /// Placement latency.
+    pub place_ns: &'a Histogram,
+    /// WAL counters, when a WAL is configured.
+    pub wal: Option<WalView<'a>>,
+    /// Boot recovery stats, when a WAL is configured.
+    pub recovery: Option<&'a RecoveryStats>,
+}
+
 /// Renders the full exposition text.
-#[allow(clippy::too_many_arguments)]
-pub fn render_metrics(
-    algo: &str,
-    tenants: &[TenantCounters],
-    placed: u64,
-    shed: u64,
-    rejected: u64,
-    open_bins: &[usize],
-    checkpoint_seq: u64,
-    place_ns: &Histogram,
-) -> String {
+pub fn render_metrics(v: &MetricsView<'_>) -> String {
     let mut out = String::with_capacity(1024);
-    let algo_label = format!("{{algo=\"{}\"}}", escape(algo));
+    let algo_label = format!("{{algo=\"{}\"}}", escape(v.algo));
 
     let _ = writeln!(
         out,
         "# HELP dbp_serve_jobs_total Job submissions by tenant and outcome"
     );
     let _ = writeln!(out, "# TYPE dbp_serve_jobs_total counter");
-    for t in tenants {
+    for t in v.tenants {
         let tenant = escape(&t.tenant);
         for (outcome, value) in [
             ("submitted", t.submitted),
@@ -51,17 +79,22 @@ pub fn render_metrics(
     }
 
     for (name, help, value) in [
-        ("dbp_serve_placed_total", "Jobs placed", placed),
-        ("dbp_serve_shed_total", "Jobs shed by the fleet cap", shed),
+        ("dbp_serve_placed_total", "Jobs placed", v.placed),
+        ("dbp_serve_shed_total", "Jobs shed by the fleet cap", v.shed),
         (
             "dbp_serve_rejected_total",
             "Jobs rejected (duplicate / out-of-order / invalid)",
-            rejected,
+            v.rejected,
         ),
         (
             "dbp_serve_checkpoint_seq",
             "Sequence number of the newest checkpoint written",
-            checkpoint_seq,
+            v.checkpoint_seq,
+        ),
+        (
+            "dbp_serve_decision_seq",
+            "Global decision sequence (placed + shed + rejected)",
+            v.decision_seq,
         ),
     ] {
         render_counter(&mut out, name, help, &algo_label, value);
@@ -72,7 +105,7 @@ pub fn render_metrics(
         "# HELP dbp_serve_open_bins Open bins per shard, as of its last placement"
     );
     let _ = writeln!(out, "# TYPE dbp_serve_open_bins gauge");
-    for (shard, n) in open_bins.iter().enumerate() {
+    for (shard, n) in v.open_bins.iter().enumerate() {
         let _ = writeln!(out, "dbp_serve_open_bins{{shard=\"{shard}\"}} {n}");
     }
 
@@ -80,9 +113,65 @@ pub fn render_metrics(
         &mut out,
         "dbp_serve_place_ns",
         "Wall-clock nanoseconds per placement decision",
-        &[("algo", algo)],
-        place_ns,
+        &[("algo", v.algo)],
+        v.place_ns,
     );
+
+    if let Some(wal) = &v.wal {
+        for (name, help, value) in [
+            (
+                "dbp_serve_wal_frames_total",
+                "WAL frames appended since boot",
+                wal.frames,
+            ),
+            (
+                "dbp_serve_wal_bytes_total",
+                "WAL bytes appended since boot",
+                wal.bytes,
+            ),
+        ] {
+            render_counter(&mut out, name, help, &algo_label, value);
+        }
+        render_histogram(
+            &mut out,
+            "dbp_serve_wal_append_ns",
+            "Wall-clock nanoseconds per WAL append (write + policy sync)",
+            &[("algo", v.algo)],
+            wal.append_ns,
+        );
+    }
+
+    if let Some(rec) = v.recovery {
+        for (name, help, value) in [
+            (
+                "dbp_serve_recovery_duration_ns",
+                "Boot recovery wall-clock (checkpoint restore + WAL replay)",
+                rec.duration_ns,
+            ),
+            (
+                "dbp_serve_recovery_replayed_frames",
+                "WAL frames replayed at boot",
+                rec.replayed_frames,
+            ),
+            (
+                "dbp_serve_recovery_wal_bytes",
+                "WAL bytes scanned at boot",
+                rec.wal_bytes,
+            ),
+            (
+                "dbp_serve_recovery_truncated_files",
+                "WAL segments cut back at boot (torn tails, corruption, post-gap frames)",
+                rec.truncated_files,
+            ),
+            (
+                "dbp_serve_recovery_dropped_frames",
+                "Intact WAL frames dropped at boot because a sequence gap preceded them",
+                rec.dropped_after_gap,
+            ),
+        ] {
+            render_counter(&mut out, name, help, &algo_label, value);
+        }
+    }
     out
 }
 
@@ -111,7 +200,19 @@ mod tests {
         let mut h = Histogram::new();
         h.record(1_000);
         h.record(2_000);
-        let text = render_metrics("first-fit", &tenants, 3, 1, 0, &[2, 1], 4, &h);
+        let text = render_metrics(&MetricsView {
+            algo: "first-fit",
+            tenants: &tenants,
+            placed: 3,
+            shed: 1,
+            rejected: 0,
+            open_bins: &[2, 1],
+            checkpoint_seq: 4,
+            decision_seq: 4,
+            place_ns: &h,
+            wal: None,
+            recovery: None,
+        });
         assert!(text.contains("# TYPE dbp_serve_jobs_total counter"));
         assert!(text.contains("dbp_serve_jobs_total{tenant=\"a\",outcome=\"placed\"} 2"));
         assert!(text.contains("dbp_serve_jobs_total{tenant=\"b\",outcome=\"submitted\"} 1"));
@@ -119,13 +220,55 @@ mod tests {
         assert!(text.contains("dbp_serve_open_bins{shard=\"0\"} 2"));
         assert!(text.contains("dbp_serve_open_bins{shard=\"1\"} 1"));
         assert!(text.contains("dbp_serve_checkpoint_seq{algo=\"first-fit\"} 4"));
+        assert!(text.contains("dbp_serve_decision_seq{algo=\"first-fit\"} 4"));
         assert!(text.contains("dbp_serve_place_ns_count{algo=\"first-fit\"} 2"));
         assert!(text.contains("le=\"+Inf\""));
+        assert!(
+            !text.contains("dbp_serve_wal_"),
+            "no WAL series without a WAL"
+        );
         // Exactly one TYPE header per metric family.
         let headers = text
             .lines()
             .filter(|l| l.starts_with("# TYPE dbp_serve_jobs_total"))
             .count();
         assert_eq!(headers, 1);
+    }
+
+    #[test]
+    fn wal_and_recovery_series_render_when_present() {
+        let mut append = Histogram::new();
+        append.record(500);
+        let rec = RecoveryStats {
+            duration_ns: 1_234,
+            replayed_frames: 17,
+            wal_bytes: 2_048,
+            truncated_files: 1,
+            dropped_after_gap: 2,
+        };
+        let text = render_metrics(&MetricsView {
+            algo: "first-fit",
+            tenants: &[],
+            placed: 17,
+            shed: 0,
+            rejected: 0,
+            open_bins: &[1],
+            checkpoint_seq: 1,
+            decision_seq: 17,
+            place_ns: &Histogram::new(),
+            wal: Some(WalView {
+                frames: 17,
+                bytes: 2_048,
+                append_ns: &append,
+            }),
+            recovery: Some(&rec),
+        });
+        assert!(text.contains("dbp_serve_wal_frames_total{algo=\"first-fit\"} 17"));
+        assert!(text.contains("dbp_serve_wal_bytes_total{algo=\"first-fit\"} 2048"));
+        assert!(text.contains("dbp_serve_wal_append_ns_count{algo=\"first-fit\"} 1"));
+        assert!(text.contains("dbp_serve_recovery_replayed_frames{algo=\"first-fit\"} 17"));
+        assert!(text.contains("dbp_serve_recovery_duration_ns{algo=\"first-fit\"} 1234"));
+        assert!(text.contains("dbp_serve_recovery_truncated_files{algo=\"first-fit\"} 1"));
+        assert!(text.contains("dbp_serve_recovery_dropped_frames{algo=\"first-fit\"} 2"));
     }
 }

@@ -135,6 +135,9 @@ pub struct StatusBody {
     pub open_bins: usize,
     /// Sequence number of the newest checkpoint written (0 = none).
     pub checkpoint_seq: u64,
+    /// Global decision sequence: decisions made since genesis,
+    /// including ones recovered from the write-ahead log.
+    pub decision_seq: u64,
 }
 
 /// A response line.
@@ -299,7 +302,8 @@ pub fn render_response(resp: &Response) -> String {
         ),
         Response::Status(s) => format!(
             "{{\"ok\":true,\"op\":\"status\",\"algo\":\"{}\",\"shards\":{},\"watermark\":{},\
-             \"placed\":{},\"shed\":{},\"rejected\":{},\"open_bins\":{},\"checkpoint_seq\":{}}}",
+             \"placed\":{},\"shed\":{},\"rejected\":{},\"open_bins\":{},\"checkpoint_seq\":{},\
+             \"decision_seq\":{}}}",
             escape(&s.algo),
             s.shards,
             s.watermark,
@@ -307,7 +311,8 @@ pub fn render_response(resp: &Response) -> String {
             s.shed,
             s.rejected,
             s.open_bins,
-            s.checkpoint_seq
+            s.checkpoint_seq,
+            s.decision_seq
         ),
         Response::Checkpointed { seq } => {
             format!("{{\"ok\":true,\"op\":\"checkpoint\",\"seq\":{seq}}}")
@@ -372,6 +377,8 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             rejected: u64_field(&doc, "rejected")?,
             open_bins: u64_field(&doc, "open_bins")? as usize,
             checkpoint_seq: u64_field(&doc, "checkpoint_seq")?,
+            // Absent when talking to a pre-WAL server.
+            decision_seq: doc.get("decision_seq").and_then(Json::as_u64).unwrap_or(0),
         })),
         "checkpoint" => Ok(Response::Checkpointed {
             seq: u64_field(&doc, "seq")?,
@@ -446,6 +453,7 @@ mod tests {
                 rejected: 1,
                 open_bins: 3,
                 checkpoint_seq: 2,
+                decision_seq: 9,
             }),
             Response::Checkpointed { seq: 3 },
             Response::Metrics {

@@ -26,6 +26,17 @@ use std::time::Duration;
 /// the shutdown flag again.
 const READ_POLL: Duration = Duration::from_millis(200);
 
+/// Longest request line a connection may send. A line protocol with an
+/// unbounded `read_line` lets one client grow a `String` until the
+/// allocator gives out; past this cap the connection gets a typed
+/// error and is closed.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// Most header bytes the HTTP shim will drain before answering; beyond
+/// this the request is answered from the request line alone (the shim
+/// never reads header values anyway) and the connection closes.
+const MAX_HTTP_HEADER: usize = 256 * 1024;
+
 /// Serves `service` on `listener` with `conn_workers` connection
 /// threads, returning once a `shutdown` request has been acknowledged
 /// and all workers have drained.
@@ -85,6 +96,60 @@ pub fn run(
     Ok(())
 }
 
+/// What one capped line read produced.
+enum LineRead {
+    /// The peer closed the socket (possibly mid-line; nothing more will
+    /// complete it).
+    Eof,
+    /// `buf` holds a whole line, terminator included.
+    Complete,
+    /// The line outgrew the cap before its terminator arrived.
+    Overflow,
+}
+
+/// Reads one `\n`-terminated line into `buf`, never holding more than
+/// `max` bytes. Unlike `read_line`, a single call cannot allocate
+/// unboundedly: bytes are taken from the `BufReader`'s fixed internal
+/// buffer chunk by chunk, and the accumulated line is checked against
+/// the cap per chunk. A timeout surfaces as `WouldBlock`/`TimedOut`
+/// with the partial line left in `buf`, so slow writers still work.
+fn read_capped_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let (taken, complete) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            let (chunk, complete) = match available.iter().position(|&b| b == b'\n') {
+                Some(i) => (&available[..=i], true),
+                None => (available, false),
+            };
+            if buf.len() + chunk.len() > max {
+                let n = chunk.len();
+                reader.consume(n);
+                return Ok(LineRead::Overflow);
+            }
+            buf.extend_from_slice(chunk);
+            (chunk.len(), complete)
+        };
+        reader.consume(taken);
+        if complete {
+            return Ok(LineRead::Complete);
+        }
+    }
+}
+
+/// Writes one protocol response line.
+fn write_response(writer: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    writer.write_all(render_response(resp).as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
 /// Serves one connection until EOF or shutdown.
 fn handle_conn(service: &Arc<Service>, conn: TcpStream) -> std::io::Result<()> {
     conn.set_read_timeout(Some(READ_POLL))?;
@@ -93,14 +158,34 @@ fn handle_conn(service: &Arc<Service>, conn: TcpStream) -> std::io::Result<()> {
     conn.set_nodelay(true)?;
     let mut writer = conn.try_clone()?;
     let mut reader = BufReader::new(conn);
-    let mut buf = String::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         // A timeout mid-line leaves the partial line in `buf`; the next
-        // read_line appends the rest, so lines survive slow writers.
-        match reader.read_line(&mut buf) {
-            Ok(0) => return Ok(()),
-            Ok(_) if buf.ends_with('\n') => {
-                let line = std::mem::take(&mut buf);
+        // read appends the rest, so lines survive slow writers.
+        match read_capped_line(&mut reader, &mut buf, MAX_LINE) {
+            Ok(LineRead::Eof) => return Ok(()),
+            Ok(LineRead::Overflow) => {
+                // A typed reject, then hang up: the rest of the
+                // oversized line is undelimited garbage.
+                write_response(
+                    &mut writer,
+                    &Response::Error {
+                        what: format!("request line exceeds {MAX_LINE} bytes"),
+                    },
+                )?;
+                return Ok(());
+            }
+            Ok(LineRead::Complete) => {
+                let bytes = std::mem::take(&mut buf);
+                let Ok(line) = std::str::from_utf8(&bytes) else {
+                    write_response(
+                        &mut writer,
+                        &Response::Error {
+                            what: "request line is not valid UTF-8".into(),
+                        },
+                    )?;
+                    return Ok(());
+                };
                 let line = line.trim_end();
                 if line.is_empty() {
                     continue;
@@ -112,17 +197,11 @@ fn handle_conn(service: &Arc<Service>, conn: TcpStream) -> std::io::Result<()> {
                     Ok(req) => service.handle(&req),
                     Err(what) => Response::Error { what },
                 };
-                writer.write_all(render_response(&resp).as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
+                write_response(&mut writer, &resp)?;
                 if matches!(resp, Response::ShuttingDown) {
                     poke_acceptor(&writer);
                     return Ok(());
                 }
-            }
-            Ok(_) => {
-                // EOF mid-line: nothing more will complete it.
-                return Ok(());
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if service.is_shutting_down() {
@@ -142,14 +221,24 @@ fn serve_http(
     writer: &mut TcpStream,
     request_line: &str,
 ) -> std::io::Result<()> {
-    // Drain the header block; we only key off the request line.
-    let mut line = String::new();
-    loop {
+    // Drain the header block; we only key off the request line, so the
+    // drain is bounded — past the cap we just answer and close.
+    let mut line: Vec<u8> = Vec::new();
+    let mut drained = 0usize;
+    while drained < MAX_HTTP_HEADER {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line.trim_end().is_empty() => break,
-            Ok(_) => continue,
+        match read_capped_line(reader, &mut line, MAX_LINE) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Overflow) => {
+                drained += MAX_LINE;
+                continue;
+            }
+            Ok(LineRead::Complete) => {
+                if line.iter().all(|b| b.is_ascii_whitespace()) {
+                    break;
+                }
+                drained += line.len();
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 break;
             }

@@ -19,18 +19,27 @@
 //!   checkpoint next to the per-shard session snapshots; replaying the
 //!   same submissions after a restore reproduces the same responses
 //!   bit for bit (the kill-and-resume differential test proves it).
+//! - **Write-ahead decisions.** With a [`ServeConfig::wal_dir`], every
+//!   decision is appended to the [`crate::wal`] before the response is
+//!   externalized; recovery becomes newest-good-checkpoint + WAL
+//!   replay, and acknowledged decisions survive `kill -9` with zero
+//!   client resubmission beyond the watermark (under
+//!   [`FsyncPolicy::Always`]; weaker policies trade a bounded window
+//!   of resubmission for throughput).
 
 use crate::protocol::{RejectReason, Request, Response, StatusBody, Submit};
 use crate::state::{
-    latest_good_checkpoint, write_serve_checkpoint, ServeCheckpoint, TenantCounters,
+    kept_checkpoint_floor, latest_good_checkpoint, write_serve_checkpoint, ServeCheckpoint,
+    TenantCounters,
 };
+use crate::wal::{self, DecisionFrame, FrameOutcome, FsyncPolicy, WalWriter};
 use dbp_bench::registry::{online_packer, AlgoParams, ONLINE_ALGOS};
 use dbp_core::stream::{Admission, SessionSnapshot, StreamingSession};
 use dbp_core::{ClairvoyanceMode, DbpError, Item, Size, Time};
 use dbp_shard::ShardRouter;
 use dbp_telemetry::Histogram;
 use std::collections::{BTreeMap, HashSet};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender, SyncSender};
 use std::sync::Mutex;
@@ -52,6 +61,11 @@ pub struct ServeConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Auto-checkpoint after this many placement decisions.
     pub checkpoint_every: u64,
+    /// Where write-ahead decision-log segments live; `None` disables
+    /// the WAL (recovery then leans on checkpoints + resubmission).
+    pub wal_dir: Option<PathBuf>,
+    /// When WAL appends reach stable storage.
+    pub fsync: FsyncPolicy,
     /// Minimum item duration `Δ` (cbdt/cbd classification).
     pub delta: i64,
     /// Max/min duration ratio `μ` (cbdt/cbd classification).
@@ -69,6 +83,8 @@ impl ServeConfig {
             fleet_cap: None,
             checkpoint_dir: None,
             checkpoint_every: 1_000,
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
             delta: 1,
             mu: 1.0,
         }
@@ -229,9 +245,18 @@ struct Core {
     tenants: BTreeMap<String, Totals>,
     decided_since_ckpt: u64,
     ckpt_seq: u64,
+    /// Global decision sequence: every decision (placed, shed, or
+    /// rejected) gets the next number; the WAL frame carrying it is
+    /// appended before the response is externalized.
+    decision_seq: u64,
+    /// The write-ahead decision log, when `cfg.wal_dir` is set.
+    wal: Option<WalWriter>,
     /// Wall-clock placement latency; observability only — never
     /// checkpointed, so it cannot perturb deterministic restarts.
     place_ns: Histogram,
+    /// WAL append latency (encode + write + policy sync); observability
+    /// only.
+    wal_append_ns: Histogram,
     /// A shard engine failure poisons the whole service.
     failed: Option<DbpError>,
 }
@@ -263,6 +288,24 @@ impl Core {
     }
 }
 
+/// What recovery found and did at boot, for metrics and the torture
+/// harness.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Wall-clock boot recovery duration (checkpoint restore + WAL
+    /// scan + replay).
+    pub duration_ns: u64,
+    /// WAL frames replayed on top of the restored checkpoint.
+    pub replayed_frames: u64,
+    /// WAL bytes scanned during recovery.
+    pub wal_bytes: u64,
+    /// Segment files physically cut back (torn tails, corrupt bytes,
+    /// post-gap frames).
+    pub truncated_files: u64,
+    /// Intact frames dropped because a sequence gap preceded them.
+    pub dropped_after_gap: u64,
+}
+
 /// A running multi-tenant scheduling service. See the module docs.
 pub struct Service {
     cfg: ServeConfig,
@@ -270,6 +313,7 @@ pub struct Service {
     shutdown: AtomicBool,
     restored_seq: Option<u64>,
     skipped_checkpoints: Vec<PathBuf>,
+    recovery: Option<RecoveryStats>,
 }
 
 impl Service {
@@ -277,6 +321,7 @@ impl Service {
     /// checkpoint when a checkpoint directory is configured (walking
     /// past torn files), and spawns one engine per shard.
     pub fn start(cfg: ServeConfig) -> Result<Service, DbpError> {
+        let boot = Instant::now();
         cfg.validate()?;
         let (restored, skipped) = match &cfg.checkpoint_dir {
             Some(dir) => match latest_good_checkpoint(dir)? {
@@ -331,7 +376,7 @@ impl Service {
                 }
             }
         }
-        let core = match &restored {
+        let mut core = match &restored {
             Some(ck) => Core {
                 open_bins: ck.sessions.iter().map(|s| s.open_bins.len()).collect(),
                 engines,
@@ -358,7 +403,10 @@ impl Service {
                     .collect(),
                 decided_since_ckpt: 0,
                 ckpt_seq: ck.seq,
+                decision_seq: ck.decision_seq,
+                wal: None,
                 place_ns: Histogram::new(),
+                wal_append_ns: Histogram::new(),
                 failed: None,
             },
             None => Core {
@@ -373,16 +421,87 @@ impl Service {
                 tenants: BTreeMap::new(),
                 decided_since_ckpt: 0,
                 ckpt_seq: 0,
+                decision_seq: 0,
+                wal: None,
                 place_ns: Histogram::new(),
+                wal_append_ns: Histogram::new(),
                 failed: None,
             },
         };
+        let mut recovery = None;
+        if let Some(wal_dir) = &cfg.wal_dir {
+            match Self::recover_from_wal(&cfg, wal_dir, &mut core, boot) {
+                Ok(stats) => recovery = Some(stats),
+                Err(e) => {
+                    for engine in &mut core.engines {
+                        engine.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(Service {
             cfg,
             core: Mutex::new(core),
             shutdown: AtomicBool::new(false),
             restored_seq: restored.as_ref().map(|ck| ck.seq),
             skipped_checkpoints: skipped,
+            recovery,
+        })
+    }
+
+    /// Replays the WAL tail on top of the restored checkpoint and opens
+    /// the writer. Every replayed frame must reproduce its logged
+    /// outcome bit for bit; a divergence refuses the boot — serving a
+    /// state that disagrees with what clients were told is worse than
+    /// not serving.
+    fn recover_from_wal(
+        cfg: &ServeConfig,
+        wal_dir: &Path,
+        core: &mut Core,
+        boot: Instant,
+    ) -> Result<RecoveryStats, DbpError> {
+        let floor = core.decision_seq;
+        let rec = wal::recover_wal(wal_dir, cfg.shards + 1, floor)?;
+        for frame in &rec.frames {
+            let submit = frame.to_submit();
+            let (resp, routed) = Self::decide(cfg, core, &submit);
+            let outcome = match Self::outcome_of(&resp, routed) {
+                Some(o) => o,
+                None => {
+                    return Err(DbpError::Internal {
+                        what: format!(
+                            "WAL replay of decision {} (job {}) failed: {resp:?}",
+                            frame.seq, frame.job
+                        ),
+                    })
+                }
+            };
+            if outcome != frame.outcome {
+                return Err(DbpError::Internal {
+                    what: format!(
+                        "WAL replay diverged at decision {}: log says {:?}, replay produced \
+                         {outcome:?} — refusing to serve a state that disagrees with \
+                         acknowledged responses",
+                        frame.seq, frame.outcome
+                    ),
+                });
+            }
+            core.decision_seq = frame.seq;
+        }
+        let writer =
+            WalWriter::open(wal_dir, cfg.shards + 1, core.ckpt_seq, cfg.fsync).map_err(|e| {
+                DbpError::Internal {
+                    what: format!("cannot open WAL dir {}: {e}", wal_dir.display()),
+                }
+            })?;
+        core.wal = Some(writer);
+        Ok(RecoveryStats {
+            duration_ns: u64::try_from(boot.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            replayed_frames: rec.frames.len() as u64,
+            wal_bytes: rec.bytes_scanned,
+            truncated_files: rec.truncated.len() as u64,
+            dropped_after_gap: rec.dropped_after_gap,
         })
     }
 
@@ -402,6 +521,31 @@ impl Service {
         &self.skipped_checkpoints
     }
 
+    /// Boot-time recovery statistics; `None` when no WAL is configured.
+    pub fn recovery(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// Locks the coordinator. A poisoned lock (a handler panicked while
+    /// holding it) degrades to a typed error on every caller instead of
+    /// cascading the panic across worker threads.
+    fn lock_core(&self) -> Result<std::sync::MutexGuard<'_, Core>, Response> {
+        self.core.lock().map_err(|_| Response::Error {
+            what: "service state lock poisoned by a panicked handler; restart the service".into(),
+        })
+    }
+
+    /// Poisons the coordinator lock, exactly as a handler panicking
+    /// mid-request would. Test-only by design: proves lock poisoning
+    /// degrades to typed errors.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.core.lock().unwrap();
+            panic!("poisoning the coordinator lock for a test");
+        }));
+    }
+
     /// True once a `shutdown` request was acknowledged.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -413,7 +557,10 @@ impl Service {
         match req {
             Request::Submit(s) => self.handle_submit(s),
             Request::Status => {
-                let core = self.core.lock().unwrap();
+                let core = match self.lock_core() {
+                    Ok(core) => core,
+                    Err(resp) => return resp,
+                };
                 Response::Status(StatusBody {
                     algo: self.cfg.algo.clone(),
                     shards: self.cfg.shards,
@@ -423,10 +570,14 @@ impl Service {
                     rejected: core.rejected,
                     open_bins: core.open_bins.iter().sum(),
                     checkpoint_seq: core.ckpt_seq,
+                    decision_seq: core.decision_seq,
                 })
             }
             Request::Checkpoint => {
-                let mut core = self.core.lock().unwrap();
+                let mut core = match self.lock_core() {
+                    Ok(core) => core,
+                    Err(resp) => return resp,
+                };
                 match self.checkpoint_locked(&mut core) {
                     Ok(seq) => Response::Checkpointed { seq },
                     Err(e) => Response::Error {
@@ -435,22 +586,45 @@ impl Service {
                 }
             }
             Request::Metrics => {
-                let core = self.core.lock().unwrap();
+                let core = match self.lock_core() {
+                    Ok(core) => core,
+                    Err(resp) => return resp,
+                };
                 Response::Metrics {
-                    text: crate::metrics::render_metrics(
-                        &self.cfg.algo,
-                        &core.tenant_counters(),
-                        core.placed,
-                        core.shed,
-                        core.rejected,
-                        &core.open_bins,
-                        core.ckpt_seq,
-                        &core.place_ns,
-                    ),
+                    text: crate::metrics::render_metrics(&crate::metrics::MetricsView {
+                        algo: &self.cfg.algo,
+                        tenants: &core.tenant_counters(),
+                        placed: core.placed,
+                        shed: core.shed,
+                        rejected: core.rejected,
+                        open_bins: &core.open_bins,
+                        checkpoint_seq: core.ckpt_seq,
+                        decision_seq: core.decision_seq,
+                        place_ns: &core.place_ns,
+                        wal: core.wal.as_ref().map(|w| crate::metrics::WalView {
+                            frames: w.frames_appended(),
+                            bytes: w.bytes_appended(),
+                            append_ns: &core.wal_append_ns,
+                        }),
+                        recovery: self.recovery.as_ref(),
+                    }),
                 }
             }
             Request::Shutdown => {
-                let mut core = self.core.lock().unwrap();
+                let mut core = match self.lock_core() {
+                    Ok(core) => core,
+                    Err(resp) => return resp,
+                };
+                if core.failed.is_none() {
+                    if let Some(w) = core.wal.as_mut() {
+                        // Push any interval/never-policy tail to disk
+                        // while we still can; failure is survivable
+                        // (recovery replays what did make it).
+                        if let Err(e) = w.sync() {
+                            eprintln!("dbp-serve: final WAL sync failed: {e}");
+                        }
+                    }
+                }
                 if self.cfg.checkpoint_dir.is_some() && core.failed.is_none() {
                     // Best-effort final checkpoint; shutdown proceeds
                     // regardless (the previous good one still restores).
@@ -464,14 +638,12 @@ impl Service {
         }
     }
 
-    fn handle_submit(&self, s: &Submit) -> Response {
-        let start = Instant::now();
-        let mut core = self.core.lock().unwrap();
-        if let Some(e) = &core.failed {
-            return Response::Error {
-                what: format!("service is failed: {e}"),
-            };
-        }
+    /// Makes the admission decision for one submission against the
+    /// coordinator state — shared verbatim between live handling and
+    /// WAL replay, which is what makes replay bit-identical by
+    /// construction. Returns the response plus the shard the submission
+    /// was routed to (`None` for pre-routing rejects).
+    fn decide(cfg: &ServeConfig, core: &mut Core, s: &Submit) -> (Response, Option<usize>) {
         core.tenants.entry(s.tenant.clone()).or_default().submitted += 1;
         let reject = |core: &mut Core, reason: RejectReason, detail: String| {
             core.rejected += 1;
@@ -484,10 +656,13 @@ impl Service {
             }
         };
         if core.is_decided(s.job) {
-            return reject(
-                &mut core,
-                RejectReason::DuplicateJob,
-                format!("job {} was already decided", s.job),
+            return (
+                reject(
+                    core,
+                    RejectReason::DuplicateJob,
+                    format!("job {} was already decided", s.job),
+                ),
+                None,
             );
         }
         let size = match s.size_raw {
@@ -496,19 +671,22 @@ impl Service {
         };
         let item = match Item::try_new(s.job, size, s.arrival, s.departure) {
             Ok(item) => item,
-            Err(e) => return reject(&mut core, RejectReason::InvalidJob, e.to_string()),
+            Err(e) => return (reject(core, RejectReason::InvalidJob, e.to_string()), None),
         };
         if let Some(last) = core.last_arrival {
             if s.arrival < last {
-                return reject(
-                    &mut core,
-                    RejectReason::ArrivalOutOfOrder,
-                    format!("arrival {} is behind the stream clock {last}", s.arrival),
+                return (
+                    reject(
+                        core,
+                        RejectReason::ArrivalOutOfOrder,
+                        format!("arrival {} is behind the stream clock {last}", s.arrival),
+                    ),
+                    None,
                 );
             }
         }
-        let shard = self.cfg.router.route(&item, self.cfg.shards);
-        let cap = match self.cfg.fleet_cap {
+        let shard = cfg.router.route(&item, cfg.shards);
+        let cap = match cfg.fleet_cap {
             None => usize::MAX,
             Some(fleet) => {
                 // This shard may keep its open bins and claim whatever
@@ -535,9 +713,12 @@ impl Service {
             Ok(out) => out,
             Err(e) => {
                 core.failed = Some(e.clone());
-                return Response::Error {
-                    what: format!("shard {shard}: {e}"),
-                };
+                return (
+                    Response::Error {
+                        what: format!("shard {shard}: {e}"),
+                    },
+                    None,
+                );
             }
         };
         core.open_bins[shard] = open_now;
@@ -564,13 +745,91 @@ impl Service {
                     tenant: s.tenant.clone(),
                     job: s.job,
                     reason: RejectReason::FleetCapacity,
-                    detail: match self.cfg.fleet_cap {
+                    detail: match cfg.fleet_cap {
                         Some(c) => format!("fleet cap {c} reached"),
                         None => "fleet cap reached".to_string(),
                     },
                 }
             }
         };
+        (out, Some(shard))
+    }
+
+    /// Maps a decision response to its WAL outcome. `None` for
+    /// [`Response::Error`], which is a service failure, not a decision.
+    fn outcome_of(resp: &Response, routed: Option<usize>) -> Option<FrameOutcome> {
+        match resp {
+            Response::Placed { shard, bin, .. } => Some(FrameOutcome::Placed {
+                shard: *shard as u32,
+                bin: *bin,
+            }),
+            Response::Rejected {
+                reason: RejectReason::FleetCapacity,
+                ..
+            } => Some(FrameOutcome::Shed {
+                shard: routed.unwrap_or(0) as u32,
+            }),
+            Response::Rejected { reason, .. } => Some(FrameOutcome::Rejected(*reason)),
+            _ => None,
+        }
+    }
+
+    fn handle_submit(&self, s: &Submit) -> Response {
+        let start = Instant::now();
+        let mut core = match self.lock_core() {
+            Ok(core) => core,
+            Err(resp) => return resp,
+        };
+        if let Some(e) = &core.failed {
+            return Response::Error {
+                what: format!("service is failed: {e}"),
+            };
+        }
+        let (resp, routed) = Self::decide(&self.cfg, &mut core, s);
+        let outcome = match Self::outcome_of(&resp, routed) {
+            Some(outcome) => outcome,
+            // An engine failure is not a decision: nothing to log.
+            None => return resp,
+        };
+        // Write-ahead discipline: the decision is durable (per the
+        // fsync policy) before the response is externalized. A crash
+        // in between loses only an unacknowledged decision, which the
+        // client resubmits and determinism re-derives identically.
+        let seq = core.decision_seq + 1;
+        if core.wal.is_some() {
+            let stream = routed.unwrap_or(self.cfg.shards) as u32;
+            let frame = DecisionFrame {
+                seq,
+                stream,
+                tenant: s.tenant.clone(),
+                job: s.job,
+                size_is_raw: s.size_raw.is_some(),
+                size_bits: match s.size_raw {
+                    Some(raw) => raw,
+                    None => f64::to_bits(s.size.unwrap_or(0.0)),
+                },
+                arrival: s.arrival,
+                departure: s.departure,
+                outcome,
+            };
+            let wal_start = Instant::now();
+            let appended = core.wal.as_mut().expect("checked above").append(&frame);
+            core.wal_append_ns
+                .record(u64::try_from(wal_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if let Err(e) = appended {
+                // The in-memory decision exists but cannot be made
+                // durable: fail the service rather than acknowledge a
+                // decision a restart could forget.
+                let err = DbpError::Internal {
+                    what: format!("WAL append for decision {seq} (job {}) failed: {e}", s.job),
+                };
+                core.failed = Some(err.clone());
+                return Response::Error {
+                    what: format!("durability: {err}"),
+                };
+            }
+        }
+        core.decision_seq = seq;
         if self.cfg.checkpoint_dir.is_some() && core.decided_since_ckpt >= self.cfg.checkpoint_every
         {
             // Auto-checkpoint failures must not fail the placement that
@@ -579,9 +838,11 @@ impl Service {
                 eprintln!("dbp-serve: auto-checkpoint failed: {e}");
             }
         }
-        core.place_ns
-            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        out
+        if routed.is_some() {
+            core.place_ns
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        resp
     }
 
     /// Snapshots every shard and writes checkpoint `ckpt_seq + 1`.
@@ -619,22 +880,46 @@ impl Service {
             placed: core.placed,
             shed: core.shed,
             rejected: core.rejected,
+            decision_seq: core.decision_seq,
             tenants: core.tenant_counters(),
             sessions,
         };
         write_serve_checkpoint(dir, &ck)?;
         core.ckpt_seq = seq;
         core.decided_since_ckpt = 0;
+        // The checkpoint is durable: rotate the WAL so frames it covers
+        // stop accumulating, and drop segments the oldest *kept*
+        // checkpoint no longer needs. Both are hygiene, not
+        // correctness — failures are logged and the checkpoint stands.
+        if let Some(w) = core.wal.as_mut() {
+            match w.rotate(seq) {
+                Ok(()) => match kept_checkpoint_floor(dir) {
+                    Ok(Some(floor)) => {
+                        if let Err(e) = w.prune(floor) {
+                            eprintln!("dbp-serve: WAL prune failed: {e}");
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => eprintln!("dbp-serve: cannot read oldest kept checkpoint: {e}"),
+                },
+                Err(e) => eprintln!("dbp-serve: WAL rotation failed: {e}"),
+            }
+        }
         Ok(seq)
     }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
-        if let Ok(mut core) = self.core.lock() {
-            for engine in &mut core.engines {
-                engine.join();
-            }
+        // Join engines even through a poisoned lock: the coordinator
+        // state may be suspect, but the engine threads still need their
+        // shutdown command.
+        let mut core = match self.core.lock() {
+            Ok(core) => core,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for engine in &mut core.engines {
+            engine.join();
         }
     }
 }

@@ -81,6 +81,10 @@ pub struct ServeCheckpoint {
     pub shed: u64,
     /// Jobs rejected.
     pub rejected: u64,
+    /// Global decision sequence as of this checkpoint: the WAL replay
+    /// floor. Absent in pre-WAL checkpoints, which decode as 0 (those
+    /// directories hold no WAL, so an empty replay is exactly right).
+    pub decision_seq: u64,
     /// Per-tenant counters, sorted by tenant label.
     pub tenants: Vec<TenantCounters>,
     /// One session snapshot per shard, in shard-index order.
@@ -113,8 +117,8 @@ pub fn encode(ck: &ServeCheckpoint) -> String {
     }
     let _ = write!(
         out,
-        ",\"watermark\":{},\"placed\":{},\"shed\":{},\"rejected\":{}",
-        ck.watermark, ck.placed, ck.shed, ck.rejected
+        ",\"watermark\":{},\"placed\":{},\"shed\":{},\"rejected\":{},\"decision_seq\":{}",
+        ck.watermark, ck.placed, ck.shed, ck.rejected, ck.decision_seq
     );
     out.push_str(",\"above\":[");
     for (i, id) in ck.above.iter().enumerate() {
@@ -240,6 +244,7 @@ pub fn decode(text: &str) -> Result<ServeCheckpoint, DbpError> {
         placed: u64_field(&doc, "placed")?,
         shed: u64_field(&doc, "shed")?,
         rejected: u64_field(&doc, "rejected")?,
+        decision_seq: doc.get("decision_seq").and_then(Json::as_u64).unwrap_or(0),
         tenants,
         sessions,
     })
@@ -258,22 +263,37 @@ fn seq_of(name: &str) -> Option<u64> {
         .ok()
 }
 
-/// Writes checkpoint `ck` into `dir` (temp file + rename) and prunes all
-/// but the newest [`KEPT_CHECKPOINTS`] files. Returns the final path.
+/// Writes checkpoint `ck` into `dir` durably — temp file, `sync_all`,
+/// rename, parent-directory fsync (via
+/// [`dbp_resilience::durable_write`]) — and prunes all but the newest
+/// [`KEPT_CHECKPOINTS`] files. Returns the final path.
 pub fn write_serve_checkpoint(dir: &Path, ck: &ServeCheckpoint) -> Result<PathBuf, DbpError> {
-    std::fs::create_dir_all(dir)
-        .map_err(|e| bad(format!("cannot create {}: {e}", dir.display())))?;
+    let mkdir =
+        dbp_resilience::failpoint::io_op("ckpt_mkdir").and_then(|()| std::fs::create_dir_all(dir));
+    mkdir.map_err(|e| bad(format!("cannot create {}: {e}", dir.display())))?;
     let path = dir.join(checkpoint_file_name(ck.seq));
-    let tmp = dir.join(format!("{}.tmp", checkpoint_file_name(ck.seq)));
-    std::fs::write(&tmp, encode(ck)).map_err(|e| bad(format!("writing {}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, &path).map_err(|e| bad(format!("committing {}: {e}", path.display())))?;
+    dbp_resilience::durable_write(&path, encode(ck).as_bytes())
+        .map_err(|e| bad(format!("committing {}: {e}", path.display())))?;
     // Prune: keep the newest KEPT_CHECKPOINTS by sequence.
     let mut all = list_checkpoints(dir)?;
     while all.len() > KEPT_CHECKPOINTS {
         let (_, oldest) = all.remove(0);
-        let _ = std::fs::remove_file(oldest);
+        if dbp_resilience::failpoint::io_op("ckpt_prune").is_ok() {
+            let _ = std::fs::remove_file(oldest);
+        }
     }
     Ok(path)
+}
+
+/// The WAL replay floor of the *oldest* checkpoint still on disk: every
+/// decision at or below it is covered by every restorable checkpoint,
+/// so WAL segments that only hold such decisions are prunable.
+pub fn kept_checkpoint_floor(dir: &Path) -> Result<Option<u64>, DbpError> {
+    let all = list_checkpoints(dir)?;
+    match all.first() {
+        Some((_, path)) => Ok(Some(read_serve_checkpoint(path)?.decision_seq)),
+        None => Ok(None),
+    }
 }
 
 /// Reads a checkpoint file; torn or corrupt files surface as typed

@@ -181,6 +181,164 @@ fn restore_refuses_a_mismatched_config_fingerprint() {
         .is_some());
 }
 
+fn cfg_with_wal(dir: &Path) -> ServeConfig {
+    let mut cfg = ServeConfig::new(2, "first-fit");
+    cfg.fleet_cap = Some(6);
+    cfg.checkpoint_dir = Some(dir.join("ckpt"));
+    cfg.checkpoint_every = 25;
+    cfg.wal_dir = Some(dir.join("wal"));
+    cfg.fsync = dbp_serve::FsyncPolicy::Never; // the tests kill in-process
+    cfg
+}
+
+#[test]
+fn wal_replay_recovers_every_decision_past_the_checkpoint() {
+    let jobs = stream();
+    let full_dir = fresh_dir("restart-wal-full");
+    let reference: Vec<String> = {
+        let service = Service::start(cfg_with_wal(&full_dir)).unwrap();
+        jobs.iter()
+            .map(|req| render_response(&service.handle(req)))
+            .collect()
+    };
+
+    // Die at 137 decisions: the newest checkpoint holds 125, the WAL
+    // holds the other 12.
+    let kill_dir = fresh_dir("restart-wal-kill");
+    {
+        let service = Service::start(cfg_with_wal(&kill_dir)).unwrap();
+        let part1: Vec<String> = jobs[..137]
+            .iter()
+            .map(|req| render_response(&service.handle(req)))
+            .collect();
+        assert_eq!(&part1[..], &reference[..137]);
+    }
+
+    let service = Service::start(cfg_with_wal(&kill_dir)).unwrap();
+    assert_eq!(service.restored_seq(), Some(5), "checkpoint restore first");
+    let rec = service.recovery().expect("recovery stats with a WAL");
+    assert_eq!(rec.replayed_frames, 12, "125 checkpointed + 12 replayed");
+    assert_eq!(rec.truncated_files, 0);
+    let watermark = match service.handle(&Request::Status) {
+        Response::Status(s) => {
+            assert_eq!(s.decision_seq, 137, "every decision survived");
+            s.watermark as usize
+        }
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(watermark, 137, "nothing to resubmit below 137");
+
+    // Resuming from the watermark reproduces the reference exactly...
+    let part2: Vec<String> = jobs[watermark..]
+        .iter()
+        .map(|req| render_response(&service.handle(req)))
+        .collect();
+    assert_eq!(&part2[..], &reference[watermark..]);
+    // ...and replayed jobs are duplicate-rejected, not re-decided.
+    let replayed = match &jobs[136] {
+        Request::Submit(s) => s.clone(),
+        other => panic!("{other:?}"),
+    };
+    match service.handle(&Request::Submit(replayed)) {
+        Response::Rejected { reason, .. } => {
+            assert_eq!(reason, dbp_serve::RejectReason::DuplicateJob)
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn wal_tolerates_a_torn_tail_but_refuses_a_rewritten_outcome() {
+    let jobs = stream();
+    let dir = fresh_dir("restart-wal-torn");
+    // No auto-checkpoints: every decision lives in the WAL alone.
+    let mut cfg = cfg_with_wal(&dir);
+    cfg.checkpoint_every = 1_000_000;
+    {
+        let service = Service::start(cfg.clone()).unwrap();
+        for req in &jobs[..60] {
+            assert!(!matches!(service.handle(req), Response::Error { .. }));
+        }
+    }
+    // Tear a few bytes off the fattest segment, as a mid-append crash
+    // would: recovery truncates the tail and keeps serving.
+    let seg = std::fs::read_dir(dir.join("wal"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .max_by_key(|e| e.metadata().unwrap().len())
+        .unwrap()
+        .path();
+    let len = std::fs::metadata(&seg).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+    f.set_len(len - 3).unwrap();
+    drop(f);
+    let watermark = {
+        let service = Service::start(cfg.clone()).unwrap();
+        let rec = service.recovery().unwrap();
+        assert!(rec.truncated_files >= 1, "the torn tail must be detected");
+        match service.handle(&Request::Status) {
+            Response::Status(s) => {
+                assert!(s.watermark < 60, "the torn decision is forgotten");
+                s.watermark
+            }
+            other => panic!("{other:?}"),
+        }
+    };
+
+    // Now rewrite a surviving frame's outcome byte and fix its CRC: the
+    // log is internally consistent but lies about what was acknowledged.
+    // Recovery must refuse to boot rather than serve diverged state.
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mut at = dbp_serve::wal::WAL_HEADER_LEN as usize;
+    let mut last = None;
+    while at + 8 <= bytes.len() {
+        let plen = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        if at + 8 + plen > bytes.len() {
+            break;
+        }
+        last = Some((at, plen));
+        at += 8 + plen;
+    }
+    let (at, plen) = last.expect("frames survive the truncation");
+    let outcome_off = at + 8 + 42;
+    bytes[outcome_off] = 1 - bytes[outcome_off]; // Placed <-> Shed
+    let crc = dbp_serve::wal::crc32(&bytes[at + 8..at + 8 + plen]);
+    bytes[at + 4..at + 8].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&seg, &bytes).unwrap();
+    let err = match Service::start(cfg) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("a rewritten outcome must refuse to boot"),
+    };
+    assert!(err.contains("diverged"), "got: {err}");
+    let _ = watermark;
+}
+
+#[test]
+fn checkpoints_prune_replayed_wal_segments() {
+    let dir = fresh_dir("restart-wal-prune");
+    let jobs = stream();
+    let cfg = cfg_with_wal(&dir);
+    {
+        let service = Service::start(cfg.clone()).unwrap();
+        for req in &jobs {
+            service.handle(req);
+        }
+        // 8 auto-checkpoints happened; rotation + pruning must have
+        // dropped segments fully covered by the kept checkpoints.
+        let segments = std::fs::read_dir(dir.join("wal")).unwrap().count();
+        assert!(
+            segments <= 3 * 2 + 1,
+            "pruning must bound the segment count, found {segments}"
+        );
+    }
+    // And the pruned log still recovers to the full watermark.
+    let service = Service::start(cfg).unwrap();
+    match service.handle(&Request::Status) {
+        Response::Status(s) => assert_eq!(s.watermark, 200),
+        other => panic!("{other:?}"),
+    }
+}
+
 #[test]
 fn boot_without_checkpoints_is_fresh_and_checkpoint_requests_fail_typed() {
     let service = Service::start(ServeConfig::new(1, "first-fit")).unwrap();

@@ -187,3 +187,31 @@ fn config_validation_catches_bad_parameters() {
     cfg.checkpoint_every = 0;
     assert!(Service::start(cfg).is_err());
 }
+
+#[test]
+fn a_poisoned_state_lock_degrades_to_typed_errors() {
+    let service = Service::start(ServeConfig::new(1, "first-fit")).unwrap();
+    assert!(matches!(
+        service.handle(&submit("t", 0, 0.4, 0, 9)),
+        Response::Placed { .. }
+    ));
+    // A handler panicking while holding the state lock poisons it. Every
+    // later request must get a typed error — no panic, no unwrap crash —
+    // and dropping the service must still join its engines cleanly.
+    service.poison_for_tests();
+    for req in [
+        submit("t", 1, 0.4, 1, 9),
+        Request::Status,
+        Request::Metrics,
+        Request::Checkpoint,
+    ] {
+        match service.handle(&req) {
+            Response::Error { what } => assert!(what.contains("poisoned"), "got: {what}"),
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+    }
+    match service.handle(&Request::Shutdown) {
+        Response::Error { what } => assert!(what.contains("poisoned")),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+}

@@ -95,3 +95,71 @@ fn tcp_round_trip_metrics_scrape_and_graceful_shutdown() {
     server_thread.join().unwrap().unwrap();
     assert!(service.is_shutting_down());
 }
+
+#[test]
+fn oversized_request_lines_get_a_typed_error_not_unbounded_memory() {
+    let service = Arc::new(Service::start(ServeConfig::new(1, "first-fit")).unwrap());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || server::run(service, listener, 1))
+    };
+
+    // A line past the cap — sent without its terminator, the way an
+    // attacker (or a runaway client) would grow the server's buffer.
+    {
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        let huge = vec![b'x'; server::MAX_LINE + 1024];
+        writer.write_all(&huge).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match parse_response(line.trim_end()).unwrap() {
+            Response::Error { what } => {
+                assert!(what.contains("exceeds"), "got: {what}")
+            }
+            other => panic!("{other:?}"),
+        }
+        // The server hung up after the reject.
+        let mut rest = String::new();
+        assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0);
+    }
+
+    // A non-UTF-8 line is also a typed error, then close.
+    {
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        writer.write_all(&[0xff, 0xfe, b'{', b'\n']).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match parse_response(line.trim_end()).unwrap() {
+            Response::Error { what } => assert!(what.contains("UTF-8"), "got: {what}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // The service survived both abuses and still serves new clients.
+    {
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        writer
+            .write_all(format!("{}\n", submit_line(0, 0)).as_bytes())
+            .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = parse_response(line.trim_end()).unwrap();
+        assert!(matches!(resp, Response::Placed { .. }), "{resp:?}");
+        writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+    }
+    server_thread.join().unwrap().unwrap();
+}

@@ -66,7 +66,12 @@ USAGE:
                [--algo <name>] [--router <hash[:seed]|size|tag[:rho]>]
                [--fleet-cap <bins>] [--checkpoint-dir <dir>]
                [--checkpoint-every <decisions>] [--conn-workers <n>]
+               [--wal-dir <dir>] [--fsync <always|interval[:ms]|never>]
                [--delta <ticks>] [--mu <ratio>]
+  dbp serve-torture [--self-test] [--jobs <n>] [--stride <k>]
+               [--checkpoint-every <decisions>] [--algo <name>]
+               [--fsync <policy>] [--scratch <dir>]
+  dbp serve-bench [--mode <short|full>] [--out <BENCH_serve.json>]
   dbp algos
 
 Online algorithms take their Theorem 4/5 optimal parameters from the
@@ -133,6 +138,19 @@ restore after a crash. `--addr host:0` picks a free port; with
 `GET /metrics` on the same port scrapes the Prometheus exposition.
 Drive it with the `load_serve` generator; see docs/serving.md.
 
+With `--wal-dir` the service also write-ahead-logs every decision
+(checksummed frames, `--fsync` policy, segments rotated and pruned at
+checkpoints): restart = newest good checkpoint + WAL replay, so every
+acknowledged decision survives `kill -9`, bit-identically.
+`serve-torture` proves it — a deterministic sweep that injects an IO
+failure at every WAL/checkpoint IO boundary in turn (`--stride` to
+sample) and checks recovery from each prefix plus corruption drills
+(torn tails, bit flips, CRC-consistent rewrites); exit 5 on any
+violation. The environment knob DBP_CRASH_AT_IO=<n> aborts the whole
+process at global IO op n instead (the CI kill-grade drill).
+`serve-bench` records the fsync-policy cost table (BENCH_serve.json),
+gateable with `bench --check`. See docs/serving.md.
+
 `chaos` sweeps the roster under seeded fault injection (spot
 revocations, rack failures, crashes) with rotating recovery and
 admission policies, checking exactly-once job accounting, post-recovery
@@ -141,8 +159,8 @@ the three resilience pillars on built-in scenarios. See
 docs/resilience.md.
 
 Exit codes: 0 ok, 2 usage, 3 I/O or trace format, 4 runtime/validation,
-5 audit, chaos, shard-audit, telemetry-audit, or prof --self-test
-violations.";
+5 audit, chaos, shard-audit, telemetry-audit, serve-torture, prof
+--self-test, or bench --check violations.";
 
 /// A classified CLI failure; the variant fixes the process exit code.
 enum CliError {
@@ -211,6 +229,8 @@ fn main() -> ExitCode {
         "telemetry-audit" => telemetry_audit(&flags),
         "prof" => prof(&flags),
         "serve" => serve(&flags),
+        "serve-torture" => serve_torture(&flags),
+        "serve-bench" => serve_bench(&flags),
         "algos" => {
             println!("online:  {}", ONLINE_ALGOS.join(", "));
             println!("offline: {}", OFFLINE_ALGOS.join(", "));
@@ -736,19 +756,44 @@ fn bench_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let inject: f64 = get_num(flags, "inject", 0.0)?;
     let text =
         std::fs::read_to_string(path).map_err(|e| io_err(format!("cannot read {path}: {e}")))?;
-    let baseline = parse_baseline(&text).map_err(|e| io_err(format!("{path}: {e}")))?;
-    println!(
-        "bench check: {} ({} mode), {} cells, tolerance {tolerance}%{}",
-        baseline.schema,
-        baseline.mode,
-        baseline.cells.len(),
-        if inject > 0.0 {
-            format!(", injected slowdown {inject}%")
-        } else {
-            String::new()
-        }
-    );
-    let report = run_check(&baseline, tolerance, inject).map_err(CliError::Usage)?;
+    // Serving-path baselines (`dbp-serve/...` schemas) re-run through
+    // the Service itself; engine baselines through dbp-bench.
+    let schema_tag = clairvoyant_dbp::obs::json::parse(&text)
+        .ok()
+        .and_then(|root| {
+            root.get("schema")
+                .and_then(|s| s.as_str().map(String::from))
+        })
+        .unwrap_or_default();
+    let report = if schema_tag.starts_with("dbp-serve/") {
+        use clairvoyant_dbp::serve::bench::{parse_serve_baseline, run_serve_check};
+        let baseline = parse_serve_baseline(&text).map_err(|e| io_err(format!("{path}: {e}")))?;
+        println!(
+            "bench check: {schema_tag} ({} mode), {} cells, tolerance {tolerance}%{}",
+            baseline.mode,
+            baseline.cells.len(),
+            if inject > 0.0 {
+                format!(", injected slowdown {inject}%")
+            } else {
+                String::new()
+            }
+        );
+        run_serve_check(&baseline, tolerance, inject).map_err(CliError::Usage)?
+    } else {
+        let baseline = parse_baseline(&text).map_err(|e| io_err(format!("{path}: {e}")))?;
+        println!(
+            "bench check: {} ({} mode), {} cells, tolerance {tolerance}%{}",
+            baseline.schema,
+            baseline.mode,
+            baseline.cells.len(),
+            if inject > 0.0 {
+                format!(", injected slowdown {inject}%")
+            } else {
+                String::new()
+            }
+        );
+        run_check(&baseline, tolerance, inject).map_err(CliError::Usage)?
+    };
     if report.host_parallelism != report.baseline_host_parallelism {
         println!(
             "note: baseline host parallelism {} vs this host {} — treat tight margins as noise",
@@ -1518,6 +1563,18 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if let Some(dir) = flags.get("checkpoint-dir") {
         cfg.checkpoint_dir = Some(dir.into());
     }
+    if let Some(dir) = flags.get("wal-dir") {
+        cfg.wal_dir = Some(dir.into());
+    }
+    if let Some(policy) = flags.get("fsync") {
+        if cfg.wal_dir.is_none() {
+            return Err(CliError::Usage(
+                "--fsync needs --wal-dir (it is the WAL's durability policy)".into(),
+            ));
+        }
+        cfg.fsync = clairvoyant_dbp::serve::FsyncPolicy::parse(policy)
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+    }
     cfg.checkpoint_every = get_num(flags, "checkpoint-every", 1_000u64)?;
     cfg.delta = get_num(flags, "delta", 1i64)?;
     cfg.mu = get_num(flags, "mu", 1.0f64)?;
@@ -1536,6 +1593,17 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
     if let Some(seq) = service.restored_seq() {
         println!("restored from checkpoint {seq}");
+    }
+    if let Some(rec) = service.recovery() {
+        println!(
+            "WAL recovery: {} frame{} replayed, {} bytes scanned, {} file{} truncated, {:.1} ms",
+            rec.replayed_frames,
+            if rec.replayed_frames == 1 { "" } else { "s" },
+            rec.wal_bytes,
+            rec.truncated_files,
+            if rec.truncated_files == 1 { "" } else { "s" },
+            rec.duration_ns as f64 / 1e6,
+        );
     }
 
     let addr = flags
@@ -1556,4 +1624,88 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         std::fs::write(port_file, format!("{local}\n")).map_err(io_err)?;
     }
     server::run(std::sync::Arc::new(service), listener, conn_workers).map_err(io_err)
+}
+
+/// `dbp serve-torture` — the deterministic crash-point sweep: inject an
+/// IO failure at every WAL/checkpoint IO boundary in turn and prove
+/// recovery from each prefix (bit-identical decisions, exactly-once
+/// accounting, corruption detected rather than consumed). Exit 5 on any
+/// violated invariant.
+fn serve_torture(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::serve::torture::{run, TortureConfig};
+
+    let mut cfg = TortureConfig::quick("cli");
+    if !flags.contains_key("self-test") {
+        cfg.jobs = get_num(flags, "jobs", cfg.jobs)?;
+        cfg.stride = get_num(flags, "stride", cfg.stride)?;
+        cfg.checkpoint_every = get_num(flags, "checkpoint-every", cfg.checkpoint_every)?;
+        if let Some(policy) = flags.get("fsync") {
+            cfg.fsync = clairvoyant_dbp::serve::FsyncPolicy::parse(policy)
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+        }
+        if let Some(algo) = flags.get("algo") {
+            known_algo(algo, ONLINE_ALGOS, "online")?;
+            cfg.algo = algo.clone();
+        }
+    }
+    if let Some(dir) = flags.get("scratch") {
+        cfg.scratch = Some(dir.into());
+    }
+    println!(
+        "serve-torture: {} jobs, fsync {}, checkpoint every {}, stride {}",
+        cfg.jobs,
+        cfg.fsync.name(),
+        cfg.checkpoint_every,
+        cfg.stride,
+    );
+    let report = run(&cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+    println!(
+        "crash-point space: {} IO ops; {} crash points exercised, {} corruption drills",
+        report.io_ops_total, report.crash_points, report.drills,
+    );
+    if report.passed() {
+        println!("serve-torture: ok — every crash point recovered, every drill held");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        eprintln!("failing fixtures kept under {}", report.scratch.display());
+        Err(CliError::Violations(format!(
+            "{} durability violation(s) across {} crash points + {} drills",
+            report.violations.len(),
+            report.crash_points,
+            report.drills,
+        )))
+    }
+}
+
+/// `dbp serve-bench` — record the serving-path fsync-policy baseline
+/// (`BENCH_serve.json`): one cell per fsync variant, re-checkable with
+/// `dbp bench --check`.
+fn serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::serve::bench::{record, render_baseline};
+
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("short");
+    let baseline = record(mode).map_err(|e| CliError::Runtime(e.to_string()))?;
+    println!(
+        "{:<24} {:>7} {:>14} {:>9} {:>9}",
+        "cell", "jobs", "items_per_sec", "p50_us", "p99_us"
+    );
+    for c in &baseline.cells {
+        println!(
+            "{:<24} {:>7} {:>14.0} {:>9.1} {:>9.1}",
+            c.label(),
+            c.jobs,
+            c.items_per_sec,
+            c.p50_us,
+            c.p99_us
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, render_baseline(&baseline))
+            .map_err(|e| io_err(format!("writing {out}: {e}")))?;
+        println!("baseline -> {out}");
+    }
+    Ok(())
 }

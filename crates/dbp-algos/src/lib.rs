@@ -26,6 +26,14 @@
 //! * [`online::CombinedClassify`] — the §5.4/§6 future-work strategy:
 //!   duration classes refined by departure-time classes.
 //!
+//! **Vector online algorithms** (dynamic *vector* bin packing, after
+//! Murhekar et al. 2023): [`online::VecAnyFit`],
+//! [`online::VecClassifyByDepartureTime`] and
+//! [`online::VecClassifyByDuration`] lift the scalar roster to
+//! multi-resource items under all-axes feasibility (bit-identical to the
+//! scalar packers at `dims == 1`), and [`online::DotProductFit`] /
+//! [`online::MaxNormFit`] add the vector-native placement heuristics.
+//!
 //! **Adversaries ([`adversary`]):** the executable Theorem 3 construction
 //! that forces any deterministic online packer to a ratio of at least the
 //! golden ratio.

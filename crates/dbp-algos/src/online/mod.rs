@@ -7,6 +7,7 @@ mod cbdt;
 mod combined;
 mod hybrid_ff;
 mod sliding;
+mod vector;
 
 pub use any_fit::{AnyFit, FitRule};
 pub use cbd::ClassifyByDuration;
@@ -14,6 +15,9 @@ pub use cbdt::ClassifyByDepartureTime;
 pub use combined::CombinedClassify;
 pub use hybrid_ff::HybridFirstFit;
 pub use sliding::SlidingDepartureWindow;
+pub use vector::{
+    DotProductFit, MaxNormFit, VecAnyFit, VecClassifyByDepartureTime, VecClassifyByDuration,
+};
 
 use dbp_core::online::{Decision, ItemView, OpenBins};
 use dbp_core::Size;

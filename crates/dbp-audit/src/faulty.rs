@@ -8,7 +8,7 @@
 //! never appear in the real roster.
 
 use dbp_core::online::{Decision, ItemView, OpenBins};
-use dbp_core::OnlinePacker;
+use dbp_core::{OnlinePacker, VecItemView, VecOnlinePacker, VecOpenBins};
 
 /// First Fit with the capacity check ignored: places into the first open
 /// bin with *any* headroom, even when the item does not fit. The engine
@@ -26,6 +26,30 @@ impl OnlinePacker for OverfullFirstFit {
     fn place(&mut self, _item: &ItemView, open_bins: &OpenBins) -> Decision {
         for b in open_bins {
             if b.level() < dbp_core::Size::CAPACITY {
+                return Decision::Existing(b.id());
+            }
+        }
+        Decision::New { tag: 0 }
+    }
+}
+
+/// Vector First Fit that checks feasibility on **axis 0 only** — the
+/// classic scalar-brained bug a vector packer can have. With two or more
+/// dimensions it happily overfills any later axis; the engine rejects the
+/// placement ([`dbp_core::DbpError::BadDecision`]), which the vector
+/// audit reports as an engine-error violation. Minimal witness: two
+/// overlapping items light on axis 0 and heavy on axis 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AxisBlindFirstFit;
+
+impl VecOnlinePacker for AxisBlindFirstFit {
+    fn name(&self) -> String {
+        "faulty-axis-blind-ff".into()
+    }
+
+    fn place(&mut self, item: &VecItemView, open_bins: &VecOpenBins) -> Decision {
+        for b in open_bins {
+            if item.size.axis(0) <= b.gap().axis(0) {
                 return Decision::Existing(b.id());
             }
         }
@@ -70,7 +94,24 @@ impl OnlinePacker for PanicOnNth {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbp_core::{DbpError, Instance, OnlineEngine};
+    use dbp_core::{
+        DbpError, Instance, OnlineEngine, SizeVec, VecInstance, VecItem, VecOnlineEngine,
+    };
+
+    #[test]
+    fn axis_blind_ff_is_rejected_by_the_engine() {
+        // Axis 0 has room, axis 1 does not: the blind packer reuses the
+        // bin and the engine refuses.
+        let items = vec![
+            VecItem::new(0, SizeVec::from_f64s(&[0.2, 0.8]), 0, 10),
+            VecItem::new(1, SizeVec::from_f64s(&[0.2, 0.8]), 1, 9),
+        ];
+        let inst = VecInstance::from_items(items).unwrap();
+        let err = VecOnlineEngine::non_clairvoyant()
+            .run(&inst, &mut AxisBlindFirstFit)
+            .unwrap_err();
+        assert!(matches!(err, DbpError::BadDecision { .. }));
+    }
 
     #[test]
     fn overfull_ff_is_rejected_by_the_engine() {

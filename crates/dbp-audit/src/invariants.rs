@@ -73,6 +73,12 @@ pub enum CheckId {
     /// Fleet-merged telemetry work histograms differed across worker
     /// counts, or the histogram merge disagreed with the unsplit stream.
     TelemetryMerge,
+    /// A vector run breached per-axis capacity (or coverage) on some
+    /// load segment of some axis.
+    VectorCapacity,
+    /// A vector run's usage fell below the max-axis `⌈S_d(t)⌉` lower
+    /// bound (the per-axis Proposition 3 maximum).
+    VectorLowerBound,
 }
 
 impl CheckId {
@@ -95,6 +101,8 @@ impl CheckId {
             CheckId::ShardMerge => "shard-merge",
             CheckId::TelemetryReplay => "telemetry-replay",
             CheckId::TelemetryMerge => "telemetry-merge",
+            CheckId::VectorCapacity => "vector-capacity",
+            CheckId::VectorLowerBound => "vector-lower-bound",
         }
     }
 
@@ -117,6 +125,8 @@ impl CheckId {
             CheckId::ShardMerge,
             CheckId::TelemetryReplay,
             CheckId::TelemetryMerge,
+            CheckId::VectorCapacity,
+            CheckId::VectorLowerBound,
         ]
         .into_iter()
         .find(|c| c.as_str() == s)
@@ -476,6 +486,8 @@ mod tests {
             CheckId::ShardMerge,
             CheckId::TelemetryReplay,
             CheckId::TelemetryMerge,
+            CheckId::VectorCapacity,
+            CheckId::VectorLowerBound,
         ] {
             assert_eq!(CheckId::parse(c.as_str()), Some(c));
         }

@@ -31,6 +31,10 @@
 //!   checking per-shard bit-identity against plain-session references,
 //!   exactly-once item accounting, and the merged run's coverage +
 //!   capacity against the original instance.
+//! * [`vector`] — the dynamic *vector* bin packing family: per-axis
+//!   capacity, the max-axis lower bound, indexed-vs-linear and
+//!   dim-1-vs-scalar differentials, the streaming-vs-batch foil, plus a
+//!   vector shrinker and per-axis JSON fixtures.
 //!
 //! See `docs/auditing.md` for the invariant list, the shrink loop, the
 //! fixture format, and how to reproduce any failure from its seed.
@@ -46,12 +50,14 @@ pub mod invariants;
 pub mod shard;
 pub mod shrink;
 pub mod telemetry;
+pub mod vector;
 
 pub use chaos::{run_chaos_audit, ChaosAuditConfig};
 pub use fuzz::{run_audit, AuditConfig, AuditSummary};
 pub use invariants::{CheckId, Violation};
 pub use shard::{run_shard_audit, ShardAuditConfig};
 pub use telemetry::{run_telemetry_audit, TelemetryAuditConfig};
+pub use vector::{run_vector_audit, VectorAuditConfig};
 
 /// Silences the process-global panic hook for the guard's lifetime and
 /// restores the previous hook on drop. Expected panics are the fuzzer's

@@ -1,0 +1,912 @@
+//! The vector audit family: seeded sweeps driving the dynamic *vector*
+//! bin packing roster against its ground-truth oracles.
+//!
+//! Per `(instance, algorithm)` cell the audit checks:
+//!
+//! 1. **Indexed ≡ linear** — the indexed fit-query packer must produce
+//!    the exact [`OnlineRun`] of its `with_linear_scan()` foil
+//!    ([`CheckId::Differential`]).
+//! 2. **Per-axis feasibility** — the run's packing passes
+//!    [`VecInstance::validate_packing`]: capacity on *every* axis of
+//!    every load segment, coverage, no migration. Capacity breaches are
+//!    classified as [`CheckId::VectorCapacity`].
+//! 3. **The max-axis lower bound** — usage is at least
+//!    `max_d ∫⌈S_d(t)⌉ dt` (the Proposition 3 bound axis-wise;
+//!    [`CheckId::VectorLowerBound`]).
+//! 4. **Usage accounting** — total usage equals the sum of per-bin
+//!    lifetimes ([`CheckId::UsageAccounting`]).
+//! 5. **dim-1 ≡ scalar** — at one dimension, roster packers that have a
+//!    scalar twin must reproduce its run bit for bit
+//!    ([`CheckId::Differential`]).
+//!
+//! One extra cell per instance, `batch-foil`, replays the streaming
+//! stack against the original batch [`dbp_multidim::pack_online`]
+//! reference under every [`Classification`] it supports (the streaming
+//! side uses the unclamped constructors, matching the foil's unclamped
+//! category math).
+//!
+//! Failures shrink with [`shrink_vec_instance`] — the vector port of the
+//! scalar shrinker (drop chunks, shorten durations, left-shift arrivals,
+//! round every axis to eighths) — and persist as [`VecFixture`] JSON with
+//! per-axis raw sizes, so counterexamples replay bit-identically.
+
+use crate::fuzz::{case_instance, isolated, Failure};
+use crate::invariants::{CheckId, Violation};
+use crate::shrink::ShrinkBudget;
+use crate::AuditSummary;
+use dbp_algos::online::{VecAnyFit, VecClassifyByDepartureTime, VecClassifyByDuration};
+use dbp_bench::grid::{run_grid_checked, GridCell};
+use dbp_bench::registry::{
+    online_packer, vector_packer, vector_packer_linear, AlgoParams, VECTOR_ALGOS,
+};
+use dbp_core::{
+    DbpError, OnlineEngine, OnlineRun, Size, SizeVec, VecInstance, VecItem, VecOnlineEngine,
+    VecOnlinePacker, MAX_DIMS,
+};
+use dbp_multidim::{pack_online, Classification, MultiInstance};
+use dbp_obs::json::{self, Json};
+use dbp_workloads::random::DurationDist;
+use dbp_workloads::vector::{project_axis, CorrelatedVectorWorkload, VectorWorkload};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Vector-sweep configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VectorAuditConfig {
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Master seed; instances derive from it.
+    pub seed: u64,
+    /// Upper bound on generated instance size.
+    pub max_items: usize,
+    /// Generated dimensionality rotates through `1..=max_dims`
+    /// (clamped to [`MAX_DIMS`]).
+    pub max_dims: usize,
+    /// Worker threads for the sweep grid (`None` = available
+    /// parallelism).
+    pub threads: Option<usize>,
+}
+
+impl Default for VectorAuditConfig {
+    fn default() -> Self {
+        VectorAuditConfig {
+            cases: 50,
+            seed: 0,
+            max_items: 24,
+            max_dims: MAX_DIMS,
+            threads: None,
+        }
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates the vector instance for `(seed, case_idx)`: dimensionality
+/// rotates through `1..=max_dims` and three families alternate — the
+/// full scalar [`case_instance`] rotation lifted axis-wise (adversarial
+/// instances included), correlated multi-resource demands across the `ρ`
+/// range, and a tight near-capacity family that stresses per-axis
+/// boundaries. Returns the family label with the instance.
+pub fn case_vec_instance(
+    seed: u64,
+    case_idx: u64,
+    max_items: usize,
+    max_dims: usize,
+) -> (String, VecInstance) {
+    if case_idx == 0 {
+        return (
+            "vec-empty".into(),
+            VecInstance::from_items(Vec::new()).expect("empty instance"),
+        );
+    }
+    let s = mix(seed ^ mix(case_idx).rotate_left(17));
+    let dims = 1 + (s % max_dims.clamp(1, MAX_DIMS) as u64) as usize;
+    let n = 6 + (s % (max_items.max(7) as u64 - 5)) as usize;
+    match case_idx % 3 {
+        1 => {
+            let (family, inst) = case_instance(seed, case_idx, max_items);
+            (
+                format!("lift{dims}:{family}"),
+                VecInstance::lift(&inst, dims),
+            )
+        }
+        2 => {
+            let rho = [-0.9, -0.5, 0.0, 0.5, 0.9][((s >> 8) % 5) as usize];
+            let menu = [0.35, 0.2, 0.45, 0.15];
+            let w = CorrelatedVectorWorkload::new(n, &menu[..dims], 0.5, rho)
+                .expect("valid correlated family")
+                .with_durations(DurationDist::uniform(1, 30).expect("valid uniform"))
+                .with_arrival_span(50);
+            (format!("corr(dims={dims},rho={rho})"), w.generate_seeded(s))
+        }
+        _ => {
+            // Near-half demands on every axis: per-axis bin boundaries
+            // get hit constantly, anti-correlated so axes disagree about
+            // which bin is full.
+            let menu = [0.5, 0.45, 0.55, 0.4];
+            let w = CorrelatedVectorWorkload::new(n, &menu[..dims], 0.3, -0.9)
+                .expect("valid tight family")
+                .with_durations(DurationDist::uniform(1, 8).expect("valid uniform"))
+                .with_arrival_span(12);
+            (format!("tight(dims={dims})"), w.generate_seeded(s))
+        }
+    }
+}
+
+/// Classification strategies need the departure; the Any-Fit family and
+/// the vector-native heuristics run blind.
+fn engine_for(algo: &str) -> VecOnlineEngine {
+    if matches!(algo, "cbdt" | "cbd") {
+        VecOnlineEngine::clairvoyant()
+    } else {
+        VecOnlineEngine::non_clairvoyant()
+    }
+}
+
+/// Scalar roster twins of the vector roster names (the vector-native
+/// heuristics have none).
+fn scalar_twin(algo: &str) -> Option<&str> {
+    match algo {
+        "first-fit" | "best-fit" | "worst-fit" | "next-fit" | "cbdt" | "cbd" => Some(algo),
+        _ => None,
+    }
+}
+
+/// Shared invariants on one finished run: per-axis validity, the
+/// max-axis lower bound, and usage accounting.
+fn check_vec_run(inst: &VecInstance, algo: &str, run: &OnlineRun, out: &mut Vec<Violation>) {
+    if let Err(e) = inst.validate_packing(&run.packing) {
+        let check = match e {
+            DbpError::CapacityExceeded { .. } => CheckId::VectorCapacity,
+            _ => CheckId::Coverage,
+        };
+        out.push(Violation::new(check, format!("{algo}: {e}")));
+    }
+    let lb = inst.vector_lower_bound();
+    if run.usage < lb {
+        out.push(Violation::new(
+            CheckId::VectorLowerBound,
+            format!("{algo}: usage {} below the max-axis bound {lb}", run.usage),
+        ));
+    }
+    let record_sum: u128 = run
+        .bins
+        .iter()
+        .map(|b| (b.closed_at - b.opened_at).max(0) as u128)
+        .sum();
+    if record_sum != run.usage {
+        out.push(Violation::new(
+            CheckId::UsageAccounting,
+            format!(
+                "{algo}: bin records sum to {record_sum}, run reports {}",
+                run.usage
+            ),
+        ));
+    }
+}
+
+/// Runs one vector algorithm's audit on one instance: indexed vs linear,
+/// per-axis validity, the lower bound, accounting, and (at one
+/// dimension) the scalar-twin differential.
+pub fn audit_vector_algo(inst: &VecInstance, algo: &str) -> Vec<Violation> {
+    let params = AlgoParams::from_vec_instance(inst);
+    let mut out = Vec::new();
+
+    let mut indexed = vector_packer(algo, params);
+    let run = match engine_for(algo).run(inst, indexed.as_mut()) {
+        Ok(r) => r,
+        Err(e) => {
+            return vec![Violation::new(
+                CheckId::EngineError,
+                format!("{algo}: streaming run failed: {e}"),
+            )]
+        }
+    };
+
+    let mut linear = vector_packer_linear(algo, params);
+    match engine_for(algo).run(inst, linear.as_mut()) {
+        Ok(foil) => {
+            if foil != run {
+                out.push(Violation::new(
+                    CheckId::Differential,
+                    format!("{algo}: indexed run diverges from the linear-scan foil"),
+                ));
+            }
+        }
+        Err(e) => out.push(Violation::new(
+            CheckId::EngineError,
+            format!("{algo}: linear-scan foil failed: {e}"),
+        )),
+    }
+
+    check_vec_run(inst, algo, &run, &mut out);
+
+    if inst.dims() == 1 {
+        if let Some(twin) = scalar_twin(algo) {
+            match project_axis(inst, 0) {
+                Ok(scalar) => {
+                    let mut sp = online_packer(twin, AlgoParams::from_instance(&scalar));
+                    let engine = if matches!(twin, "cbdt" | "cbd") {
+                        OnlineEngine::clairvoyant()
+                    } else {
+                        OnlineEngine::non_clairvoyant()
+                    };
+                    match engine.run(&scalar, sp.as_mut()) {
+                        Ok(sref) if sref == run => {}
+                        Ok(_) => out.push(Violation::new(
+                            CheckId::Differential,
+                            format!("{algo}: dim-1 run diverges from the scalar twin"),
+                        )),
+                        Err(e) => out.push(Violation::new(
+                            CheckId::EngineError,
+                            format!("{algo}: scalar twin failed: {e}"),
+                        )),
+                    }
+                }
+                Err(e) => out.push(Violation::new(
+                    CheckId::EngineError,
+                    format!("{algo}: axis-0 projection failed: {e}"),
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// Per-bin item ids in opening order — the batch foil's result shape.
+fn bin_ids(run: &OnlineRun) -> Vec<Vec<u32>> {
+    run.bins
+        .iter()
+        .map(|b| b.items.iter().map(|r| r.0).collect())
+        .collect()
+}
+
+/// Replays the streaming stack against the batch [`pack_online`]
+/// reference under every [`Classification`] it supports. The streaming
+/// side uses the *unclamped* constructors — the batch foil never clamps
+/// duration categories.
+pub fn audit_batch_foil(inst: &VecInstance) -> Vec<Violation> {
+    let multi = MultiInstance::from_vector(inst);
+    let mut out = Vec::new();
+    let cases: Vec<(Classification, Box<dyn VecOnlinePacker>)> = vec![
+        (Classification::None, Box::new(VecAnyFit::first_fit())),
+        (
+            Classification::ByDepartureTime { rho: 7 },
+            Box::new(VecClassifyByDepartureTime::new(7)),
+        ),
+        (
+            Classification::ByDuration {
+                base: 1,
+                alpha: 2.0,
+            },
+            Box::new(VecClassifyByDuration::new(1, 2.0)),
+        ),
+    ];
+    for (classify, mut packer) in cases {
+        let batch = pack_online(&multi, classify);
+        let streamed = match VecOnlineEngine::clairvoyant().run(inst, packer.as_mut()) {
+            Ok(r) => r,
+            Err(e) => {
+                out.push(Violation::new(
+                    CheckId::EngineError,
+                    format!("batch-foil {classify:?}: streaming run failed: {e}"),
+                ));
+                continue;
+            }
+        };
+        if bin_ids(&streamed) != batch.bins {
+            out.push(Violation::new(
+                CheckId::Differential,
+                format!("batch-foil {classify:?}: bin contents diverge"),
+            ));
+        }
+        if streamed.usage != batch.usage {
+            out.push(Violation::new(
+                CheckId::Differential,
+                format!(
+                    "batch-foil {classify:?}: streaming usage {} vs batch {}",
+                    streamed.usage, batch.usage
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Audits one instance against the vector roster plus the batch-foil
+/// cell, each algorithm panic-isolated.
+pub fn audit_vector_instance(inst: &VecInstance) -> Vec<(String, Vec<Violation>)> {
+    let mut out = Vec::new();
+    for algo in VECTOR_ALGOS {
+        let v = match isolated(|| audit_vector_algo(inst, algo)) {
+            Ok(v) => v,
+            Err(msg) => vec![Violation::new(CheckId::Panic, format!("{algo}: {msg}"))],
+        };
+        out.push((algo.to_string(), v));
+    }
+    let v = match isolated(|| audit_batch_foil(inst)) {
+        Ok(v) => v,
+        Err(msg) => vec![Violation::new(CheckId::Panic, format!("batch-foil: {msg}"))],
+    };
+    out.push(("batch-foil".into(), v));
+    out
+}
+
+/// Runs the vector sweep. Same containment guarantees as
+/// [`crate::fuzz::run_audit`]: any panic is confined to its cell.
+pub fn run_vector_audit(cfg: &VectorAuditConfig) -> AuditSummary {
+    let cells: Vec<GridCell<u64>> = (0..cfg.cases)
+        .map(|i| GridCell {
+            label: format!("vec{i}"),
+            input: i,
+        })
+        .collect();
+    let (seed, max_items, max_dims) = (cfg.seed, cfg.max_items, cfg.max_dims);
+
+    let results = run_grid_checked(cells, cfg.threads, move |&case_idx| {
+        let (family, inst) = case_vec_instance(seed, case_idx, max_items, max_dims);
+        let per_algo = audit_vector_instance(&inst);
+        (family, per_algo)
+    });
+
+    let mut summary = AuditSummary {
+        cases: cfg.cases,
+        ..Default::default()
+    };
+    for (case_idx, res) in results.into_iter().enumerate() {
+        match res.output {
+            Ok((family, per_algo)) => {
+                summary.cells += per_algo.len();
+                for (algo, violations) in per_algo {
+                    if !violations.is_empty() {
+                        summary.failures.push(Failure {
+                            case: case_idx as u64,
+                            family: family.clone(),
+                            algo,
+                            violations,
+                        });
+                    }
+                }
+            }
+            Err(p) => summary.failures.push(Failure {
+                case: case_idx as u64,
+                family: "vector:<generation>".into(),
+                algo: "<cell>".into(),
+                violations: vec![Violation::new(CheckId::Panic, p.message)],
+            }),
+        }
+    }
+    summary
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+struct VecShrinker<'a, F> {
+    pred: &'a mut F,
+    evals_left: usize,
+}
+
+impl<F: FnMut(&VecInstance) -> bool> VecShrinker<'_, F> {
+    fn still_fails(&mut self, items: &[VecItem]) -> bool {
+        if self.evals_left == 0 {
+            return false;
+        }
+        self.evals_left -= 1;
+        match VecInstance::from_items(items.to_vec()) {
+            Ok(inst) => (self.pred)(&inst),
+            Err(_) => false,
+        }
+    }
+
+    fn try_replace(&mut self, items: &mut [VecItem], idx: usize, replacement: VecItem) -> bool {
+        let prev = items[idx];
+        items[idx] = replacement;
+        if self.still_fails(items) {
+            true
+        } else {
+            items[idx] = prev;
+            false
+        }
+    }
+}
+
+/// Greedily shrinks a failing vector instance: drop item chunks, shorten
+/// durations toward one tick, left-shift arrivals toward zero, and round
+/// every axis to clean eighths — the vector port of
+/// [`crate::shrink::shrink_instance`]. `pred` returns `true` while the
+/// candidate still fails; panic isolation is the caller's job.
+pub fn shrink_vec_instance<F>(inst: &VecInstance, mut pred: F, budget: ShrinkBudget) -> VecInstance
+where
+    F: FnMut(&VecInstance) -> bool,
+{
+    let mut s = VecShrinker {
+        pred: &mut pred,
+        evals_left: budget.max_evals,
+    };
+    let mut items: Vec<VecItem> = inst.items().to_vec();
+
+    loop {
+        let mut changed = false;
+
+        // Drop windows of decreasing size.
+        let mut chunk = (items.len() / 2).max(1);
+        'chunks: loop {
+            let mut start = 0;
+            let mut removed_any = false;
+            while start < items.len() && items.len() > 1 {
+                let end = (start + chunk).min(items.len());
+                let mut candidate = items.clone();
+                candidate.drain(start..end);
+                if s.still_fails(&candidate) {
+                    items = candidate;
+                    changed = true;
+                    removed_any = true;
+                } else {
+                    start = end;
+                }
+                if s.evals_left == 0 {
+                    break 'chunks;
+                }
+            }
+            if removed_any && chunk < items.len() {
+                chunk = (items.len() / 2).max(1);
+            } else if chunk > 1 {
+                chunk /= 2;
+            } else {
+                break;
+            }
+        }
+
+        // Shorten durations: one tick first, then halvings.
+        for idx in 0..items.len() {
+            loop {
+                let it = items[idx];
+                let dur = it.duration();
+                if dur <= 1 || s.evals_left == 0 {
+                    break;
+                }
+                let one = VecItem::new(it.id().0, it.size(), it.arrival(), it.arrival() + 1);
+                if s.try_replace(&mut items, idx, one) {
+                    changed = true;
+                    break;
+                }
+                let half = VecItem::new(
+                    it.id().0,
+                    it.size(),
+                    it.arrival(),
+                    it.arrival() + (dur / 2).max(1),
+                );
+                if s.try_replace(&mut items, idx, half) {
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Left-shift arrivals toward zero.
+        for idx in 0..items.len() {
+            loop {
+                let it = items[idx];
+                let a = it.arrival();
+                if a == 0 || s.evals_left == 0 {
+                    break;
+                }
+                let dur = it.duration();
+                let target = if a > 1 { a / 2 } else { 0 };
+                let cand = VecItem::new(it.id().0, it.size(), target, target + dur);
+                if s.try_replace(&mut items, idx, cand) {
+                    changed = true;
+                } else {
+                    if target != 0 {
+                        let cand = VecItem::new(it.id().0, it.size(), 0, dur);
+                        if s.try_replace(&mut items, idx, cand) {
+                            changed = true;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Round each axis to clean eighths (down first, then up).
+        let eighth = Size::SCALE / 8;
+        for idx in 0..items.len() {
+            let it = items[idx];
+            let axes: Vec<Size> = it.size().axes().to_vec();
+            for (d, &ax) in axes.iter().enumerate() {
+                if ax.raw() % eighth == 0 {
+                    continue;
+                }
+                let down = (ax.raw() / eighth) * eighth;
+                for raw in [down, down + eighth] {
+                    if raw == 0 || raw > Size::SCALE || s.evals_left == 0 {
+                        continue;
+                    }
+                    let mut new_axes = items[idx].size().axes().to_vec();
+                    new_axes[d] = Size::from_raw(raw);
+                    let cand = VecItem::new(
+                        it.id().0,
+                        SizeVec::new(&new_axes),
+                        it.arrival(),
+                        it.departure(),
+                    );
+                    if s.try_replace(&mut items, idx, cand) {
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !changed || s.evals_left == 0 {
+            break;
+        }
+    }
+
+    // Final cosmetic pass: renumber ids 0..n if the failure survives it.
+    let renumbered: Vec<VecItem> = items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| VecItem::new(i as u32, it.size(), it.arrival(), it.departure()))
+        .collect();
+    if s.still_fails(&renumbered) {
+        return VecInstance::from_items(renumbered).expect("renumbered items stay valid");
+    }
+    VecInstance::from_items(items).expect("shrunk items stay valid")
+}
+
+/// Shrinks a vector roster failure to a minimal instance that still
+/// fails the same algorithm (any violation or panic counts).
+pub fn shrink_vector_failure(inst: &VecInstance, algo: &str, budget: ShrinkBudget) -> VecInstance {
+    let algo = algo.to_string();
+    shrink_vec_instance(
+        inst,
+        move |candidate| match isolated(|| {
+            if algo == "batch-foil" {
+                audit_batch_foil(candidate)
+            } else {
+                audit_vector_algo(candidate, &algo)
+            }
+        }) {
+            Ok(v) => !v.is_empty(),
+            Err(_) => true,
+        },
+        budget,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+/// One item of a vector fixture instance: per-axis **raw** [`Size`]
+/// units, so demands round-trip exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VecFixtureItem {
+    /// Item id.
+    pub id: u32,
+    /// Raw size units per axis (`Size::SCALE` = full bin).
+    pub axes_raw: Vec<u64>,
+    /// Arrival tick.
+    pub arrival: i64,
+    /// Departure tick.
+    pub departure: i64,
+}
+
+/// A persisted vector counterexample — the multi-axis sibling of
+/// [`crate::fixture::Fixture`], with the same metadata envelope and a
+/// per-axis `axes_raw` array per item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VecFixture {
+    /// Short kebab-case name (also the file stem).
+    pub name: String,
+    /// The algorithm that failed.
+    pub algo: String,
+    /// The violated check's stable id.
+    pub check: String,
+    /// The fuzzer seed that produced the original failure.
+    pub seed: u64,
+    /// The case index under that seed.
+    pub case: u64,
+    /// Free-form provenance note.
+    pub note: String,
+    /// The shrunk instance's items.
+    pub items: Vec<VecFixtureItem>,
+}
+
+impl VecFixture {
+    /// Builds a fixture from an instance plus metadata.
+    pub fn from_instance(
+        name: impl Into<String>,
+        algo: impl Into<String>,
+        check: impl Into<String>,
+        seed: u64,
+        case: u64,
+        note: impl Into<String>,
+        inst: &VecInstance,
+    ) -> VecFixture {
+        VecFixture {
+            name: name.into(),
+            algo: algo.into(),
+            check: check.into(),
+            seed,
+            case,
+            note: note.into(),
+            items: inst
+                .items()
+                .iter()
+                .map(|r| VecFixtureItem {
+                    id: r.id().0,
+                    axes_raw: r.size().axes().iter().map(|s| s.raw()).collect(),
+                    arrival: r.arrival(),
+                    departure: r.departure(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the instance.
+    pub fn instance(&self) -> Result<VecInstance, DbpError> {
+        let items = self
+            .items
+            .iter()
+            .map(|fi| {
+                let axes: Vec<Size> = fi.axes_raw.iter().map(|&r| Size::from_raw(r)).collect();
+                VecItem::try_new(fi.id, SizeVec::try_new(&axes)?, fi.arrival, fi.departure)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        VecInstance::from_items(items)
+    }
+
+    /// Serializes to the on-disk JSON form (version 1, `kind: "vector"`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"kind\": \"vector\",");
+        let _ = writeln!(s, "  \"name\": \"{}\",", json::escape(&self.name));
+        let _ = writeln!(s, "  \"algo\": \"{}\",", json::escape(&self.algo));
+        let _ = writeln!(s, "  \"check\": \"{}\",", json::escape(&self.check));
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"case\": {},", self.case);
+        let _ = writeln!(s, "  \"note\": \"{}\",", json::escape(&self.note));
+        let _ = writeln!(s, "  \"items\": [");
+        for (i, it) in self.items.iter().enumerate() {
+            let comma = if i + 1 < self.items.len() { "," } else { "" };
+            let axes = it
+                .axes_raw
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                s,
+                "    {{\"id\": {}, \"axes_raw\": [{axes}], \"arrival\": {}, \"departure\": {}}}{comma}",
+                it.id, it.arrival, it.departure
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = write!(s, "}}");
+        s
+    }
+
+    /// Parses the on-disk JSON form.
+    pub fn parse(text: &str) -> Result<VecFixture, String> {
+        let v = json::parse(text)?;
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("missing version")?;
+        if version != 1 {
+            return Err(format!("unsupported fixture version {version}"));
+        }
+        match v.get("kind").and_then(Json::as_str) {
+            Some("vector") => {}
+            other => return Err(format!("not a vector fixture (kind {other:?})")),
+        }
+        let field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let Some(Json::Arr(raw_items)) = v.get("items") else {
+            return Err("missing items array".into());
+        };
+        let mut items = Vec::with_capacity(raw_items.len());
+        for (i, it) in raw_items.iter().enumerate() {
+            let geti = |key: &str| -> Result<i64, String> {
+                it.get(key)
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("item {i}: missing field {key:?}"))
+            };
+            let Some(Json::Arr(axes)) = it.get("axes_raw") else {
+                return Err(format!("item {i}: missing axes_raw array"));
+            };
+            let axes_raw = axes
+                .iter()
+                .map(|a| {
+                    a.as_u64()
+                        .ok_or_else(|| format!("item {i}: non-numeric axis"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            items.push(VecFixtureItem {
+                id: it
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("item {i}: missing id"))? as u32,
+                axes_raw,
+                arrival: geti("arrival")?,
+                departure: geti("departure")?,
+            });
+        }
+        Ok(VecFixture {
+            name: field("name")?,
+            algo: field("algo")?,
+            check: field("check")?,
+            seed: num("seed")?,
+            case: num("case")?,
+            note: field("note").unwrap_or_default(),
+            items,
+        })
+    }
+
+    /// Writes the fixture to `dir/<name>.json`, creating `dir` if needed.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faulty::AxisBlindFirstFit;
+
+    #[test]
+    fn case_vec_generation_is_deterministic_and_varied() {
+        let mut families = std::collections::HashSet::new();
+        let mut dims = std::collections::HashSet::new();
+        for case in 0..18 {
+            let (fam_a, inst_a) = case_vec_instance(3, case, 24, MAX_DIMS);
+            let (fam_b, inst_b) = case_vec_instance(3, case, 24, MAX_DIMS);
+            assert_eq!(fam_a, fam_b);
+            assert_eq!(inst_a, inst_b);
+            families.insert(fam_a.split('(').next().unwrap().to_string());
+            dims.insert(inst_a.dims());
+        }
+        assert!(families.len() >= 3, "family mix too narrow: {families:?}");
+        assert!(dims.len() >= 3, "dimensionality never varied: {dims:?}");
+        let (_, other_seed) = case_vec_instance(4, 2, 24, MAX_DIMS);
+        assert_ne!(case_vec_instance(3, 2, 24, MAX_DIMS).1, other_seed);
+        // Capped dimensionality never exceeds the cap.
+        for case in 1..12 {
+            assert!(case_vec_instance(3, case, 24, 2).1.dims() <= 2);
+        }
+    }
+
+    #[test]
+    fn small_vector_sweep_is_clean() {
+        let cfg = VectorAuditConfig {
+            cases: 10,
+            seed: 5,
+            ..Default::default()
+        };
+        let summary = run_vector_audit(&cfg);
+        assert_eq!(summary.cases, 10);
+        assert_eq!(summary.cells, 10 * (VECTOR_ALGOS.len() + 1));
+        assert!(
+            summary.ok(),
+            "vector violations on a clean roster: {:?}",
+            summary.failures
+        );
+    }
+
+    /// The pipeline proof: the axis-blind packer is *caught* as a
+    /// violation, the witness *shrinks* to its two-item core, and the
+    /// fixture *round-trips* through JSON bit-identically.
+    #[test]
+    fn axis_blind_packer_is_caught_shrunk_and_persisted() {
+        // Pad a real failure with decoys the shrinker must strip.
+        let mut items = vec![
+            VecItem::new(0, SizeVec::from_f64s(&[0.2, 0.8]), 3, 40),
+            VecItem::new(1, SizeVec::from_f64s(&[0.2, 0.8]), 5, 39),
+        ];
+        for i in 2..14 {
+            items.push(VecItem::new(
+                i,
+                SizeVec::from_f64s(&[0.11, 0.07]),
+                i as i64 * 7,
+                i as i64 * 7 + 3,
+            ));
+        }
+        let inst = VecInstance::from_items(items).unwrap();
+
+        let fails = |candidate: &VecInstance| {
+            VecOnlineEngine::non_clairvoyant()
+                .run(candidate, &mut AxisBlindFirstFit)
+                .is_err()
+        };
+        assert!(fails(&inst), "axis-blind bug must be caught");
+
+        let small = shrink_vec_instance(&inst, fails, ShrinkBudget::default());
+        assert!(fails(&small), "shrunk instance must still fail");
+        assert!(small.len() <= 2, "got {} items: {small:?}", small.len());
+
+        let fixture = VecFixture::from_instance(
+            "axis-blind-ff",
+            "faulty-axis-blind-ff",
+            CheckId::EngineError.as_str(),
+            0,
+            0,
+            "injected axis-blind fault",
+            &small,
+        );
+        let parsed = VecFixture::parse(&fixture.to_json()).unwrap();
+        assert_eq!(parsed, fixture);
+        let replayed = parsed.instance().unwrap();
+        assert_eq!(&replayed, &small, "fixture replay must be bit-identical");
+        assert!(fails(&replayed));
+    }
+
+    #[test]
+    fn vec_fixture_rejects_scalar_fixtures() {
+        let scalar = crate::fixture::Fixture {
+            name: "s".into(),
+            algo: "first-fit".into(),
+            check: "capacity".into(),
+            seed: 0,
+            case: 0,
+            note: String::new(),
+            items: vec![],
+        };
+        let err = VecFixture::parse(&scalar.to_json()).unwrap_err();
+        assert!(err.contains("not a vector fixture"), "{err}");
+    }
+
+    #[test]
+    fn shrinker_rounds_axes_and_renumbers() {
+        // Awkward sizes on both axes; failure = "any item's axis 1
+        // demand is at least half". The shrinker should land on one item
+        // with clean eighths.
+        let items = vec![
+            VecItem::new(7, SizeVec::from_f64s(&[0.137, 0.613]), 9, 25),
+            VecItem::new(11, SizeVec::from_f64s(&[0.211, 0.083]), 2, 30),
+        ];
+        let inst = VecInstance::from_items(items).unwrap();
+        let fails = |c: &VecInstance| {
+            c.items()
+                .iter()
+                .any(|r| r.size().axis(1).raw() * 2 >= Size::SCALE)
+        };
+        let small = shrink_vec_instance(&inst, fails, ShrinkBudget::default());
+        assert!(fails(&small));
+        assert_eq!(small.len(), 1);
+        assert_eq!(small.items()[0].id().0, 0, "ids renumbered");
+        assert!(small.items()[0].arrival() == 0);
+        assert!(
+            small.items()[0]
+                .size()
+                .axes()
+                .iter()
+                .all(|s| s.raw() % (Size::SCALE / 8) == 0),
+            "axes rounded to eighths: {:?}",
+            small.items()[0].size()
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Vector-engine throughput benchmark: stream a million-item correlated
+//! vector workload through the full vector roster and record the
+//! trajectory in `BENCH_vector.json`.
+//!
+//! The vector sibling of `bench_engine`: one [`VecStreamingSession`] per
+//! algorithm fed arrivals one at a time, timing the whole stream
+//! including departure processing, tracking peak open bins and a
+//! live-memory proxy. The workload and cell recipes are shared with the
+//! `dbp bench --check` gate ([`dbp_bench::check::vector_baseline_instance`]),
+//! so a checked-in baseline regenerates bit-identical instances.
+//!
+//! Usage: `cargo run --release -p dbp-bench --bin bench_vector [-- flags]`
+//!
+//! * `--short`  — ~100k items instead of ~1M (the CI smoke configuration).
+//! * `--serial` — one cell at a time, for minimum-noise timings.
+//! * `--out P`  — write the JSON report to `P` (default
+//!   `BENCH_vector.json` in the working directory, i.e. the repo root).
+//!
+//! The JSON is a measurement artifact: regenerate it with a release build
+//! from the repo root after engine changes (see `docs/performance.md`).
+
+use dbp_bench::check::vector_baseline_instance;
+use dbp_bench::registry::{vector_packer, vector_packer_linear, AlgoParams, VECTOR_ALGOS};
+use dbp_bench::report::Table;
+use dbp_bench::{run_grid, GridCell};
+use dbp_core::{VecClairvoyance, VecStreamingSession};
+use std::time::Instant;
+
+const SEED: u64 = 1;
+
+struct AlgoReport {
+    items: usize,
+    elapsed_s: f64,
+    items_per_sec: f64,
+    peak_open_bins: usize,
+    peak_live_bytes: usize,
+    bins_opened: usize,
+    usage: u128,
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: bench_vector [--short] [--serial] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut short = false;
+    let mut serial = false;
+    let mut out_path = String::from("BENCH_vector.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--serial" => serial = true,
+            "--out" => out_path = args.next().unwrap_or_else(|| usage_exit()),
+            _ => usage_exit(),
+        }
+    }
+
+    let mode = if short { "short" } else { "full" };
+    let inst = vector_baseline_instance(mode, "default").expect("default vector workload");
+    // Deep-fleet variant: one arrival per tick held by mean-1000
+    // exponential durations, so hundreds of bins stay open and a linear
+    // open-bin walk pays for every one of them on every placement.
+    let deep_inst = vector_baseline_instance(mode, "deep").expect("deep vector workload");
+    println!(
+        "vector engine benchmark ({mode}): {} items, {} axes, seed {SEED}\n  deep-fleet cells: {} items\n",
+        inst.len(),
+        inst.dims(),
+        deep_inst.len(),
+    );
+    if !short {
+        assert!(
+            inst.len() >= 1_000_000,
+            "full mode must stream at least one million items"
+        );
+    }
+
+    // Cell input: (algo, deep workload?, linear-scan foil?). The foil
+    // cells re-run the two headline rules on the deep fleet with the
+    // O(fleet) open-bin walk, so the indexed speedup is measured inside
+    // the artifact rather than against a stale baseline.
+    let mut cells: Vec<GridCell<(&str, bool, bool)>> = VECTOR_ALGOS
+        .iter()
+        .map(|algo| GridCell {
+            label: algo.to_string(),
+            input: (*algo, false, false),
+        })
+        .collect();
+    cells.extend(["first-fit", "best-fit"].iter().map(|algo| GridCell {
+        label: format!("{algo}@deep"),
+        input: (*algo, true, false),
+    }));
+    cells.extend(["first-fit", "best-fit"].iter().map(|algo| GridCell {
+        label: format!("{algo}@deep/linear"),
+        input: (*algo, true, true),
+    }));
+    let n_cells = cells.len();
+    let workers = if serial {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n_cells)
+    };
+    let inst_ref = &inst;
+    let deep_ref = &deep_inst;
+    let results = run_grid(
+        cells,
+        Some(workers),
+        move |&(algo, deep, linear): &(&str, bool, bool)| {
+            let inst = if deep { deep_ref } else { inst_ref };
+            let params = AlgoParams::from_vec_instance(inst);
+            let mut packer = if linear {
+                vector_packer_linear(algo, params)
+            } else {
+                vector_packer(algo, params)
+            };
+            let mut session =
+                VecStreamingSession::new(VecClairvoyance::Clairvoyant, packer.as_mut());
+            let mut peak_open_bins = 0usize;
+            let mut peak_live_bytes = 0usize;
+            let started = Instant::now();
+            for (k, item) in inst.items().iter().enumerate() {
+                session.arrive(item).expect("benchmark stream is valid");
+                peak_open_bins = peak_open_bins.max(session.open_bins());
+                if k % 1024 == 0 {
+                    peak_live_bytes = peak_live_bytes.max(session.approx_live_bytes());
+                }
+            }
+            let run = session.finish().expect("stream drains cleanly");
+            let elapsed_s = started.elapsed().as_secs_f64();
+            if deep && !short {
+                // The whole point of the cell: the fleet really is deep.
+                assert!(
+                    peak_open_bins >= 300,
+                    "{algo}@deep peaked at only {peak_open_bins} open bins"
+                );
+            }
+            AlgoReport {
+                items: inst.len(),
+                elapsed_s,
+                items_per_sec: inst.len() as f64 / elapsed_s,
+                peak_open_bins,
+                peak_live_bytes,
+                bins_opened: run.bins_opened(),
+                usage: run.usage,
+            }
+        },
+    );
+
+    let mut table = Table::new(&[
+        "algo",
+        "items/s",
+        "elapsed_s",
+        "peak_open",
+        "peak_live_KiB",
+        "bins",
+        "usage",
+    ]);
+    for r in &results {
+        let o = &r.output;
+        table.row(&[
+            r.label.clone(),
+            format!("{:.0}", o.items_per_sec),
+            format!("{:.3}", o.elapsed_s),
+            o.peak_open_bins.to_string(),
+            format!("{}", o.peak_live_bytes / 1024),
+            o.bins_opened.to_string(),
+            o.usage.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dbp-bench/vector-v1\",\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!(
+        "  \"workload\": {{ \"generator\": \"corr-vec\", \"dims\": {}, \"seed\": {SEED}, \"items\": {} }},\n",
+        inst.dims(),
+        inst.len()
+    ));
+    json.push_str(&format!(
+        "  \"deep_workload\": {{ \"generator\": \"corr-vec/deep\", \"dims\": {}, \"seed\": {SEED}, \"items\": {} }},\n",
+        deep_inst.dims(),
+        deep_inst.len()
+    ));
+    json.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let o = &r.output;
+        // Labels are `algo`, `algo@deep`, or `algo@deep/linear`; the
+        // JSON keeps the roster name, workload, and scan machinery as
+        // separate fields so the perf gate can rebuild the right
+        // instance and packer variant per cell.
+        let (algo, rest) = match r.label.split_once('@') {
+            Some((a, w)) => (a, w),
+            None => (r.label.as_str(), "default"),
+        };
+        let (cell_workload, scan) = match rest.split_once('/') {
+            Some((w, s)) => (w, s),
+            None => (rest, "indexed"),
+        };
+        json.push_str(&format!(
+            "    {{ \"algo\": \"{algo}\", \"workload\": \"{cell_workload}\", \
+             \"scan\": \"{scan}\", \
+             \"items\": {}, \"elapsed_s\": {:.6}, \
+             \"items_per_sec\": {:.0}, \"peak_open_bins\": {}, \
+             \"peak_live_bytes\": {}, \"bins_opened\": {}, \"usage\": {} }}{}\n",
+            o.items,
+            o.elapsed_s,
+            o.items_per_sec,
+            o.peak_open_bins,
+            o.peak_live_bytes,
+            o.bins_opened,
+            o.usage,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+    println!("OK");
+}

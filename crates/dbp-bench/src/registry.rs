@@ -6,9 +6,10 @@ use dbp_algos::offline::{
     DurationDescendingFirstFit, LargeItemRule,
 };
 use dbp_algos::online::{
-    AnyFit, ClassifyByDepartureTime, ClassifyByDuration, CombinedClassify, HybridFirstFit,
+    AnyFit, ClassifyByDepartureTime, ClassifyByDuration, CombinedClassify, DotProductFit,
+    HybridFirstFit, MaxNormFit, VecAnyFit, VecClassifyByDepartureTime, VecClassifyByDuration,
 };
-use dbp_core::{OfflinePacker, OnlinePacker};
+use dbp_core::{OfflinePacker, OnlinePacker, VecOnlinePacker};
 
 /// Instance-derived parameters a packer constructor may need.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +23,16 @@ pub struct AlgoParams {
 impl AlgoParams {
     /// Extracts `Δ` and `μ` from an instance (defaults for empty ones).
     pub fn from_instance(inst: &dbp_core::Instance) -> Self {
+        AlgoParams {
+            delta: inst.min_duration().unwrap_or(1),
+            mu: inst.mu().unwrap_or(1.0),
+        }
+    }
+
+    /// Extracts `Δ` and `μ` from a vector instance — the classification
+    /// strategies depend only on time structure, so the derivation is
+    /// dimension-blind.
+    pub fn from_vec_instance(inst: &dbp_core::VecInstance) -> Self {
         AlgoParams {
             delta: inst.min_duration().unwrap_or(1),
             mu: inst.mu().unwrap_or(1.0),
@@ -110,6 +121,72 @@ pub fn online_packer_linear(name: &str, params: AlgoParams) -> Box<dyn OnlinePac
     }
 }
 
+/// The canonical vector online roster: the Any-Fit family and both
+/// classification strategies under all-axes feasibility, plus the two
+/// vector-native heuristics (Murhekar et al. 2023).
+pub const VECTOR_ALGOS: &[&str] = &[
+    "first-fit",
+    "best-fit",
+    "worst-fit",
+    "next-fit",
+    "cbdt",
+    "cbd",
+    "dot-product",
+    "max-norm",
+];
+
+/// Builds a vector online packer by roster name. Classification
+/// strategies use their Theorem 4/5 optimal parameters derived from
+/// `params`, exactly like [`online_packer`].
+///
+/// # Panics
+/// On an unknown name.
+pub fn vector_packer(name: &str, params: AlgoParams) -> Box<dyn VecOnlinePacker + Send> {
+    match name {
+        "first-fit" => Box::new(VecAnyFit::first_fit()),
+        "best-fit" => Box::new(VecAnyFit::best_fit()),
+        "worst-fit" => Box::new(VecAnyFit::worst_fit()),
+        "next-fit" => Box::new(VecAnyFit::next_fit()),
+        "cbdt" => Box::new(VecClassifyByDepartureTime::with_known_durations(
+            params.delta,
+            params.mu,
+        )),
+        "cbd" => Box::new(VecClassifyByDuration::with_known_durations(
+            params.delta,
+            params.mu,
+        )),
+        "dot-product" => Box::new(DotProductFit::new()),
+        "max-norm" => Box::new(MaxNormFit::new()),
+        other => panic!("unknown vector algorithm {other:?}"),
+    }
+}
+
+/// Builds the linear-scan foil of a vector roster packer (decision-
+/// identical by construction; see [`online_packer_linear`]). For the
+/// vector-native heuristics the scan is linear in both modes, so the
+/// foil is the packer itself.
+///
+/// # Panics
+/// On an unknown name.
+pub fn vector_packer_linear(name: &str, params: AlgoParams) -> Box<dyn VecOnlinePacker + Send> {
+    match name {
+        "first-fit" => Box::new(VecAnyFit::first_fit().with_linear_scan()),
+        "best-fit" => Box::new(VecAnyFit::best_fit().with_linear_scan()),
+        "worst-fit" => Box::new(VecAnyFit::worst_fit().with_linear_scan()),
+        "next-fit" => Box::new(VecAnyFit::next_fit().with_linear_scan()),
+        "cbdt" => Box::new(
+            VecClassifyByDepartureTime::with_known_durations(params.delta, params.mu)
+                .with_linear_scan(),
+        ),
+        "cbd" => Box::new(
+            VecClassifyByDuration::with_known_durations(params.delta, params.mu).with_linear_scan(),
+        ),
+        "dot-product" => Box::new(DotProductFit::new().with_linear_scan()),
+        "max-norm" => Box::new(MaxNormFit::new().with_linear_scan()),
+        other => panic!("unknown vector algorithm {other:?}"),
+    }
+}
+
 /// Builds an offline packer by roster name.
 ///
 /// # Panics
@@ -146,6 +223,12 @@ mod tests {
         for name in OFFLINE_ALGOS {
             let packer = offline_packer(name);
             assert!(!packer.name().is_empty());
+        }
+        for name in VECTOR_ALGOS {
+            let packer = vector_packer(name, p);
+            assert!(!packer.name().is_empty());
+            let linear = vector_packer_linear(name, p);
+            assert_eq!(linear.name(), packer.name());
         }
     }
 

@@ -62,8 +62,11 @@ pub mod openbins;
 pub mod packing;
 pub mod profile;
 pub mod size;
+pub mod sizevec;
 pub mod stats;
 pub mod stream;
+pub mod vecbins;
+pub mod vecstream;
 
 pub use error::DbpError;
 pub use instance::Instance;
@@ -77,7 +80,13 @@ pub use online::{
 pub use openbins::OpenBins;
 pub use packing::{BinId, OfflinePacker, Packing};
 pub use size::Size;
+pub use sizevec::{Scalarization, SizeVec, VecInstance, VecItem, MAX_DIMS};
 pub use stream::{Admission, BinSnapshot, SessionSnapshot, StreamingSession, SNAPSHOT_VERSION};
+pub use vecbins::{VecActiveItem, VecOpenBin, VecOpenBins};
+pub use vecstream::{
+    VecClairvoyance, VecEventLog, VecItemView, VecNoopObserver, VecOnlineEngine, VecOnlinePacker,
+    VecPackEvent, VecPackObserver, VecStreamingSession,
+};
 
 /// Result alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, DbpError>;

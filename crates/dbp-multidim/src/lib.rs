@@ -30,7 +30,7 @@
 #![warn(missing_docs)]
 
 use dbp_core::interval::{Interval, Time};
-use dbp_core::Size;
+use dbp_core::{DbpError, Size, SizeVec, VecInstance, VecItem};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -48,17 +48,37 @@ pub struct MultiItem {
 impl MultiItem {
     /// Creates an item; panics if any demand is outside `(0, 1]` or the
     /// interval is empty.
+    ///
+    /// Use [`MultiItem::try_new`] for fallible construction from
+    /// untrusted input.
+    #[track_caller]
     pub fn new(id: u32, demands: Vec<Size>, arrival: Time, departure: Time) -> MultiItem {
-        assert!(!demands.is_empty(), "need at least one dimension");
-        assert!(
-            demands.iter().all(|d| d.is_valid_item_size()),
-            "demands must lie in (0, 1]"
-        );
-        MultiItem {
+        MultiItem::try_new(id, demands, arrival, departure).expect("invalid multi-item")
+    }
+
+    /// Fallible construction: requires at least one dimension, every
+    /// demand in `(0, 1]`, and `arrival < departure`.
+    pub fn try_new(
+        id: u32,
+        demands: Vec<Size>,
+        arrival: Time,
+        departure: Time,
+    ) -> Result<MultiItem, DbpError> {
+        if demands.is_empty() {
+            return Err(DbpError::InvalidParameter {
+                what: format!("item {id}: need at least one dimension"),
+            });
+        }
+        if !demands.iter().all(|d| d.is_valid_item_size()) {
+            return Err(DbpError::InvalidSize {
+                what: format!("item {id}: demands must lie in (0, 1]"),
+            });
+        }
+        Ok(MultiItem {
             id,
             demands,
-            interval: Interval::of(arrival, departure),
-        }
+            interval: Interval::new(arrival, departure)?,
+        })
     }
 
     /// Item duration.
@@ -76,15 +96,62 @@ pub struct MultiInstance {
 
 impl MultiInstance {
     /// Builds an instance; all items must share the same dimensionality.
+    ///
+    /// Use [`MultiInstance::try_new`] for fallible construction.
+    #[track_caller]
     pub fn new(items: Vec<MultiItem>) -> MultiInstance {
+        MultiInstance::try_new(items).expect("invalid multi-instance")
+    }
+
+    /// Fallible construction: every item must share the first item's
+    /// dimensionality.
+    pub fn try_new(items: Vec<MultiItem>) -> Result<MultiInstance, DbpError> {
         let dims = items.first().map(|r| r.demands.len()).unwrap_or(1);
-        assert!(
-            items.iter().all(|r| r.demands.len() == dims),
-            "inconsistent dimensionality"
-        );
+        if let Some(bad) = items.iter().find(|r| r.demands.len() != dims) {
+            return Err(DbpError::InvalidParameter {
+                what: format!(
+                    "inconsistent dimensionality: item {} has {} axes, expected {dims}",
+                    bad.id,
+                    bad.demands.len()
+                ),
+            });
+        }
         let mut items = items;
         items.sort_by_key(|r| (r.interval.start(), r.id));
+        Ok(MultiInstance { dims, items })
+    }
+
+    /// Converts a fixed-dimension streaming [`VecInstance`] into the
+    /// batch representation, demand by demand. Both sort items by
+    /// `(arrival, id)`, so item order — and therefore the epoch
+    /// [`pack_online`] anchors classification to — is preserved exactly;
+    /// the streaming-vs-batch differential suite relies on this.
+    pub fn from_vector(inst: &VecInstance) -> MultiInstance {
+        let dims = inst.dims();
+        let items = inst
+            .items()
+            .iter()
+            .map(|r| MultiItem {
+                id: r.id().0,
+                demands: (0..dims).map(|d| r.size().axis(d)).collect(),
+                interval: r.interval(),
+            })
+            .collect();
         MultiInstance { dims, items }
+    }
+
+    /// Converts this instance into a streaming [`VecInstance`]; fails if
+    /// the dimensionality exceeds [`dbp_core::MAX_DIMS`] or ids collide.
+    pub fn to_vector(&self) -> Result<VecInstance, DbpError> {
+        let items = self
+            .items
+            .iter()
+            .map(|r| {
+                let size = SizeVec::try_new(&r.demands)?;
+                VecItem::try_new(r.id, size, r.interval.start(), r.interval.end())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        VecInstance::from_items(items)
     }
 
     /// Number of resource dimensions.
@@ -488,5 +555,57 @@ mod tests {
         let run = pack_online(&inst, Classification::None);
         assert_eq!(run.usage, 0);
         assert_eq!(multi_lower_bound(&inst), 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        use dbp_core::DbpError;
+        assert!(matches!(
+            MultiItem::try_new(3, vec![], 0, 10),
+            Err(DbpError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            MultiItem::try_new(3, vec![Size::ZERO], 0, 10),
+            Err(DbpError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            MultiItem::try_new(3, vec![Size::HALF], 10, 10),
+            Err(DbpError::EmptyInterval { .. })
+        ));
+        assert!(MultiItem::try_new(3, vec![Size::HALF], 0, 10).is_ok());
+        assert!(matches!(
+            MultiInstance::try_new(vec![
+                item(0, 0.5, 0.5, 0, 10),
+                MultiItem::new(1, vec![Size::HALF], 0, 10),
+            ]),
+            Err(DbpError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "demands must lie in (0, 1]")]
+    fn new_still_panics_on_bad_demand() {
+        let _ = MultiItem::new(0, vec![Size::ZERO], 0, 10);
+    }
+
+    #[test]
+    fn vector_round_trip_preserves_items_and_order() {
+        let inst = MultiInstance::new(vec![
+            item(2, 0.6, 0.1, 5, 30),
+            item(0, 0.2, 0.8, 0, 10),
+            item(1, 0.4, 0.4, 0, 20),
+        ]);
+        let vec_inst = inst.to_vector().unwrap();
+        assert_eq!(vec_inst.dims(), 2);
+        let back = MultiInstance::from_vector(&vec_inst);
+        assert_eq!(back, inst);
+        // Too many axes for the fixed-dimension streaming type.
+        let wide = MultiInstance::new(vec![MultiItem::new(
+            0,
+            vec![Size::HALF; dbp_core::MAX_DIMS + 1],
+            0,
+            10,
+        )]);
+        assert!(wide.to_vector().is_err());
     }
 }

@@ -16,6 +16,10 @@
 //! * [`offline`] — synthesizes the event stream for a finished offline
 //!   [`dbp_core::Packing`], so all of the above work for offline packers
 //!   too.
+//! * [`vectrace`] — the vector stack's JSONL trace: [`dbp_core::VecPackEvent`]
+//!   lines with per-axis raw fixed-point arrays
+//!   ([`vectrace::VecTraceWriter`] streams; [`vectrace::parse_jsonl`]
+//!   reads them back bit-identically).
 //!
 //! Attach any combination of observers with [`dbp_core::observe::Tee`]:
 //!
@@ -54,6 +58,7 @@ pub mod metrics;
 pub mod offline;
 pub mod replay;
 pub mod trace;
+pub mod vectrace;
 
 pub use counters::{Counters, CountersSnapshot};
 pub use metrics::{merge_reports, merge_step_series, MetricsAggregator, MetricsReport};
@@ -62,3 +67,4 @@ pub use replay::{replay_events, replay_jsonl, Replay};
 pub use trace::{
     events_to_jsonl, events_to_jsonl_tagged, parse_jsonl, parse_jsonl_tagged, TraceWriter,
 };
+pub use vectrace::VecTraceWriter;

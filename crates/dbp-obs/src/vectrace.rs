@@ -1,0 +1,369 @@
+//! JSONL trace format for the vector stack: one [`VecPackEvent`] per
+//! line.
+//!
+//! The scalar schema ([`crate::trace`]) stays untouched; vector events
+//! get their own line types (`vec_item_arrived`, `vec_level_changed`, …)
+//! with demand and level vectors written as per-axis **raw** fixed-point
+//! arrays (`axes_raw`, `level_raw`), never floats — a parsed trace
+//! carries the bit-identical vectors the run produced.
+
+use crate::json::{escape, parse, Json};
+use dbp_core::{BinId, DbpError, ItemId, Size, SizeVec, VecPackEvent, VecPackObserver};
+use std::io::Write;
+
+fn axes_json(v: &SizeVec) -> String {
+    let axes = v
+        .axes()
+        .iter()
+        .map(|s| s.raw().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{axes}]")
+}
+
+/// Encodes one vector event as a single JSON line (no trailing newline).
+pub fn event_to_json(ev: &VecPackEvent) -> String {
+    match ev {
+        VecPackEvent::ItemArrived {
+            id,
+            size,
+            at,
+            departure,
+        } => {
+            let dep = match departure {
+                Some(t) => t.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"type\":\"vec_item_arrived\",\"id\":{},\"axes_raw\":{},\"at\":{at},\
+                 \"departure\":{dep}}}",
+                id.0,
+                axes_json(size)
+            )
+        }
+        VecPackEvent::BinOpened { bin, at, tag } => format!(
+            "{{\"type\":\"vec_bin_opened\",\"bin\":{},\"at\":{at},\"tag\":{tag}}}",
+            bin.0
+        ),
+        VecPackEvent::PlacementDecided {
+            id,
+            bin,
+            opened,
+            scanned,
+        } => format!(
+            "{{\"type\":\"vec_placement_decided\",\"id\":{},\"bin\":{},\"opened\":{opened},\
+             \"scanned\":{scanned}}}",
+            id.0, bin.0
+        ),
+        VecPackEvent::LevelChanged {
+            bin,
+            at,
+            level,
+            open_bins,
+        } => format!(
+            "{{\"type\":\"vec_level_changed\",\"bin\":{},\"at\":{at},\"level_raw\":{},\
+             \"open_bins\":{open_bins}}}",
+            bin.0,
+            axes_json(level)
+        ),
+        VecPackEvent::BinClosed {
+            bin,
+            at,
+            opened_at,
+            items,
+        } => format!(
+            "{{\"type\":\"vec_bin_closed\",\"bin\":{},\"at\":{at},\"opened_at\":{opened_at},\
+             \"items\":{items}}}",
+            bin.0
+        ),
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn field_i64(v: &Json, key: &str) -> Result<i64, String> {
+    field(v, key)?
+        .as_i64()
+        .ok_or_else(|| format!("field {key:?} is not an integer"))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+fn field_vec(v: &Json, key: &str) -> Result<SizeVec, String> {
+    let Json::Arr(axes) = field(v, key)? else {
+        return Err(format!("field {key:?} is not an array"));
+    };
+    let axes = axes
+        .iter()
+        .map(|a| {
+            a.as_u64()
+                .map(Size::from_raw)
+                .ok_or_else(|| format!("field {key:?} holds a non-integer axis"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    SizeVec::try_new(&axes).map_err(|e| format!("field {key:?}: {e}"))
+}
+
+/// Decodes one vector event from a parsed JSON object.
+pub fn event_from_json(v: &Json) -> Result<VecPackEvent, String> {
+    let ty = field(v, "type")?
+        .as_str()
+        .ok_or("field \"type\" is not a string")?;
+    match ty {
+        "vec_item_arrived" => {
+            let dep = field(v, "departure")?;
+            let departure = if dep.is_null() {
+                None
+            } else {
+                Some(
+                    dep.as_i64()
+                        .ok_or("field \"departure\" is not an integer")?,
+                )
+            };
+            Ok(VecPackEvent::ItemArrived {
+                id: ItemId(field_u64(v, "id")? as u32),
+                size: field_vec(v, "axes_raw")?,
+                at: field_i64(v, "at")?,
+                departure,
+            })
+        }
+        "vec_bin_opened" => Ok(VecPackEvent::BinOpened {
+            bin: BinId(field_u64(v, "bin")? as u32),
+            at: field_i64(v, "at")?,
+            tag: field_u64(v, "tag")?,
+        }),
+        "vec_placement_decided" => {
+            let opened = match field(v, "opened")? {
+                Json::Bool(b) => *b,
+                _ => return Err("field \"opened\" is not a bool".into()),
+            };
+            Ok(VecPackEvent::PlacementDecided {
+                id: ItemId(field_u64(v, "id")? as u32),
+                bin: BinId(field_u64(v, "bin")? as u32),
+                opened,
+                scanned: field_u64(v, "scanned")? as usize,
+            })
+        }
+        "vec_level_changed" => Ok(VecPackEvent::LevelChanged {
+            bin: BinId(field_u64(v, "bin")? as u32),
+            at: field_i64(v, "at")?,
+            level: field_vec(v, "level_raw")?,
+            open_bins: field_u64(v, "open_bins")? as usize,
+        }),
+        "vec_bin_closed" => Ok(VecPackEvent::BinClosed {
+            bin: BinId(field_u64(v, "bin")? as u32),
+            at: field_i64(v, "at")?,
+            opened_at: field_i64(v, "opened_at")?,
+            items: field_u64(v, "items")? as usize,
+        }),
+        other => Err(format!("unknown event type {}", escape(other))),
+    }
+}
+
+/// Parses a whole vector JSONL trace. Blank lines are skipped; errors
+/// carry the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<VecPackEvent>, DbpError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|what| DbpError::Trace { line: i + 1, what })?;
+        events.push(event_from_json(&value).map_err(|what| DbpError::Trace { line: i + 1, what })?);
+    }
+    Ok(events)
+}
+
+/// Serializes a slice of vector events as a JSONL document.
+pub fn events_to_jsonl(events: &[VecPackEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// A [`VecPackObserver`] that streams events to a writer as JSONL.
+///
+/// `on_event` must not panic, so I/O errors are latched: the first error
+/// stops further writing and is surfaced by [`VecTraceWriter::finish`]
+/// (or inspectable via [`VecTraceWriter::error`]).
+pub struct VecTraceWriter<W: Write> {
+    sink: W,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> VecTraceWriter<W> {
+    /// Wraps a writer. Consider a `BufWriter` for file sinks: one write
+    /// per event otherwise.
+    pub fn new(sink: W) -> Self {
+        VecTraceWriter {
+            sink,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Number of event lines successfully written.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// The latched I/O error, if any write failed.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the inner writer, surfacing any latched error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> VecPackObserver for VecTraceWriter<W> {
+    fn on_event(&mut self, event: &VecPackEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event_to_json(event);
+        line.push('\n');
+        match self.sink.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::{VecInstance, VecItem, VecOnlineEngine};
+
+    fn samples() -> Vec<VecPackEvent> {
+        vec![
+            VecPackEvent::ItemArrived {
+                id: ItemId(7),
+                size: SizeVec::from_f64s(&[0.3, 0.6]),
+                at: 5,
+                departure: Some(40),
+            },
+            VecPackEvent::ItemArrived {
+                id: ItemId(8),
+                size: SizeVec::new(&[Size::from_raw(1), Size::from_raw(3)]),
+                at: 5,
+                departure: None,
+            },
+            VecPackEvent::BinOpened {
+                bin: BinId(2),
+                at: 5,
+                tag: 9,
+            },
+            VecPackEvent::PlacementDecided {
+                id: ItemId(7),
+                bin: BinId(2),
+                opened: true,
+                scanned: 2,
+            },
+            VecPackEvent::LevelChanged {
+                bin: BinId(2),
+                at: 5,
+                level: SizeVec::from_f64s(&[0.3, 0.6]),
+                open_bins: 3,
+            },
+            VecPackEvent::BinClosed {
+                bin: BinId(2),
+                at: 40,
+                opened_at: 5,
+                items: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for ev in samples() {
+            let line = event_to_json(&ev);
+            let back = event_from_json(&parse(&line).unwrap()).unwrap();
+            assert_eq!(back, ev, "round-trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_blank_lines() {
+        let events = samples();
+        let mut text = events_to_jsonl(&events);
+        text.insert_str(0, "\n\n");
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err =
+            parse_jsonl("{\"type\":\"vec_bin_opened\",\"bin\":0,\"at\":0,\"tag\":0}\nnot json\n")
+                .unwrap_err();
+        assert!(matches!(err, DbpError::Trace { line: 2, .. }), "{err:?}");
+        let err = parse_jsonl("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert!(matches!(err, DbpError::Trace { line: 1, .. }), "{err:?}");
+    }
+
+    /// A real engine run streams through the writer and parses back to
+    /// the exact event sequence an in-memory log records.
+    #[test]
+    fn live_run_traces_losslessly() {
+        use dbp_algos::online::VecAnyFit;
+        let items = vec![
+            VecItem::new(0, SizeVec::from_f64s(&[0.6, 0.2]), 0, 12),
+            VecItem::new(1, SizeVec::from_f64s(&[0.5, 0.5]), 1, 9),
+            VecItem::new(2, SizeVec::from_f64s(&[0.3, 0.7]), 2, 7),
+            VecItem::new(3, SizeVec::from_f64s(&[0.1, 0.1]), 8, 20),
+        ];
+        let inst = VecInstance::from_items(items).unwrap();
+
+        let mut log = dbp_core::VecEventLog::new();
+        let run_logged = VecOnlineEngine::clairvoyant()
+            .run_observed(&inst, &mut VecAnyFit::first_fit(), &mut log)
+            .unwrap();
+
+        let mut writer = VecTraceWriter::new(Vec::new());
+        let run_traced = VecOnlineEngine::clairvoyant()
+            .run_observed(&inst, &mut VecAnyFit::first_fit(), &mut writer)
+            .unwrap();
+        assert_eq!(run_logged, run_traced);
+        assert_eq!(writer.lines_written(), log.events.len() as u64);
+
+        let text = String::from_utf8(writer.finish().unwrap()).unwrap();
+        assert_eq!(parse_jsonl(&text).unwrap(), log.events);
+    }
+
+    #[test]
+    fn writer_latches_io_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = VecTraceWriter::new(Broken);
+        w.on_event(&samples()[0]);
+        w.on_event(&samples()[1]); // must not panic
+        assert_eq!(w.lines_written(), 0);
+        assert!(w.error().is_some());
+        assert!(w.finish().is_err());
+    }
+}

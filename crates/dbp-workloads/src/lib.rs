@@ -18,6 +18,9 @@
 //!   diffed, and replayed; no external format crates needed.
 //! * [`fit`] — fit a generative model to a real trace and synthesize
 //!   look-alike workloads at any volume ("last Tuesday, but 3×").
+//! * [`vector`] — multi-resource demand vectors with a one-knob
+//!   correlation structure ([`vector::CorrelatedVectorWorkload`]), for
+//!   the dynamic *vector* bin packing stack.
 //!
 //! Every generator implements [`Workload`]; generation is a pure function
 //! of the seed, so experiments are reproducible run-to-run.
@@ -29,6 +32,7 @@ pub mod fit;
 pub mod random;
 pub mod scenarios;
 pub mod trace;
+pub mod vector;
 
 use dbp_core::Instance;
 use rand::rngs::StdRng;

@@ -1,0 +1,316 @@
+//! Multi-resource workload generation: correlated per-axis demands.
+//!
+//! Real cloud jobs don't draw CPU, memory, and GPU demands
+//! independently — a data-analytics executor that needs more CPU
+//! usually needs more memory too, while some families (GPU inference
+//! with small host footprints) anti-correlate. The
+//! [`CorrelatedVectorWorkload`] family makes that structure a single
+//! knob `ρ ∈ [-1, 1]`:
+//!
+//! * `ρ = 0` — axes are independent.
+//! * `ρ → 1` — axes move together (a big item is big everywhere).
+//! * `ρ → -1` — axis 0 moves against the others (CPU-heavy items are
+//!   memory-light).
+//!
+//! Each demand is `x_d = mean_d · (1 + width · w_d)` where the
+//! fluctuation `w_d = s_d·|ρ|·c + (1-|ρ|)·e_d` mixes one shared draw
+//! `c ~ U(-1, 1)` with a per-axis draw `e_d ~ U(-1, 1)`; `s_0 = 1` and
+//! `s_d = sign(ρ)` for `d > 0`. Since `|w_d| ≤ 1` the demand always
+//! lies in `[mean_d(1-width), mean_d(1+width)]` — the validating
+//! constructor requires that window to sit inside `(0, 1]`, so sampling
+//! never clamps and the per-axis sample means converge to *exactly*
+//! `mean_d` (the fixed-seed moment tests rely on this).
+
+use crate::random::DurationDist;
+use crate::Workload;
+use dbp_core::{DbpError, Instance, SizeVec, Time, VecInstance, VecItem, MAX_DIMS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic [`VecInstance`] generator (the vector counterpart of
+/// [`Workload`]).
+pub trait VectorWorkload {
+    /// Stable display name (with parameters).
+    fn name(&self) -> String;
+
+    /// Generates one vector instance from the RNG.
+    fn generate(&self, rng: &mut StdRng) -> VecInstance;
+
+    /// Convenience: generate from a seed.
+    fn generate_seeded(&self, seed: u64) -> VecInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.generate(&mut rng)
+    }
+}
+
+/// Every scalar [`Workload`] is a 1-dimensional vector workload.
+impl<W: Workload> VectorWorkload for W {
+    fn name(&self) -> String {
+        Workload::name(self)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> VecInstance {
+        VecInstance::lift(&Workload::generate(self, rng), 1)
+    }
+}
+
+/// Correlated multi-resource demands (CPU/mem/GPU/…): per-axis means, a
+/// relative fluctuation width, and one correlation knob `ρ`.
+#[derive(Clone, Debug)]
+pub struct CorrelatedVectorWorkload {
+    n: usize,
+    means: Vec<f64>,
+    width: f64,
+    rho: f64,
+    durations: DurationDist,
+    arrival_span: Time,
+}
+
+impl CorrelatedVectorWorkload {
+    /// Creates the family. `means` gives one mean demand per axis
+    /// (`1..=MAX_DIMS` of them); `width ∈ [0, 1)` is the relative
+    /// fluctuation half-width; `rho ∈ [-1, 1]` is the correlation knob.
+    ///
+    /// Fails unless every axis window `mean_d·(1 ± width)` lies inside
+    /// `(0, 1]` — the no-clamping guarantee behind the analytic moments.
+    pub fn new(n: usize, means: &[f64], width: f64, rho: f64) -> Result<Self, DbpError> {
+        if means.is_empty() || means.len() > MAX_DIMS {
+            return Err(DbpError::InvalidParameter {
+                what: format!(
+                    "correlated vector workload needs 1..={MAX_DIMS} axis means, got {}",
+                    means.len()
+                ),
+            });
+        }
+        if !(width.is_finite() && (0.0..1.0).contains(&width)) {
+            return Err(DbpError::InvalidParameter {
+                what: format!("fluctuation width {width} outside [0, 1)"),
+            });
+        }
+        if !(rho.is_finite() && (-1.0..=1.0).contains(&rho)) {
+            return Err(DbpError::InvalidParameter {
+                what: format!("correlation rho {rho} outside [-1, 1]"),
+            });
+        }
+        for (d, &m) in means.iter().enumerate() {
+            if !(m.is_finite() && m * (1.0 - width) > 0.0 && m * (1.0 + width) <= 1.0) {
+                return Err(DbpError::InvalidParameter {
+                    what: format!("axis {d} mean {m} with width {width} leaves (0, 1] of capacity"),
+                });
+            }
+        }
+        Ok(CorrelatedVectorWorkload {
+            n,
+            means: means.to_vec(),
+            width,
+            rho,
+            durations: DurationDist::Uniform { lo: 10, hi: 100 },
+            arrival_span: (10 * n as i64).max(1),
+        })
+    }
+
+    /// Overrides the duration distribution.
+    pub fn with_durations(mut self, durations: DurationDist) -> Self {
+        self.durations = durations;
+        self
+    }
+
+    /// Overrides the arrival span (arrivals are uniform over it).
+    pub fn with_arrival_span(mut self, span: Time) -> Self {
+        self.arrival_span = span.max(1);
+        self
+    }
+
+    /// Number of resource dimensions.
+    pub fn dims(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Draws one demand vector.
+    fn sample_demands(&self, rng: &mut StdRng) -> SizeVec {
+        let c: f64 = rng.gen_range(-1.0..=1.0);
+        let shared = self.rho.abs() * c;
+        let axes: Vec<f64> = self
+            .means
+            .iter()
+            .enumerate()
+            .map(|(d, &mean)| {
+                let e: f64 = rng.gen_range(-1.0..=1.0);
+                let sign = if d == 0 { 1.0 } else { self.rho.signum() };
+                let w = sign * shared + (1.0 - self.rho.abs()) * e;
+                mean * (1.0 + self.width * w)
+            })
+            .collect();
+        SizeVec::from_f64s(&axes)
+    }
+}
+
+impl VectorWorkload for CorrelatedVectorWorkload {
+    fn name(&self) -> String {
+        format!(
+            "corr-vec(n={},dims={},width={},rho={})",
+            self.n,
+            self.dims(),
+            self.width,
+            self.rho
+        )
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> VecInstance {
+        let items = (0..self.n)
+            .map(|i| {
+                let a = rng.gen_range(0..self.arrival_span);
+                let d = self.durations.sample(rng).max(1);
+                VecItem::new(i as u32, self.sample_demands(rng), a, a + d)
+            })
+            .collect();
+        VecInstance::from_items(items).expect("generated items are valid")
+    }
+}
+
+/// Projects a vector instance onto one axis as a scalar [`Instance`] —
+/// handy for comparing a vector run against its per-axis shadows.
+pub fn project_axis(inst: &VecInstance, axis: usize) -> Result<Instance, DbpError> {
+    if axis >= inst.dims() {
+        return Err(DbpError::InvalidParameter {
+            what: format!("axis {axis} out of range for {}-dim instance", inst.dims()),
+        });
+    }
+    Instance::from_items(
+        inst.items()
+            .iter()
+            .map(|r| {
+                dbp_core::Item::try_new(r.id().0, r.size().axis(axis), r.arrival(), r.departure())
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::Size;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    const MEANS: [f64; 3] = [0.3, 0.2, 0.4];
+    const WIDTH: f64 = 0.5;
+
+    fn samples(rho: f64, n: usize) -> Vec<SizeVec> {
+        let w = CorrelatedVectorWorkload::new(n, &MEANS, WIDTH, rho).unwrap();
+        let mut r = rng();
+        (0..n).map(|_| w.sample_demands(&mut r)).collect()
+    }
+
+    fn axis_f64(v: &SizeVec, d: usize) -> f64 {
+        v.axis(d).as_f64()
+    }
+
+    #[test]
+    fn per_axis_means_are_analytic() {
+        // E[w_d] = 0 with no clamping, so sample means converge to the
+        // configured means. n = 20_000 keeps the U(-1,1) standard error
+        // (≈ mean·width/√(3n)) well under the 1.5% tolerance.
+        for rho in [-0.8, 0.0, 0.9] {
+            let xs = samples(rho, 20_000);
+            for (d, &m) in MEANS.iter().enumerate() {
+                let mean: f64 = xs.iter().map(|v| axis_f64(v, d)).sum::<f64>() / xs.len() as f64;
+                assert!(
+                    (mean - m).abs() < 0.015 * m.max(0.2),
+                    "rho={rho} axis {d}: sample mean {mean} vs analytic {m}"
+                );
+            }
+        }
+    }
+
+    fn correlation(xs: &[SizeVec], a: usize, b: usize) -> f64 {
+        let n = xs.len() as f64;
+        let (ma, mb) = (
+            xs.iter().map(|v| axis_f64(v, a)).sum::<f64>() / n,
+            xs.iter().map(|v| axis_f64(v, b)).sum::<f64>() / n,
+        );
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for v in xs {
+            let (da, db) = (axis_f64(v, a) - ma, axis_f64(v, b) - mb);
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn correlation_knob_controls_sign_and_strength() {
+        let pos = correlation(&samples(0.9, 20_000), 0, 1);
+        let neg = correlation(&samples(-0.9, 20_000), 0, 1);
+        let ind = correlation(&samples(0.0, 20_000), 0, 1);
+        assert!(pos > 0.5, "rho=0.9 sample correlation {pos}");
+        assert!(neg < -0.5, "rho=-0.9 sample correlation {neg}");
+        assert!(ind.abs() < 0.05, "rho=0 sample correlation {ind}");
+        // Off-axis-0 pairs co-move regardless of rho's sign (both carry
+        // sign(rho), which cancels).
+        let off = correlation(&samples(-0.9, 20_000), 1, 2);
+        assert!(off > 0.5, "rho=-0.9 axes 1–2 correlation {off}");
+    }
+
+    #[test]
+    fn demands_stay_inside_the_configured_window() {
+        for rho in [-1.0, -0.3, 0.0, 0.7, 1.0] {
+            for v in samples(rho, 5_000) {
+                for (d, &m) in MEANS.iter().enumerate() {
+                    let x = axis_f64(&v, d);
+                    let (lo, hi) = (m * (1.0 - WIDTH), m * (1.0 + WIDTH));
+                    assert!(
+                        x >= lo - 1e-6 && x <= hi + 1e-6,
+                        "rho={rho} axis {d}: {x} outside [{lo}, {hi}]"
+                    );
+                    assert!(v.axis(d) > Size::ZERO && v.axis(d) <= Size::CAPACITY);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_valid() {
+        let w = CorrelatedVectorWorkload::new(300, &MEANS, WIDTH, 0.6).unwrap();
+        let a = w.generate_seeded(7);
+        let b = w.generate_seeded(7);
+        assert_eq!(a, b);
+        assert_eq!(a.dims(), MEANS.len());
+        assert_eq!(a.len(), 300);
+        for r in a.items() {
+            assert!(r.size().is_valid_item_size());
+            assert!(r.duration() >= 1);
+        }
+    }
+
+    #[test]
+    fn constructor_rejects_out_of_domain_parameters() {
+        let bad = |r: Result<CorrelatedVectorWorkload, DbpError>| {
+            assert!(matches!(r, Err(DbpError::InvalidParameter { .. })), "{r:?}");
+        };
+        bad(CorrelatedVectorWorkload::new(10, &[], 0.2, 0.0));
+        bad(CorrelatedVectorWorkload::new(10, &[0.2; 5], 0.2, 0.0));
+        // 0.8·(1+0.5) > 1: the fluctuation window escapes capacity.
+        bad(CorrelatedVectorWorkload::new(10, &[0.8, 0.2], 0.5, 0.0));
+        bad(CorrelatedVectorWorkload::new(10, &[0.3], 1.0, 0.0));
+        bad(CorrelatedVectorWorkload::new(10, &[0.3], -0.1, 0.0));
+        bad(CorrelatedVectorWorkload::new(10, &[0.3], 0.2, 1.5));
+        assert!(CorrelatedVectorWorkload::new(10, &MEANS, WIDTH, -0.5).is_ok());
+    }
+
+    #[test]
+    fn scalar_workloads_lift_to_one_dimension() {
+        let w = crate::random::UniformWorkload::new(40);
+        let vec_inst = VectorWorkload::generate_seeded(&w, 5);
+        let scalar = Workload::generate_seeded(&w, 5);
+        assert_eq!(vec_inst.dims(), 1);
+        assert_eq!(vec_inst.len(), scalar.len());
+        assert_eq!(project_axis(&vec_inst, 0).unwrap(), scalar);
+        assert!(project_axis(&vec_inst, 1).is_err());
+    }
+}

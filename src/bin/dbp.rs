@@ -44,14 +44,17 @@ USAGE:
   dbp pack     --trace <file> --algo <name> [--offline] [--non-clairvoyant]
                [--shards <k>] [--router <hash[:seed]|size|tag[:rho]>]
                [--threads <n>] [--trace-out <file.jsonl>] [--metrics <file.csv>]
+               [--dims <1-4>]
   dbp replay   --trace <file.jsonl>
   dbp report   --trace <file> --algo <name> [--offline]
   dbp compare  --trace <file>
   dbp bench    [--workload <kind>] [--n <items>] [--seeds <n>] [--threads <n>]
+               [--dims <1-4>]
                | --check <BENCH_*.json> [--tolerance <pct>] [--inject <pct>]
                [--report <file>]
   dbp audit    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
                [--no-offline] [--fixtures-dir <dir>] [--self-test]
+               [--dims <1-4>]
   dbp chaos    [--cases <n>] [--seed <u64>] [--max-items <n>] [--threads <n>]
                [--fixtures-dir <dir>] [--self-test]
   dbp shard-audit [--cases <n>] [--seed <u64>] [--max-items <n>]
@@ -90,6 +93,17 @@ Failures are shrunk to minimal instances and written as JSON fixtures
 under --fixtures-dir (default audit-fixtures). `audit --self-test`
 injects known-faulty packers and proves the catch -> shrink -> persist
 pipeline. See docs/auditing.md.
+
+`--dims D` switches `pack`, `bench`, and `audit` onto the dynamic
+*vector* bin packing stack (per-axis feasibility, D <= 4 resource
+axes). `pack --dims D` lifts the scalar trace onto D identical axes and
+streams it through the vector roster (the Any-Fit and classify families
+plus the dot-product and max-norm heuristics); `bench --dims D` sweeps
+that roster over seeded correlated D-axis workloads; `audit --dims D`
+runs the vector invariant family — indexed vs linear-scan foils,
+per-axis capacity, the max-axis lower bound, dim-1 scalar equivalence,
+and batch-reference differentials — shrinking failures to vector
+fixtures. See docs/vector-packing.md.
 
 `pack --shards K` streams the trace through a sharded fleet of K
 independent sessions partitioned by `--router` (default `hash`), with
@@ -314,6 +328,20 @@ fn get_threads(flags: &HashMap<String, String>) -> Result<Option<usize>, CliErro
 /// The clairvoyance mode each roster algorithm expects: the paper's
 /// clairvoyant family needs departure times, the classical family must
 /// not see them.
+/// Parses a present `--dims` flag: the number of resource axes for the
+/// vector stack, `1..=MAX_DIMS`.
+fn parse_dims(flags: &HashMap<String, String>) -> Result<usize, CliError> {
+    use clairvoyant_dbp::core::MAX_DIMS;
+    let dims: usize = get_num(flags, "dims", 1)?;
+    if (1..=MAX_DIMS).contains(&dims) {
+        Ok(dims)
+    } else {
+        Err(CliError::Usage(format!(
+            "--dims must be between 1 and {MAX_DIMS}, got {dims}"
+        )))
+    }
+}
+
 fn clair_mode(algo: &str) -> ClairvoyanceMode {
     if matches!(algo, "cbdt" | "cbd" | "combined") {
         ClairvoyanceMode::Clairvoyant
@@ -398,6 +426,9 @@ fn bounds(flags: &HashMap<String, String>) -> Result<(), CliError> {
 fn pack(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let inst = load_trace(flags)?;
     let algo = get(flags, "algo")?;
+    if flags.contains_key("dims") {
+        return pack_vector(flags, &inst, algo);
+    }
     let lb = lower_bounds(&inst);
     let offline = flags.contains_key("offline");
     known_algo(
@@ -477,6 +508,65 @@ fn pack(flags: &HashMap<String, String>) -> Result<(), CliError> {
             report.mean_utilization * 100.0
         );
     }
+    Ok(())
+}
+
+/// The `pack --dims D` path: lift the scalar trace onto `D` identical
+/// axes and stream it through the vector roster, optionally writing the
+/// per-axis JSONL decision trace via `--trace-out`.
+fn pack_vector(
+    flags: &HashMap<String, String>,
+    inst: &Instance,
+    algo: &str,
+) -> Result<(), CliError> {
+    use clairvoyant_dbp::core::{VecInstance, VecOnlineEngine};
+    use dbp_bench::registry::{vector_packer, VECTOR_ALGOS};
+
+    let dims = parse_dims(flags)?;
+    known_algo(algo, VECTOR_ALGOS, "vector")?;
+    for unsupported in ["offline", "shards", "metrics"] {
+        if flags.contains_key(unsupported) {
+            return Err(CliError::Usage(format!(
+                "--{unsupported} is not supported with --dims (vector packing is \
+                 streaming-only; metrics aggregation is scalar-only)"
+            )));
+        }
+    }
+
+    let vinst = VecInstance::lift(inst, dims);
+    let params = AlgoParams::from_vec_instance(&vinst);
+    let mut packer = vector_packer(algo, params);
+    let engine = if flags.contains_key("non-clairvoyant") {
+        VecOnlineEngine::non_clairvoyant()
+    } else {
+        VecOnlineEngine::clairvoyant()
+    };
+    let run = match flags.get("trace-out") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| io_err(format!("cannot create {path}: {e}")))?;
+            let mut writer = dbp_obs::VecTraceWriter::new(std::io::BufWriter::new(file));
+            let run = engine
+                .run_observed(&vinst, packer.as_mut(), &mut writer)
+                .map_err(runtime_err)?;
+            let lines = writer.lines_written();
+            writer
+                .finish()
+                .map_err(|e| io_err(format!("writing {path}: {e}")))?;
+            eprintln!("trace:       {lines} events -> {path}");
+            run
+        }
+        None => engine.run(&vinst, packer.as_mut()).map_err(runtime_err)?,
+    };
+    vinst.validate_packing(&run.packing).map_err(runtime_err)?;
+    let lb = vinst.vector_lower_bound();
+    println!("algorithm:   {} ({dims} axes)", packer.name());
+    println!("usage:       {} ticks", run.usage);
+    println!("bins:        {}", run.bins_opened());
+    println!(
+        "ratio vs LB: {:.4} (max-axis bound)",
+        run.usage as f64 / lb.max(1) as f64
+    );
     Ok(())
 }
 
@@ -655,6 +745,9 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if flags.contains_key("check") {
         return bench_check(flags);
     }
+    if flags.contains_key("dims") {
+        return bench_vector_grid(flags);
+    }
 
     let kind = flags
         .get("workload")
@@ -696,15 +789,84 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
         (run.usage, run.bins_opened(), run.usage as f64 / lb as f64)
     });
 
+    print_bench_grid(&results, ONLINE_ALGOS, "LB3")
+}
+
+/// The `bench --dims D` path: the vector roster over seeded correlated
+/// `D`-axis workload replicas, on the same panic-isolated grid.
+fn bench_vector_grid(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::core::VecOnlineEngine;
+    use clairvoyant_dbp::workloads::random::DurationDist;
+    use clairvoyant_dbp::workloads::vector::{CorrelatedVectorWorkload, VectorWorkload};
+    use dbp_bench::grid::{run_grid_checked, GridCell};
+    use dbp_bench::registry::{vector_packer, VECTOR_ALGOS};
+
+    let dims = parse_dims(flags)?;
+    let n: usize = get_num(flags, "n", 400)?;
+    let seeds: u64 = get_num(flags, "seeds", 3)?;
+    if seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+    let threads = get_threads(flags)?;
+
+    let cells: Vec<GridCell<(&str, u64)>> = VECTOR_ALGOS
+        .iter()
+        .flat_map(|algo| {
+            (0..seeds).map(move |seed| GridCell {
+                label: format!("{algo}/seed{seed}"),
+                input: (*algo, seed),
+            })
+        })
+        .collect();
     println!(
-        "\n{:<26} {:>12} {:>6} {:>9}",
-        "cell", "usage", "bins", "vs LB3"
+        "bench: {} vector algos x {seeds} seeds on corr-vec(dims = {dims}, n = {n}), {} cells",
+        VECTOR_ALGOS.len(),
+        cells.len()
+    );
+    let results = run_grid_checked(cells, threads, move |&(algo, seed)| {
+        let means = [0.3, 0.2, 0.45, 0.15];
+        let inst = CorrelatedVectorWorkload::new(n, &means[..dims], 0.5, 0.6)
+            .expect("valid vector workload")
+            .with_durations(DurationDist::uniform(1, 40).expect("valid uniform"))
+            .with_arrival_span((n as i64).max(10))
+            .generate_seeded(seed);
+        let lb = inst.vector_lower_bound().max(1);
+        let params = AlgoParams::from_vec_instance(&inst);
+        let mut packer = vector_packer(algo, params);
+        let engine = if matches!(algo, "cbdt" | "cbd") {
+            VecOnlineEngine::clairvoyant()
+        } else {
+            VecOnlineEngine::non_clairvoyant()
+        };
+        let run = engine.run(&inst, packer.as_mut()).expect("roster run");
+        inst.validate_packing(&run.packing).expect("roster packing");
+        (run.usage, run.bins_opened(), run.usage as f64 / lb as f64)
+    });
+
+    print_bench_grid(&results, VECTOR_ALGOS, "max-axis LB")
+}
+
+/// One checked bench-grid cell: `(usage, bins, ratio)` or the panic
+/// that poisoned it.
+type BenchCell =
+    dbp_bench::grid::GridResult<Result<(u128, usize, f64), dbp_bench::grid::CellPanic>>;
+
+/// Shared table printer for the bench grids: per-cell rows, per-algo
+/// mean ratios against the named lower bound, and the poisoned-cell
+/// verdict.
+fn print_bench_grid(results: &[BenchCell], roster: &[&str], bound: &str) -> Result<(), CliError> {
+    println!(
+        "\n{:<26} {:>12} {:>6} {:>12}",
+        "cell",
+        "usage",
+        "bins",
+        format!("vs {bound}")
     );
     let mut poisoned = Vec::new();
-    for r in &results {
+    for r in results {
         match &r.output {
             Ok((usage, bins, ratio)) => {
-                println!("{:<26} {:>12} {:>6} {:>9.4}", r.label, usage, bins, ratio)
+                println!("{:<26} {:>12} {:>6} {:>12.4}", r.label, usage, bins, ratio)
             }
             Err(p) => {
                 println!("{:<26} {:>12}", r.label, "PANICKED");
@@ -712,7 +874,7 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
             }
         }
     }
-    for algo in ONLINE_ALGOS {
+    for algo in roster {
         let ratios: Vec<f64> = results
             .iter()
             .filter(|r| r.label.starts_with(&format!("{algo}/")))
@@ -720,7 +882,7 @@ fn bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
             .collect();
         if !ratios.is_empty() {
             println!(
-                "{algo}: mean ratio vs LB3 = {:.4} over {} seeds",
+                "{algo}: mean ratio vs {bound} = {:.4} over {} seeds",
                 ratios.iter().sum::<f64>() / ratios.len() as f64,
                 ratios.len()
             );
@@ -858,6 +1020,9 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if flags.contains_key("self-test") {
         return audit_self_test(flags);
     }
+    if flags.contains_key("dims") {
+        return audit_vector(flags);
+    }
 
     let cfg = AuditConfig {
         cases: get_num(flags, "cases", 1000)?,
@@ -918,6 +1083,77 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
     Err(CliError::Violations(format!(
         "{} audit violations",
+        summary.violations()
+    )))
+}
+
+/// The `audit --dims D` path: the vector invariant family (indexed vs
+/// linear foils, per-axis capacity, the max-axis lower bound, dim-1
+/// scalar equivalence, batch-reference differentials) over seeded
+/// vector instances with dimensionality up to `D`, shrinking failures
+/// to vector-fixture JSON.
+fn audit_vector(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use clairvoyant_dbp::audit::shrink::ShrinkBudget;
+    use clairvoyant_dbp::audit::vector::{
+        case_vec_instance, run_vector_audit, shrink_vector_failure, VecFixture, VectorAuditConfig,
+    };
+    use clairvoyant_dbp::audit::QuietPanics;
+    use std::path::Path;
+
+    let cfg = VectorAuditConfig {
+        cases: get_num(flags, "cases", 200)?,
+        seed: get_num(flags, "seed", 0)?,
+        max_items: get_num(flags, "max-items", 24)?,
+        max_dims: parse_dims(flags)?,
+        threads: get_threads(flags)?,
+    };
+    let fixtures_dir = flags
+        .get("fixtures-dir")
+        .map(String::as_str)
+        .unwrap_or("audit-fixtures");
+
+    let _quiet = QuietPanics::new();
+    let summary = run_vector_audit(&cfg);
+    println!(
+        "audit: {} vector cases x roster = {} cells, seed {}, dims <= {}",
+        summary.cases, summary.cells, cfg.seed, cfg.max_dims
+    );
+    if summary.ok() {
+        println!("audit: no violations");
+        return Ok(());
+    }
+
+    println!(
+        "audit: {} failing (case, algo) cells, {} violations",
+        summary.failures.len(),
+        summary.violations()
+    );
+    for f in &summary.failures {
+        println!("\ncase {} [{}] algo {}:", f.case, f.family, f.algo);
+        for v in &f.violations {
+            println!("  [{}] {}", v.check, v.detail);
+        }
+        if f.algo.starts_with('<') {
+            continue;
+        }
+        let (_, inst) = case_vec_instance(cfg.seed, f.case, cfg.max_items, cfg.max_dims);
+        let small = shrink_vector_failure(&inst, &f.algo, ShrinkBudget::default());
+        let fixture = VecFixture::from_instance(
+            format!("vec-seed{}-case{}-{}", cfg.seed, f.case, f.algo),
+            &f.algo,
+            f.violations[0].check.as_str(),
+            cfg.seed,
+            f.case,
+            format!("shrunk from {} to {} items", inst.len(), small.len()),
+            &small,
+        );
+        match fixture.write_to(Path::new(fixtures_dir)) {
+            Ok(path) => println!("  shrunk to {} items -> {}", small.len(), path.display()),
+            Err(e) => println!("  shrunk to {} items (write failed: {e})", small.len()),
+        }
+    }
+    Err(CliError::Violations(format!(
+        "{} vector audit violations",
         summary.violations()
     )))
 }
@@ -1017,7 +1253,88 @@ fn audit_self_test(flags: &HashMap<String, String>) -> Result<(), CliError> {
             )))
         }
     }
+
+    // The vector pipeline: a packer that only checks axis 0 must be
+    // rejected by the per-axis feasibility gate, the witness must
+    // shrink to its two-item core (the decoys stripped), and the vector
+    // fixture must replay bit-identically.
+    audit_self_test_vector(seed)?;
+
     println!("self-test: ok");
+    Ok(())
+}
+
+/// The vector leg of `audit --self-test`: catch the axis-blind packer,
+/// shrink the witness, and round-trip it through [`VecFixture`] JSON.
+fn audit_self_test_vector(seed: u64) -> Result<(), CliError> {
+    use clairvoyant_dbp::audit::faulty::AxisBlindFirstFit;
+    use clairvoyant_dbp::audit::fuzz::isolated;
+    use clairvoyant_dbp::audit::shrink::ShrinkBudget;
+    use clairvoyant_dbp::audit::vector::{shrink_vec_instance, VecFixture};
+    use clairvoyant_dbp::core::{SizeVec, VecInstance, VecItem, VecOnlineEngine};
+
+    // Two items that overlap in time and fit on axis 0 but not axis 1,
+    // padded with decoys the shrinker must strip.
+    let mut items = vec![
+        VecItem::new(0, SizeVec::from_f64s(&[0.2, 0.8]), 3, 40),
+        VecItem::new(1, SizeVec::from_f64s(&[0.2, 0.8]), 5, 39),
+    ];
+    for i in 2..14 {
+        items.push(VecItem::new(
+            i,
+            SizeVec::from_f64s(&[0.11, 0.07]),
+            i as i64 * 7,
+            i as i64 * 7 + 3,
+        ));
+    }
+    let inst = VecInstance::from_items(items).map_err(runtime_err)?;
+
+    let fails = |candidate: &VecInstance| {
+        !matches!(
+            isolated(|| VecOnlineEngine::non_clairvoyant().run(candidate, &mut AxisBlindFirstFit)),
+            Ok(Ok(_))
+        )
+    };
+    if !fails(&inst) {
+        return Err(CliError::Violations(
+            "self-test: axis-blind vector packer was NOT caught".into(),
+        ));
+    }
+    println!("self-test: axis-blind first-fit rejected by per-axis feasibility");
+
+    let small = shrink_vec_instance(&inst, fails, ShrinkBudget::default());
+    println!(
+        "self-test: vector witness shrunk {} -> {} items",
+        inst.len(),
+        small.len()
+    );
+    if small.len() > 2 {
+        return Err(CliError::Violations(format!(
+            "self-test: vector witness has {} items (> 2)",
+            small.len()
+        )));
+    }
+
+    let fixture = VecFixture::from_instance(
+        "self-test-axis-blind-ff",
+        "faulty-axis-blind-ff",
+        "engine-error",
+        seed,
+        0,
+        "self-test injected vector fault",
+        &small,
+    );
+    let round_trip = VecFixture::parse(&fixture.to_json())
+        .map_err(|e| runtime_err(format!("vector fixture round-trip: {e}")))?;
+    if round_trip != fixture || round_trip.instance().map_err(runtime_err)? != small {
+        return Err(CliError::Violations(
+            "self-test: vector fixture did not round-trip".into(),
+        ));
+    }
+    println!(
+        "self-test: vector fixture round-trips through JSON ({} items)",
+        fixture.items.len()
+    );
     Ok(())
 }
 
